@@ -1,0 +1,203 @@
+// Ablations for the design choices DESIGN.md calls out:
+//
+//   ABL-1  Permutation choice: §3.4-advised nest order vs identity vs
+//          the empirically worst order — effect on tuple count and on
+//          §4 update cost.
+//   ABL-2  ValueSet representation: sorted vector (ours) vs a std::set
+//          per component for membership probes.
+//   ABL-3  Selection strategy on NFRs: tuple-level existential select
+//          vs exact expansion-based select.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "algebra/operators.h"
+#include "bench/workload.h"
+#include "core/update.h"
+#include "dependency/design.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace {
+
+FlatRelation UniversityFlat(size_t students) {
+  bench::UniversityConfig config;
+  config.students = students;
+  config.courses_per_student = 5;
+  config.clubs_per_student = 2;
+  config.course_pool = 30;
+  config.club_pool = 10;
+  config.seed = 777;
+  return bench::GenerateUniversity(config);
+}
+
+// ---- ABL-1: permutation choice ----------------------------------------
+
+void ReportPermutationAblation() {
+  FlatRelation flat = UniversityFlat(150);
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  Permutation advised = AdvisePermutation(3, FdSet(3), mvds);
+  Permutation identity = IdentityPermutation(3);
+  Permutation worst;
+  size_t worst_score = 0;
+  for (const Permutation& perm : AllPermutations(3)) {
+    size_t score = PermutationScore(flat, perm);
+    if (score > worst_score) {
+      worst_score = score;
+      worst = perm;
+    }
+  }
+  Permutation best = BestPermutationBySize(flat);
+
+  auto measure = [&](const Permutation& perm) {
+    Result<CanonicalRelation> rel = CanonicalRelation::FromFlat(flat, perm);
+    NF2_CHECK(rel.ok());
+    UpdateStats before = rel->stats();
+    for (int i = 0; i < 40; ++i) {
+      FlatTuple t{Value::String(StrCat("zz", i)), Value::String("c1"),
+                  Value::String("b1")};
+      NF2_CHECK(rel->Insert(t).ok());
+    }
+    UpdateStats delta = rel->stats() - before;
+    return std::make_pair(rel->size(),
+                          delta.candidate_scans / 40);
+  };
+  auto name_of = [&](const Permutation& perm) {
+    std::string out;
+    for (size_t p : perm) out += flat.schema().attribute(p).name[0];
+    return out;
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  const std::vector<std::pair<std::string, Permutation>> strategies{
+      {"advised (sec 3.4)", advised},
+      {"identity", identity},
+      {"worst", worst},
+      {"best (exhaustive)", best}};
+  for (const auto& [label, perm] : strategies) {
+    auto [tuples, scans] = measure(perm);
+    rows.push_back({label, name_of(perm), std::to_string(tuples),
+                    std::to_string(scans)});
+  }
+  bench::PrintReportTable(
+      "ABL-1: nest-order choice (150 students, |R*|=" +
+          std::to_string(flat.size()) + ")",
+      {"strategy", "order", "NFR tuples", "cand. scans/insert"}, rows);
+}
+
+// ---- ABL-4: candidate search, inverted index vs scan -------------------
+//
+// The paper's §5 "optimization strategy" future work: indexed candt /
+// searcht vs the literal linear scan. Composition counts are identical
+// (tested); only the search cost changes.
+
+void BM_InsertSearchScan(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = UniversityFlat(students);
+  Result<CanonicalRelation> rel = CanonicalRelation::FromFlat(
+      flat, {1, 2, 0}, CanonicalRelation::SearchMode::kScan);
+  NF2_CHECK(rel.ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    FlatTuple t{Value::String(StrCat("probe", i)), Value::String("c1"),
+                Value::String("b1")};
+    NF2_CHECK(rel->Insert(t).ok());
+    NF2_CHECK(rel->Delete(t).ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_InsertSearchScan)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_InsertSearchIndexed(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = UniversityFlat(students);
+  Result<CanonicalRelation> rel = CanonicalRelation::FromFlat(
+      flat, {1, 2, 0}, CanonicalRelation::SearchMode::kIndexed);
+  NF2_CHECK(rel.ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    FlatTuple t{Value::String(StrCat("probe", i)), Value::String("c1"),
+                Value::String("b1")};
+    NF2_CHECK(rel->Insert(t).ok());
+    NF2_CHECK(rel->Delete(t).ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_InsertSearchIndexed)->Arg(100)->Arg(1000)->Arg(4000);
+
+// ---- ABL-2: ValueSet representation ------------------------------------
+
+void BM_MembershipSortedVector(benchmark::State& state) {
+  ValueSet set;
+  size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    set.Insert(Value::String(StrCat("value_", i)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    Value probe = Value::String(StrCat("value_", i % (2 * n)));
+    benchmark::DoNotOptimize(set.Contains(probe));
+    ++i;
+  }
+}
+BENCHMARK(BM_MembershipSortedVector)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MembershipStdSet(benchmark::State& state) {
+  std::set<Value> set;
+  size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    set.insert(Value::String(StrCat("value_", i)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    Value probe = Value::String(StrCat("value_", i % (2 * n)));
+    benchmark::DoNotOptimize(set.count(probe) > 0);
+    ++i;
+  }
+}
+BENCHMARK(BM_MembershipStdSet)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// ---- ABL-3: selection strategy -----------------------------------------
+
+void BM_SelectTupleLevel(benchmark::State& state) {
+  FlatRelation flat = UniversityFlat(static_cast<size_t>(state.range(0)));
+  NfrRelation nfr = CanonicalForm(flat, Permutation{1, 2, 0});
+  size_t i = 0;
+  for (auto _ : state) {
+    Predicate pred =
+        Predicate::Eq(1, Value::String(StrCat("c", i % 30)));
+    benchmark::DoNotOptimize(SelectNfrTuples(nfr, pred));
+    ++i;
+  }
+}
+BENCHMARK(BM_SelectTupleLevel)->Arg(200)->Arg(1000);
+
+void BM_SelectExactExpansion(benchmark::State& state) {
+  FlatRelation flat = UniversityFlat(static_cast<size_t>(state.range(0)));
+  NfrRelation nfr = CanonicalForm(flat, Permutation{1, 2, 0});
+  size_t i = 0;
+  for (auto _ : state) {
+    Predicate pred =
+        Predicate::Eq(1, Value::String(StrCat("c", i % 30)));
+    benchmark::DoNotOptimize(SelectNfrExact(nfr, pred));
+    ++i;
+  }
+}
+BENCHMARK(BM_SelectExactExpansion)->Arg(200)->Arg(1000);
+
+}  // namespace
+}  // namespace nf2
+
+int main(int argc, char** argv) {
+  std::printf("Design-choice ablations\n");
+  std::printf("=======================\n");
+  nf2::ReportPermutationAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Construction costs: the paper's §3 transformations from 1NF to NFR.
+//
+//   - CanonicalForm (V_P): the always-possible syntactic reduction;
+//     O(|R*|) per nest with hashing — measured over sizes and degrees.
+//   - ReduceGreedy: composition-at-a-time reduction (quadratic scans).
+//   - MinimalIrreducible: the exhaustive minimal-partition search of
+//     Example 2 — exponential, usable only for tiny relations (which is
+//     exactly why canonical forms are the practical choice, the
+//     "better" of §3.3).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+#include "core/irreducible.h"
+#include "core/nest.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace {
+
+void BM_CanonicalFormBySize(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  bench::UniversityConfig config;
+  config.students = rows / 8;
+  config.courses_per_student = 4;
+  config.clubs_per_student = 2;
+  config.seed = 3;
+  FlatRelation flat = bench::GenerateUniversity(config);
+  Permutation perm{1, 2, 0};
+  for (auto _ : state) {
+    NfrRelation canonical = CanonicalForm(flat, perm);
+    benchmark::DoNotOptimize(canonical);
+  }
+  state.counters["flat_tuples"] = static_cast<double>(flat.size());
+}
+BENCHMARK(BM_CanonicalFormBySize)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_CanonicalFormByDegree(benchmark::State& state) {
+  size_t degree = static_cast<size_t>(state.range(0));
+  FlatRelation flat = bench::GenerateRandom(degree, 3, 2000, 5);
+  Permutation perm = IdentityPermutation(degree);
+  for (auto _ : state) {
+    NfrRelation canonical = CanonicalForm(flat, perm);
+    benchmark::DoNotOptimize(canonical);
+  }
+}
+BENCHMARK(BM_CanonicalFormByDegree)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_ReduceGreedy(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  FlatRelation flat = bench::GenerateRandom(3, 4, rows, 7);
+  for (auto _ : state) {
+    NfrRelation reduced = ReduceGreedy(NfrRelation::FromFlat(flat));
+    benchmark::DoNotOptimize(reduced);
+  }
+}
+BENCHMARK(BM_ReduceGreedy)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MinimalIrreducible(benchmark::State& state) {
+  // Exactly `rows` distinct tuples: a shuffled prefix of the 2x2x2
+  // universe (random draws collide at these sizes).
+  size_t rows = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  std::vector<FlatTuple> universe;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        universe.push_back(FlatTuple{Value::Int(a), Value::Int(b),
+                                     Value::Int(c)});
+      }
+    }
+  }
+  rng.Shuffle(&universe);
+  universe.resize(std::min(rows, universe.size()));
+  FlatRelation flat(Schema({{"A", ValueType::kInt},
+                            {"B", ValueType::kInt},
+                            {"C", ValueType::kInt}}),
+                    universe);
+  for (auto _ : state) {
+    Result<NfrRelation> minimal = MinimalIrreducible(flat, 16);
+    NF2_CHECK(minimal.ok());
+    benchmark::DoNotOptimize(minimal);
+  }
+  state.counters["flat_tuples"] = static_cast<double>(flat.size());
+}
+BENCHMARK(BM_MinimalIrreducible)->Arg(6)->Arg(7)->Arg(8);
+
+}  // namespace
+}  // namespace nf2
+
+BENCHMARK_MAIN();

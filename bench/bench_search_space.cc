@@ -1,0 +1,207 @@
+// SEARCH experiment (§2 / §5 claims): "the reduction of the number of
+// tuples will contribute to the reduction of logical search space" and
+// NFRs "discard join operations which originate from the decomposition".
+//
+// google-benchmark timings over the university workload:
+//   - point lookup (student's full record): NFR scan vs 1NF scan vs
+//     4NF fragments + join,
+//   - full reconstruction of the universal relation: NFR expand vs 4NF
+//     join,
+//   - tuple membership probe.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
+
+#include "algebra/operators.h"
+#include "baseline/flat_engine.h"
+#include "bench/workload.h"
+#include "core/update.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace {
+
+FlatRelation MakeWorkload(size_t students) {
+  bench::UniversityConfig config;
+  config.students = students;
+  config.courses_per_student = 6;
+  config.clubs_per_student = 3;
+  config.course_pool = 50;
+  config.club_pool = 15;
+  config.share_course_set = 0.4;
+  config.seed = 999;
+  return bench::GenerateUniversity(config);
+}
+
+NfrRelation MakeNfr(const FlatRelation& flat) {
+  return CanonicalForm(flat, Permutation{1, 2, 0});
+}
+
+FlatBaseline MakeSingle(const FlatRelation& flat) {
+  FlatBaseline engine(flat.schema(), FdSet(3), MvdSet(3),
+                      FlatBaseline::Mode::kSingleTable);
+  NF2_CHECK(engine.BulkLoad(flat).ok());
+  return engine;
+}
+
+FlatBaseline MakeDecomposed(const FlatRelation& flat) {
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  FlatBaseline engine(flat.schema(), FdSet(3), mvds,
+                      FlatBaseline::Mode::kDecomposed4NF);
+  NF2_CHECK(engine.BulkLoad(flat).ok());
+  return engine;
+}
+
+Value ProbeStudent(size_t students, size_t i) {
+  return Value::String(StrCat("s", i % students));
+}
+
+// ---- Point lookup: all (course, club) rows of one student ------------
+
+void BM_PointLookupNfr(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  NfrRelation nfr = MakeNfr(flat);
+  size_t i = 0;
+  for (auto _ : state) {
+    Predicate pred = Predicate::Eq(0, ProbeStudent(students, i++));
+    // Tuple-level select: scans nfr.size() tuples, no expansion of
+    // non-matching tuples.
+    NfrRelation hit = SelectNfrTuples(nfr, pred);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_PointLookupNfr)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_PointLookupFlat(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  FlatBaseline single = MakeSingle(flat);
+  size_t i = 0;
+  for (auto _ : state) {
+    Predicate pred = Predicate::Eq(0, ProbeStudent(students, i++));
+    FlatRelation hit = single.Query(pred);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_PointLookupFlat)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_PointLookupDecomposedJoin(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  FlatBaseline decomposed = MakeDecomposed(flat);
+  size_t i = 0;
+  for (auto _ : state) {
+    Predicate pred = Predicate::Eq(0, ProbeStudent(students, i++));
+    FlatRelation hit = decomposed.Query(pred);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_PointLookupDecomposedJoin)->Arg(100)->Arg(1000);
+
+// ---- Membership probe -------------------------------------------------
+
+void BM_ContainsNfr(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  NfrRelation nfr = MakeNfr(flat);
+  size_t i = 0;
+  for (auto _ : state) {
+    FlatTuple probe = flat.tuple(i % flat.size());
+    benchmark::DoNotOptimize(nfr.ExpansionContains(probe));
+    ++i;
+  }
+}
+BENCHMARK(BM_ContainsNfr)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_ContainsFlat(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  size_t i = 0;
+  for (auto _ : state) {
+    FlatTuple probe = flat.tuple(i % flat.size());
+    benchmark::DoNotOptimize(flat.Contains(probe));
+    ++i;
+  }
+}
+BENCHMARK(BM_ContainsFlat)->Arg(100)->Arg(1000)->Arg(5000);
+
+// ---- Full reconstruction ----------------------------------------------
+
+void BM_ReconstructNfrExpand(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  NfrRelation nfr = MakeNfr(flat);
+  for (auto _ : state) {
+    FlatRelation whole = nfr.Expand();
+    benchmark::DoNotOptimize(whole);
+  }
+}
+BENCHMARK(BM_ReconstructNfrExpand)->Arg(100)->Arg(1000);
+
+void BM_ReconstructDecomposedJoin(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  FlatBaseline decomposed = MakeDecomposed(flat);
+  for (auto _ : state) {
+    FlatRelation whole = decomposed.Scan();
+    benchmark::DoNotOptimize(whole);
+  }
+}
+BENCHMARK(BM_ReconstructDecomposedJoin)->Arg(100)->Arg(1000);
+
+// ---- Aggregation: counts straight off NFR components ------------------
+
+void BM_GroupCountNfr(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  NfrRelation nfr = MakeNfr(flat);
+  for (auto _ : state) {
+    // courses-per-student: component sizes, no expansion.
+    auto counts = GroupedDistinctCounts(nfr, 0, 1);
+    NF2_CHECK(counts.ok());
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_GroupCountNfr)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_GroupCountFlatScan(benchmark::State& state) {
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  for (auto _ : state) {
+    // The 1NF equivalent: hash-aggregate over every row.
+    std::map<Value, std::set<Value>> groups;
+    for (const FlatTuple& t : flat.tuples()) {
+      groups[t.at(0)].insert(t.at(1));
+    }
+    benchmark::DoNotOptimize(groups);
+  }
+}
+BENCHMARK(BM_GroupCountFlatScan)->Arg(100)->Arg(1000)->Arg(5000);
+
+// ---- Logical search space: tuples examined ----------------------------
+
+void BM_TuplesScannedReport(benchmark::State& state) {
+  // Not a timing benchmark: records the scan lengths as counters so the
+  // "logical search space" claim has explicit numbers.
+  size_t students = static_cast<size_t>(state.range(0));
+  FlatRelation flat = MakeWorkload(students);
+  NfrRelation nfr = MakeNfr(flat);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nfr.size());
+  }
+  state.counters["nfr_tuples"] = static_cast<double>(nfr.size());
+  state.counters["flat_tuples"] = static_cast<double>(flat.size());
+  state.counters["reduction_x"] =
+      static_cast<double>(flat.size()) / static_cast<double>(nfr.size());
+}
+BENCHMARK(BM_TuplesScannedReport)->Arg(100)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace nf2
+
+BENCHMARK_MAIN();

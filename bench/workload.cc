@@ -1,0 +1,152 @@
+#include "bench/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace bench {
+
+namespace {
+std::vector<std::string> DrawDistinct(Rng* rng, const char* prefix,
+                                      size_t pool, size_t count) {
+  count = std::min(count, pool);
+  std::vector<size_t> ids(pool);
+  for (size_t i = 0; i < pool; ++i) ids[i] = i;
+  rng->Shuffle(&ids);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(StrCat(prefix, ids[i]));
+  }
+  return out;
+}
+}  // namespace
+
+FlatRelation GenerateUniversity(const UniversityConfig& config) {
+  Rng rng(config.seed);
+  FlatRelation rel(Schema::OfStrings({"Student", "Course", "Club"}));
+  std::vector<std::string> previous_courses;
+  for (size_t s = 0; s < config.students; ++s) {
+    std::string student = StrCat("s", s);
+    std::vector<std::string> courses;
+    if (!previous_courses.empty() && rng.NextBool(config.share_course_set)) {
+      courses = previous_courses;
+    } else {
+      courses = DrawDistinct(&rng, "c", config.course_pool,
+                             config.courses_per_student);
+    }
+    previous_courses = courses;
+    std::vector<std::string> clubs =
+        DrawDistinct(&rng, "b", config.club_pool, config.clubs_per_student);
+    for (const std::string& course : courses) {
+      for (const std::string& club : clubs) {
+        rel.Insert(FlatTuple{Value::String(student), Value::String(course),
+                             Value::String(club)});
+      }
+    }
+  }
+  return rel;
+}
+
+FlatRelation GenerateEnrollment(const EnrollmentConfig& config) {
+  Rng rng(config.seed);
+  FlatRelation rel(Schema::OfStrings({"Student", "Course", "Semester"}));
+  for (size_t s = 0; s < config.students; ++s) {
+    std::string student = StrCat("s", s);
+    std::vector<std::string> courses = DrawDistinct(
+        &rng, "c", config.course_pool, config.courses_per_student);
+    for (const std::string& course : courses) {
+      std::string semester =
+          StrCat("t", rng.NextBelow(config.semester_pool));
+      rel.Insert(FlatTuple{Value::String(student), Value::String(course),
+                           Value::String(semester)});
+    }
+  }
+  return rel;
+}
+
+FlatRelation GenerateKeyed(const KeyedConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::string> names;
+  names.push_back("K");
+  for (size_t i = 1; i < config.degree; ++i) {
+    names.push_back(StrCat("X", i));
+  }
+  FlatRelation rel(Schema::OfStrings(names));
+  for (size_t r = 0; r < config.rows; ++r) {
+    std::vector<Value> values;
+    values.push_back(Value::String(StrCat("k", r)));
+    for (size_t i = 1; i < config.degree; ++i) {
+      values.push_back(
+          Value::String(StrCat("x", i, "_", rng.NextBelow(config.value_pool))));
+    }
+    rel.Insert(FlatTuple(std::move(values)));
+  }
+  return rel;
+}
+
+FlatRelation GenerateRandom(size_t degree, size_t domain, size_t rows,
+                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < degree; ++i) {
+    names.push_back(StrCat("E", i + 1));
+  }
+  FlatRelation rel(Schema::OfStrings(names));
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> values;
+    values.reserve(degree);
+    for (size_t i = 0; i < degree; ++i) {
+      values.push_back(
+          Value::String(StrCat("v", i, "_", rng.NextBelow(domain))));
+    }
+    rel.Insert(FlatTuple(std::move(values)));
+  }
+  return rel;
+}
+
+void PrintReportTable(const std::string& title,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> width(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    width[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("  ");
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(width[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  std::vector<std::string> rule;
+  for (size_t c = 0; c < width.size(); ++c) {
+    rule.push_back(std::string(width[c], '-'));
+  }
+  print_row(rule);
+  for (const auto& row : rows) {
+    print_row(row);
+  }
+}
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+}  // namespace bench
+}  // namespace nf2

@@ -1,0 +1,72 @@
+#ifndef NF2_BENCH_WORKLOAD_H_
+#define NF2_BENCH_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "util/rng.h"
+
+namespace nf2 {
+namespace bench {
+
+/// Configuration of the university-style workload the paper's examples
+/// are built from: students taking sets of courses and belonging to
+/// sets of clubs, independently (so Student ->-> Course | Club holds).
+struct UniversityConfig {
+  size_t students = 100;
+  size_t courses_per_student = 4;
+  size_t clubs_per_student = 2;
+  size_t course_pool = 30;   // Distinct course names.
+  size_t club_pool = 10;     // Distinct club names.
+  /// Probability that a student reuses the previous student's course
+  /// set verbatim (drives cross-student NFR sharing).
+  double share_course_set = 0.3;
+  uint64_t seed = 42;
+};
+
+/// R1-style relation [Student, Course, Club]; satisfies the MVD
+/// Student ->-> Course | Club by construction.
+FlatRelation GenerateUniversity(const UniversityConfig& config);
+
+/// R2-style relation [Student, Course, Semester]: each (student,
+/// course) pair gets ONE semester, so no MVD holds in general.
+struct EnrollmentConfig {
+  size_t students = 100;
+  size_t courses_per_student = 4;
+  size_t course_pool = 30;
+  size_t semester_pool = 6;
+  uint64_t seed = 43;
+};
+FlatRelation GenerateEnrollment(const EnrollmentConfig& config);
+
+/// Key-structured relation [K, X1..Xd-1] satisfying K -> X1..Xd-1, with
+/// the dependent attributes drawn from small pools (so nesting on them
+/// groups heavily).
+struct KeyedConfig {
+  size_t rows = 1000;
+  size_t degree = 3;       // Including the key attribute.
+  size_t value_pool = 8;   // Pool size per dependent attribute.
+  uint64_t seed = 44;
+};
+FlatRelation GenerateKeyed(const KeyedConfig& config);
+
+/// Fully random relation over `degree` attributes with per-attribute
+/// domains of `domain` values — the adversarial case for nesting.
+FlatRelation GenerateRandom(size_t degree, size_t domain, size_t rows,
+                            uint64_t seed);
+
+/// Prints an aligned report table: `header` then one row per entry.
+/// Used by the reproduction binaries to print paper-vs-measured rows.
+void PrintReportTable(const std::string& title,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with fixed precision for report tables.
+std::string Fmt(double value, int precision = 2);
+
+}  // namespace bench
+}  // namespace nf2
+
+#endif  // NF2_BENCH_WORKLOAD_H_

@@ -1,0 +1,77 @@
+// The §2 "power set" discussion, executable: CP[Course, Prerequisite]
+// where Prerequisite is a SET-valued domain. Unlike SC[Student,
+// Course] — where (a, {c1,c2}) just abbreviates two tuples — a
+// prerequisite set is one atomic condition and must never be split.
+// nf2db models this with the atomic kSet value type: NFR machinery
+// (composition, nesting, the §4 updates) treats each set as a single
+// element.
+//
+//   $ ./prerequisites
+
+#include <cstdio>
+
+#include "core/compose.h"
+#include "core/format.h"
+#include "core/nest.h"
+#include "core/update.h"
+#include "util/logging.h"
+
+using namespace nf2;  // Example code; the library itself never does this.
+
+namespace {
+Value Prereq(std::initializer_list<const char*> courses) {
+  std::vector<Value> elements;
+  for (const char* c : courses) elements.push_back(V(c));
+  return Value::SetOf(std::move(elements));
+}
+}  // namespace
+
+int main() {
+  std::printf("== Power-set domains: the paper's CP example (sec. 2) ==\n\n");
+
+  // SC[Student, Course]: (a, {c1,c2}) just means two simple tuples.
+  FlatRelation sc(Schema::OfStrings({"Student", "Course"}));
+  sc.Insert(FlatTuple{V("a"), V("c1")});
+  sc.Insert(FlatTuple{V("a"), V("c2")});
+  NfrRelation sc_nested = NestOn(NfrRelation::FromFlat(sc), 1);
+  std::printf("%s", RenderTable(sc_nested, "SC (splittable sets)").c_str());
+  std::printf("  -> [a | c1,c2] abbreviates (a,c1) and (a,c2): %zu simple "
+              "tuples\n\n",
+              static_cast<size_t>(sc_nested.ExpandedSize()));
+
+  // CP[Course, Prerequisite]: {c1,c2} is ONE condition. CP may also
+  // contain (c0, {c1,c3}) as an alternative — and the two sets must
+  // not merge into {c1,c2,c3}.
+  Schema cp_schema({{"Course", ValueType::kString},
+                    {"Prerequisite", ValueType::kSet}});
+  CanonicalRelation cp(cp_schema, {1, 0});
+  NF2_CHECK(cp.Insert(FlatTuple{V("c0"), Prereq({"c1", "c2"})}).ok());
+  NF2_CHECK(cp.Insert(FlatTuple{V("c0"), Prereq({"c1", "c3"})}).ok());
+  NF2_CHECK(cp.Insert(FlatTuple{V("c8"), Prereq({"c1", "c2"})}).ok());
+  std::printf("%s",
+              RenderTable(cp.relation(), "CP (atomic prerequisite sets)")
+                  .c_str());
+  std::printf(
+      "  -> c0 has TWO alternative conditions; the sets stayed whole.\n\n");
+
+  // Even the paper's (c0, {{c1,c2},{c1,c3}}) — a set of sets — works,
+  // since set values nest.
+  Value alternatives =
+      Value::SetOf({Prereq({"c1", "c2"}), Prereq({"c1", "c3"})});
+  FlatRelation cp2(Schema({{"Course", ValueType::kString},
+                           {"Conditions", ValueType::kSet}}));
+  cp2.Insert(FlatTuple{V("c0"), alternatives});
+  std::printf("%s",
+              RenderTable(cp2, "CP' (set-of-sets condition)").c_str());
+
+  // Updates respect atomicity: dropping one alternative of c0.
+  NF2_CHECK(cp.Delete(FlatTuple{V("c0"), Prereq({"c1", "c3"})}).ok());
+  std::printf("\nafter deleting c0's {c1,c3} alternative:\n%s",
+              RenderTable(cp.relation(), "CP").c_str());
+  std::printf(
+      "  -> c0 and c8 now share {c1,c2} and were composed over Course.\n");
+  NF2_CHECK(cp.size() == 1);
+
+  std::printf("\nprerequisites example OK\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "algebra/nest_unnest.h"
+
+namespace nf2 {
+
+Result<NfrRelation> NestByName(const NfrRelation& rel,
+                               const std::string& name) {
+  NF2_ASSIGN_OR_RETURN(size_t idx, rel.schema().RequireIndex(name));
+  return NestOn(rel, idx);
+}
+
+Result<NfrRelation> UnnestByName(const NfrRelation& rel,
+                                 const std::string& name) {
+  NF2_ASSIGN_OR_RETURN(size_t idx, rel.schema().RequireIndex(name));
+  return UnnestOn(rel, idx);
+}
+
+Result<NfrRelation> NestSequenceByName(
+    const NfrRelation& rel, const std::vector<std::string>& names) {
+  NfrRelation out = rel;
+  for (const std::string& name : names) {
+    NF2_ASSIGN_OR_RETURN(size_t idx, out.schema().RequireIndex(name));
+    out = NestOn(out, idx);
+  }
+  return out;
+}
+
+Result<NfrRelation> CanonicalFormByName(
+    const FlatRelation& rel, const std::vector<std::string>& names) {
+  NF2_ASSIGN_OR_RETURN(Permutation perm,
+                       PermutationFromNames(rel.schema(), names));
+  return CanonicalForm(rel, perm);
+}
+
+}  // namespace nf2

@@ -1,0 +1,36 @@
+#ifndef NF2_ALGEBRA_NEST_UNNEST_H_
+#define NF2_ALGEBRA_NEST_UNNEST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/nest.h"
+#include "core/relation.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Name-based wrappers around the core nest/unnest operations, the form
+/// queries and the NFRQL language use.
+
+/// V_A(R): nest over the attribute named `name`.
+Result<NfrRelation> NestByName(const NfrRelation& rel,
+                               const std::string& name);
+
+/// Unnest over the attribute named `name` (splits its components into
+/// singletons).
+Result<NfrRelation> UnnestByName(const NfrRelation& rel,
+                                 const std::string& name);
+
+/// Applies V over a sequence of attribute names, left-to-right (the
+/// convention of core/nest.h).
+Result<NfrRelation> NestSequenceByName(const NfrRelation& rel,
+                                       const std::vector<std::string>& names);
+
+/// The canonical form of a 1NF relation for a named permutation.
+Result<NfrRelation> CanonicalFormByName(const FlatRelation& rel,
+                                        const std::vector<std::string>& names);
+
+}  // namespace nf2
+
+#endif  // NF2_ALGEBRA_NEST_UNNEST_H_

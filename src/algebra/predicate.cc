@@ -1,0 +1,206 @@
+#include "algebra/predicate.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+enum class NodeKind { kTrue, kCompare, kAnd, kOr, kNot };
+
+bool ApplyOp(CompareOp op, const Value& lhs, const Value& rhs) {
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+}  // namespace
+
+struct Predicate::Node {
+  NodeKind kind = NodeKind::kTrue;
+  // kCompare:
+  size_t attr = 0;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+  // kAnd/kOr/kNot:
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+Predicate Predicate::Compare(size_t attr, CompareOp op, Value value) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kCompare;
+  node->attr = attr;
+  node->op = op;
+  node->value = std::move(value);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::And(Predicate a, Predicate b) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kAnd;
+  node->left = std::move(a.node_);
+  node->right = std::move(b.node_);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Or(Predicate a, Predicate b) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kOr;
+  node->left = std::move(a.node_);
+  node->right = std::move(b.node_);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Not(Predicate a) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kNot;
+  node->left = std::move(a.node_);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::True() { return Predicate(std::make_shared<Node>()); }
+
+bool Predicate::EvalFlat(const FlatTuple& t) const {
+  struct Impl {
+    static bool Eval(const Node* node, const FlatTuple& t) {
+      switch (node->kind) {
+        case NodeKind::kTrue:
+          return true;
+        case NodeKind::kCompare:
+          NF2_CHECK(node->attr < t.degree())
+              << "predicate attribute out of range";
+          return ApplyOp(node->op, t.at(node->attr), node->value);
+        case NodeKind::kAnd:
+          return Eval(node->left.get(), t) && Eval(node->right.get(), t);
+        case NodeKind::kOr:
+          return Eval(node->left.get(), t) || Eval(node->right.get(), t);
+        case NodeKind::kNot:
+          return !Eval(node->left.get(), t);
+      }
+      return false;
+    }
+  };
+  return Impl::Eval(node_.get(), t);
+}
+
+bool Predicate::EvalNfrAny(const NfrTuple& t) const {
+  struct Impl {
+    static bool Eval(const Node* node, const NfrTuple& t) {
+      switch (node->kind) {
+        case NodeKind::kTrue:
+          return true;
+        case NodeKind::kCompare: {
+          NF2_CHECK(node->attr < t.degree())
+              << "predicate attribute out of range";
+          for (const Value& v : t.at(node->attr).values()) {
+            if (ApplyOp(node->op, v, node->value)) return true;
+          }
+          return false;
+        }
+        case NodeKind::kAnd:
+          return Eval(node->left.get(), t) && Eval(node->right.get(), t);
+        case NodeKind::kOr:
+          return Eval(node->left.get(), t) || Eval(node->right.get(), t);
+        case NodeKind::kNot:
+          return !Eval(node->left.get(), t);
+      }
+      return false;
+    }
+  };
+  return Impl::Eval(node_.get(), t);
+}
+
+bool Predicate::MatchesExpansion(const NfrTuple& t) const {
+  for (const FlatTuple& flat : t.Expand()) {
+    if (EvalFlat(flat)) return true;
+  }
+  return false;
+}
+
+std::optional<std::pair<size_t, Value>> Predicate::AsSingleEq() const {
+  if (node_->kind == NodeKind::kCompare && node_->op == CompareOp::kEq) {
+    return std::make_pair(node_->attr, node_->value);
+  }
+  return std::nullopt;
+}
+
+size_t Predicate::MaxAttr() const {
+  struct Impl {
+    static size_t Max(const Node* node) {
+      switch (node->kind) {
+        case NodeKind::kTrue:
+          return 0;
+        case NodeKind::kCompare:
+          return node->attr;
+        case NodeKind::kAnd:
+        case NodeKind::kOr:
+          return std::max(Max(node->left.get()), Max(node->right.get()));
+        case NodeKind::kNot:
+          return Max(node->left.get());
+      }
+      return 0;
+    }
+  };
+  return Impl::Max(node_.get());
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  struct Impl {
+    static std::string Str(const Node* node, const Schema& schema) {
+      switch (node->kind) {
+        case NodeKind::kTrue:
+          return "TRUE";
+        case NodeKind::kCompare: {
+          std::string name = node->attr < schema.degree()
+                                 ? schema.attribute(node->attr).name
+                                 : StrCat("#", node->attr);
+          return StrCat(name, " ", CompareOpToString(node->op), " ",
+                        node->value.ToString());
+        }
+        case NodeKind::kAnd:
+          return StrCat("(", Str(node->left.get(), schema), " AND ",
+                        Str(node->right.get(), schema), ")");
+        case NodeKind::kOr:
+          return StrCat("(", Str(node->left.get(), schema), " OR ",
+                        Str(node->right.get(), schema), ")");
+        case NodeKind::kNot:
+          return StrCat("NOT ", Str(node->left.get(), schema));
+      }
+      return "?";
+    }
+  };
+  return Impl::Str(node_.get(), schema);
+}
+
+}  // namespace nf2

@@ -1,0 +1,254 @@
+#include "baseline/flat_engine.h"
+
+#include "algebra/operators.h"
+#include "storage/serde.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+FlatBaseline::FlatBaseline(Schema schema, FdSet fds, MvdSet mvds, Mode mode)
+    : schema_(std::move(schema)),
+      fds_(std::move(fds)),
+      mvds_(std::move(mvds)),
+      mode_(mode),
+      universal_(schema_) {
+  NF2_CHECK(fds_.degree() == schema_.degree());
+  NF2_CHECK(mvds_.degree() == schema_.degree());
+  if (mode_ == Mode::kDecomposed4NF) {
+    ComputeFragments();
+  }
+}
+
+void FlatBaseline::ComputeFragments() {
+  std::vector<size_t> all;
+  for (size_t i = 0; i < schema_.degree(); ++i) all.push_back(i);
+  SplitPositions(all);
+}
+
+void FlatBaseline::SplitPositions(const std::vector<size_t>& positions) {
+  AttrSet present(positions);
+  for (const Mvd& mvd : mvds_.mvds()) {
+    if (!mvd.lhs.Union(mvd.rhs).IsSubsetOf(present)) continue;
+    AttrSet rhs_here = mvd.rhs.Intersect(present).Difference(mvd.lhs);
+    AttrSet z_here = present.Difference(mvd.lhs).Difference(rhs_here);
+    if (rhs_here.empty() || z_here.empty()) continue;
+    if (fds_.IsSuperkey(mvd.lhs)) continue;
+    auto subset = [&](const AttrSet& target) {
+      std::vector<size_t> out;
+      for (size_t p : positions) {
+        if (target.Contains(p)) out.push_back(p);
+      }
+      SplitPositions(out);
+    };
+    subset(mvd.lhs.Union(rhs_here));
+    subset(mvd.lhs.Union(z_here));
+    return;
+  }
+  Fragment fragment;
+  fragment.positions = positions;
+  fragment.relation = FlatRelation(schema_.Project(positions));
+  fragments_.push_back(std::move(fragment));
+}
+
+Status FlatBaseline::Insert(const FlatTuple& tuple) {
+  if (tuple.degree() != schema_.degree()) {
+    return Status::InvalidArgument("tuple degree mismatch");
+  }
+  if (Contains(tuple)) {
+    return Status::AlreadyExists(
+        StrCat("tuple ", tuple.ToString(), " already present"));
+  }
+  if (mode_ == Mode::kSingleTable) {
+    universal_.Insert(tuple);
+    return Status::OK();
+  }
+  for (Fragment& fragment : fragments_) {
+    std::vector<Value> values;
+    values.reserve(fragment.positions.size());
+    for (size_t p : fragment.positions) values.push_back(tuple.at(p));
+    fragment.relation.Insert(FlatTuple(std::move(values)));
+  }
+  return Status::OK();
+}
+
+Status FlatBaseline::BulkLoad(const FlatRelation& rel) {
+  if (rel.schema() != schema_) {
+    return Status::InvalidArgument("bulk load schema mismatch");
+  }
+  if (mode_ == Mode::kSingleTable) {
+    for (const FlatTuple& t : rel.tuples()) {
+      universal_.Insert(t);
+    }
+    return Status::OK();
+  }
+  for (Fragment& fragment : fragments_) {
+    for (const FlatTuple& t : rel.tuples()) {
+      std::vector<Value> values;
+      values.reserve(fragment.positions.size());
+      for (size_t p : fragment.positions) values.push_back(t.at(p));
+      fragment.relation.Insert(FlatTuple(std::move(values)));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+/// Projects every tuple of `whole` onto `positions`.
+FlatRelation ProjectOnto(const FlatRelation& whole, const Schema& schema,
+                         const std::vector<size_t>& positions) {
+  std::vector<FlatTuple> projected;
+  projected.reserve(whole.size());
+  for (const FlatTuple& t : whole.tuples()) {
+    std::vector<Value> values;
+    values.reserve(positions.size());
+    for (size_t p : positions) values.push_back(t.at(p));
+    projected.emplace_back(std::move(values));
+  }
+  return FlatRelation(schema.Project(positions), std::move(projected));
+}
+}  // namespace
+
+Status FlatBaseline::Delete(const FlatTuple& tuple) {
+  if (tuple.degree() != schema_.degree()) {
+    return Status::InvalidArgument("tuple degree mismatch");
+  }
+  if (mode_ == Mode::kSingleTable) {
+    if (!universal_.Erase(tuple)) {
+      return Status::NotFound(
+          StrCat("tuple ", tuple.ToString(), " not present"));
+    }
+    return Status::OK();
+  }
+  // Reconstruct, delete, re-project — then verify losslessness.
+  FlatRelation whole = Scan();
+  if (!whole.Erase(tuple)) {
+    return Status::NotFound(
+        StrCat("tuple ", tuple.ToString(), " not present"));
+  }
+  std::vector<FlatRelation> projected;
+  projected.reserve(fragments_.size());
+  for (const Fragment& fragment : fragments_) {
+    projected.push_back(ProjectOnto(whole, schema_, fragment.positions));
+  }
+  // The deletion is representable iff re-joining the projections gives
+  // exactly the post-delete relation.
+  FlatRelation rejoined = projected[0];
+  for (size_t i = 1; i < projected.size(); ++i) {
+    rejoined = NaturalJoin(rejoined, projected[i]);
+  }
+  std::vector<std::string> names;
+  for (const Attribute& attr : schema_.attributes()) {
+    names.push_back(attr.name);
+  }
+  Result<FlatRelation> reordered = ProjectByName(rejoined, names);
+  NF2_CHECK(reordered.ok());
+  if (*reordered != whole) {
+    return Status::FailedPrecondition(
+        StrCat("deleting ", tuple.ToString(),
+               " leaves data the 4NF decomposition cannot represent "
+               "(deletion anomaly)"));
+  }
+  for (size_t i = 0; i < fragments_.size(); ++i) {
+    fragments_[i].relation = std::move(projected[i]);
+  }
+  return Status::OK();
+}
+
+Result<size_t> FlatBaseline::DeleteWhere(const Predicate& pred) {
+  FlatRelation whole = Scan();
+  FlatRelation matching = Select(whole, pred);
+  if (mode_ == Mode::kSingleTable) {
+    for (const FlatTuple& t : matching.tuples()) {
+      universal_.Erase(t);
+    }
+    return matching.size();
+  }
+  for (const FlatTuple& t : matching.tuples()) {
+    whole.Erase(t);
+  }
+  std::vector<FlatRelation> projected;
+  projected.reserve(fragments_.size());
+  for (const Fragment& fragment : fragments_) {
+    projected.push_back(ProjectOnto(whole, schema_, fragment.positions));
+  }
+  FlatRelation rejoined = projected[0];
+  for (size_t i = 1; i < projected.size(); ++i) {
+    rejoined = NaturalJoin(rejoined, projected[i]);
+  }
+  std::vector<std::string> names;
+  for (const Attribute& attr : schema_.attributes()) {
+    names.push_back(attr.name);
+  }
+  Result<FlatRelation> reordered = ProjectByName(rejoined, names);
+  NF2_CHECK(reordered.ok());
+  if (*reordered != whole) {
+    return Status::FailedPrecondition(
+        "bulk deletion not representable in the 4NF decomposition");
+  }
+  for (size_t i = 0; i < fragments_.size(); ++i) {
+    fragments_[i].relation = std::move(projected[i]);
+  }
+  return matching.size();
+}
+
+bool FlatBaseline::Contains(const FlatTuple& tuple) const {
+  if (mode_ == Mode::kSingleTable) {
+    return universal_.Contains(tuple);
+  }
+  return Scan().Contains(tuple);
+}
+
+FlatRelation FlatBaseline::Scan() const {
+  if (mode_ == Mode::kSingleTable) {
+    return universal_;
+  }
+  NF2_CHECK(!fragments_.empty());
+  FlatRelation joined = fragments_[0].relation;
+  for (size_t i = 1; i < fragments_.size(); ++i) {
+    joined = NaturalJoin(joined, fragments_[i].relation);
+  }
+  // Reorder columns to the universal schema.
+  std::vector<std::string> names;
+  for (const Attribute& attr : schema_.attributes()) {
+    names.push_back(attr.name);
+  }
+  Result<FlatRelation> reordered = ProjectByName(joined, names);
+  NF2_CHECK(reordered.ok()) << reordered.status();
+  return *std::move(reordered);
+}
+
+FlatRelation FlatBaseline::Query(const Predicate& pred) const {
+  return Select(Scan(), pred);
+}
+
+size_t FlatBaseline::TotalTuples() const {
+  if (mode_ == Mode::kSingleTable) {
+    return universal_.size();
+  }
+  size_t total = 0;
+  for (const Fragment& fragment : fragments_) {
+    total += fragment.relation.size();
+  }
+  return total;
+}
+
+size_t FlatBaseline::TotalBytes() const {
+  BufferWriter out;
+  if (mode_ == Mode::kSingleTable) {
+    EncodeSchema(schema_, &out);
+    for (const FlatTuple& t : universal_.tuples()) {
+      EncodeFlatTuple(t, &out);
+    }
+    return out.size();
+  }
+  for (const Fragment& fragment : fragments_) {
+    EncodeSchema(fragment.relation.schema(), &out);
+    for (const FlatTuple& t : fragment.relation.tuples()) {
+      EncodeFlatTuple(t, &out);
+    }
+  }
+  return out.size();
+}
+
+}  // namespace nf2

@@ -1,0 +1,98 @@
+#ifndef NF2_BASELINE_FLAT_ENGINE_H_
+#define NF2_BASELINE_FLAT_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "core/relation.h"
+#include "dependency/fd.h"
+#include "dependency/mvd.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// The 1NF comparator the paper argues against. Two storage modes:
+///
+///  - kSingleTable: the universal relation stored flat, one row per
+///    simple tuple. What a pre-normalization system would hold.
+///  - kDecomposed4NF: the schema split by Fagin's 4NF decomposition on
+///    the declared dependencies; queries over the full attribute set
+///    re-join the fragments. This is the design the paper says NFRs
+///    make unnecessary ("NFR allows database users to take away such
+///    decompositions of schema that are forced to occur MVDs, and to
+///    discard join operations").
+///
+/// Deletion in kDecomposed4NF is implemented soundly but expensively
+/// (reconstruct, delete, re-project) — the classic deletion anomaly the
+/// benchmarks quantify.
+class FlatBaseline {
+ public:
+  enum class Mode { kSingleTable, kDecomposed4NF };
+
+  struct Fragment {
+    std::vector<size_t> positions;  // Universal-schema positions.
+    FlatRelation relation;
+  };
+
+  FlatBaseline(Schema schema, FdSet fds, MvdSet mvds, Mode mode);
+
+  Mode mode() const { return mode_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+
+  /// Inserts a universal tuple. AlreadyExists if present. In decomposed
+  /// mode the membership pre-check re-joins the fragments — O(|R|) per
+  /// insert; use BulkLoad for loading whole relations.
+  Status Insert(const FlatTuple& tuple);
+
+  /// Loads every tuple of `rel` without per-tuple membership checks
+  /// (duplicates collapse via set semantics).
+  Status BulkLoad(const FlatRelation& rel);
+
+  /// Deletes a universal tuple. NotFound if absent. In decomposed mode
+  /// the deletion is applied by re-projecting the fragments from the
+  /// post-delete universal relation and then CHECKED for losslessness:
+  /// when the result violates the MVD the fragmentation assumed, the
+  /// join cannot represent it and FailedPrecondition is returned — the
+  /// classic deletion anomaly, surfaced honestly instead of silently
+  /// resurrecting the tuple.
+  Status Delete(const FlatTuple& tuple);
+
+  /// Deletes every universal tuple matching `pred`; returns the count.
+  /// Group deletions (e.g. "student s1 drops course c1" = all clubs)
+  /// keep the MVD intact and succeed in both modes — the §4.3/Fig. 2
+  /// scenario.
+  Result<size_t> DeleteWhere(const Predicate& pred);
+
+  /// True when the universal relation contains `tuple`.
+  bool Contains(const FlatTuple& tuple) const;
+
+  /// The universal relation (joins fragments in decomposed mode).
+  FlatRelation Scan() const;
+
+  /// sigma_pred over the universal relation.
+  FlatRelation Query(const Predicate& pred) const;
+
+  /// Rows physically stored (sum over fragments in decomposed mode).
+  size_t TotalTuples() const;
+
+  /// Serialized size of the stored representation.
+  size_t TotalBytes() const;
+
+ private:
+  /// Computes the 4NF fragmentation of the schema positions.
+  void ComputeFragments();
+  void SplitPositions(const std::vector<size_t>& positions);
+
+  Schema schema_;
+  FdSet fds_;
+  MvdSet mvds_;
+  Mode mode_;
+  FlatRelation universal_;           // kSingleTable storage.
+  std::vector<Fragment> fragments_;  // kDecomposed4NF storage.
+};
+
+}  // namespace nf2
+
+#endif  // NF2_BASELINE_FLAT_ENGINE_H_

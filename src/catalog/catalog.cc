@@ -1,0 +1,174 @@
+#include "catalog/catalog.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+
+FdSet RelationInfo::fd_set() const {
+  return FdSet(schema.degree(), fds);
+}
+
+MvdSet RelationInfo::mvd_set() const {
+  return MvdSet(schema.degree(), mvds);
+}
+
+void EncodeRelationInfo(const RelationInfo& info, BufferWriter* out) {
+  out->PutString(info.name);
+  EncodeSchema(info.schema, out);
+  out->PutU32(static_cast<uint32_t>(info.nest_order.size()));
+  for (size_t p : info.nest_order) out->PutU32(static_cast<uint32_t>(p));
+  out->PutU32(static_cast<uint32_t>(info.fds.size()));
+  for (const Fd& fd : info.fds) {
+    out->PutU64(fd.lhs.mask());
+    out->PutU64(fd.rhs.mask());
+  }
+  out->PutU32(static_cast<uint32_t>(info.mvds.size()));
+  for (const Mvd& mvd : info.mvds) {
+    out->PutU64(mvd.lhs.mask());
+    out->PutU64(mvd.rhs.mask());
+  }
+  out->PutString(info.table_file);
+}
+
+namespace {
+AttrSet AttrSetFromMask(uint64_t mask) {
+  AttrSet out;
+  for (size_t i = 0; i < AttrSet::kMaxAttrs; ++i) {
+    if ((mask >> i) & 1) out.Add(i);
+  }
+  return out;
+}
+}  // namespace
+
+Result<RelationInfo> DecodeRelationInfo(BufferReader* in) {
+  RelationInfo info;
+  NF2_ASSIGN_OR_RETURN(info.name, in->GetString());
+  NF2_ASSIGN_OR_RETURN(info.schema, DecodeSchema(in));
+  NF2_ASSIGN_OR_RETURN(uint32_t order_len, in->GetU32());
+  if (order_len > AttrSet::kMaxAttrs) {
+    return Status::Corruption("nest order too long");
+  }
+  for (uint32_t i = 0; i < order_len; ++i) {
+    NF2_ASSIGN_OR_RETURN(uint32_t p, in->GetU32());
+    info.nest_order.push_back(p);
+  }
+  if (!IsValidPermutation(info.nest_order, info.schema.degree())) {
+    return Status::Corruption("stored nest order is not a permutation");
+  }
+  NF2_ASSIGN_OR_RETURN(uint32_t fd_count, in->GetU32());
+  if (fd_count > in->remaining()) {
+    return Status::Corruption("fd count exceeds buffer");
+  }
+  for (uint32_t i = 0; i < fd_count; ++i) {
+    NF2_ASSIGN_OR_RETURN(uint64_t lhs, in->GetU64());
+    NF2_ASSIGN_OR_RETURN(uint64_t rhs, in->GetU64());
+    info.fds.push_back(Fd{AttrSetFromMask(lhs), AttrSetFromMask(rhs)});
+  }
+  NF2_ASSIGN_OR_RETURN(uint32_t mvd_count, in->GetU32());
+  if (mvd_count > in->remaining()) {
+    return Status::Corruption("mvd count exceeds buffer");
+  }
+  for (uint32_t i = 0; i < mvd_count; ++i) {
+    NF2_ASSIGN_OR_RETURN(uint64_t lhs, in->GetU64());
+    NF2_ASSIGN_OR_RETURN(uint64_t rhs, in->GetU64());
+    info.mvds.push_back(Mvd{AttrSetFromMask(lhs), AttrSetFromMask(rhs)});
+  }
+  NF2_ASSIGN_OR_RETURN(info.table_file, in->GetString());
+  return info;
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+Result<const RelationInfo*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not in catalog"));
+  }
+  return &it->second;
+}
+
+Status Catalog::Add(RelationInfo info) {
+  if (relations_.count(info.name)) {
+    return Status::AlreadyExists(
+        StrCat("relation '", info.name, "' already exists"));
+  }
+  if (!IsValidPermutation(info.nest_order, info.schema.degree())) {
+    return Status::InvalidArgument("nest order is not a permutation");
+  }
+  relations_.emplace(info.name, std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::Remove(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound(StrCat("relation '", name, "' not in catalog"));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, info] : relations_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status Catalog::SaveToFile(const std::string& path) const {
+  BufferWriter out;
+  out.PutU32(0x4e463243);  // "NF2C".
+  out.PutU32(static_cast<uint32_t>(relations_.size()));
+  for (const auto& [name, info] : relations_) {
+    EncodeRelationInfo(info, &out);
+  }
+  out.PutU32(Crc32(out.data()));
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError(StrCat("cannot write catalog at ", path));
+  }
+  file.write(out.data().data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file) {
+    return Status::IOError("catalog write failed");
+  }
+  return Status::OK();
+}
+
+Result<Catalog> Catalog::LoadFromFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound(StrCat("catalog not found at ", path));
+  }
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  if (contents.size() < 12) {
+    return Status::Corruption("catalog too small");
+  }
+  std::string_view body(contents.data(), contents.size() - 4);
+  BufferReader crc_reader(
+      std::string_view(contents.data() + contents.size() - 4, 4));
+  NF2_ASSIGN_OR_RETURN(uint32_t stored_crc, crc_reader.GetU32());
+  if (Crc32(body) != stored_crc) {
+    return Status::Corruption("catalog crc mismatch");
+  }
+  BufferReader in(body);
+  NF2_ASSIGN_OR_RETURN(uint32_t magic, in.GetU32());
+  if (magic != 0x4e463243) {
+    return Status::Corruption("bad catalog magic");
+  }
+  NF2_ASSIGN_OR_RETURN(uint32_t count, in.GetU32());
+  Catalog catalog;
+  for (uint32_t i = 0; i < count; ++i) {
+    NF2_ASSIGN_OR_RETURN(RelationInfo info, DecodeRelationInfo(&in));
+    NF2_RETURN_IF_ERROR(catalog.Add(std::move(info)));
+  }
+  return catalog;
+}
+
+}  // namespace nf2

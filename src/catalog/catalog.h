@@ -1,0 +1,63 @@
+#ifndef NF2_CATALOG_CATALOG_H_
+#define NF2_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/nest.h"
+#include "core/schema.h"
+#include "dependency/fd.h"
+#include "dependency/mvd.h"
+#include "storage/serde.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Everything the engine knows about one stored relation: its schema,
+/// the nest order its canonical form is maintained under, the declared
+/// dependencies (used by the §3.4 permutation advisor and by design
+/// tooling), and the heap file holding its tuples.
+struct RelationInfo {
+  std::string name;
+  Schema schema;
+  Permutation nest_order;
+  std::vector<Fd> fds;
+  std::vector<Mvd> mvds;
+  std::string table_file;  // File name relative to the database dir.
+
+  /// The declared FDs as an FdSet (degree taken from the schema).
+  FdSet fd_set() const;
+  /// The declared MVDs as an MvdSet.
+  MvdSet mvd_set() const;
+};
+
+void EncodeRelationInfo(const RelationInfo& info, BufferWriter* out);
+Result<RelationInfo> DecodeRelationInfo(BufferReader* in);
+
+/// The database catalog: named relation metadata, persisted as a single
+/// serialized file.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  bool Has(const std::string& name) const;
+  Result<const RelationInfo*> Get(const std::string& name) const;
+  Status Add(RelationInfo info);
+  Status Remove(const std::string& name);
+
+  /// Relation names in sorted order.
+  std::vector<std::string> Names() const;
+  size_t size() const { return relations_.size(); }
+
+  /// Serialization to/from a catalog file.
+  Status SaveToFile(const std::string& path) const;
+  static Result<Catalog> LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, RelationInfo> relations_;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_CATALOG_CATALOG_H_

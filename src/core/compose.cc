@@ -1,0 +1,64 @@
+#include "core/compose.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+bool ComposableOn(const NfrTuple& r, const NfrTuple& s, size_t c) {
+  if (r.degree() != s.degree() || c >= r.degree()) return false;
+  if (!r.AgreesExcept(s, c)) return false;
+  // Composing a tuple with an identical one would be a no-op that
+  // "merges" duplicates; well-formed NFRs have disjoint expansions, so
+  // equal Ec-components mean the same tuple.
+  return r.at(c) != s.at(c);
+}
+
+NfrTuple Compose(const NfrTuple& r, const NfrTuple& s, size_t c) {
+  NF2_CHECK(ComposableOn(r, s, c)) << "Compose precondition violated";
+  NfrTuple out = r;
+  out.at(c) = r.at(c).Union(s.at(c));
+  return out;
+}
+
+Result<Decomposition> Decompose(const NfrTuple& t, size_t d,
+                                const Value& ex) {
+  if (d >= t.degree()) {
+    return Status::OutOfRange(
+        StrCat("decompose position ", d, " out of range for degree ",
+               t.degree()));
+  }
+  return DecomposeSubset(t, d, ValueSet(ex));
+}
+
+Result<Decomposition> DecomposeSubset(const NfrTuple& t, size_t d,
+                                      const ValueSet& subset) {
+  if (d >= t.degree()) {
+    return Status::OutOfRange(
+        StrCat("decompose position ", d, " out of range for degree ",
+               t.degree()));
+  }
+  const ValueSet& component = t.at(d);
+  if (subset.empty()) {
+    return Status::InvalidArgument("cannot extract an empty subset");
+  }
+  if (!subset.IsSubsetOf(component)) {
+    return Status::InvalidArgument(
+        StrCat("subset {", subset.ToString(), "} not contained in component {",
+               component.ToString(), "}"));
+  }
+  if (subset == component) {
+    return Status::InvalidArgument(
+        StrCat("extracting the whole component {", component.ToString(),
+               "} would leave an empty remainder (Definition 2 requires a "
+               "proper split)"));
+  }
+  Decomposition out;
+  out.extracted = t;
+  out.extracted.at(d) = subset;
+  out.remainder = t;
+  out.remainder.at(d) = component.Difference(subset);
+  return out;
+}
+
+}  // namespace nf2

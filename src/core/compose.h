@@ -1,0 +1,47 @@
+#ifndef NF2_CORE_COMPOSE_H_
+#define NF2_CORE_COMPOSE_H_
+
+#include <utility>
+
+#include "core/tuple.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Definition 1 precondition: `r` and `s` can be composed over attribute
+/// position `c` — they are set-theoretically equal on every other
+/// component. Composing two copies of the same tuple is vacuous and
+/// reported as not composable.
+bool ComposableOn(const NfrTuple& r, const NfrTuple& s, size_t c);
+
+/// Definition 1: the composition v_Ec(r, s) — a single tuple whose
+/// Ec-component is the union of the two Ec-components and whose other
+/// components are the (shared) originals. Fatal if !ComposableOn.
+NfrTuple Compose(const NfrTuple& r, const NfrTuple& s, size_t c);
+
+/// Result of a decomposition u_Ed(ex)(t) (Definition 2): `extracted`
+/// carries Ed = {ex} (te in the paper) and `remainder` carries
+/// Ed = t.Ed - {ex} (tr in the paper).
+struct Decomposition {
+  NfrTuple extracted;
+  NfrTuple remainder;
+};
+
+/// Definition 2: splits `t` on attribute position `d`, extracting the
+/// single value `ex` into its own tuple. Errors when `ex` is not in the
+/// component or when the component is the singleton {ex} (the remainder
+/// would be empty, which Definition 2 excludes — its tuple form keeps at
+/// least one value on Ed).
+Result<Decomposition> Decompose(const NfrTuple& t, size_t d, const Value& ex);
+
+/// Generalized decomposition used by the update algorithms (§4): splits
+/// `t` on position `d` into a part carrying exactly `subset` and a
+/// remainder carrying the rest. Errors when `subset` is empty, not a
+/// subset of the component, or equal to it (iterated Definition 2 always
+/// leaves both sides non-empty).
+Result<Decomposition> DecomposeSubset(const NfrTuple& t, size_t d,
+                                      const ValueSet& subset);
+
+}  // namespace nf2
+
+#endif  // NF2_CORE_COMPOSE_H_

@@ -1,0 +1,63 @@
+#include "core/diff.h"
+
+#include "util/string_util.h"
+
+namespace nf2 {
+
+std::string UpdateScript::ToString() const {
+  std::string out =
+      StrCat("UpdateScript{", deletes.size(), " deletes, ",
+             inserts.size(), " inserts}\n");
+  for (const FlatTuple& t : deletes) {
+    out += StrCat("  - ", t.ToString(), "\n");
+  }
+  for (const FlatTuple& t : inserts) {
+    out += StrCat("  + ", t.ToString(), "\n");
+  }
+  return out;
+}
+
+Result<UpdateScript> ComputeDiff(const FlatRelation& from,
+                                 const FlatRelation& to) {
+  if (from.schema() != to.schema()) {
+    return Status::InvalidArgument(
+        StrCat("diff schema mismatch: ", from.schema().ToString(), " vs ",
+               to.schema().ToString()));
+  }
+  UpdateScript script;
+  // Both tuple lists are sorted: a single merge pass.
+  size_t i = 0, j = 0;
+  while (i < from.size() || j < to.size()) {
+    if (j == to.size() ||
+        (i < from.size() && from.tuple(i) < to.tuple(j))) {
+      script.deletes.push_back(from.tuple(i));
+      ++i;
+    } else if (i == from.size() || to.tuple(j) < from.tuple(i)) {
+      script.inserts.push_back(to.tuple(j));
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return script;
+}
+
+Status ApplyScript(const UpdateScript& script, CanonicalRelation* rel) {
+  for (const FlatTuple& t : script.deletes) {
+    NF2_RETURN_IF_ERROR(rel->Delete(t));
+  }
+  for (const FlatTuple& t : script.inserts) {
+    NF2_RETURN_IF_ERROR(rel->Insert(t));
+  }
+  return Status::OK();
+}
+
+Result<size_t> SyncTo(const FlatRelation& target, CanonicalRelation* rel) {
+  NF2_ASSIGN_OR_RETURN(UpdateScript script,
+                       ComputeDiff(rel->relation().Expand(), target));
+  NF2_RETURN_IF_ERROR(ApplyScript(script, rel));
+  return script.size();
+}
+
+}  // namespace nf2

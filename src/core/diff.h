@@ -1,0 +1,42 @@
+#ifndef NF2_CORE_DIFF_H_
+#define NF2_CORE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/update.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// The minimal tuple-level update script between two 1NF states:
+/// exactly the deletes and inserts that turn `from` into `to`. Since
+/// relations are sets, this script is unique and minimal.
+struct UpdateScript {
+  std::vector<FlatTuple> deletes;  // from - to.
+  std::vector<FlatTuple> inserts;  // to - from.
+
+  size_t size() const { return deletes.size() + inserts.size(); }
+  bool empty() const { return deletes.empty() && inserts.empty(); }
+  std::string ToString() const;
+};
+
+/// Computes the script turning `from` into `to`. Error when schemas
+/// differ.
+Result<UpdateScript> ComputeDiff(const FlatRelation& from,
+                                 const FlatRelation& to);
+
+/// Applies a script through the §4 algorithms (deletes first, then
+/// inserts), keeping `rel` canonical throughout. On error the relation
+/// is left at the failing step (scripts from ComputeDiff against the
+/// relation's own R* never fail).
+Status ApplyScript(const UpdateScript& script, CanonicalRelation* rel);
+
+/// Convenience: incrementally synchronizes `rel` to denote exactly
+/// `target` (diff + apply). Returns the number of operations applied.
+Result<size_t> SyncTo(const FlatRelation& target, CanonicalRelation* rel);
+
+}  // namespace nf2
+
+#endif  // NF2_CORE_DIFF_H_

@@ -1,0 +1,135 @@
+#include "core/fixedness.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "util/logging.h"
+
+namespace nf2 {
+
+const char* CardinalityClassToString(CardinalityClass c) {
+  switch (c) {
+    case CardinalityClass::k1To1:
+      return "1:1";
+    case CardinalityClass::kNTo1:
+      return "n:1";
+    case CardinalityClass::k1ToN:
+      return "1:n";
+    case CardinalityClass::kMToN:
+      return "m:n";
+  }
+  return "?";
+}
+
+namespace {
+CardinalityClass MakeClass(bool multi_tuple, bool compound) {
+  if (multi_tuple) {
+    return compound ? CardinalityClass::kMToN : CardinalityClass::k1ToN;
+  }
+  return compound ? CardinalityClass::kNTo1 : CardinalityClass::k1To1;
+}
+}  // namespace
+
+CardinalityClass ClassifyValue(const NfrRelation& r, size_t attr,
+                               const Value& v) {
+  NF2_CHECK(attr < r.degree());
+  size_t occurrences = 0;
+  bool compound = false;
+  for (const NfrTuple& t : r.tuples()) {
+    if (t.at(attr).Contains(v)) {
+      ++occurrences;
+      if (!t.at(attr).IsSingleton()) compound = true;
+    }
+  }
+  return MakeClass(occurrences > 1, compound);
+}
+
+CardinalityClass ClassifyAttribute(const NfrRelation& r, size_t attr) {
+  NF2_CHECK(attr < r.degree());
+  // Count occurrences per value in one pass.
+  std::map<Value, std::pair<size_t, bool>> stats;  // value -> (count, compound)
+  for (const NfrTuple& t : r.tuples()) {
+    bool is_compound = !t.at(attr).IsSingleton();
+    for (const Value& v : t.at(attr).values()) {
+      auto& entry = stats[v];
+      entry.first += 1;
+      entry.second = entry.second || is_compound;
+    }
+  }
+  bool any_multi = false;
+  bool any_compound = false;
+  for (const auto& [v, entry] : stats) {
+    any_multi = any_multi || entry.first > 1;
+    any_compound = any_compound || entry.second;
+  }
+  return MakeClass(any_multi, any_compound);
+}
+
+bool IsFixedOn(const NfrRelation& r, const AttrSet& attrs) {
+  std::vector<size_t> positions = attrs.ToVector();
+  for (size_t p : positions) {
+    NF2_CHECK(p < r.degree()) << "Fixedness attribute out of range";
+  }
+  if (positions.empty()) {
+    // Fixed on the empty set iff there is at most one tuple.
+    return r.size() <= 1;
+  }
+  // Two tuples violate fixedness iff for every Fi their components
+  // intersect: then pick fi from each intersection and both tuples
+  // contain (f1..fk).
+  for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t j = i + 1; j < r.size(); ++j) {
+      bool all_intersect = true;
+      for (size_t p : positions) {
+        if (r.tuple(i).at(p).IsDisjointFrom(r.tuple(j).at(p))) {
+          all_intersect = false;
+          break;
+        }
+      }
+      if (all_intersect) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<AttrSet> MinimalFixedSets(const NfrRelation& r) {
+  size_t n = r.degree();
+  NF2_CHECK(n <= 16) << "MinimalFixedSets limited to degree 16";
+  std::vector<AttrSet> fixed;
+  // Enumerate subsets by increasing size so minimality is easy to check.
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 1; m < (1ULL << n); ++m) masks.push_back(m);
+  std::sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+    int pa = __builtin_popcountll(a), pb = __builtin_popcountll(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  for (uint64_t m : masks) {
+    bool has_fixed_subset = false;
+    for (const AttrSet& f : fixed) {
+      if ((f.mask() & ~m) == 0) {
+        has_fixed_subset = true;
+        break;
+      }
+    }
+    if (has_fixed_subset) continue;
+    std::vector<size_t> positions;
+    for (size_t i = 0; i < n; ++i) {
+      if ((m >> i) & 1) positions.push_back(i);
+    }
+    AttrSet set(positions);
+    if (IsFixedOn(r, set)) {
+      fixed.push_back(set);
+    }
+  }
+  return fixed;
+}
+
+bool IsFixedOnAllButOne(const NfrRelation& r, size_t excluded_attr) {
+  NF2_CHECK(excluded_attr < r.degree());
+  AttrSet all = AttrSet::All(r.degree());
+  all.Remove(excluded_attr);
+  return IsFixedOn(r, all);
+}
+
+}  // namespace nf2

@@ -1,0 +1,60 @@
+#ifndef NF2_CORE_FIXEDNESS_H_
+#define NF2_CORE_FIXEDNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+
+namespace nf2 {
+
+/// Definition 6: the cardinality correspondence between the values of an
+/// attribute Ei and the tuples of R.
+///
+///   k1To1 (1:1) — every value appears in at most one tuple, always as a
+///                 singleton component;
+///   kNTo1 (n:1) — at most one tuple, but inside a compound component;
+///   k1ToN (1:n) — in several tuples, always as singleton components;
+///   kMToN (m:n) — in several tuples, inside compound components.
+enum class CardinalityClass {
+  k1To1 = 0,
+  kNTo1 = 1,
+  k1ToN = 2,
+  kMToN = 3,
+};
+
+const char* CardinalityClassToString(CardinalityClass c);
+
+/// Classifies one value `v` of attribute position `attr` in `r`:
+/// whether it appears in more than one tuple, and whether any occurrence
+/// is inside a compound component.
+CardinalityClass ClassifyValue(const NfrRelation& r, size_t attr,
+                               const Value& v);
+
+/// Classifies the whole attribute: the strongest class exhibited by any
+/// of its values (multi-tuple dominates single-tuple, compound dominates
+/// singleton). An attribute with no values classifies as 1:1.
+CardinalityClass ClassifyAttribute(const NfrRelation& r, size_t attr);
+
+/// Definition 7: R is *fixed* on attribute positions F1..Fk when for
+/// every combination of values (f1..fk), fi drawn from Fi's active
+/// domain, at most one tuple contains all of them "as a part" (i.e.
+/// fi ∈ tuple's Fi-component for every i). Fixedness is the paper's key
+/// notion for NFRs.
+bool IsFixedOn(const NfrRelation& r, const AttrSet& attrs);
+
+/// All minimal attribute sets on which `r` is fixed (no proper subset is
+/// also fixed) — NFR analogues of candidate keys. Exponential in degree;
+/// fatal for degree > 16.
+std::vector<AttrSet> MinimalFixedSets(const NfrRelation& r);
+
+/// Largest k such that r is fixed on some (n-k)-subset... precisely:
+/// true when r is fixed on the complement of each single attribute, the
+/// situation Theorem 5 guarantees for canonical forms ("fixed on at most
+/// n-1 domains").
+bool IsFixedOnAllButOne(const NfrRelation& r, size_t excluded_attr);
+
+}  // namespace nf2
+
+#endif  // NF2_CORE_FIXEDNESS_H_

@@ -1,0 +1,29 @@
+#ifndef NF2_CORE_FORMAT_H_
+#define NF2_CORE_FORMAT_H_
+
+#include <string>
+
+#include "core/relation.h"
+
+namespace nf2 {
+
+/// Renders an NFR as the paper draws its figures: a boxed table with one
+/// column per attribute and comma-joined value sets in the cells, e.g.
+///
+///   +---------+------------+------+
+///   | Student | Course     | Club |
+///   +---------+------------+------+
+///   | s1      | c1, c2, c3 | b1   |
+///   | s2      | c1, c2, c3 | b2   |
+///   +---------+------------+------+
+///
+/// Tuples are printed in canonical (sorted) order so output is stable.
+std::string RenderTable(const NfrRelation& rel, const std::string& title = "");
+
+/// Same rendering for a 1NF relation.
+std::string RenderTable(const FlatRelation& rel,
+                        const std::string& title = "");
+
+}  // namespace nf2
+
+#endif  // NF2_CORE_FORMAT_H_

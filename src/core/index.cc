@@ -1,0 +1,96 @@
+#include "core/index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nf2 {
+
+NfrIndex::NfrIndex(size_t degree) : postings_(degree) {}
+
+void NfrIndex::AddTuple(size_t tuple_id, const NfrTuple& t) {
+  NF2_CHECK(t.degree() == postings_.size());
+  for (size_t attr = 0; attr < postings_.size(); ++attr) {
+    for (const Value& v : t.at(attr).values()) {
+      std::vector<size_t>& ids = postings_[attr][v];
+      auto it = std::lower_bound(ids.begin(), ids.end(), tuple_id);
+      NF2_DCHECK(it == ids.end() || *it != tuple_id);
+      ids.insert(it, tuple_id);
+    }
+  }
+}
+
+void NfrIndex::RemoveTuple(size_t tuple_id, const NfrTuple& t) {
+  NF2_CHECK(t.degree() == postings_.size());
+  for (size_t attr = 0; attr < postings_.size(); ++attr) {
+    for (const Value& v : t.at(attr).values()) {
+      auto map_it = postings_[attr].find(v);
+      NF2_CHECK(map_it != postings_[attr].end())
+          << "index missing value " << v.ToString();
+      std::vector<size_t>& ids = map_it->second;
+      auto it = std::lower_bound(ids.begin(), ids.end(), tuple_id);
+      NF2_CHECK(it != ids.end() && *it == tuple_id)
+          << "index missing id for " << v.ToString();
+      ids.erase(it);
+      if (ids.empty()) {
+        postings_[attr].erase(map_it);
+      }
+    }
+  }
+}
+
+void NfrIndex::MoveTuple(size_t from_id, size_t to_id, const NfrTuple& t) {
+  if (from_id == to_id) return;
+  RemoveTuple(from_id, t);
+  AddTuple(to_id, t);
+}
+
+const std::vector<size_t>* NfrIndex::Postings(size_t attr,
+                                              const Value& v) const {
+  NF2_CHECK(attr < postings_.size());
+  auto it = postings_[attr].find(v);
+  return it == postings_[attr].end() ? nullptr : &it->second;
+}
+
+std::vector<size_t> IntersectSorted(const std::vector<size_t>& a,
+                                    const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<size_t> NfrIndex::ContainingAll(size_t attr,
+                                            const ValueSet& values) const {
+  NF2_CHECK(!values.empty());
+  const std::vector<size_t>* first = Postings(attr, values[0]);
+  if (first == nullptr) return {};
+  std::vector<size_t> out = *first;
+  for (size_t i = 1; i < values.size() && !out.empty(); ++i) {
+    const std::vector<size_t>* next = Postings(attr, values[i]);
+    if (next == nullptr) return {};
+    out = IntersectSorted(out, *next);
+  }
+  return out;
+}
+
+std::vector<size_t> NfrIndex::ContainingTuple(const NfrTuple& t) const {
+  NF2_CHECK(t.degree() == postings_.size());
+  std::vector<size_t> out = ContainingAll(0, t.at(0));
+  for (size_t attr = 1; attr < postings_.size() && !out.empty(); ++attr) {
+    out = IntersectSorted(out, ContainingAll(attr, t.at(attr)));
+  }
+  return out;
+}
+
+size_t NfrIndex::entry_count() const {
+  size_t total = 0;
+  for (const auto& per_attr : postings_) {
+    for (const auto& [value, ids] : per_attr) {
+      total += ids.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace nf2

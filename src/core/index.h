@@ -1,0 +1,71 @@
+#ifndef NF2_CORE_INDEX_H_
+#define NF2_CORE_INDEX_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/tuple.h"
+#include "core/value.h"
+
+namespace nf2 {
+
+/// An inverted index over the tuples of one NFR: for every attribute
+/// position, a map from atomic value to the ids of the tuples whose
+/// component contains that value.
+///
+/// This is the "optimization strategy" the paper leaves open (§5): the
+/// §4 algorithms' candidate search (`candt`) and containing-tuple
+/// search (`searcht`) become posting-list intersections instead of full
+/// scans, making update cost sublinear in the number of tuples while
+/// the composition count stays bounded by Theorem A-4.
+///
+/// Tuple ids are positions in the owner's tuple vector; the owner must
+/// use swap-remove semantics and report moves via MoveTuple.
+class NfrIndex {
+ public:
+  explicit NfrIndex(size_t degree);
+
+  size_t degree() const { return postings_.size(); }
+
+  /// Indexes `t` under `tuple_id`.
+  void AddTuple(size_t tuple_id, const NfrTuple& t);
+
+  /// Removes `t`'s entries for `tuple_id`.
+  void RemoveTuple(size_t tuple_id, const NfrTuple& t);
+
+  /// Re-labels `t` from `from_id` to `to_id` (swap-remove bookkeeping).
+  void MoveTuple(size_t from_id, size_t to_id, const NfrTuple& t);
+
+  /// Ids of tuples whose `attr` component contains `v` (ascending), or
+  /// nullptr when none do.
+  const std::vector<size_t>* Postings(size_t attr, const Value& v) const;
+
+  /// Ids of tuples whose `attr` component contains EVERY value of
+  /// `values` — the intersection of the postings. Empty vector when any
+  /// value is unindexed.
+  std::vector<size_t> ContainingAll(size_t attr,
+                                    const ValueSet& values) const;
+
+  /// Ids of tuples containing the whole tuple `t` componentwise (the
+  /// index form of "expansion contains"): intersection across all
+  /// attributes. For well-formed NFRs this has at most one element when
+  /// `t` is simple.
+  std::vector<size_t> ContainingTuple(const NfrTuple& t) const;
+
+  /// Total number of (value -> id) entries, for stats/tests.
+  size_t entry_count() const;
+
+ private:
+  // One value->postings map per attribute. Postings are sorted vectors:
+  // components are small and intersections scan linearly.
+  std::vector<std::map<Value, std::vector<size_t>>> postings_;
+};
+
+/// Intersects two sorted id vectors.
+std::vector<size_t> IntersectSorted(const std::vector<size_t>& a,
+                                    const std::vector<size_t>& b);
+
+}  // namespace nf2
+
+#endif  // NF2_CORE_INDEX_H_

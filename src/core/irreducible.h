@@ -1,0 +1,38 @@
+#ifndef NF2_CORE_IRREDUCIBLE_H_
+#define NF2_CORE_IRREDUCIBLE_H_
+
+#include "core/relation.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace nf2 {
+
+/// Definition 3: true when no further composition is possible on any
+/// attribute — i.e. no pair of tuples satisfies Definition 1.
+bool IsIrreducible(const NfrRelation& r);
+
+/// Applies compositions until irreducible, always taking the first
+/// composable pair in scan order. Deterministic; one of possibly many
+/// irreducible forms (Example 1 shows they are not unique).
+NfrRelation ReduceGreedy(const NfrRelation& r);
+
+/// Applies compositions until irreducible, picking the next composable
+/// pair at random. Different seeds reach different irreducible forms,
+/// which is how tests and benches explore the space from Example 1/3.
+NfrRelation ReduceRandomized(const NfrRelation& r, Rng* rng);
+
+/// Finds an irreducible form with the *minimum* number of tuples, by
+/// exhaustive search over partitions of R* into cross-product blocks
+/// ("boxes"). Example 2 shows this minimum can beat every canonical
+/// form. Exponential; errors when `flat` has more than `max_tuples`
+/// simple tuples (default 16) or more than 64.
+Result<NfrRelation> MinimalIrreducible(const FlatRelation& flat,
+                                       size_t max_tuples = 16);
+
+/// Counts the minimum number of tuples over all canonical forms — i.e.
+/// min over all n! permutations of |V_P(R)|. Fatal for degree > 8.
+size_t MinCanonicalSize(const FlatRelation& flat);
+
+}  // namespace nf2
+
+#endif  // NF2_CORE_IRREDUCIBLE_H_

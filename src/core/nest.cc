@@ -1,0 +1,157 @@
+#include "core/nest.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/compose.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+Permutation IdentityPermutation(size_t degree) {
+  Permutation perm(degree);
+  for (size_t i = 0; i < degree; ++i) perm[i] = i;
+  return perm;
+}
+
+Result<Permutation> PermutationFromNames(
+    const Schema& schema, const std::vector<std::string>& names) {
+  if (names.size() != schema.degree()) {
+    return Status::InvalidArgument(
+        StrCat("permutation has ", names.size(), " names but schema degree is ",
+               schema.degree()));
+  }
+  Permutation perm;
+  perm.reserve(names.size());
+  for (const std::string& name : names) {
+    NF2_ASSIGN_OR_RETURN(size_t idx, schema.RequireIndex(name));
+    perm.push_back(idx);
+  }
+  if (!IsValidPermutation(perm, schema.degree())) {
+    return Status::InvalidArgument("permutation names contain duplicates");
+  }
+  return perm;
+}
+
+bool IsValidPermutation(const Permutation& perm, size_t degree) {
+  if (perm.size() != degree) return false;
+  std::vector<bool> seen(degree, false);
+  for (size_t p : perm) {
+    if (p >= degree || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+std::vector<Permutation> AllPermutations(size_t degree) {
+  NF2_CHECK(degree <= 8) << "AllPermutations limited to degree 8";
+  Permutation perm = IdentityPermutation(degree);
+  std::vector<Permutation> out;
+  do {
+    out.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return out;
+}
+
+namespace {
+
+/// Hash of all components except `attr` — the grouping key of NestOn.
+size_t KeyHash(const NfrTuple& t, size_t attr) {
+  size_t seed = 0x9e57;
+  for (size_t i = 0; i < t.degree(); ++i) {
+    if (i == attr) continue;
+    seed = HashCombine(seed, t.at(i).Hash());
+  }
+  return seed;
+}
+
+}  // namespace
+
+NfrRelation NestOn(const NfrRelation& r, size_t attr) {
+  NF2_CHECK(attr < r.degree()) << "NestOn attribute out of range";
+  // Group tuples that agree on every component except `attr`, then union
+  // the attr-components within each group. This is exactly the closure
+  // of Definition 1 compositions over `attr`; Theorem 2 guarantees the
+  // pairwise order is irrelevant.
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  std::vector<NfrTuple> merged;
+  merged.reserve(r.size());
+  for (const NfrTuple& t : r.tuples()) {
+    size_t h = KeyHash(t, attr);
+    auto& bucket = buckets[h];
+    bool joined = false;
+    for (size_t idx : bucket) {
+      if (merged[idx].AgreesExcept(t, attr)) {
+        merged[idx].at(attr) = merged[idx].at(attr).Union(t.at(attr));
+        joined = true;
+        break;
+      }
+    }
+    if (!joined) {
+      bucket.push_back(merged.size());
+      merged.push_back(t);
+    }
+  }
+  return NfrRelation(r.schema(), std::move(merged));
+}
+
+NfrRelation RandomizedNestOn(const NfrRelation& r, size_t attr, Rng* rng) {
+  NF2_CHECK(attr < r.degree());
+  NF2_CHECK(rng != nullptr);
+  std::vector<NfrTuple> tuples = r.tuples();
+  rng->Shuffle(&tuples);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Collect all composable pairs, pick one at random, apply, repeat.
+    std::vector<std::pair<size_t, size_t>> pairs;
+    for (size_t i = 0; i < tuples.size() && pairs.size() < 64; ++i) {
+      for (size_t j = i + 1; j < tuples.size() && pairs.size() < 64; ++j) {
+        if (ComposableOn(tuples[i], tuples[j], attr)) {
+          pairs.emplace_back(i, j);
+        }
+      }
+    }
+    if (!pairs.empty()) {
+      auto [i, j] = pairs[rng->NextBelow(pairs.size())];
+      tuples[i] = Compose(tuples[i], tuples[j], attr);
+      tuples.erase(tuples.begin() + static_cast<ptrdiff_t>(j));
+      changed = true;
+    }
+  }
+  return NfrRelation(r.schema(), std::move(tuples));
+}
+
+NfrRelation NestSequence(const NfrRelation& r, const Permutation& perm) {
+  NF2_CHECK(IsValidPermutation(perm, r.degree()))
+      << "NestSequence: invalid permutation";
+  NfrRelation out = r;
+  for (size_t attr : perm) {
+    out = NestOn(out, attr);
+  }
+  return out;
+}
+
+NfrRelation CanonicalForm(const FlatRelation& r, const Permutation& perm) {
+  return NestSequence(NfrRelation::FromFlat(r), perm);
+}
+
+NfrRelation UnnestOn(const NfrRelation& r, size_t attr) {
+  NF2_CHECK(attr < r.degree());
+  std::vector<NfrTuple> out;
+  out.reserve(r.size());
+  for (const NfrTuple& t : r.tuples()) {
+    for (const Value& v : t.at(attr).values()) {
+      NfrTuple split = t;
+      split.at(attr) = ValueSet(v);
+      out.push_back(std::move(split));
+    }
+  }
+  return NfrRelation(r.schema(), std::move(out));
+}
+
+FlatRelation UnnestAll(const NfrRelation& r) { return r.Expand(); }
+
+}  // namespace nf2

@@ -1,0 +1,156 @@
+#include "core/schema.h"
+
+#include <bit>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  NF2_CHECK(attributes_.size() <= AttrSet::kMaxAttrs)
+      << "Schema exceeds " << AttrSet::kMaxAttrs << " attributes";
+  std::unordered_set<std::string> seen;
+  for (const Attribute& attr : attributes_) {
+    NF2_CHECK(seen.insert(attr.name).second)
+        << "Duplicate attribute name: " << attr.name;
+  }
+}
+
+Schema Schema::OfStrings(std::initializer_list<const char*> names) {
+  std::vector<Attribute> attrs;
+  for (const char* name : names) {
+    attrs.push_back({name, ValueType::kString});
+  }
+  return Schema(std::move(attrs));
+}
+
+Schema Schema::OfStrings(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  for (const std::string& name : names) {
+    attrs.push_back({name, ValueType::kString});
+  }
+  return Schema(std::move(attrs));
+}
+
+const Attribute& Schema::attribute(size_t i) const {
+  NF2_CHECK(i < attributes_.size()) << "Attribute index out of range";
+  return attributes_[i];
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::RequireIndex(const std::string& name) const {
+  std::optional<size_t> idx = IndexOf(name);
+  if (!idx.has_value()) {
+    return Status::NotFound(
+        StrCat("attribute '", name, "' not in schema ", ToString()));
+  }
+  return *idx;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(indices.size());
+  for (size_t i : indices) {
+    attrs.push_back(attribute(i));
+  }
+  return Schema(std::move(attrs));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (const Attribute& attr : attributes_) {
+    parts.push_back(
+        StrCat(attr.name, " ", ValueTypeToString(attr.type)));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+std::ostream& operator<<(std::ostream& os, const Schema& schema) {
+  return os << schema.ToString();
+}
+
+AttrSet::AttrSet(std::initializer_list<size_t> positions) {
+  for (size_t pos : positions) {
+    Add(pos);
+  }
+}
+
+AttrSet::AttrSet(const std::vector<size_t>& positions) {
+  for (size_t pos : positions) {
+    Add(pos);
+  }
+}
+
+AttrSet AttrSet::All(size_t degree) {
+  NF2_CHECK(degree <= kMaxAttrs);
+  AttrSet out;
+  out.mask_ = degree == kMaxAttrs ? ~0ULL : ((1ULL << degree) - 1);
+  return out;
+}
+
+size_t AttrSet::size() const { return std::popcount(mask_); }
+
+void AttrSet::Add(size_t pos) {
+  NF2_CHECK(pos < kMaxAttrs);
+  mask_ |= (1ULL << pos);
+}
+
+void AttrSet::Remove(size_t pos) {
+  NF2_CHECK(pos < kMaxAttrs);
+  mask_ &= ~(1ULL << pos);
+}
+
+AttrSet AttrSet::Union(const AttrSet& other) const {
+  AttrSet out;
+  out.mask_ = mask_ | other.mask_;
+  return out;
+}
+
+AttrSet AttrSet::Intersect(const AttrSet& other) const {
+  AttrSet out;
+  out.mask_ = mask_ & other.mask_;
+  return out;
+}
+
+AttrSet AttrSet::Difference(const AttrSet& other) const {
+  AttrSet out;
+  out.mask_ = mask_ & ~other.mask_;
+  return out;
+}
+
+bool AttrSet::IsSubsetOf(const AttrSet& other) const {
+  return (mask_ & ~other.mask_) == 0;
+}
+
+std::vector<size_t> AttrSet::ToVector() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < kMaxAttrs; ++i) {
+    if (Contains(i)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string AttrSet::ToString(const Schema& schema) const {
+  std::vector<std::string> names;
+  for (size_t i : ToVector()) {
+    names.push_back(i < schema.degree() ? schema.attribute(i).name
+                                        : StrCat("#", i));
+  }
+  return StrCat("{", Join(names, ","), "}");
+}
+
+}  // namespace nf2

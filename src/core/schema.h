@@ -1,0 +1,114 @@
+#ifndef NF2_CORE_SCHEMA_H_
+#define NF2_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// One named attribute (the paper's "domain" Ei) with an atom type.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// A relation schema: an ordered list of attributes with unique names.
+/// NFR and 1NF relations share schemas — the nesting state lives in the
+/// tuples, not the schema, exactly as in the paper where NFRs are
+/// "defined on simple domains".
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Convenience: all-string attributes from names, e.g.
+  /// Schema::OfStrings({"Student", "Course", "Club"}).
+  static Schema OfStrings(std::initializer_list<const char*> names);
+  static Schema OfStrings(const std::vector<std::string>& names);
+
+  /// Number of attributes (the paper's "degree" n).
+  size_t degree() const { return attributes_.size(); }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(size_t i) const;
+
+  /// Index of the attribute named `name`, if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Index of `name` or an error mentioning the schema.
+  Result<size_t> RequireIndex(const std::string& name) const;
+
+  /// Schema with the attributes at `indices`, in that order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// "R(Student STRING, Course STRING)"-style rendering without the name.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Schema& schema);
+
+/// A subset of attribute positions, stored as a 64-bit mask. Schemas are
+/// limited to 64 attributes, far beyond any NFR in the paper.
+class AttrSet {
+ public:
+  static constexpr size_t kMaxAttrs = 64;
+
+  AttrSet() = default;
+  /// Set containing the given positions.
+  AttrSet(std::initializer_list<size_t> positions);
+  /// Set containing the positions in `positions`.
+  explicit AttrSet(const std::vector<size_t>& positions);
+
+  /// The full set {0, ..., degree-1}.
+  static AttrSet All(size_t degree);
+
+  bool empty() const { return mask_ == 0; }
+  size_t size() const;
+  bool Contains(size_t pos) const { return (mask_ >> pos) & 1; }
+
+  void Add(size_t pos);
+  void Remove(size_t pos);
+
+  AttrSet Union(const AttrSet& other) const;
+  AttrSet Intersect(const AttrSet& other) const;
+  AttrSet Difference(const AttrSet& other) const;
+  bool IsSubsetOf(const AttrSet& other) const;
+
+  /// Positions in ascending order.
+  std::vector<size_t> ToVector() const;
+
+  uint64_t mask() const { return mask_; }
+
+  bool operator==(const AttrSet& other) const { return mask_ == other.mask_; }
+  bool operator!=(const AttrSet& other) const { return mask_ != other.mask_; }
+  bool operator<(const AttrSet& other) const { return mask_ < other.mask_; }
+
+  /// "{A,C}"-style rendering using names from `schema`.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  uint64_t mask_ = 0;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_CORE_SCHEMA_H_

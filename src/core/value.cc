@@ -1,0 +1,168 @@
+#include "core/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace nf2 {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kSet:
+      return "SET";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(payload_.index());
+}
+
+bool Value::AsBool() const {
+  NF2_CHECK(type() == ValueType::kBool) << "Value is not BOOL";
+  return std::get<bool>(payload_);
+}
+
+int64_t Value::AsInt() const {
+  NF2_CHECK(type() == ValueType::kInt) << "Value is not INT";
+  return std::get<int64_t>(payload_);
+}
+
+double Value::AsDouble() const {
+  NF2_CHECK(type() == ValueType::kDouble) << "Value is not DOUBLE";
+  return std::get<double>(payload_);
+}
+
+const std::string& Value::AsString() const {
+  NF2_CHECK(type() == ValueType::kString) << "Value is not STRING";
+  return std::get<std::string>(payload_);
+}
+
+Value Value::SetOf(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  return Value(Payload(std::move(elements)));
+}
+
+const std::vector<Value>& Value::AsSet() const {
+  NF2_CHECK(type() == ValueType::kSet) << "Value is not SET";
+  return std::get<std::vector<Value>>(payload_);
+}
+
+namespace {
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (payload_.index() != other.payload_.index()) {
+    return payload_.index() < other.payload_.index() ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return Cmp(std::get<bool>(payload_), std::get<bool>(other.payload_));
+    case ValueType::kInt:
+      return Cmp(std::get<int64_t>(payload_),
+                 std::get<int64_t>(other.payload_));
+    case ValueType::kDouble:
+      return Cmp(std::get<double>(payload_),
+                 std::get<double>(other.payload_));
+    case ValueType::kString:
+      return Cmp(std::get<std::string>(payload_),
+                 std::get<std::string>(other.payload_));
+    case ValueType::kSet: {
+      const auto& a = std::get<std::vector<Value>>(payload_);
+      const auto& b = std::get<std::vector<Value>>(other.payload_);
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      return Cmp(a.size(), b.size());
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(payload_.index());
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      seed = HashCombine(seed, std::get<bool>(payload_) ? 1u : 0u);
+      break;
+    case ValueType::kInt:
+      seed = HashCombine(
+          seed, std::hash<int64_t>{}(std::get<int64_t>(payload_)));
+      break;
+    case ValueType::kDouble:
+      seed =
+          HashCombine(seed, std::hash<double>{}(std::get<double>(payload_)));
+      break;
+    case ValueType::kString:
+      seed = HashCombine(
+          seed, std::hash<std::string>{}(std::get<std::string>(payload_)));
+      break;
+    case ValueType::kSet:
+      for (const Value& v : std::get<std::vector<Value>>(payload_)) {
+        seed = HashCombine(seed, v.Hash());
+      }
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream out;
+      out << AsDouble();
+      return out.str();
+    }
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kSet: {
+      std::string out = "{";
+      const auto& elements = AsSet();
+      for (size_t i = 0; i < elements.size(); ++i) {
+        if (i > 0) out += ",";
+        out += elements[i].ToString();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace nf2

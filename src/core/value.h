@@ -1,0 +1,105 @@
+#ifndef NF2_CORE_VALUE_H_
+#define NF2_CORE_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace nf2 {
+
+/// Type tags for atomic values. The paper restricts NFR domains to
+/// *simple* domains (sets of atomic elements); these are the atom kinds
+/// nf2db supports.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  // An ATOMIC set value (§2's "power set" compoundness, e.g. the
+  // prerequisite sets of CP[Course, Prerequisite]). Unlike an NFR
+  // tuple component, a kSet value is indivisible: composition and
+  // decomposition treat it as one element and never split it. Elements
+  // are Values, so sets of sets nest arbitrarily.
+  kSet = 5,
+};
+
+/// Returns a human-readable name for `type`, e.g. "INT".
+const char* ValueTypeToString(ValueType type);
+
+/// One atomic domain element.
+///
+/// Values are totally ordered (first by type tag, then by payload) so
+/// that `ValueSet` can keep its elements in a canonical sorted order.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : payload_(std::monostate{}) {}
+
+  /// Named constructors.
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+  /// An atomic set value; elements are sorted and deduplicated.
+  static Value SetOf(std::vector<Value> elements);
+
+  /// The runtime type of this value.
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; it is a fatal error to call the wrong one.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<Value>& AsSet() const;
+
+  /// Three-way comparison: negative/zero/positive like strcmp.
+  /// Values of different types order by type tag.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+  /// Unquoted rendering, e.g. `s1`, `42`, `3.5`, `true`, `null`.
+  std::string ToString() const;
+
+ private:
+  using Payload = std::variant<std::monostate, bool, int64_t, double,
+                               std::string, std::vector<Value>>;
+
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// Shorthand string-value constructor used pervasively in tests and
+/// examples: V("s1") == Value::String("s1").
+inline Value V(const char* s) { return Value::String(s); }
+/// Shorthand int-value constructor: V(42) == Value::Int(42).
+inline Value V(int64_t i) { return Value::Int(i); }
+
+}  // namespace nf2
+
+namespace std {
+template <>
+struct hash<nf2::Value> {
+  size_t operator()(const nf2::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // NF2_CORE_VALUE_H_

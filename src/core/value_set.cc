@@ -1,0 +1,114 @@
+#include "core/value_set.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace nf2 {
+
+ValueSet::ValueSet(Value v) { values_.push_back(std::move(v)); }
+
+ValueSet::ValueSet(std::initializer_list<Value> values)
+    : ValueSet(std::vector<Value>(values)) {}
+
+ValueSet::ValueSet(std::vector<Value> values) : values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
+const Value& ValueSet::single() const {
+  NF2_CHECK(IsSingleton()) << "ValueSet::single() on set of size "
+                           << values_.size();
+  return values_[0];
+}
+
+bool ValueSet::Contains(const Value& v) const {
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+bool ValueSet::Insert(const Value& v) {
+  auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it != values_.end() && *it == v) {
+    return false;
+  }
+  values_.insert(it, v);
+  return true;
+}
+
+bool ValueSet::Erase(const Value& v) {
+  auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it == values_.end() || *it != v) {
+    return false;
+  }
+  values_.erase(it);
+  return true;
+}
+
+ValueSet ValueSet::Union(const ValueSet& other) const {
+  ValueSet out;
+  out.values_.reserve(values_.size() + other.values_.size());
+  std::set_union(values_.begin(), values_.end(), other.values_.begin(),
+                 other.values_.end(), std::back_inserter(out.values_));
+  return out;
+}
+
+ValueSet ValueSet::Intersect(const ValueSet& other) const {
+  ValueSet out;
+  std::set_intersection(values_.begin(), values_.end(), other.values_.begin(),
+                        other.values_.end(),
+                        std::back_inserter(out.values_));
+  return out;
+}
+
+ValueSet ValueSet::Difference(const ValueSet& other) const {
+  ValueSet out;
+  std::set_difference(values_.begin(), values_.end(), other.values_.begin(),
+                      other.values_.end(), std::back_inserter(out.values_));
+  return out;
+}
+
+bool ValueSet::IsSubsetOf(const ValueSet& other) const {
+  return std::includes(other.values_.begin(), other.values_.end(),
+                       values_.begin(), values_.end());
+}
+
+bool ValueSet::IsDisjointFrom(const ValueSet& other) const {
+  auto a = values_.begin();
+  auto b = other.values_.begin();
+  while (a != values_.end() && b != other.values_.end()) {
+    int cmp = a->Compare(*b);
+    if (cmp == 0) return false;
+    if (cmp < 0) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return true;
+}
+
+bool ValueSet::operator<(const ValueSet& other) const {
+  return std::lexicographical_compare(values_.begin(), values_.end(),
+                                      other.values_.begin(),
+                                      other.values_.end());
+}
+
+size_t ValueSet::Hash() const {
+  return HashRange(values_.begin(), values_.end());
+}
+
+std::string ValueSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += values_[i].ToString();
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const ValueSet& set) {
+  return os << set.ToString();
+}
+
+}  // namespace nf2

@@ -1,0 +1,95 @@
+#ifndef NF2_CORE_VALUE_SET_H_
+#define NF2_CORE_VALUE_SET_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace nf2 {
+
+/// A finite set of atomic values — one tuple component of an NFR tuple
+/// (the `Ei(ei1, ..., eiri)` pieces of the paper's notation, §3.1).
+///
+/// Stored as a sorted, duplicate-free vector: NFR components are small
+/// in practice, and the sorted representation makes set-equality (the
+/// precondition of composition, Def. 1) a linear scan and keeps the
+/// printed form canonical.
+class ValueSet {
+ public:
+  /// Constructs the empty set.
+  ValueSet() = default;
+
+  /// Constructs the singleton {v}.
+  explicit ValueSet(Value v);
+
+  /// Constructs from arbitrary values; duplicates are collapsed.
+  ValueSet(std::initializer_list<Value> values);
+  explicit ValueSet(std::vector<Value> values);
+
+  /// Number of elements.
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  bool IsSingleton() const { return values_.size() == 1; }
+
+  /// Elements in ascending order.
+  const std::vector<Value>& values() const { return values_; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+
+  /// The single element of a singleton set (fatal otherwise).
+  const Value& single() const;
+
+  /// Membership test (binary search).
+  bool Contains(const Value& v) const;
+
+  /// Inserts `v`; returns false if it was already present.
+  bool Insert(const Value& v);
+
+  /// Removes `v`; returns false if it was absent.
+  bool Erase(const Value& v);
+
+  /// Set algebra. All return new sets.
+  ValueSet Union(const ValueSet& other) const;
+  ValueSet Intersect(const ValueSet& other) const;
+  ValueSet Difference(const ValueSet& other) const;
+
+  /// True when every element of this set is in `other`.
+  bool IsSubsetOf(const ValueSet& other) const;
+
+  /// True when the two sets share no element.
+  bool IsDisjointFrom(const ValueSet& other) const;
+
+  bool operator==(const ValueSet& other) const {
+    return values_ == other.values_;
+  }
+  bool operator!=(const ValueSet& other) const {
+    return values_ != other.values_;
+  }
+  /// Lexicographic order on the sorted element sequences.
+  bool operator<(const ValueSet& other) const;
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+  /// Paper-style rendering: a bare value for singletons ("s1"), a
+  /// comma-joined list for compound sets ("s2,s3").
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;  // Sorted ascending, no duplicates.
+};
+
+std::ostream& operator<<(std::ostream& os, const ValueSet& set);
+
+}  // namespace nf2
+
+namespace std {
+template <>
+struct hash<nf2::ValueSet> {
+  size_t operator()(const nf2::ValueSet& s) const { return s.Hash(); }
+};
+}  // namespace std
+
+#endif  // NF2_CORE_VALUE_SET_H_

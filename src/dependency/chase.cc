@@ -1,0 +1,196 @@
+#include "dependency/chase.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+
+
+namespace nf2 {
+
+namespace {
+
+/// A tableau row: one symbol per column. 0 is the distinguished
+/// ("a") symbol; 1 the second initial symbol ("b"). FD applications
+/// collapse a column's b into a.
+using Row = std::vector<uint8_t>;
+
+/// Explicit element-wise comparator: sidesteps the libstdc++ memcmp
+/// three-way path that trips a spurious -Wstringop-overread under GCC
+/// 12 -O3.
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return a.size() < b.size();
+  }
+};
+
+struct Tableau {
+  size_t degree;
+  std::set<Row, RowLess> rows;
+  Row row_b;  // Current image of the second initial row.
+
+  explicit Tableau(size_t n, const AttrSet& x) : degree(n) {
+    Row row_a(n, 0);
+    row_b.assign(n, 1);
+    for (size_t c = 0; c < n; ++c) {
+      if (x.Contains(c)) row_b[c] = 0;
+    }
+    rows.insert(row_a);
+    rows.insert(row_b);
+  }
+
+  /// Collapses column `c` (b becomes a everywhere). Returns true when
+  /// anything changed.
+  bool CollapseColumn(size_t c) {
+    bool changed = false;
+    std::set<Row, RowLess> next;
+    for (Row row : rows) {
+      if (row[c] != 0) {
+        row[c] = 0;
+        changed = true;
+      }
+      next.insert(std::move(row));
+    }
+    rows = std::move(next);
+    if (row_b[c] != 0) {
+      row_b[c] = 0;
+      changed = true;
+    }
+    return changed;
+  }
+
+  static bool AgreeOn(const Row& r, const Row& s, const AttrSet& attrs) {
+    for (size_t c : attrs.ToVector()) {
+      if (r[c] != s[c]) return false;
+    }
+    return true;
+  }
+
+  /// Runs the chase with `fds` and `mvds` to fixpoint.
+  void Run(const FdSet& fds, const MvdSet& mvds) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // FD rule: rows agreeing on V force their W columns equal; with a
+      // two-symbol alphabet that means collapsing the column.
+      for (const Fd& fd : fds.fds()) {
+        std::vector<Row> snapshot(rows.begin(), rows.end());
+        for (size_t i = 0; i < snapshot.size(); ++i) {
+          for (size_t j = i + 1; j < snapshot.size(); ++j) {
+            if (!AgreeOn(snapshot[i], snapshot[j], fd.lhs)) continue;
+            for (size_t c : fd.rhs.ToVector()) {
+              if (snapshot[i][c] != snapshot[j][c]) {
+                changed |= CollapseColumn(c);
+              }
+            }
+          }
+        }
+      }
+      // MVD rule: rows agreeing on V spawn the two W-swapped rows.
+      for (const Mvd& mvd : mvds.mvds()) {
+        std::vector<Row> snapshot(rows.begin(), rows.end());
+        for (size_t i = 0; i < snapshot.size(); ++i) {
+          for (size_t j = 0; j < snapshot.size(); ++j) {
+            if (i == j) continue;
+            if (!AgreeOn(snapshot[i], snapshot[j], mvd.lhs)) continue;
+            Row spawned = snapshot[j];
+            for (size_t c : mvd.rhs.ToVector()) {
+              spawned[c] = snapshot[i][c];
+            }
+            if (rows.insert(std::move(spawned)).second) {
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// True when some row matches the goal of X ->-> Y: distinguished on
+  /// X ∪ Y, second-row symbols elsewhere.
+  bool HasMvdGoalRow(const AttrSet& x, const AttrSet& y) const {
+    Row goal = row_b;
+    for (size_t c = 0; c < degree; ++c) {
+      if (x.Contains(c) || y.Contains(c)) goal[c] = 0;
+    }
+    return rows.count(goal) > 0;
+  }
+};
+
+}  // namespace
+
+Chase::Chase(const FdSet& fds, const MvdSet& mvds)
+    : degree_(fds.degree()), fds_(fds), mvds_(mvds) {
+  NF2_CHECK(fds.degree() == mvds.degree())
+      << "FD and MVD sets disagree on schema degree";
+  NF2_CHECK(degree_ <= 16) << "Chase limited to degree 16";
+}
+
+bool Chase::Implies(const Fd& fd) const {
+  Tableau tableau(degree_, fd.lhs);
+  tableau.Run(fds_, mvds_);
+  // Implied iff every RHS column collapsed (the two initial rows were
+  // forced to agree there).
+  for (size_t c : fd.rhs.ToVector()) {
+    if (tableau.row_b[c] != 0) return false;
+  }
+  return true;
+}
+
+bool Chase::Implies(const Mvd& mvd) const {
+  if (mvd.IsTrivial(degree_)) return true;
+  Tableau tableau(degree_, mvd.lhs);
+  tableau.Run(fds_, mvds_);
+  return tableau.HasMvdGoalRow(mvd.lhs, mvd.rhs);
+}
+
+std::vector<AttrSet> Chase::DependencyBasis(const AttrSet& x) const {
+  // Beeri's refinement algorithm: start with the single block U - X and
+  // split a block B by a dependency V ->-> W (FDs promoted) whenever W
+  // cuts B properly and V avoids B; iterate to fixpoint. The resulting
+  // partition is the dependency basis: X ->-> S is implied exactly for
+  // unions S of blocks (tests cross-check this against Implies()).
+  AttrSet rest = AttrSet::All(degree_).Difference(x);
+  std::vector<AttrSet> partition;
+  if (!rest.empty()) partition.push_back(rest);
+
+  std::vector<Mvd> refiners = mvds_.mvds();
+  for (const Fd& fd : fds_.fds()) {
+    refiners.push_back(PromoteToMvd(fd));
+  }
+  // FD-determined attributes form singleton blocks: X ->-> {a} is
+  // implied for every a in closure(X) - X.
+  for (size_t a : fds_.Closure(x).Difference(x).ToVector()) {
+    refiners.push_back(Mvd{x, AttrSet{a}});
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Mvd& mvd : refiners) {
+      std::vector<AttrSet> next;
+      for (const AttrSet& block : partition) {
+        AttrSet inside = block.Intersect(mvd.rhs);
+        AttrSet outside = block.Difference(mvd.rhs);
+        if (!inside.empty() && !outside.empty() &&
+            mvd.lhs.Intersect(block).empty()) {
+          next.push_back(inside);
+          next.push_back(outside);
+          changed = true;
+        } else {
+          next.push_back(block);
+        }
+      }
+      partition = std::move(next);
+    }
+  }
+  std::sort(partition.begin(), partition.end());
+  return partition;
+}
+
+}  // namespace nf2

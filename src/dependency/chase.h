@@ -1,0 +1,51 @@
+#ifndef NF2_DEPENDENCY_CHASE_H_
+#define NF2_DEPENDENCY_CHASE_H_
+
+#include <vector>
+
+#include "dependency/fd.h"
+#include "dependency/mvd.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// The chase: the standard decision procedure for logical implication
+/// of functional and multivalued dependencies (Beeri; surveyed in the
+/// paper's reference [10]).
+///
+/// To decide Σ ⊨ σ with σ = X ->-> Y (or X -> Y), start a two-row
+/// tableau agreeing exactly on X, and repeatedly apply the dependencies
+/// of Σ:
+///   - an FD V -> W whose LHS two rows share equates their W symbols,
+///   - an MVD V ->-> W whose LHS two rows share adds the two swapped
+///     rows (W from one, the rest from the other).
+/// The chase terminates (row symbols come from a fixed two-symbol pool
+/// per column, so at most 2^n distinct rows); σ is implied iff the goal
+/// row/equality appears.
+class Chase {
+ public:
+  /// Builds a chase engine for dependencies over `degree` attributes.
+  /// Fatal for degree > 16 (tableaus have up to 2^degree rows).
+  Chase(const FdSet& fds, const MvdSet& mvds);
+
+  /// True when the FDs and MVDs together logically imply `fd`.
+  bool Implies(const Fd& fd) const;
+
+  /// True when the FDs and MVDs together logically imply `mvd`.
+  bool Implies(const Mvd& mvd) const;
+
+  /// The dependency basis of X: the coarsest partition of U - X such
+  /// that X ->-> S is implied exactly for unions S of its blocks
+  /// (plus subsets of X). Computed by probing single attributes and
+  /// merging.
+  std::vector<AttrSet> DependencyBasis(const AttrSet& x) const;
+
+ private:
+  size_t degree_;
+  FdSet fds_;
+  MvdSet mvds_;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_DEPENDENCY_CHASE_H_

@@ -1,0 +1,99 @@
+#include "dependency/design.h"
+
+#include <algorithm>
+
+#include "core/fixedness.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+Permutation AdvisePermutation(size_t degree, const FdSet& fds,
+                              const MvdSet& mvds) {
+  // Attributes appearing on dependency left-hand sides should be nested
+  // LAST (the canonical form is fixed on the complement of the
+  // first-nested attribute, so putting non-LHS attributes first keeps
+  // all LHS attributes inside the fixedness set). Attributes on
+  // right-hand sides only are nested FIRST.
+  std::vector<int> lhs_weight(degree, 0);
+  std::vector<int> rhs_weight(degree, 0);
+  for (const Fd& fd : fds.fds()) {
+    for (size_t a : fd.lhs.ToVector()) lhs_weight[a] += 2;
+    for (size_t a : fd.rhs.Difference(fd.lhs).ToVector()) rhs_weight[a] += 1;
+  }
+  for (const Mvd& mvd : mvds.mvds()) {
+    for (size_t a : mvd.lhs.ToVector()) lhs_weight[a] += 2;
+    for (size_t a : mvd.rhs.Difference(mvd.lhs).ToVector()) {
+      rhs_weight[a] += 1;
+    }
+  }
+  Permutation perm = IdentityPermutation(degree);
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    // Primary: low LHS weight first (pure dependents nested first).
+    if (lhs_weight[a] != lhs_weight[b]) {
+      return lhs_weight[a] < lhs_weight[b];
+    }
+    // Secondary: heavier RHS involvement earlier (they benefit most
+    // from grouping).
+    if (rhs_weight[a] != rhs_weight[b]) {
+      return rhs_weight[a] > rhs_weight[b];
+    }
+    return a < b;
+  });
+  return perm;
+}
+
+size_t PermutationScore(const FlatRelation& rel, const Permutation& perm) {
+  return CanonicalForm(rel, perm).size();
+}
+
+Permutation BestPermutationBySize(const FlatRelation& rel) {
+  Permutation best;
+  size_t best_score = 0;
+  bool first = true;
+  for (const Permutation& perm : AllPermutations(rel.degree())) {
+    size_t score = PermutationScore(rel, perm);
+    if (first || score < best_score) {
+      best = perm;
+      best_score = score;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::string DesignReport::ToString(const Schema& schema) const {
+  std::vector<std::string> order_names;
+  for (size_t a : advised) {
+    order_names.push_back(schema.attribute(a).name);
+  }
+  std::vector<std::string> fixed_names;
+  for (const AttrSet& f : fixed_on) {
+    fixed_names.push_back(f.ToString(schema));
+  }
+  return StrCat("nest order: ", Join(order_names, " then "),
+                "\nminimal fixed sets: ", Join(fixed_names, ", "),
+                "\ntuples: ", canonical_tuples, " NFR vs ", flat_tuples,
+                " 1NF (",
+                flat_tuples == 0
+                    ? 0.0
+                    : static_cast<double>(flat_tuples) /
+                          static_cast<double>(std::max<size_t>(
+                              canonical_tuples, 1)),
+                "x reduction)");
+}
+
+DesignReport AnalyzeDesign(const FlatRelation& rel, const FdSet& fds,
+                           const MvdSet& mvds) {
+  DesignReport report;
+  report.advised = AdvisePermutation(rel.degree(), fds, mvds);
+  NfrRelation canonical = CanonicalForm(rel, report.advised);
+  report.canonical_tuples = canonical.size();
+  report.flat_tuples = rel.size();
+  if (rel.degree() <= 16) {
+    report.fixed_on = MinimalFixedSets(canonical);
+  }
+  return report;
+}
+
+}  // namespace nf2

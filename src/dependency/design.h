@@ -1,0 +1,53 @@
+#ifndef NF2_DEPENDENCY_DESIGN_H_
+#define NF2_DEPENDENCY_DESIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/nest.h"
+#include "core/relation.h"
+#include "dependency/fd.h"
+#include "dependency/mvd.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// §3.4's design strategy: "nesting on leftside attributes of FDs or
+/// MVDs allows us to get to 'better' NFR" — i.e. choose the permutation
+/// so the canonical form is *fixed on* the dependency left-hand sides
+/// (Theorems 3–5). Concretely we nest the dependent attributes first
+/// and the determining (key-like) attributes last; the first-nested
+/// attribute's complement carries the fixedness (Theorem 5), so every
+/// LHS attribute stays out front.
+///
+/// Returns the nest application order (see Permutation in core/nest.h).
+Permutation AdvisePermutation(size_t degree, const FdSet& fds,
+                              const MvdSet& mvds);
+
+/// Scores a permutation on actual data: the canonical form's tuple
+/// count (smaller is better).
+size_t PermutationScore(const FlatRelation& rel, const Permutation& perm);
+
+/// Exhaustively finds the permutation whose canonical form has the
+/// fewest tuples (ties broken by lexicographic order). Fatal for
+/// degree > 8; use AdvisePermutation for larger schemas.
+Permutation BestPermutationBySize(const FlatRelation& rel);
+
+/// A report describing a design decision, printable in examples/tools.
+struct DesignReport {
+  Permutation advised;
+  std::vector<AttrSet> fixed_on;    // Minimal fixed sets of the result.
+  size_t canonical_tuples = 0;      // |V_P(R)| on the sample data.
+  size_t flat_tuples = 0;           // |R*|.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Runs the §3.4 pipeline on sample data: advise a permutation from the
+/// dependencies, build the canonical form, and report fixedness and
+/// compression.
+DesignReport AnalyzeDesign(const FlatRelation& rel, const FdSet& fds,
+                           const MvdSet& mvds);
+
+}  // namespace nf2
+
+#endif  // NF2_DEPENDENCY_DESIGN_H_

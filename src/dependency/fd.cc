@@ -1,0 +1,167 @@
+#include "dependency/fd.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+std::string Fd::ToString(const Schema& schema) const {
+  return StrCat(lhs.ToString(schema), "->", rhs.ToString(schema));
+}
+
+FdSet::FdSet(size_t degree, std::vector<Fd> fds)
+    : degree_(degree), fds_(std::move(fds)) {
+  for (const Fd& fd : fds_) {
+    NF2_CHECK(fd.lhs.Union(fd.rhs).IsSubsetOf(AttrSet::All(degree_)))
+        << "FD references attributes outside the schema";
+  }
+}
+
+void FdSet::Add(Fd fd) {
+  NF2_CHECK(fd.lhs.Union(fd.rhs).IsSubsetOf(AttrSet::All(degree_)))
+      << "FD references attributes outside the schema";
+  fds_.push_back(fd);
+}
+
+AttrSet FdSet::Closure(const AttrSet& attrs) const {
+  AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds_) {
+      if (fd.lhs.IsSubsetOf(closure) && !fd.rhs.IsSubsetOf(closure)) {
+        closure = closure.Union(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::Implies(const Fd& fd) const {
+  return fd.rhs.IsSubsetOf(Closure(fd.lhs));
+}
+
+bool FdSet::IsSuperkey(const AttrSet& attrs) const {
+  return AttrSet::All(degree_).IsSubsetOf(Closure(attrs));
+}
+
+std::vector<AttrSet> FdSet::CandidateKeys() const {
+  NF2_CHECK(degree_ <= 16) << "CandidateKeys limited to degree 16";
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < (1ULL << degree_); ++m) masks.push_back(m);
+  std::sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+    int pa = __builtin_popcountll(a), pb = __builtin_popcountll(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  std::vector<AttrSet> keys;
+  for (uint64_t m : masks) {
+    AttrSet set;
+    for (size_t i = 0; i < degree_; ++i) {
+      if ((m >> i) & 1) set.Add(i);
+    }
+    bool has_key_subset = false;
+    for (const AttrSet& k : keys) {
+      if (k.IsSubsetOf(set)) {
+        has_key_subset = true;
+        break;
+      }
+    }
+    if (!has_key_subset && IsSuperkey(set)) {
+      keys.push_back(set);
+    }
+  }
+  return keys;
+}
+
+FdSet FdSet::MinimalCover() const {
+  // 1. Split right-hand sides into singletons.
+  std::vector<Fd> work;
+  for (const Fd& fd : fds_) {
+    for (size_t a : fd.rhs.ToVector()) {
+      if (fd.lhs.Contains(a)) continue;  // Drop trivial parts.
+      work.push_back(Fd{fd.lhs, AttrSet{a}});
+    }
+  }
+  // 2. Remove extraneous LHS attributes: X\{a} -> b still implied.
+  FdSet all(degree_, work);
+  for (Fd& fd : work) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (size_t a : fd.lhs.ToVector()) {
+        AttrSet smaller = fd.lhs;
+        smaller.Remove(a);
+        if (fd.rhs.IsSubsetOf(all.Closure(smaller))) {
+          fd.lhs = smaller;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  // 3. Remove redundant FDs: those implied by the rest.
+  std::vector<Fd> kept;
+  for (size_t i = 0; i < work.size(); ++i) {
+    std::vector<Fd> rest;
+    for (size_t j = 0; j < work.size(); ++j) {
+      if (j == i) continue;
+      // Skip FDs already discarded.
+      if (j < i &&
+          std::find(kept.begin(), kept.end(), work[j]) == kept.end()) {
+        continue;
+      }
+      rest.push_back(work[j]);
+    }
+    FdSet rest_set(degree_, rest);
+    if (!rest_set.Implies(work[i])) {
+      kept.push_back(work[i]);
+    }
+  }
+  // Deduplicate identical FDs.
+  std::vector<Fd> unique;
+  for (const Fd& fd : kept) {
+    if (std::find(unique.begin(), unique.end(), fd) == unique.end()) {
+      unique.push_back(fd);
+    }
+  }
+  return FdSet(degree_, std::move(unique));
+}
+
+bool FdSet::SatisfiedBy(const FlatRelation& rel) const {
+  for (const Fd& fd : fds_) {
+    if (!Satisfies(rel, fd)) return false;
+  }
+  return true;
+}
+
+std::string FdSet::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  for (const Fd& fd : fds_) {
+    parts.push_back(fd.ToString(schema));
+  }
+  return StrCat("{", Join(parts, "; "), "}");
+}
+
+bool Satisfies(const FlatRelation& rel, const Fd& fd) {
+  // Group tuples by their lhs projection; within a group all rhs
+  // projections must coincide.
+  std::map<std::vector<Value>, std::vector<Value>> seen;
+  std::vector<size_t> lhs = fd.lhs.ToVector();
+  std::vector<size_t> rhs = fd.rhs.ToVector();
+  for (const FlatTuple& t : rel.tuples()) {
+    std::vector<Value> key, value;
+    for (size_t a : lhs) key.push_back(t.at(a));
+    for (size_t a : rhs) value.push_back(t.at(a));
+    auto [it, inserted] = seen.emplace(std::move(key), value);
+    if (!inserted && it->second != value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nf2

@@ -1,0 +1,80 @@
+#ifndef NF2_DEPENDENCY_FD_H_
+#define NF2_DEPENDENCY_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+
+namespace nf2 {
+
+/// A functional dependency F1,...,Fk -> E1,...,Em over attribute
+/// positions of some schema (§3.4 uses FDs to pick good nest
+/// permutations; Theorem 3 ties them to fixedness).
+struct Fd {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  bool operator==(const Fd& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+
+  /// True when rhs ⊆ lhs (always satisfied).
+  bool IsTrivial() const { return rhs.IsSubsetOf(lhs); }
+
+  /// "{A,B}->{C}" using names from `schema`.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A set of FDs over a schema of `degree` attributes, with the standard
+/// inference machinery (attribute-set closure, implication, candidate
+/// keys, minimal cover).
+class FdSet {
+ public:
+  explicit FdSet(size_t degree) : degree_(degree) {}
+  FdSet(size_t degree, std::vector<Fd> fds);
+
+  size_t degree() const { return degree_; }
+  const std::vector<Fd>& fds() const { return fds_; }
+  bool empty() const { return fds_.empty(); }
+
+  /// Adds an FD (no deduplication).
+  void Add(Fd fd);
+  void Add(AttrSet lhs, AttrSet rhs) { Add(Fd{lhs, rhs}); }
+
+  /// The closure X+ of attribute set `attrs` under these FDs
+  /// (fixed-point of one-step FD application).
+  AttrSet Closure(const AttrSet& attrs) const;
+
+  /// True when these FDs logically imply `fd` (rhs ⊆ Closure(lhs)).
+  bool Implies(const Fd& fd) const;
+
+  /// True when `attrs` determines every attribute.
+  bool IsSuperkey(const AttrSet& attrs) const;
+
+  /// All candidate keys (minimal superkeys), ascending by mask.
+  /// Exponential; fatal for degree > 16.
+  std::vector<AttrSet> CandidateKeys() const;
+
+  /// A minimal (canonical) cover: singleton right-hand sides, no
+  /// extraneous LHS attributes, no redundant FDs.
+  FdSet MinimalCover() const;
+
+  /// True when `rel` satisfies every FD in the set.
+  bool SatisfiedBy(const FlatRelation& rel) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  size_t degree_;
+  std::vector<Fd> fds_;
+};
+
+/// True when `rel` satisfies `fd`: no two tuples agree on lhs but
+/// differ on rhs.
+bool Satisfies(const FlatRelation& rel, const Fd& fd);
+
+}  // namespace nf2
+
+#endif  // NF2_DEPENDENCY_FD_H_

@@ -1,0 +1,97 @@
+#include "dependency/mvd.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+AttrSet Mvd::Complement(size_t degree) const {
+  return AttrSet::All(degree).Difference(lhs).Difference(rhs);
+}
+
+bool Mvd::IsTrivial(size_t degree) const {
+  if (rhs.IsSubsetOf(lhs)) return true;
+  return lhs.Union(rhs) == AttrSet::All(degree);
+}
+
+std::string Mvd::ToString(const Schema& schema) const {
+  AttrSet z = Complement(schema.degree());
+  return StrCat(lhs.ToString(schema), "->->", rhs.ToString(schema), "|",
+                z.ToString(schema));
+}
+
+bool Satisfies(const FlatRelation& rel, const Mvd& mvd) {
+  const size_t degree = rel.degree();
+  std::vector<size_t> x = mvd.lhs.ToVector();
+  std::vector<size_t> y = mvd.rhs.Difference(mvd.lhs).ToVector();
+  std::vector<size_t> z = mvd.Complement(degree).ToVector();
+  // Group by X; collect distinct Y-projections and Z-projections; the
+  // MVD holds iff within each group the set of (Y,Z) pairs is exactly
+  // the cross product of the Y-set and the Z-set.
+  struct Group {
+    std::vector<std::vector<Value>> ys;
+    std::vector<std::vector<Value>> zs;
+    size_t pairs = 0;
+  };
+  auto project = [](const FlatTuple& t, const std::vector<size_t>& attrs) {
+    std::vector<Value> out;
+    out.reserve(attrs.size());
+    for (size_t a : attrs) out.push_back(t.at(a));
+    return out;
+  };
+  std::map<std::vector<Value>, Group> groups;
+  for (const FlatTuple& t : rel.tuples()) {
+    Group& g = groups[project(t, x)];
+    std::vector<Value> yv = project(t, y);
+    std::vector<Value> zv = project(t, z);
+    if (std::find(g.ys.begin(), g.ys.end(), yv) == g.ys.end()) {
+      g.ys.push_back(yv);
+    }
+    if (std::find(g.zs.begin(), g.zs.end(), zv) == g.zs.end()) {
+      g.zs.push_back(zv);
+    }
+    ++g.pairs;
+  }
+  for (const auto& [key, g] : groups) {
+    if (g.pairs != g.ys.size() * g.zs.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Mvd PromoteToMvd(const Fd& fd) { return Mvd{fd.lhs, fd.rhs}; }
+
+MvdSet::MvdSet(size_t degree, std::vector<Mvd> mvds)
+    : degree_(degree), mvds_(std::move(mvds)) {
+  for (const Mvd& mvd : mvds_) {
+    NF2_CHECK(mvd.lhs.Union(mvd.rhs).IsSubsetOf(AttrSet::All(degree_)))
+        << "MVD references attributes outside the schema";
+  }
+}
+
+void MvdSet::Add(Mvd mvd) {
+  NF2_CHECK(mvd.lhs.Union(mvd.rhs).IsSubsetOf(AttrSet::All(degree_)))
+      << "MVD references attributes outside the schema";
+  mvds_.push_back(mvd);
+}
+
+bool MvdSet::SatisfiedBy(const FlatRelation& rel) const {
+  for (const Mvd& mvd : mvds_) {
+    if (!Satisfies(rel, mvd)) return false;
+  }
+  return true;
+}
+
+std::string MvdSet::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  for (const Mvd& mvd : mvds_) {
+    parts.push_back(mvd.ToString(schema));
+  }
+  return StrCat("{", Join(parts, "; "), "}");
+}
+
+}  // namespace nf2

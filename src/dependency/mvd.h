@@ -1,0 +1,68 @@
+#ifndef NF2_DEPENDENCY_MVD_H_
+#define NF2_DEPENDENCY_MVD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+#include "dependency/fd.h"
+
+namespace nf2 {
+
+/// A multivalued dependency X ->-> Y | Z (Fagin [2]); Z is implicitly
+/// U - X - Y, so we store X (lhs) and Y (rhs). This is the dependency
+/// driving the paper's §2 motivating example (Student ->-> Course |
+/// Club in R1) and Theorem 4.
+struct Mvd {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  bool operator==(const Mvd& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+
+  /// The complement side Z = U - X - Y for a schema of `degree`.
+  AttrSet Complement(size_t degree) const;
+
+  /// An MVD is trivial when Y ⊆ X or X ∪ Y = U.
+  bool IsTrivial(size_t degree) const;
+
+  /// "{A}->->{B}|{C}" using names from `schema`.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// True when `rel` satisfies X ->-> Y: for any two tuples t, u agreeing
+/// on X, the tuple taking Y-values from t and Z-values from u is also
+/// in `rel` (Fagin's definition).
+bool Satisfies(const FlatRelation& rel, const Mvd& mvd);
+
+/// Every FD X -> Y is also the MVD X ->-> Y.
+Mvd PromoteToMvd(const Fd& fd);
+
+/// A set of declared MVDs over a schema of `degree` attributes.
+class MvdSet {
+ public:
+  explicit MvdSet(size_t degree) : degree_(degree) {}
+  MvdSet(size_t degree, std::vector<Mvd> mvds);
+
+  size_t degree() const { return degree_; }
+  const std::vector<Mvd>& mvds() const { return mvds_; }
+  bool empty() const { return mvds_.empty(); }
+
+  void Add(Mvd mvd);
+  void Add(AttrSet lhs, AttrSet rhs) { Add(Mvd{lhs, rhs}); }
+
+  /// True when `rel` satisfies every MVD in the set.
+  bool SatisfiedBy(const FlatRelation& rel) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  size_t degree_;
+  std::vector<Mvd> mvds_;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_DEPENDENCY_MVD_H_

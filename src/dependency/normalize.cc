@@ -1,0 +1,140 @@
+#include "dependency/normalize.h"
+
+#include <algorithm>
+#include <map>
+
+#include "algebra/operators.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+std::string SubScheme::ToString(const Schema& schema) const {
+  std::vector<std::string> fd_strings;
+  for (const Fd& fd : fds) {
+    fd_strings.push_back(fd.ToString(schema));
+  }
+  return StrCat(attrs.ToString(schema), " with ", Join(fd_strings, ", "));
+}
+
+std::vector<SubScheme> Synthesize3NF(const FdSet& fds) {
+  FdSet cover = fds.MinimalCover();
+  // Group by left-hand side.
+  std::map<uint64_t, SubScheme> groups;
+  for (const Fd& fd : cover.fds()) {
+    SubScheme& scheme = groups[fd.lhs.mask()];
+    scheme.attrs = scheme.attrs.Union(fd.lhs).Union(fd.rhs);
+    scheme.fds.push_back(fd);
+  }
+  std::vector<SubScheme> out;
+  for (auto& [mask, scheme] : groups) {
+    out.push_back(std::move(scheme));
+  }
+  // Ensure some scheme contains a candidate key of the universal schema
+  // (Bernstein's final step) so the decomposition is lossless.
+  std::vector<AttrSet> keys = fds.CandidateKeys();
+  bool key_covered = false;
+  for (const SubScheme& scheme : out) {
+    for (const AttrSet& key : keys) {
+      if (key.IsSubsetOf(scheme.attrs)) {
+        key_covered = true;
+        break;
+      }
+    }
+    if (key_covered) break;
+  }
+  if (!key_covered && !keys.empty()) {
+    out.push_back(SubScheme{keys.front(), {}});
+  }
+  // Merge schemes subsumed by others: the subsuming scheme inherits the
+  // subsumed scheme's FDs (dropping them would lose dependencies and
+  // break Bernstein's preservation guarantee).
+  std::vector<SubScheme> kept;
+  std::vector<bool> absorbed(out.size(), false);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (absorbed[i]) continue;
+    for (size_t j = 0; j < out.size(); ++j) {
+      if (i == j || absorbed[j]) continue;
+      if (out[j].attrs.IsSubsetOf(out[i].attrs) &&
+          (out[j].attrs != out[i].attrs || i < j)) {
+        out[i].fds.insert(out[i].fds.end(), out[j].fds.begin(),
+                          out[j].fds.end());
+        absorbed[j] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (!absorbed[i]) kept.push_back(std::move(out[i]));
+  }
+  return kept;
+}
+
+bool IsBcnf(const FdSet& fds) {
+  for (const Fd& fd : fds.fds()) {
+    if (fd.IsTrivial()) continue;
+    if (!fds.IsSuperkey(fd.lhs)) return false;
+  }
+  return true;
+}
+
+bool Is4NF(const FdSet& fds, const MvdSet& mvds) {
+  if (!IsBcnf(fds)) return false;
+  for (const Mvd& mvd : mvds.mvds()) {
+    if (mvd.IsTrivial(mvds.degree())) continue;
+    if (!fds.IsSuperkey(mvd.lhs)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void Decompose4NFImpl(const FlatRelation& rel,
+                      const std::vector<size_t>& positions,
+                      const FdSet& fds, const MvdSet& mvds,
+                      std::vector<DecomposedRelation>* out) {
+  const size_t degree = fds.degree();
+  AttrSet present(positions);
+  // Find a violating, applicable, non-trivial MVD whose attributes all
+  // lie inside this fragment.
+  for (const Mvd& mvd : mvds.mvds()) {
+    if (!mvd.lhs.Union(mvd.rhs).IsSubsetOf(present)) continue;
+    AttrSet rhs_here = mvd.rhs.Intersect(present).Difference(mvd.lhs);
+    AttrSet z_here = present.Difference(mvd.lhs).Difference(rhs_here);
+    if (rhs_here.empty() || z_here.empty()) continue;  // Trivial here.
+    if (fds.IsSuperkey(mvd.lhs)) continue;             // No violation.
+    // Split into (X ∪ Y) and (X ∪ Z).
+    AttrSet xy = mvd.lhs.Union(rhs_here);
+    AttrSet xz = mvd.lhs.Union(z_here);
+    auto split = [&](const AttrSet& target) {
+      std::vector<size_t> sub;
+      std::vector<size_t> local;  // Indices into `positions`.
+      for (size_t i = 0; i < positions.size(); ++i) {
+        if (target.Contains(positions[i])) {
+          sub.push_back(positions[i]);
+          local.push_back(i);
+        }
+      }
+      FlatRelation projected = ProjectRelation(rel, local);
+      Decompose4NFImpl(projected, sub, fds, mvds, out);
+    };
+    split(xy);
+    split(xz);
+    return;
+  }
+  (void)degree;
+  out->push_back(DecomposedRelation{positions, rel});
+}
+
+}  // namespace
+
+std::vector<DecomposedRelation> Decompose4NF(const FlatRelation& rel,
+                                             const FdSet& fds,
+                                             const MvdSet& mvds) {
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < rel.degree(); ++i) positions.push_back(i);
+  std::vector<DecomposedRelation> out;
+  Decompose4NFImpl(rel, positions, fds, mvds, &out);
+  return out;
+}
+
+}  // namespace nf2

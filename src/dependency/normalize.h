@@ -1,0 +1,52 @@
+#ifndef NF2_DEPENDENCY_NORMALIZE_H_
+#define NF2_DEPENDENCY_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+#include "dependency/fd.h"
+#include "dependency/mvd.h"
+
+namespace nf2 {
+
+/// One relation scheme produced by normalization: a set of attribute
+/// positions of the original universal schema, plus the FDs projected
+/// onto it.
+struct SubScheme {
+  AttrSet attrs;
+  std::vector<Fd> fds;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Bernstein's 3NF synthesis [13] — the paper assumes its input schemas
+/// are "in 3NF, which are mechanically obtained": take a minimal cover,
+/// group FDs by left-hand side, emit one scheme per group, and add a
+/// key scheme when no group contains a candidate key.
+std::vector<SubScheme> Synthesize3NF(const FdSet& fds);
+
+/// True when every non-trivial FD in `fds` has a superkey left-hand
+/// side (BCNF condition for the whole schema).
+bool IsBcnf(const FdSet& fds);
+
+/// True when the schema with dependencies `fds` + `mvds` is in 4NF:
+/// every non-trivial MVD (including promoted FDs) has a superkey LHS.
+bool Is4NF(const FdSet& fds, const MvdSet& mvds);
+
+/// Fagin's 4NF decomposition: splits `rel` on the first violating MVD
+/// recursively, returning the projected relations. The 1NF baseline
+/// stores this decomposition; the paper's point is that NFRs "may throw
+/// away the 4NF concept" and keep one relation.
+struct DecomposedRelation {
+  std::vector<size_t> attrs;  // Positions in the original schema.
+  FlatRelation relation;
+};
+std::vector<DecomposedRelation> Decompose4NF(const FlatRelation& rel,
+                                             const FdSet& fds,
+                                             const MvdSet& mvds);
+
+}  // namespace nf2
+
+#endif  // NF2_DEPENDENCY_NORMALIZE_H_

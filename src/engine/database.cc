@@ -1,0 +1,488 @@
+#include "engine/database.h"
+
+#include <cctype>
+#include <filesystem>
+
+#include "algebra/operators.h"
+#include "dependency/design.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+namespace {
+constexpr char kCatalogFile[] = "catalog.nf2";
+constexpr char kWalFile[] = "wal.log";
+
+std::string SanitizedFileName(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out + ".tbl";
+}
+}  // namespace
+
+Database::~Database() {
+  // Best-effort durability on clean shutdown; an open transaction is
+  // rolled back first (destruction is not a commit).
+  if (in_txn_) {
+    Status rb = Rollback();
+    if (!rb.ok()) {
+      NF2_LOG(Warning) << "rollback on close failed: " << rb;
+    }
+  }
+  if (wal_ != nullptr) {
+    Status s = Checkpoint();
+    if (!s.ok()) {
+      NF2_LOG(Warning) << "checkpoint on close failed: " << s;
+    }
+  }
+}
+
+std::string Database::TablePath(const RelationInfo& info) const {
+  return (std::filesystem::path(dir_) / info.table_file).string();
+}
+
+std::string Database::CatalogPath() const {
+  return (std::filesystem::path(dir_) / kCatalogFile).string();
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError(StrCat("cannot create database dir ", dir));
+  }
+  std::unique_ptr<Database> db(new Database());
+  db->dir_ = dir;
+  db->options_ = options;
+  NF2_ASSIGN_OR_RETURN(
+      db->wal_, WriteAheadLog::Open(
+                    (std::filesystem::path(dir) / kWalFile).string()));
+  NF2_RETURN_IF_ERROR(db->Recover());
+  return db;
+}
+
+Status Database::Recover() {
+  // 1. Catalog + checkpointed tables.
+  if (std::filesystem::exists(CatalogPath())) {
+    NF2_ASSIGN_OR_RETURN(catalog_, Catalog::LoadFromFile(CatalogPath()));
+  }
+  for (const std::string& name : catalog_.Names()) {
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
+    CanonicalRelation rel(info->schema, info->nest_order);
+    if (std::filesystem::exists(TablePath(*info))) {
+      NF2_ASSIGN_OR_RETURN(auto table, Table::Open(TablePath(*info)));
+      NF2_ASSIGN_OR_RETURN(NfrRelation stored, table->ReadAll());
+      // Trust but verify: the stored form must be the canonical form of
+      // its own expansion (cheap for the usual sizes; guards against
+      // partial writes).
+      NF2_ASSIGN_OR_RETURN(
+          CanonicalRelation rebuilt,
+          CanonicalRelation::FromFlat(stored.Expand(), info->nest_order));
+      if (!rebuilt.relation().EqualsAsSet(stored)) {
+        return Status::Corruption(
+            StrCat("table for '", name, "' is not in canonical form"));
+      }
+      rel = std::move(rebuilt);
+    }
+    relations_.emplace(name, std::move(rel));
+  }
+  // 2. Replay the WAL through the §4 algorithms. Insert/delete records
+  // inside a transaction are buffered and applied only when the commit
+  // record is seen; aborted or crash-cut transactions are discarded.
+  NF2_ASSIGN_OR_RETURN(std::vector<WalRecord> records, wal_->ReadAll());
+  bool replay_in_txn = false;
+  std::vector<WalRecord> pending;
+  auto apply_data_record = [&](const WalRecord& record) -> Status {
+    BufferReader reader(record.payload);
+    NF2_ASSIGN_OR_RETURN(FlatTuple tuple, DecodeFlatTuple(&reader));
+    if (record.type == WalOpType::kInsert) {
+      Status s = ApplyInsert(record.relation, tuple);
+      if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+    } else {
+      Status s = ApplyDelete(record.relation, tuple);
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+    }
+    return Status::OK();
+  };
+  for (const WalRecord& record : records) {
+    switch (record.type) {
+      case WalOpType::kInsert:
+      case WalOpType::kDelete: {
+        if (replay_in_txn) {
+          pending.push_back(record);
+        } else {
+          NF2_RETURN_IF_ERROR(apply_data_record(record));
+        }
+        break;
+      }
+      case WalOpType::kCreateRelation: {
+        if (catalog_.Has(record.relation)) break;  // Already applied.
+        BufferReader reader(record.payload);
+        NF2_ASSIGN_OR_RETURN(RelationInfo info, DecodeRelationInfo(&reader));
+        NF2_RETURN_IF_ERROR(catalog_.Add(info));
+        relations_.emplace(info.name,
+                           CanonicalRelation(info.schema, info.nest_order));
+        break;
+      }
+      case WalOpType::kDropRelation: {
+        if (!catalog_.Has(record.relation)) break;
+        NF2_RETURN_IF_ERROR(catalog_.Remove(record.relation));
+        relations_.erase(record.relation);
+        break;
+      }
+      case WalOpType::kTxnBegin:
+        replay_in_txn = true;
+        pending.clear();
+        break;
+      case WalOpType::kTxnCommit:
+        for (const WalRecord& buffered : pending) {
+          NF2_RETURN_IF_ERROR(apply_data_record(buffered));
+        }
+        pending.clear();
+        replay_in_txn = false;
+        break;
+      case WalOpType::kTxnAbort:
+        pending.clear();
+        replay_in_txn = false;
+        break;
+      case WalOpType::kCheckpoint:
+        break;
+    }
+    ++ops_since_checkpoint_;
+  }
+  // A transaction cut off by a crash is implicitly aborted.
+  return Status::OK();
+}
+
+Status Database::Begin() {
+  if (in_txn_) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  NF2_RETURN_IF_ERROR(
+      wal_->Append({0, WalOpType::kTxnBegin, "", ""}).status());
+  in_txn_ = true;
+  undo_log_.clear();
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  if (!in_txn_) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  NF2_RETURN_IF_ERROR(
+      wal_->Append({0, WalOpType::kTxnCommit, "", ""}).status());
+  in_txn_ = false;
+  undo_log_.clear();
+  ++ops_since_checkpoint_;
+  return MaybeAutoCheckpoint();
+}
+
+Status Database::Rollback() {
+  if (!in_txn_) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  // Undo in reverse order through the same §4 algorithms.
+  for (size_t i = undo_log_.size(); i-- > 0;) {
+    const UndoEntry& entry = undo_log_[i];
+    Status s = entry.was_insert
+                   ? ApplyDelete(entry.relation, entry.tuple)
+                   : ApplyInsert(entry.relation, entry.tuple);
+    NF2_CHECK(s.ok()) << "rollback failed to undo "
+                      << entry.tuple.ToString() << ": " << s;
+  }
+  undo_log_.clear();
+  in_txn_ = false;
+  NF2_RETURN_IF_ERROR(
+      wal_->Append({0, WalOpType::kTxnAbort, "", ""}).status());
+  return Status::OK();
+}
+
+Status Database::CreateRelation(const std::string& name, Schema schema,
+                                Permutation nest_order, std::vector<Fd> fds,
+                                std::vector<Mvd> mvds) {
+  if (in_txn_) {
+    return Status::FailedPrecondition(
+        "DDL is not allowed inside a transaction");
+  }
+  if (catalog_.Has(name)) {
+    return Status::AlreadyExists(StrCat("relation '", name, "' exists"));
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  for (const Fd& fd : fds) {
+    if (!fd.lhs.Union(fd.rhs).IsSubsetOf(AttrSet::All(schema.degree()))) {
+      return Status::InvalidArgument("FD references unknown attributes");
+    }
+  }
+  for (const Mvd& mvd : mvds) {
+    if (!mvd.lhs.Union(mvd.rhs).IsSubsetOf(AttrSet::All(schema.degree()))) {
+      return Status::InvalidArgument("MVD references unknown attributes");
+    }
+  }
+  if (nest_order.empty()) {
+    nest_order = AdvisePermutation(schema.degree(),
+                                   FdSet(schema.degree(), fds),
+                                   MvdSet(schema.degree(), mvds));
+  }
+  if (!IsValidPermutation(nest_order, schema.degree())) {
+    return Status::InvalidArgument("nest order is not a permutation");
+  }
+  RelationInfo info;
+  info.name = name;
+  info.schema = std::move(schema);
+  info.nest_order = std::move(nest_order);
+  info.fds = std::move(fds);
+  info.mvds = std::move(mvds);
+  info.table_file = SanitizedFileName(name);
+
+  BufferWriter payload;
+  EncodeRelationInfo(info, &payload);
+  NF2_RETURN_IF_ERROR(
+      wal_->Append({0, WalOpType::kCreateRelation, name, payload.data()})
+          .status());
+  relations_.emplace(name,
+                     CanonicalRelation(info.schema, info.nest_order));
+  // Create the (empty) table file and persist the catalog eagerly.
+  NF2_ASSIGN_OR_RETURN(auto table, Table::Create(TablePath(info),
+                                                 info.schema,
+                                                 info.nest_order));
+  NF2_RETURN_IF_ERROR(table->Flush());
+  NF2_RETURN_IF_ERROR(catalog_.Add(std::move(info)));
+  return catalog_.SaveToFile(CatalogPath());
+}
+
+Status Database::DropRelation(const std::string& name) {
+  if (in_txn_) {
+    return Status::FailedPrecondition(
+        "DDL is not allowed inside a transaction");
+  }
+  NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
+  std::string table_path = TablePath(*info);
+  NF2_RETURN_IF_ERROR(
+      wal_->Append({0, WalOpType::kDropRelation, name, ""}).status());
+  NF2_RETURN_IF_ERROR(catalog_.Remove(name));
+  relations_.erase(name);
+  std::error_code ec;
+  std::filesystem::remove(table_path, ec);  // Best effort.
+  return catalog_.SaveToFile(CatalogPath());
+}
+
+std::vector<std::string> Database::ListRelations() const {
+  return catalog_.Names();
+}
+
+Result<const NfrRelation*> Database::Relation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  return &it->second.relation();
+}
+
+Result<const RelationInfo*> Database::Info(const std::string& name) const {
+  return catalog_.Get(name);
+}
+
+Status Database::ApplyInsert(const std::string& name,
+                             const FlatTuple& tuple) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  return it->second.Insert(tuple);
+}
+
+Status Database::ApplyDelete(const std::string& name,
+                             const FlatTuple& tuple) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  return it->second.Delete(tuple);
+}
+
+Status Database::CheckFdsForInsert(const RelationInfo& info,
+                                   const CanonicalRelation& rel,
+                                   const FlatTuple& tuple) const {
+  for (const Fd& fd : info.fds) {
+    if (fd.IsTrivial()) continue;
+    std::vector<size_t> lhs = fd.lhs.ToVector();
+    std::vector<size_t> rhs = fd.rhs.Difference(fd.lhs).ToVector();
+    // An existing NFR tuple whose components contain every LHS value of
+    // `tuple` expands to some simple tuple agreeing with it on the LHS;
+    // the FD then demands its RHS components be exactly the inserted
+    // RHS values.
+    for (const NfrTuple& s : rel.relation().tuples()) {
+      bool shares_lhs = true;
+      for (size_t a : lhs) {
+        if (!s.at(a).Contains(tuple.at(a))) {
+          shares_lhs = false;
+          break;
+        }
+      }
+      if (!shares_lhs) continue;
+      for (size_t a : rhs) {
+        if (!s.at(a).IsSingleton() || s.at(a).single() != tuple.at(a)) {
+          return Status::FailedPrecondition(
+              StrCat("inserting ", tuple.ToString(), " violates FD ",
+                     fd.ToString(info.schema), " of relation '", info.name,
+                     "'"));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Insert(const std::string& name, const FlatTuple& tuple) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  // Validate before logging so the WAL carries only applicable ops.
+  if (tuple.degree() != it->second.schema().degree()) {
+    return Status::InvalidArgument("tuple degree mismatch");
+  }
+  if (it->second.Contains(tuple)) {
+    return Status::AlreadyExists(
+        StrCat("tuple ", tuple.ToString(), " already present"));
+  }
+  if (options_.enforce_fds) {
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
+    NF2_RETURN_IF_ERROR(CheckFdsForInsert(*info, it->second, tuple));
+  }
+  BufferWriter payload;
+  EncodeFlatTuple(tuple, &payload);
+  NF2_RETURN_IF_ERROR(
+      wal_->Append({0, WalOpType::kInsert, name, payload.data()}).status());
+  NF2_RETURN_IF_ERROR(it->second.Insert(tuple));
+  if (in_txn_) {
+    undo_log_.push_back(UndoEntry{true, name, tuple});
+  }
+  ++ops_since_checkpoint_;
+  return MaybeAutoCheckpoint();
+}
+
+Status Database::Delete(const std::string& name, const FlatTuple& tuple) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  if (!it->second.Contains(tuple)) {
+    return Status::NotFound(
+        StrCat("tuple ", tuple.ToString(), " not present"));
+  }
+  BufferWriter payload;
+  EncodeFlatTuple(tuple, &payload);
+  NF2_RETURN_IF_ERROR(
+      wal_->Append({0, WalOpType::kDelete, name, payload.data()}).status());
+  NF2_RETURN_IF_ERROR(it->second.Delete(tuple));
+  if (in_txn_) {
+    undo_log_.push_back(UndoEntry{false, name, tuple});
+  }
+  ++ops_since_checkpoint_;
+  return MaybeAutoCheckpoint();
+}
+
+Result<bool> Database::Contains(const std::string& name,
+                                const FlatTuple& tuple) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  return it->second.Contains(tuple);
+}
+
+Result<FlatRelation> Database::Scan(const std::string& name) const {
+  NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, Relation(name));
+  return rel->Expand();
+}
+
+Result<FlatRelation> Database::Query(const std::string& name,
+                                     const Predicate& pred) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  // Point-query fast path: a single `attr = value` predicate is
+  // answered from the inverted index, expanding only the touched
+  // tuples.
+  std::optional<std::pair<size_t, Value>> eq = pred.AsSingleEq();
+  if (eq.has_value() && eq->first < it->second.schema().degree()) {
+    NfrRelation touched =
+        it->second.TuplesContaining(eq->first, eq->second);
+    return SelectNfrExact(touched, pred).Expand();
+  }
+  return SelectNfrExact(it->second.relation(), pred).Expand();
+}
+
+Status Database::Checkpoint() {
+  if (in_txn_) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint with an open transaction");
+  }
+  for (const std::string& name : catalog_.Names()) {
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
+    auto it = relations_.find(name);
+    NF2_CHECK(it != relations_.end());
+    std::string path = TablePath(*info);
+    std::unique_ptr<Table> table;
+    if (std::filesystem::exists(path)) {
+      NF2_ASSIGN_OR_RETURN(table, Table::Open(path));
+    } else {
+      NF2_ASSIGN_OR_RETURN(table, Table::Create(path, info->schema,
+                                                info->nest_order));
+    }
+    NF2_RETURN_IF_ERROR(table->Rewrite(it->second.relation()));
+  }
+  NF2_RETURN_IF_ERROR(catalog_.SaveToFile(CatalogPath()));
+  NF2_RETURN_IF_ERROR(wal_->Reset());
+  ops_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Status Database::MaybeAutoCheckpoint() {
+  if (in_txn_) return Status::OK();
+  if (options_.auto_checkpoint_every > 0 &&
+      ops_since_checkpoint_ >= options_.auto_checkpoint_every) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status Database::VerifyIntegrity() const {
+  for (const auto& [name, rel] : relations_) {
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
+    NF2_RETURN_IF_ERROR(rel.relation().Validate());
+    NfrRelation canonical =
+        CanonicalForm(rel.relation().Expand(), info->nest_order);
+    if (!rel.relation().EqualsAsSet(canonical)) {
+      return Status::Corruption(
+          StrCat("relation '", name, "' is not in canonical form"));
+    }
+    if (!info->fd_set().SatisfiedBy(rel.relation().Expand())) {
+      return Status::FailedPrecondition(
+          StrCat("relation '", name, "' violates a declared FD"));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RelationStats> Database::Stats(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  RelationStats stats = ComputeRelationStats(it->second.relation());
+  stats.name = name;
+  stats.update_stats = it->second.stats();
+  return stats;
+}
+
+}  // namespace nf2

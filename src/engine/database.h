@@ -1,0 +1,166 @@
+#ifndef NF2_ENGINE_DATABASE_H_
+#define NF2_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "catalog/catalog.h"
+#include "core/update.h"
+#include "engine/statistics.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// The nf2db engine: a directory of canonical NFR tables plus a shared
+/// write-ahead log.
+///
+/// Durability protocol:
+///  - CreateRelation/DropRelation update the catalog file immediately
+///    (and are logged, so a crash between the two is recoverable).
+///  - Insert/Delete are logged to the WAL, then applied in memory via
+///    the §4 algorithms. Table files are only rewritten at Checkpoint,
+///    which then truncates the WAL.
+///  - Open loads the catalog and table files, then replays the WAL
+///    through the same §4 algorithms — recovery reconstructs exactly
+///    the canonical form (Theorem 2 uniqueness makes this well-defined).
+class Database {
+ public:
+  struct Options {
+    /// Insert/delete operations between automatic checkpoints
+    /// (0 disables automatic checkpointing).
+    size_t auto_checkpoint_every = 0;
+    /// When true, Insert rejects tuples that would violate a relation's
+    /// declared FDs (FailedPrecondition). Declared MVDs are never
+    /// enforced: the paper's §2 lesson is precisely that updates must
+    /// not assume MVDs continue to hold.
+    bool enforce_fds = true;
+  };
+
+  /// Opens (creating if needed) a database in `dir`, running recovery.
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                Options options);
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir) {
+    return Open(dir, Options{});
+  }
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a relation. When `nest_order` is empty the §3.4 advisor
+  /// derives it from the declared dependencies.
+  Status CreateRelation(const std::string& name, Schema schema,
+                        Permutation nest_order = {},
+                        std::vector<Fd> fds = {},
+                        std::vector<Mvd> mvds = {});
+
+  /// Drops a relation and removes its table file.
+  Status DropRelation(const std::string& name);
+
+  /// Names of all relations, sorted.
+  std::vector<std::string> ListRelations() const;
+
+  /// The stored canonical NFR (by reference; valid until the next
+  /// mutation of that relation).
+  Result<const NfrRelation*> Relation(const std::string& name) const;
+
+  /// Catalog metadata for `name`.
+  Result<const RelationInfo*> Info(const std::string& name) const;
+
+  /// Inserts / deletes one simple tuple through the §4 algorithms.
+  Status Insert(const std::string& name, const FlatTuple& tuple);
+  Status Delete(const std::string& name, const FlatTuple& tuple);
+
+  /// True when the simple tuple is in R*.
+  Result<bool> Contains(const std::string& name,
+                        const FlatTuple& tuple) const;
+
+  /// R* of the stored relation.
+  Result<FlatRelation> Scan(const std::string& name) const;
+
+  /// sigma_pred(R*), evaluated against the NFR without full expansion
+  /// of non-matching tuples.
+  Result<FlatRelation> Query(const std::string& name,
+                             const Predicate& pred) const;
+
+  /// Starts a transaction: subsequent Insert/Delete calls become
+  /// atomic — Commit makes them durable as a unit; Rollback (or a crash
+  /// before Commit) undoes all of them. DDL (create/drop) and
+  /// Checkpoint are rejected while a transaction is open. Error when a
+  /// transaction is already active (no nesting).
+  Status Begin();
+
+  /// Commits the open transaction.
+  Status Commit();
+
+  /// Rolls back the open transaction by applying inverse operations in
+  /// reverse order (delete for insert, insert for delete).
+  Status Rollback();
+
+  /// True between Begin and Commit/Rollback.
+  bool in_transaction() const { return in_txn_; }
+
+  /// Writes all tables and the catalog, then truncates the WAL.
+  /// FailedPrecondition while a transaction is open.
+  Status Checkpoint();
+
+  /// Size/maintenance statistics for one relation.
+  Result<RelationStats> Stats(const std::string& name) const;
+
+  /// Full integrity audit (what tools/nf2_check runs): every relation
+  /// must be well-formed (disjoint expansions), exactly the canonical
+  /// form for its nest order, and must satisfy its declared FDs.
+  /// Returns the first violation found, OK when everything checks out.
+  Status VerifyIntegrity() const;
+
+  /// Number of WAL records appended since the last checkpoint.
+  uint64_t wal_records_since_checkpoint() const {
+    return ops_since_checkpoint_;
+  }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Database() = default;
+
+  Status Recover();
+
+  /// FailedPrecondition when inserting `tuple` into `name` would break
+  /// one of its declared FDs (checked against the stored NFR without
+  /// expansion).
+  Status CheckFdsForInsert(const RelationInfo& info,
+                           const CanonicalRelation& rel,
+                           const FlatTuple& tuple) const;
+
+  Status ApplyInsert(const std::string& name, const FlatTuple& tuple);
+  Status ApplyDelete(const std::string& name, const FlatTuple& tuple);
+  std::string TablePath(const RelationInfo& info) const;
+  std::string CatalogPath() const;
+  Status MaybeAutoCheckpoint();
+
+  std::string dir_;
+  Options options_;
+  Catalog catalog_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::map<std::string, CanonicalRelation> relations_;
+  uint64_t ops_since_checkpoint_ = 0;
+
+  /// One undoable operation of the open transaction.
+  struct UndoEntry {
+    bool was_insert;
+    std::string relation;
+    FlatTuple tuple;
+  };
+  bool in_txn_ = false;
+  std::vector<UndoEntry> undo_log_;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_ENGINE_DATABASE_H_

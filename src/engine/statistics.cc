@@ -1,0 +1,43 @@
+#include "engine/statistics.h"
+
+#include "storage/serde.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+double RelationStats::TupleReduction() const {
+  if (nfr_tuples == 0) return 1.0;
+  return static_cast<double>(flat_tuples) / static_cast<double>(nfr_tuples);
+}
+
+double RelationStats::ByteReduction() const {
+  if (nfr_bytes == 0) return 1.0;
+  return static_cast<double>(flat_bytes) / static_cast<double>(nfr_bytes);
+}
+
+std::string RelationStats::ToString() const {
+  return StrCat(name, ": ", nfr_tuples, " NFR tuples (", nfr_bytes,
+                " bytes) vs ", flat_tuples, " 1NF tuples (", flat_bytes,
+                " bytes); reduction x", TupleReduction(), " tuples, x",
+                ByteReduction(), " bytes; updates ",
+                update_stats.ToString());
+}
+
+RelationStats ComputeRelationStats(const NfrRelation& rel) {
+  RelationStats stats;
+  stats.nfr_tuples = rel.size();
+  stats.flat_tuples = rel.ExpandedSize();
+  BufferWriter nfr_writer;
+  EncodeNfrRelation(rel, &nfr_writer);
+  stats.nfr_bytes = nfr_writer.size();
+  BufferWriter flat_writer;
+  EncodeSchema(rel.schema(), &flat_writer);
+  FlatRelation flat = rel.Expand();
+  for (const FlatTuple& t : flat.tuples()) {
+    EncodeFlatTuple(t, &flat_writer);
+  }
+  stats.flat_bytes = flat_writer.size();
+  return stats;
+}
+
+}  // namespace nf2

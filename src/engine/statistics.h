@@ -1,0 +1,37 @@
+#ifndef NF2_ENGINE_STATISTICS_H_
+#define NF2_ENGINE_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/relation.h"
+#include "core/update.h"
+
+namespace nf2 {
+
+/// Size and maintenance statistics for one stored NFR — the numbers the
+/// paper's §2 argument is about ("the reduction of the number of tuples
+/// will contribute to the reduction of logical search space").
+struct RelationStats {
+  std::string name;
+  size_t nfr_tuples = 0;       // Records actually stored.
+  uint64_t flat_tuples = 0;    // |R*|: what 1NF storage would hold.
+  size_t nfr_bytes = 0;        // Serialized NFR size.
+  size_t flat_bytes = 0;       // Serialized 1NF size.
+  UpdateStats update_stats;    // Cumulative §4 operation counters.
+
+  /// flat_tuples / nfr_tuples (1.0 for empty relations).
+  double TupleReduction() const;
+  /// flat_bytes / nfr_bytes (1.0 for empty relations).
+  double ByteReduction() const;
+
+  std::string ToString() const;
+};
+
+/// Computes size statistics for `rel` by serializing both
+/// representations (name/update_stats are filled by the caller).
+RelationStats ComputeRelationStats(const NfrRelation& rel);
+
+}  // namespace nf2
+
+#endif  // NF2_ENGINE_STATISTICS_H_

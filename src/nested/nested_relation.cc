@@ -1,0 +1,332 @@
+#include "nested/nested_relation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+bool NestedAttribute::operator==(const NestedAttribute& other) const {
+  if (name != other.name) return false;
+  if (is_relation() != other.is_relation()) return false;
+  if (is_relation()) return *sub == *other.sub;
+  return type == other.type;
+}
+
+NestedSchema::NestedSchema(std::vector<NestedAttribute> attributes)
+    : attributes_(std::move(attributes)) {
+  std::vector<std::string> seen;
+  for (const NestedAttribute& attr : attributes_) {
+    NF2_CHECK(std::find(seen.begin(), seen.end(), attr.name) == seen.end())
+        << "Duplicate nested attribute name: " << attr.name;
+    seen.push_back(attr.name);
+  }
+}
+
+NestedSchema NestedSchema::FromFlat(const Schema& schema) {
+  std::vector<NestedAttribute> attrs;
+  attrs.reserve(schema.degree());
+  for (const Attribute& attr : schema.attributes()) {
+    attrs.push_back(NestedAttribute{attr.name, attr.type, nullptr});
+  }
+  return NestedSchema(std::move(attrs));
+}
+
+const NestedAttribute& NestedSchema::attribute(size_t i) const {
+  NF2_CHECK(i < attributes_.size());
+  return attributes_[i];
+}
+
+std::optional<size_t> NestedSchema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> NestedSchema::RequireIndex(const std::string& name) const {
+  std::optional<size_t> idx = IndexOf(name);
+  if (!idx.has_value()) {
+    return Status::NotFound(
+        StrCat("attribute '", name, "' not in schema ", ToString()));
+  }
+  return *idx;
+}
+
+bool NestedSchema::IsFlat() const {
+  for (const NestedAttribute& attr : attributes_) {
+    if (attr.is_relation()) return false;
+  }
+  return true;
+}
+
+bool NestedSchema::operator==(const NestedSchema& other) const {
+  return attributes_ == other.attributes_;
+}
+
+std::string NestedSchema::ToString() const {
+  std::vector<std::string> parts;
+  for (const NestedAttribute& attr : attributes_) {
+    if (attr.is_relation()) {
+      parts.push_back(StrCat(attr.name, " ", attr.sub->ToString()));
+    } else {
+      parts.push_back(StrCat(attr.name, " ", ValueTypeToString(attr.type)));
+    }
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+NestedValue::NestedValue(NestedRelation relation)
+    : relation_(std::make_shared<const NestedRelation>(
+          std::move(relation))) {}
+
+const Value& NestedValue::atom() const {
+  NF2_CHECK(!is_relation()) << "NestedValue is a relation";
+  return atom_;
+}
+
+const NestedRelation& NestedValue::relation() const {
+  NF2_CHECK(is_relation()) << "NestedValue is an atom";
+  return *relation_;
+}
+
+bool NestedValue::operator==(const NestedValue& other) const {
+  if (is_relation() != other.is_relation()) return false;
+  if (is_relation()) return *relation_ == *other.relation_;
+  return atom_ == other.atom_;
+}
+
+bool NestedValue::operator<(const NestedValue& other) const {
+  // Atoms sort before relations; relations by their printed canonical
+  // form (tuples are kept sorted, so this is deterministic).
+  if (is_relation() != other.is_relation()) return !is_relation();
+  if (!is_relation()) return atom_ < other.atom_;
+  return relation_->ToString() < other.relation_->ToString();
+}
+
+std::string NestedValue::ToString() const {
+  if (!is_relation()) return atom_.ToString();
+  std::vector<std::string> rows;
+  for (const NestedTuple& t : relation_->tuples()) {
+    rows.push_back(t.ToString());
+  }
+  return StrCat("{", Join(rows, ", "), "}");
+}
+
+const NestedValue& NestedTuple::at(size_t i) const {
+  NF2_CHECK(i < values_.size());
+  return values_[i];
+}
+
+bool NestedTuple::operator<(const NestedTuple& other) const {
+  return std::lexicographical_compare(values_.begin(), values_.end(),
+                                      other.values_.begin(),
+                                      other.values_.end());
+}
+
+std::string NestedTuple::ToString() const {
+  std::vector<std::string> parts;
+  for (const NestedValue& v : values_) {
+    parts.push_back(v.ToString());
+  }
+  return StrCat("<", Join(parts, ", "), ">");
+}
+
+NestedRelation::NestedRelation(NestedSchema schema,
+                               std::vector<NestedTuple> tuples)
+    : schema_(std::move(schema)), tuples_(std::move(tuples)) {
+  for (const NestedTuple& t : tuples_) {
+    NF2_CHECK(t.degree() == schema_.degree())
+        << "nested tuple degree mismatch";
+  }
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()),
+                tuples_.end());
+}
+
+NestedRelation NestedRelation::FromFlat(const FlatRelation& flat) {
+  NestedRelation out(NestedSchema::FromFlat(flat.schema()));
+  for (const FlatTuple& t : flat.tuples()) {
+    std::vector<NestedValue> values;
+    values.reserve(t.degree());
+    for (const Value& v : t.values()) {
+      values.emplace_back(v);
+    }
+    out.Insert(NestedTuple(std::move(values)));
+  }
+  return out;
+}
+
+const NestedTuple& NestedRelation::tuple(size_t i) const {
+  NF2_CHECK(i < tuples_.size());
+  return tuples_[i];
+}
+
+bool NestedRelation::Insert(NestedTuple t) {
+  NF2_CHECK(t.degree() == schema_.degree())
+      << "nested tuple degree mismatch";
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) return false;
+  tuples_.insert(it, std::move(t));
+  return true;
+}
+
+bool NestedRelation::operator==(const NestedRelation& other) const {
+  return schema_ == other.schema_ && tuples_ == other.tuples_;
+}
+
+Result<FlatRelation> NestedRelation::ToFlat() const {
+  if (!schema_.IsFlat()) {
+    return Status::FailedPrecondition(
+        "schema has relation-valued attributes; unnest them first");
+  }
+  std::vector<Attribute> attrs;
+  for (const NestedAttribute& attr : schema_.attributes()) {
+    attrs.push_back({attr.name, attr.type});
+  }
+  FlatRelation out(Schema(std::move(attrs)));
+  for (const NestedTuple& t : tuples_) {
+    std::vector<Value> values;
+    values.reserve(t.degree());
+    for (const NestedValue& v : t.values()) {
+      values.push_back(v.atom());
+    }
+    out.Insert(FlatTuple(std::move(values)));
+  }
+  return out;
+}
+
+std::string NestedRelation::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out =
+      StrCat(pad, "NestedRelation", schema_.ToString(), " {", tuples_.size(),
+             " tuples}\n");
+  for (const NestedTuple& t : tuples_) {
+    out += StrCat(pad, "  ", t.ToString(), "\n");
+  }
+  return out;
+}
+
+Result<NestedRelation> NestAttrs(const NestedRelation& rel,
+                                 const std::vector<std::string>& attrs,
+                                 const std::string& as_name) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("nest needs at least one attribute");
+  }
+  std::vector<size_t> nested_idx;
+  for (const std::string& name : attrs) {
+    NF2_ASSIGN_OR_RETURN(size_t idx, rel.schema().RequireIndex(name));
+    nested_idx.push_back(idx);
+  }
+  std::sort(nested_idx.begin(), nested_idx.end());
+  nested_idx.erase(std::unique(nested_idx.begin(), nested_idx.end()),
+                   nested_idx.end());
+  if (nested_idx.size() == rel.schema().degree()) {
+    return Status::InvalidArgument(
+        "nest must leave at least one grouping attribute");
+  }
+  std::vector<size_t> kept_idx;
+  for (size_t i = 0; i < rel.schema().degree(); ++i) {
+    if (!std::binary_search(nested_idx.begin(), nested_idx.end(), i)) {
+      kept_idx.push_back(i);
+    }
+  }
+  if (rel.schema().IndexOf(as_name).has_value()) {
+    bool shadowed = false;
+    for (size_t i : nested_idx) {
+      if (rel.schema().attribute(i).name == as_name) shadowed = true;
+    }
+    if (!shadowed) {
+      return Status::AlreadyExists(
+          StrCat("attribute '", as_name, "' already exists"));
+    }
+  }
+
+  // Sub-schema of the packed attribute.
+  std::vector<NestedAttribute> sub_attrs;
+  for (size_t i : nested_idx) {
+    sub_attrs.push_back(rel.schema().attribute(i));
+  }
+  auto sub_schema =
+      std::make_shared<const NestedSchema>(std::move(sub_attrs));
+  // Output schema: kept attributes then the new relation attribute.
+  std::vector<NestedAttribute> out_attrs;
+  for (size_t i : kept_idx) {
+    out_attrs.push_back(rel.schema().attribute(i));
+  }
+  out_attrs.push_back(NestedAttribute{as_name, ValueType::kNull, sub_schema});
+  NestedSchema out_schema(std::move(out_attrs));
+
+  // Group by the kept attributes.
+  std::map<std::vector<NestedValue>, std::vector<NestedTuple>> groups;
+  for (const NestedTuple& t : rel.tuples()) {
+    std::vector<NestedValue> key;
+    key.reserve(kept_idx.size());
+    for (size_t i : kept_idx) key.push_back(t.at(i));
+    std::vector<NestedValue> sub;
+    sub.reserve(nested_idx.size());
+    for (size_t i : nested_idx) sub.push_back(t.at(i));
+    groups[std::move(key)].emplace_back(std::move(sub));
+  }
+  NestedRelation out(std::move(out_schema));
+  for (auto& [key, sub_tuples] : groups) {
+    NestedRelation sub(*sub_schema, std::move(sub_tuples));
+    std::vector<NestedValue> values = key;
+    values.emplace_back(std::move(sub));
+    out.Insert(NestedTuple(std::move(values)));
+  }
+  return out;
+}
+
+Result<NestedRelation> UnnestAttr(const NestedRelation& rel,
+                                  const std::string& name) {
+  NF2_ASSIGN_OR_RETURN(size_t idx, rel.schema().RequireIndex(name));
+  const NestedAttribute& attr = rel.schema().attribute(idx);
+  if (!attr.is_relation()) {
+    return Status::InvalidArgument(
+        StrCat("attribute '", name, "' is atomic; cannot unnest"));
+  }
+  // Output schema: attributes before idx, the sub-attributes, then the
+  // attributes after idx.
+  std::vector<NestedAttribute> out_attrs;
+  for (size_t i = 0; i < rel.schema().degree(); ++i) {
+    if (i == idx) {
+      for (const NestedAttribute& sub : attr.sub->attributes()) {
+        if (out_attrs.end() !=
+            std::find_if(out_attrs.begin(), out_attrs.end(),
+                         [&](const NestedAttribute& a) {
+                           return a.name == sub.name;
+                         })) {
+          return Status::AlreadyExists(
+              StrCat("unnest would duplicate attribute '", sub.name, "'"));
+        }
+        out_attrs.push_back(sub);
+      }
+    } else {
+      out_attrs.push_back(rel.schema().attribute(i));
+    }
+  }
+  NestedSchema out_schema(std::move(out_attrs));
+  NestedRelation out(std::move(out_schema));
+  for (const NestedTuple& t : rel.tuples()) {
+    const NestedRelation& sub = t.at(idx).relation();
+    for (const NestedTuple& sub_tuple : sub.tuples()) {
+      std::vector<NestedValue> values;
+      for (size_t i = 0; i < t.degree(); ++i) {
+        if (i == idx) {
+          for (const NestedValue& v : sub_tuple.values()) {
+            values.push_back(v);
+          }
+        } else {
+          values.push_back(t.at(i));
+        }
+      }
+      out.Insert(NestedTuple(std::move(values)));
+    }
+  }
+  return out;
+}
+
+}  // namespace nf2

@@ -1,0 +1,171 @@
+#ifndef NF2_NESTED_NESTED_RELATION_H_
+#define NF2_NESTED_NESTED_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+#include "core/value.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+class NestedRelation;
+class NestedSchema;
+
+/// One attribute of a hierarchical schema: either atomic (a ValueType)
+/// or relation-valued (carrying a sub-schema). This is the data model
+/// of Jaeschke & Schek's nest/unnest algebra — the paper's reference
+/// [7], which Arisawa et al. specialize to simple domains. nf2db
+/// implements both: `core/` is the paper's variant, `nested/` the
+/// general one.
+struct NestedAttribute {
+  std::string name;
+  ValueType type = ValueType::kString;       // Used when sub == nullptr.
+  std::shared_ptr<const NestedSchema> sub;   // Non-null: relation-valued.
+
+  bool is_relation() const { return sub != nullptr; }
+  bool operator==(const NestedAttribute& other) const;
+};
+
+/// An ordered list of (possibly relation-valued) attributes with unique
+/// names.
+class NestedSchema {
+ public:
+  NestedSchema() = default;
+  explicit NestedSchema(std::vector<NestedAttribute> attributes);
+
+  /// Lifts a flat schema (all attributes atomic).
+  static NestedSchema FromFlat(const Schema& schema);
+
+  size_t degree() const { return attributes_.size(); }
+  const std::vector<NestedAttribute>& attributes() const {
+    return attributes_;
+  }
+  const NestedAttribute& attribute(size_t i) const;
+  std::optional<size_t> IndexOf(const std::string& name) const;
+  Result<size_t> RequireIndex(const std::string& name) const;
+
+  /// True when no attribute is relation-valued.
+  bool IsFlat() const;
+
+  bool operator==(const NestedSchema& other) const;
+  bool operator!=(const NestedSchema& other) const {
+    return !(*this == other);
+  }
+
+  /// "(A STRING, Sub (X STRING, Y INT))"-style rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<NestedAttribute> attributes_;
+};
+
+/// A value in a nested tuple: an atom or a whole subrelation.
+class NestedValue {
+ public:
+  /// Atomic value.
+  NestedValue() = default;
+  explicit NestedValue(Value atom) : atom_(std::move(atom)) {}
+  /// Relation value.
+  explicit NestedValue(NestedRelation relation);
+
+  bool is_relation() const { return relation_ != nullptr; }
+  const Value& atom() const;
+  const NestedRelation& relation() const;
+
+  bool operator==(const NestedValue& other) const;
+  bool operator!=(const NestedValue& other) const {
+    return !(*this == other);
+  }
+  bool operator<(const NestedValue& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Value atom_;
+  std::shared_ptr<const NestedRelation> relation_;  // Immutable share.
+};
+
+/// A tuple of nested values.
+class NestedTuple {
+ public:
+  NestedTuple() = default;
+  explicit NestedTuple(std::vector<NestedValue> values)
+      : values_(std::move(values)) {}
+
+  size_t degree() const { return values_.size(); }
+  const NestedValue& at(size_t i) const;
+  const std::vector<NestedValue>& values() const { return values_; }
+
+  bool operator==(const NestedTuple& other) const {
+    return values_ == other.values_;
+  }
+  bool operator<(const NestedTuple& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<NestedValue> values_;
+};
+
+/// A hierarchical (NF²) relation: a set of nested tuples over a
+/// NestedSchema. Set semantics throughout — duplicates collapse, order
+/// is canonical (sorted).
+class NestedRelation {
+ public:
+  NestedRelation() = default;
+  explicit NestedRelation(NestedSchema schema)
+      : schema_(std::move(schema)) {}
+  NestedRelation(NestedSchema schema, std::vector<NestedTuple> tuples);
+
+  /// Lifts a 1NF relation (tuples become all-atomic nested tuples).
+  static NestedRelation FromFlat(const FlatRelation& flat);
+
+  const NestedSchema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<NestedTuple>& tuples() const { return tuples_; }
+  const NestedTuple& tuple(size_t i) const;
+
+  /// Inserts with set semantics; returns false on duplicate.
+  bool Insert(NestedTuple t);
+
+  bool operator==(const NestedRelation& other) const;
+  bool operator!=(const NestedRelation& other) const {
+    return !(*this == other);
+  }
+
+  /// Converts back to a FlatRelation; error unless the schema is flat.
+  Result<FlatRelation> ToFlat() const;
+
+  /// Multi-line rendering with indented subrelations.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  NestedSchema schema_;
+  std::vector<NestedTuple> tuples_;  // Sorted, duplicate-free.
+};
+
+// ---- The ν / μ algebra of [7] ------------------------------------------
+
+/// ν (nest): groups `rel` by the attributes NOT in `attrs` and packs
+/// each group's projection onto `attrs` into one relation-valued
+/// attribute named `as_name`. Errors when `attrs` is empty, covers the
+/// whole schema, or `as_name` collides.
+Result<NestedRelation> NestAttrs(const NestedRelation& rel,
+                                 const std::vector<std::string>& attrs,
+                                 const std::string& as_name);
+
+/// μ (unnest): replaces the relation-valued attribute `name` by its
+/// sub-attributes, one output tuple per sub-tuple. Tuples whose
+/// subrelation is empty vanish (standard μ semantics). Errors when
+/// `name` is missing or atomic.
+Result<NestedRelation> UnnestAttr(const NestedRelation& rel,
+                                  const std::string& name);
+
+}  // namespace nf2
+
+#endif  // NF2_NESTED_NESTED_RELATION_H_

@@ -1,0 +1,126 @@
+#ifndef NF2_NFRQL_AST_H_
+#define NF2_NFRQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/value.h"
+
+namespace nf2 {
+
+/// A condition tree as written in a WHERE clause; attribute references
+/// are still names (resolved against the schema at execution time).
+struct ConditionNode {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+  Kind kind = Kind::kCompare;
+  // kCompare:
+  std::string attribute;
+  std::string op;  // "=", "!=", "<", "<=", ">", ">=".
+  Value literal;
+  // kAnd/kOr take both children; kNot takes `left`.
+  std::unique_ptr<ConditionNode> left;
+  std::unique_ptr<ConditionNode> right;
+};
+
+/// CREATE RELATION name (attr TYPE, ...) [NEST a, b, ...]
+///   [FD a, b -> c, d]... [MVD a ->-> b]...
+struct CreateStatement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;  // name, type.
+  std::vector<std::string> nest_order;  // Empty: advise from deps.
+  struct FdClause {
+    std::vector<std::string> lhs;
+    std::vector<std::string> rhs;
+  };
+  struct MvdClause {
+    std::vector<std::string> lhs;
+    std::vector<std::string> rhs;
+  };
+  std::vector<FdClause> fds;
+  std::vector<MvdClause> mvds;
+};
+
+/// DROP RELATION name
+struct DropStatement {
+  std::string name;
+};
+
+/// INSERT INTO name VALUES (v, ...)[, (v, ...)]...
+struct InsertStatement {
+  std::string name;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// DELETE FROM name VALUES (v, ...) | DELETE FROM name WHERE cond
+struct DeleteStatement {
+  std::string name;
+  std::vector<std::vector<Value>> rows;            // VALUES form.
+  std::unique_ptr<ConditionNode> where;            // WHERE form.
+};
+
+/// UPDATE name SET attr = lit [, attr = lit]... [WHERE cond]
+struct UpdateStatement {
+  std::string name;
+  std::vector<std::pair<std::string, Value>> sets;
+  std::unique_ptr<ConditionNode> where;  // Null: update every tuple.
+};
+
+/// SELECT [COUNT(*) | cols | *] FROM name [JOIN name]... [WHERE cond]
+struct SelectStatement {
+  std::string name;                       // First FROM relation.
+  std::vector<std::string> joins;         // Further relations, natural-joined.
+  std::vector<std::string> columns;       // Empty means '*'.
+  bool count_only = false;                // SELECT COUNT(*).
+  // Aggregate form: SELECT g, COUNT(c) FROM r GROUP BY g.
+  std::string group_attr;
+  std::string count_attr;
+  std::unique_ptr<ConditionNode> where;
+};
+
+/// SHOW name — prints the stored canonical NFR as a table.
+struct ShowStatement {
+  std::string name;
+};
+
+/// DESCRIBE name — prints schema, nest order, dependencies, statistics.
+struct DescribeStatement {
+  std::string name;
+};
+
+/// NEST name ON a[, b...] / UNNEST name ON a — prints a derived view.
+struct NestStatement {
+  std::string name;
+  std::vector<std::string> attributes;
+  bool unnest = false;
+};
+
+/// LIST — relation names.
+struct ListStatement {};
+
+/// STATS name — size and update statistics.
+struct StatsStatement {
+  std::string name;
+};
+
+/// CHECKPOINT — flush tables, truncate the WAL.
+struct CheckpointStatement {};
+
+/// BEGIN / COMMIT / ROLLBACK.
+struct TxnStatement {
+  enum class Kind { kBegin, kCommit, kRollback };
+  Kind kind = Kind::kBegin;
+};
+
+using Statement =
+    std::variant<CreateStatement, DropStatement, InsertStatement,
+                 DeleteStatement, UpdateStatement, SelectStatement,
+                 ShowStatement, DescribeStatement, NestStatement,
+                 ListStatement, StatsStatement, CheckpointStatement,
+                 TxnStatement>;
+
+}  // namespace nf2
+
+#endif  // NF2_NFRQL_AST_H_

@@ -1,0 +1,359 @@
+#include "nfrql/executor.h"
+
+#include "algebra/operators.h"
+#include "core/format.h"
+#include "core/nest.h"
+#include "nfrql/parser.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+namespace {
+
+Result<ValueType> ParseTypeName(const std::string& name) {
+  std::string upper = ToUpper(name);
+  if (upper == "STRING" || upper == "TEXT") return ValueType::kString;
+  if (upper == "INT" || upper == "INTEGER") return ValueType::kInt;
+  if (upper == "DOUBLE" || upper == "REAL") return ValueType::kDouble;
+  if (upper == "BOOL" || upper == "BOOLEAN") return ValueType::kBool;
+  if (upper == "SET") return ValueType::kSet;
+  return Status::InvalidArgument(StrCat("unknown type '", name, "'"));
+}
+
+Result<AttrSet> ResolveAttrs(const Schema& schema,
+                             const std::vector<std::string>& names) {
+  AttrSet out;
+  for (const std::string& name : names) {
+    NF2_ASSIGN_OR_RETURN(size_t idx, schema.RequireIndex(name));
+    out.Add(idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> Executor::Execute(std::string_view source) {
+  NF2_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(source));
+  return Execute(stmt);
+}
+
+Result<std::string> Executor::Execute(const Statement& stmt) {
+  return std::visit(
+      [this](const auto& s) -> Result<std::string> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateStatement>) {
+          return ExecCreate(s);
+        } else if constexpr (std::is_same_v<T, DropStatement>) {
+          return ExecDrop(s);
+        } else if constexpr (std::is_same_v<T, InsertStatement>) {
+          return ExecInsert(s);
+        } else if constexpr (std::is_same_v<T, DeleteStatement>) {
+          return ExecDelete(s);
+        } else if constexpr (std::is_same_v<T, UpdateStatement>) {
+          return ExecUpdate(s);
+        } else if constexpr (std::is_same_v<T, SelectStatement>) {
+          return ExecSelect(s);
+        } else if constexpr (std::is_same_v<T, ShowStatement>) {
+          return ExecShow(s);
+        } else if constexpr (std::is_same_v<T, DescribeStatement>) {
+          return ExecDescribe(s);
+        } else if constexpr (std::is_same_v<T, NestStatement>) {
+          return ExecNest(s);
+        } else if constexpr (std::is_same_v<T, ListStatement>) {
+          return ExecList();
+        } else if constexpr (std::is_same_v<T, StatsStatement>) {
+          return ExecStats(s);
+        } else if constexpr (std::is_same_v<T, TxnStatement>) {
+          return ExecTxn(s);
+        } else {
+          return ExecCheckpoint();
+        }
+      },
+      stmt);
+}
+
+Result<std::string> Executor::ExecCreate(const CreateStatement& stmt) {
+  std::vector<Attribute> attrs;
+  for (const auto& [name, type_name] : stmt.attributes) {
+    NF2_ASSIGN_OR_RETURN(ValueType type, ParseTypeName(type_name));
+    attrs.push_back({name, type});
+  }
+  Schema schema(std::move(attrs));
+  Permutation order;
+  if (!stmt.nest_order.empty()) {
+    NF2_ASSIGN_OR_RETURN(order,
+                         PermutationFromNames(schema, stmt.nest_order));
+  }
+  std::vector<Fd> fds;
+  for (const auto& clause : stmt.fds) {
+    NF2_ASSIGN_OR_RETURN(AttrSet lhs, ResolveAttrs(schema, clause.lhs));
+    NF2_ASSIGN_OR_RETURN(AttrSet rhs, ResolveAttrs(schema, clause.rhs));
+    fds.push_back(Fd{lhs, rhs});
+  }
+  std::vector<Mvd> mvds;
+  for (const auto& clause : stmt.mvds) {
+    NF2_ASSIGN_OR_RETURN(AttrSet lhs, ResolveAttrs(schema, clause.lhs));
+    NF2_ASSIGN_OR_RETURN(AttrSet rhs, ResolveAttrs(schema, clause.rhs));
+    mvds.push_back(Mvd{lhs, rhs});
+  }
+  NF2_RETURN_IF_ERROR(db_->CreateRelation(stmt.name, schema, order,
+                                          std::move(fds), std::move(mvds)));
+  NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
+  std::vector<std::string> order_names;
+  for (size_t p : info->nest_order) {
+    order_names.push_back(info->schema.attribute(p).name);
+  }
+  return StrCat("created relation ", stmt.name, " nest order [",
+                Join(order_names, ", "), "]");
+}
+
+Result<std::string> Executor::ExecDrop(const DropStatement& stmt) {
+  NF2_RETURN_IF_ERROR(db_->DropRelation(stmt.name));
+  return StrCat("dropped relation ", stmt.name);
+}
+
+Result<std::string> Executor::ExecInsert(const InsertStatement& stmt) {
+  size_t inserted = 0;
+  for (const std::vector<Value>& row : stmt.rows) {
+    NF2_RETURN_IF_ERROR(db_->Insert(stmt.name, FlatTuple(row)));
+    ++inserted;
+  }
+  return StrCat("inserted ", inserted, " tuple(s) into ", stmt.name);
+}
+
+Result<std::string> Executor::ExecDelete(const DeleteStatement& stmt) {
+  size_t deleted = 0;
+  if (!stmt.rows.empty()) {
+    for (const std::vector<Value>& row : stmt.rows) {
+      NF2_RETURN_IF_ERROR(db_->Delete(stmt.name, FlatTuple(row)));
+      ++deleted;
+    }
+  } else {
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
+    NF2_CHECK(stmt.where != nullptr);
+    NF2_ASSIGN_OR_RETURN(Predicate pred,
+                         ResolveCondition(*stmt.where, info->schema));
+    NF2_ASSIGN_OR_RETURN(FlatRelation matching,
+                         db_->Query(stmt.name, pred));
+    for (const FlatTuple& t : matching.tuples()) {
+      NF2_RETURN_IF_ERROR(db_->Delete(stmt.name, t));
+      ++deleted;
+    }
+  }
+  return StrCat("deleted ", deleted, " tuple(s) from ", stmt.name);
+}
+
+Result<std::string> Executor::ExecUpdate(const UpdateStatement& stmt) {
+  NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
+  std::vector<std::pair<size_t, Value>> sets;
+  for (const auto& [attr, literal] : stmt.sets) {
+    NF2_ASSIGN_OR_RETURN(size_t idx, info->schema.RequireIndex(attr));
+    sets.emplace_back(idx, literal);
+  }
+  FlatRelation matching(info->schema);
+  if (stmt.where != nullptr) {
+    NF2_ASSIGN_OR_RETURN(Predicate pred,
+                         ResolveCondition(*stmt.where, info->schema));
+    NF2_ASSIGN_OR_RETURN(matching, db_->Query(stmt.name, pred));
+  } else {
+    NF2_ASSIGN_OR_RETURN(matching, db_->Scan(stmt.name));
+  }
+  // Set semantics: delete each matching tuple, insert its rewrite.
+  // Rewrites that collide with existing tuples simply merge.
+  size_t updated = 0;
+  for (const FlatTuple& old_tuple : matching.tuples()) {
+    FlatTuple new_tuple = old_tuple;
+    for (const auto& [idx, literal] : sets) {
+      new_tuple.at(idx) = literal;
+    }
+    if (new_tuple == old_tuple) continue;
+    NF2_RETURN_IF_ERROR(db_->Delete(stmt.name, old_tuple));
+    Status inserted = db_->Insert(stmt.name, new_tuple);
+    if (!inserted.ok() &&
+        inserted.code() != StatusCode::kAlreadyExists) {
+      return inserted;
+    }
+    ++updated;
+  }
+  return StrCat("updated ", updated, " tuple(s) in ", stmt.name);
+}
+
+Result<std::string> Executor::ExecSelect(const SelectStatement& stmt) {
+  if (!stmt.group_attr.empty()) {
+    // Aggregate form: counts come straight off the NFR components.
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
+    NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, db_->Relation(stmt.name));
+    NF2_ASSIGN_OR_RETURN(size_t group_idx,
+                         info->schema.RequireIndex(stmt.group_attr));
+    NF2_ASSIGN_OR_RETURN(size_t count_idx,
+                         info->schema.RequireIndex(stmt.count_attr));
+    NfrRelation view = *rel;
+    if (stmt.where != nullptr) {
+      NF2_ASSIGN_OR_RETURN(Predicate pred,
+                           ResolveCondition(*stmt.where, info->schema));
+      view = SelectNfrExact(*rel, pred);
+    }
+    NF2_ASSIGN_OR_RETURN(std::vector<GroupCount> counts,
+                         GroupedDistinctCounts(view, group_idx, count_idx));
+    std::string out;
+    for (const GroupCount& gc : counts) {
+      out += StrCat(gc.group.ToString(), "\t", gc.count, "\n");
+    }
+    out += StrCat(counts.size(), " group(s)");
+    return out;
+  }
+  FlatRelation result(Schema{});
+  if (stmt.joins.empty()) {
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
+    if (stmt.where != nullptr) {
+      // Single-relation selections evaluate against the NFR directly.
+      NF2_ASSIGN_OR_RETURN(Predicate pred,
+                           ResolveCondition(*stmt.where, info->schema));
+      NF2_ASSIGN_OR_RETURN(result, db_->Query(stmt.name, pred));
+    } else {
+      NF2_ASSIGN_OR_RETURN(result, db_->Scan(stmt.name));
+    }
+  } else {
+    // Natural-join the scans left to right, then filter.
+    NF2_ASSIGN_OR_RETURN(result, db_->Scan(stmt.name));
+    for (const std::string& next : stmt.joins) {
+      NF2_ASSIGN_OR_RETURN(FlatRelation right, db_->Scan(next));
+      result = NaturalJoin(result, right);
+    }
+    if (stmt.where != nullptr) {
+      NF2_ASSIGN_OR_RETURN(Predicate pred,
+                           ResolveCondition(*stmt.where, result.schema()));
+      result = Select(result, pred);
+    }
+  }
+  if (stmt.count_only) {
+    return StrCat(result.size());
+  }
+  if (!stmt.columns.empty()) {
+    NF2_ASSIGN_OR_RETURN(result, ProjectByName(result, stmt.columns));
+  }
+  return StrCat(RenderTable(result), result.size(), " row(s)");
+}
+
+Result<std::string> Executor::ExecShow(const ShowStatement& stmt) {
+  NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, db_->Relation(stmt.name));
+  return RenderTable(*rel, stmt.name);
+}
+
+Result<std::string> Executor::ExecDescribe(const DescribeStatement& stmt) {
+  NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
+  NF2_ASSIGN_OR_RETURN(RelationStats stats, db_->Stats(stmt.name));
+  std::vector<std::string> order_names;
+  for (size_t p : info->nest_order) {
+    order_names.push_back(info->schema.attribute(p).name);
+  }
+  std::string out = StrCat("relation  : ", info->name, "\n",
+                           "schema    : ", info->schema.ToString(), "\n",
+                           "nest order: ", Join(order_names, " then "),
+                           "\n");
+  if (!info->fds.empty()) {
+    out += StrCat("FDs       : ", info->fd_set().ToString(info->schema),
+                  "\n");
+  }
+  if (!info->mvds.empty()) {
+    out += StrCat("MVDs      : ", info->mvd_set().ToString(info->schema),
+                  "\n");
+  }
+  out += StrCat("size      : ", stats.nfr_tuples, " NFR tuples, |R*|=",
+                stats.flat_tuples, ", reduction x",
+                stats.TupleReduction());
+  return out;
+}
+
+Result<std::string> Executor::ExecNest(const NestStatement& stmt) {
+  NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, db_->Relation(stmt.name));
+  NfrRelation view = *rel;
+  for (const std::string& attr : stmt.attributes) {
+    NF2_ASSIGN_OR_RETURN(size_t idx, view.schema().RequireIndex(attr));
+    view = stmt.unnest ? UnnestOn(view, idx) : NestOn(view, idx);
+  }
+  return RenderTable(view, StrCat(stmt.unnest ? "UNNEST " : "NEST ",
+                                  stmt.name, " ON ",
+                                  Join(stmt.attributes, ", ")));
+}
+
+Result<std::string> Executor::ExecList() {
+  std::vector<std::string> names = db_->ListRelations();
+  if (names.empty()) return std::string("no relations");
+  return Join(names, "\n");
+}
+
+Result<std::string> Executor::ExecStats(const StatsStatement& stmt) {
+  NF2_ASSIGN_OR_RETURN(RelationStats stats, db_->Stats(stmt.name));
+  return stats.ToString();
+}
+
+Result<std::string> Executor::ExecCheckpoint() {
+  NF2_RETURN_IF_ERROR(db_->Checkpoint());
+  return std::string("checkpoint complete");
+}
+
+Result<std::string> Executor::ExecTxn(const TxnStatement& stmt) {
+  switch (stmt.kind) {
+    case TxnStatement::Kind::kBegin:
+      NF2_RETURN_IF_ERROR(db_->Begin());
+      return std::string("transaction started");
+    case TxnStatement::Kind::kCommit:
+      NF2_RETURN_IF_ERROR(db_->Commit());
+      return std::string("transaction committed");
+    case TxnStatement::Kind::kRollback:
+      NF2_RETURN_IF_ERROR(db_->Rollback());
+      return std::string("transaction rolled back");
+  }
+  return Status::Internal("unhandled txn kind");
+}
+
+Result<Predicate> Executor::ResolveCondition(const ConditionNode& node,
+                                             const Schema& schema) const {
+  switch (node.kind) {
+    case ConditionNode::Kind::kCompare: {
+      NF2_ASSIGN_OR_RETURN(size_t attr,
+                           schema.RequireIndex(node.attribute));
+      CompareOp op;
+      if (node.op == "=") {
+        op = CompareOp::kEq;
+      } else if (node.op == "!=") {
+        op = CompareOp::kNe;
+      } else if (node.op == "<") {
+        op = CompareOp::kLt;
+      } else if (node.op == "<=") {
+        op = CompareOp::kLe;
+      } else if (node.op == ">") {
+        op = CompareOp::kGt;
+      } else if (node.op == ">=") {
+        op = CompareOp::kGe;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("unknown comparison '", node.op, "'"));
+      }
+      return Predicate::Compare(attr, op, node.literal);
+    }
+    case ConditionNode::Kind::kAnd: {
+      NF2_ASSIGN_OR_RETURN(Predicate left,
+                           ResolveCondition(*node.left, schema));
+      NF2_ASSIGN_OR_RETURN(Predicate right,
+                           ResolveCondition(*node.right, schema));
+      return Predicate::And(std::move(left), std::move(right));
+    }
+    case ConditionNode::Kind::kOr: {
+      NF2_ASSIGN_OR_RETURN(Predicate left,
+                           ResolveCondition(*node.left, schema));
+      NF2_ASSIGN_OR_RETURN(Predicate right,
+                           ResolveCondition(*node.right, schema));
+      return Predicate::Or(std::move(left), std::move(right));
+    }
+    case ConditionNode::Kind::kNot: {
+      NF2_ASSIGN_OR_RETURN(Predicate inner,
+                           ResolveCondition(*node.left, schema));
+      return Predicate::Not(std::move(inner));
+    }
+  }
+  return Status::Internal("unhandled condition kind");
+}
+
+}  // namespace nf2

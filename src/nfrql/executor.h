@@ -1,0 +1,49 @@
+#ifndef NF2_NFRQL_EXECUTOR_H_
+#define NF2_NFRQL_EXECUTOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "engine/database.h"
+#include "nfrql/ast.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Executes NFRQL statements against a Database, returning the rendered
+/// result text (tables, acknowledgements, statistics).
+class Executor {
+ public:
+  explicit Executor(Database* db) : db_(db) {}
+
+  /// Parses and executes one statement.
+  Result<std::string> Execute(std::string_view source);
+
+  /// Executes an already-parsed statement.
+  Result<std::string> Execute(const Statement& stmt);
+
+ private:
+  Result<std::string> ExecCreate(const CreateStatement& stmt);
+  Result<std::string> ExecDrop(const DropStatement& stmt);
+  Result<std::string> ExecInsert(const InsertStatement& stmt);
+  Result<std::string> ExecDelete(const DeleteStatement& stmt);
+  Result<std::string> ExecUpdate(const UpdateStatement& stmt);
+  Result<std::string> ExecSelect(const SelectStatement& stmt);
+  Result<std::string> ExecShow(const ShowStatement& stmt);
+  Result<std::string> ExecDescribe(const DescribeStatement& stmt);
+  Result<std::string> ExecNest(const NestStatement& stmt);
+  Result<std::string> ExecList();
+  Result<std::string> ExecStats(const StatsStatement& stmt);
+  Result<std::string> ExecCheckpoint();
+  Result<std::string> ExecTxn(const TxnStatement& stmt);
+
+  /// Resolves a parsed condition tree against `schema` into a Predicate.
+  Result<Predicate> ResolveCondition(const ConditionNode& node,
+                                     const Schema& schema) const;
+
+  Database* db_;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_NFRQL_EXECUTOR_H_

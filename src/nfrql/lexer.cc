@@ -1,0 +1,170 @@
+#include "nfrql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokenType type, size_t start, std::string text = "") {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = start;
+    out.push_back(std::move(t));
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < source.size() && IsIdentBody(source[j])) ++j;
+      push(TokenType::kIdentifier, start,
+           std::string(source.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) &&
+         // "->" must stay an arrow.
+         source[i + 1] != '>')) {
+      size_t j = i + 1;
+      bool is_double = false;
+      while (j < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[j])) ||
+              source[j] == '.')) {
+        if (source[j] == '.') is_double = true;
+        ++j;
+      }
+      std::string text(source.substr(i, j - i));
+      Token t;
+      t.position = start;
+      t.text = text;
+      if (is_double) {
+        t.type = TokenType::kDouble;
+        t.double_value = std::stod(text);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = std::stoll(text);
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      bool closed = false;
+      while (j < source.size()) {
+        if (source[j] == '\'') {
+          // '' escapes a quote, SQL-style.
+          if (j + 1 < source.size() && source[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += source[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrCat("unterminated string literal at offset ", start));
+      }
+      push(TokenType::kString, start, std::move(text));
+      i = j;
+      continue;
+    }
+    // Multi-char operators first.
+    auto rest = source.substr(i);
+    if (StartsWith(rest, "->->")) {
+      push(TokenType::kDoubleArrow, start, "->->");
+      i += 4;
+      continue;
+    }
+    if (StartsWith(rest, "->")) {
+      push(TokenType::kArrow, start, "->");
+      i += 2;
+      continue;
+    }
+    if (StartsWith(rest, "!=")) {
+      push(TokenType::kNe, start, "!=");
+      i += 2;
+      continue;
+    }
+    if (StartsWith(rest, "<=")) {
+      push(TokenType::kLe, start, "<=");
+      i += 2;
+      continue;
+    }
+    if (StartsWith(rest, ">=")) {
+      push(TokenType::kGe, start, ">=");
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, start, "(");
+        break;
+      case ')':
+        push(TokenType::kRParen, start, ")");
+        break;
+      case ',':
+        push(TokenType::kComma, start, ",");
+        break;
+      case '*':
+        push(TokenType::kStar, start, "*");
+        break;
+      case ';':
+        push(TokenType::kSemicolon, start, ";");
+        break;
+      case '=':
+        push(TokenType::kEq, start, "=");
+        break;
+      case '<':
+        push(TokenType::kLt, start, "<");
+        break;
+      case '>':
+        push(TokenType::kGt, start, ">");
+        break;
+      case '|':
+        push(TokenType::kPipe, start, "|");
+        break;
+      case '{':
+        push(TokenType::kLBrace, start, "{");
+        break;
+      case '}':
+        push(TokenType::kRBrace, start, "}");
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrCat("unexpected character '", std::string(1, c),
+                   "' at offset ", start));
+    }
+    ++i;
+  }
+  push(TokenType::kEnd, source.size());
+  return out;
+}
+
+}  // namespace nf2

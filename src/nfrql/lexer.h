@@ -1,0 +1,18 @@
+#ifndef NF2_NFRQL_LEXER_H_
+#define NF2_NFRQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "nfrql/token.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Tokenizes an NFRQL statement. The token stream always ends with a
+/// kEnd token. Errors report the byte offset of the offending input.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace nf2
+
+#endif  // NF2_NFRQL_LEXER_H_

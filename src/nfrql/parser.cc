@@ -1,0 +1,473 @@
+#include "nfrql/parser.h"
+
+#include "nfrql/lexer.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> Parse() {
+    NF2_ASSIGN_OR_RETURN(Statement stmt, ParseTop());
+    // Optional trailing semicolon.
+    if (Current().type == TokenType::kSemicolon) Advance();
+    if (Current().type != TokenType::kEnd) {
+      return UnexpectedToken("end of statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead) const {
+    size_t i = pos_ + ahead;
+    return tokens_[std::min(i, tokens_.size() - 1)];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status UnexpectedToken(const std::string& expected) const {
+    return Status::InvalidArgument(
+        StrCat("expected ", expected, " but found ",
+               TokenTypeToString(Current().type),
+               Current().text.empty() ? "" : StrCat(" '", Current().text, "'"),
+               " at offset ", Current().position));
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Current().type != TokenType::kIdentifier) {
+      return UnexpectedToken(what);
+    }
+    std::string text = Current().text;
+    Advance();
+    return text;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!Current().IsKeyword(keyword)) {
+      return UnexpectedToken(StrCat("keyword ", keyword));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectToken(TokenType type) {
+    if (Current().type != type) {
+      return UnexpectedToken(TokenTypeToString(type));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Current();
+    // Set literal: '{' literal (',' literal)* '}' or the empty set '{}'.
+    if (t.type == TokenType::kLBrace) {
+      Advance();
+      std::vector<Value> elements;
+      if (Current().type != TokenType::kRBrace) {
+        while (true) {
+          NF2_ASSIGN_OR_RETURN(Value element, ParseLiteral());
+          elements.push_back(std::move(element));
+          if (Current().type != TokenType::kComma) break;
+          Advance();
+        }
+      }
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRBrace));
+      return Value::SetOf(std::move(elements));
+    }
+    switch (t.type) {
+      case TokenType::kString: {
+        Value v = Value::String(t.text);
+        Advance();
+        return v;
+      }
+      case TokenType::kInteger: {
+        Value v = Value::Int(t.int_value);
+        Advance();
+        return v;
+      }
+      case TokenType::kDouble: {
+        Value v = Value::Double(t.double_value);
+        Advance();
+        return v;
+      }
+      case TokenType::kIdentifier: {
+        if (t.IsKeyword("TRUE")) {
+          Advance();
+          return Value::Bool(true);
+        }
+        if (t.IsKeyword("FALSE")) {
+          Advance();
+          return Value::Bool(false);
+        }
+        if (t.IsKeyword("NULL")) {
+          Advance();
+          return Value::Null();
+        }
+        // Bare identifiers are accepted as string literals — handy for
+        // the paper's s1/c1/b1 style examples.
+        Value v = Value::String(t.text);
+        Advance();
+        return v;
+      }
+      default:
+        return UnexpectedToken("a literal");
+    }
+  }
+
+  Result<std::vector<std::string>> ParseNameList() {
+    std::vector<std::string> names;
+    NF2_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier("a name"));
+    names.push_back(std::move(first));
+    while (Current().type == TokenType::kComma) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::string next, ExpectIdentifier("a name"));
+      names.push_back(std::move(next));
+    }
+    return names;
+  }
+
+  Result<std::vector<Value>> ParseRow() {
+    NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen));
+    std::vector<Value> row;
+    NF2_ASSIGN_OR_RETURN(Value first, ParseLiteral());
+    row.push_back(std::move(first));
+    while (Current().type == TokenType::kComma) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(Value next, ParseLiteral());
+      row.push_back(std::move(next));
+    }
+    NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen));
+    return row;
+  }
+
+  // cond := and_expr (OR and_expr)*
+  Result<std::unique_ptr<ConditionNode>> ParseCondition() {
+    NF2_ASSIGN_OR_RETURN(std::unique_ptr<ConditionNode> left,
+                         ParseAndExpr());
+    while (Current().IsKeyword("OR")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::unique_ptr<ConditionNode> right,
+                           ParseAndExpr());
+      auto node = std::make_unique<ConditionNode>();
+      node->kind = ConditionNode::Kind::kOr;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  // and_expr := unary (AND unary)*
+  Result<std::unique_ptr<ConditionNode>> ParseAndExpr() {
+    NF2_ASSIGN_OR_RETURN(std::unique_ptr<ConditionNode> left, ParseUnary());
+    while (Current().IsKeyword("AND")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::unique_ptr<ConditionNode> right,
+                           ParseUnary());
+      auto node = std::make_unique<ConditionNode>();
+      node->kind = ConditionNode::Kind::kAnd;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  // unary := NOT unary | '(' cond ')' | attr op literal
+  Result<std::unique_ptr<ConditionNode>> ParseUnary() {
+    if (Current().IsKeyword("NOT")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::unique_ptr<ConditionNode> inner,
+                           ParseUnary());
+      auto node = std::make_unique<ConditionNode>();
+      node->kind = ConditionNode::Kind::kNot;
+      node->left = std::move(inner);
+      return node;
+    }
+    if (Current().type == TokenType::kLParen) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::unique_ptr<ConditionNode> inner,
+                           ParseCondition());
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen));
+      return inner;
+    }
+    auto node = std::make_unique<ConditionNode>();
+    node->kind = ConditionNode::Kind::kCompare;
+    NF2_ASSIGN_OR_RETURN(node->attribute,
+                         ExpectIdentifier("an attribute name"));
+    switch (Current().type) {
+      case TokenType::kEq:
+        node->op = "=";
+        break;
+      case TokenType::kNe:
+        node->op = "!=";
+        break;
+      case TokenType::kLt:
+        node->op = "<";
+        break;
+      case TokenType::kLe:
+        node->op = "<=";
+        break;
+      case TokenType::kGt:
+        node->op = ">";
+        break;
+      case TokenType::kGe:
+        node->op = ">=";
+        break;
+      default:
+        return UnexpectedToken("a comparison operator");
+    }
+    Advance();
+    NF2_ASSIGN_OR_RETURN(node->literal, ParseLiteral());
+    return node;
+  }
+
+  Result<Statement> ParseTop() {
+    if (Current().IsKeyword("CREATE")) return ParseCreate();
+    if (Current().IsKeyword("DROP")) return ParseDrop();
+    if (Current().IsKeyword("INSERT")) return ParseInsert();
+    if (Current().IsKeyword("DELETE")) return ParseDelete();
+    if (Current().IsKeyword("UPDATE")) return ParseUpdate();
+    if (Current().IsKeyword("SELECT")) return ParseSelect();
+    if (Current().IsKeyword("SHOW")) return ParseShow();
+    if (Current().IsKeyword("DESCRIBE")) {
+      Advance();
+      DescribeStatement stmt;
+      NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+      return Statement{std::move(stmt)};
+    }
+    if (Current().IsKeyword("NEST")) return ParseNest(/*unnest=*/false);
+    if (Current().IsKeyword("UNNEST")) return ParseNest(/*unnest=*/true);
+    if (Current().IsKeyword("LIST")) {
+      Advance();
+      return Statement{ListStatement{}};
+    }
+    if (Current().IsKeyword("STATS")) {
+      Advance();
+      StatsStatement stmt;
+      NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+      return Statement{std::move(stmt)};
+    }
+    if (Current().IsKeyword("CHECKPOINT")) {
+      Advance();
+      return Statement{CheckpointStatement{}};
+    }
+    if (Current().IsKeyword("BEGIN")) {
+      Advance();
+      return Statement{TxnStatement{TxnStatement::Kind::kBegin}};
+    }
+    if (Current().IsKeyword("COMMIT")) {
+      Advance();
+      return Statement{TxnStatement{TxnStatement::Kind::kCommit}};
+    }
+    if (Current().IsKeyword("ROLLBACK")) {
+      Advance();
+      return Statement{TxnStatement{TxnStatement::Kind::kRollback}};
+    }
+    return UnexpectedToken("a statement keyword");
+  }
+
+  Result<Statement> ParseCreate() {
+    Advance();  // CREATE
+    NF2_RETURN_IF_ERROR(ExpectKeyword("RELATION"));
+    CreateStatement stmt;
+    NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+    NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen));
+    while (true) {
+      NF2_ASSIGN_OR_RETURN(std::string attr,
+                           ExpectIdentifier("an attribute name"));
+      NF2_ASSIGN_OR_RETURN(std::string type,
+                           ExpectIdentifier("an attribute type"));
+      stmt.attributes.emplace_back(std::move(attr), std::move(type));
+      if (Current().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen));
+    if (Current().IsKeyword("NEST")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(stmt.nest_order, ParseNameList());
+    }
+    while (Current().IsKeyword("FD") || Current().IsKeyword("MVD")) {
+      bool is_fd = Current().IsKeyword("FD");
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::vector<std::string> lhs, ParseNameList());
+      if (is_fd) {
+        NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kArrow));
+        NF2_ASSIGN_OR_RETURN(std::vector<std::string> rhs, ParseNameList());
+        stmt.fds.push_back({std::move(lhs), std::move(rhs)});
+      } else {
+        NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kDoubleArrow));
+        NF2_ASSIGN_OR_RETURN(std::vector<std::string> rhs, ParseNameList());
+        stmt.mvds.push_back({std::move(lhs), std::move(rhs)});
+      }
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseDrop() {
+    Advance();  // DROP
+    NF2_RETURN_IF_ERROR(ExpectKeyword("RELATION"));
+    DropStatement stmt;
+    NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseInsert() {
+    Advance();  // INSERT
+    NF2_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement stmt;
+    NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+    NF2_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    NF2_ASSIGN_OR_RETURN(std::vector<Value> row, ParseRow());
+    stmt.rows.push_back(std::move(row));
+    while (Current().type == TokenType::kComma) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::vector<Value> next, ParseRow());
+      stmt.rows.push_back(std::move(next));
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseDelete() {
+    Advance();  // DELETE
+    NF2_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStatement stmt;
+    NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+    if (Current().IsKeyword("VALUES")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::vector<Value> row, ParseRow());
+      stmt.rows.push_back(std::move(row));
+      while (Current().type == TokenType::kComma) {
+        Advance();
+        NF2_ASSIGN_OR_RETURN(std::vector<Value> next, ParseRow());
+        stmt.rows.push_back(std::move(next));
+      }
+    } else if (Current().IsKeyword("WHERE")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(stmt.where, ParseCondition());
+    } else {
+      return UnexpectedToken("VALUES or WHERE");
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseUpdate() {
+    Advance();  // UPDATE
+    UpdateStatement stmt;
+    NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+    NF2_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      NF2_ASSIGN_OR_RETURN(std::string attr,
+                           ExpectIdentifier("an attribute name"));
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kEq));
+      NF2_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+      stmt.sets.emplace_back(std::move(attr), std::move(literal));
+      if (Current().type != TokenType::kComma) break;
+      Advance();
+    }
+    if (Current().IsKeyword("WHERE")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(stmt.where, ParseCondition());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseSelect() {
+    Advance();  // SELECT
+    SelectStatement stmt;
+    if (Current().type == TokenType::kStar) {
+      Advance();
+    } else if (Current().IsKeyword("COUNT")) {
+      Advance();
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen));
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kStar));
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen));
+      stmt.count_only = true;
+    } else if (Current().type == TokenType::kIdentifier &&
+               Peek(1).type == TokenType::kComma &&
+               Peek(2).IsKeyword("COUNT") &&
+               Peek(3).type == TokenType::kLParen) {
+      // Aggregate form: SELECT g, COUNT(c) FROM r GROUP BY g.
+      NF2_ASSIGN_OR_RETURN(stmt.group_attr,
+                           ExpectIdentifier("a grouping attribute"));
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kComma));
+      Advance();  // COUNT
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen));
+      NF2_ASSIGN_OR_RETURN(stmt.count_attr,
+                           ExpectIdentifier("a counted attribute"));
+      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen));
+    } else {
+      NF2_ASSIGN_OR_RETURN(stmt.columns, ParseNameList());
+    }
+    NF2_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+    while (Current().IsKeyword("JOIN")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(std::string next,
+                           ExpectIdentifier("a relation name"));
+      stmt.joins.push_back(std::move(next));
+    }
+    if (Current().IsKeyword("WHERE")) {
+      Advance();
+      NF2_ASSIGN_OR_RETURN(stmt.where, ParseCondition());
+    }
+    if (!stmt.group_attr.empty()) {
+      NF2_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+      NF2_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      NF2_ASSIGN_OR_RETURN(std::string by,
+                           ExpectIdentifier("the grouping attribute"));
+      if (by != stmt.group_attr) {
+        return Status::InvalidArgument(
+            StrCat("GROUP BY attribute '", by,
+                   "' must match the selected attribute '",
+                   stmt.group_attr, "'"));
+      }
+      if (!stmt.joins.empty()) {
+        return Status::Unimplemented(
+            "GROUP BY over joins is not supported");
+      }
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseShow() {
+    Advance();  // SHOW
+    ShowStatement stmt;
+    NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseNest(bool unnest) {
+    Advance();  // NEST / UNNEST
+    NestStatement stmt;
+    stmt.unnest = unnest;
+    NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
+    NF2_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    NF2_ASSIGN_OR_RETURN(stmt.attributes, ParseNameList());
+    return Statement{std::move(stmt)};
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view source) {
+  NF2_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace nf2

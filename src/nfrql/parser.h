@@ -1,0 +1,34 @@
+#ifndef NF2_NFRQL_PARSER_H_
+#define NF2_NFRQL_PARSER_H_
+
+#include <string_view>
+
+#include "nfrql/ast.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Parses one NFRQL statement (a trailing semicolon is allowed).
+///
+/// Grammar sketch (keywords case-insensitive):
+///   CREATE RELATION name '(' attr type (',' attr type)* ')'
+///       [NEST attr (',' attr)*]
+///       (FD attr (',' attr)* '->' attr (',' attr)*)*
+///       (MVD attr (',' attr)* '->->' attr (',' attr)*)*
+///   DROP RELATION name
+///   INSERT INTO name VALUES row (',' row)*
+///   DELETE FROM name (VALUES row (',' row)* | WHERE cond)
+///   SELECT ('*' | attr (',' attr)*) FROM name [WHERE cond]
+///   SHOW name
+///   NEST name ON attr (',' attr)*
+///   UNNEST name ON attr
+///   LIST
+///   STATS name
+///   CHECKPOINT
+/// where row = '(' literal (',' literal)* ')' and cond is the usual
+/// AND/OR/NOT tree over comparisons `attr op literal`.
+Result<Statement> ParseStatement(std::string_view source);
+
+}  // namespace nf2
+
+#endif  // NF2_NFRQL_PARSER_H_

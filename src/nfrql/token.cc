@@ -1,0 +1,59 @@
+#include "nfrql/token.h"
+
+#include "util/string_util.h"
+
+namespace nf2 {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kDouble:
+      return "double";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'!='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kArrow:
+      return "'->'";
+    case TokenType::kDoubleArrow:
+      return "'->->'";
+    case TokenType::kPipe:
+      return "'|'";
+    case TokenType::kLBrace:
+      return "'{'";
+    case TokenType::kRBrace:
+      return "'}'";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(const std::string& keyword) const {
+  return type == TokenType::kIdentifier && ToUpper(text) == ToUpper(keyword);
+}
+
+}  // namespace nf2

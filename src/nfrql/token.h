@@ -1,0 +1,51 @@
+#ifndef NF2_NFRQL_TOKEN_H_
+#define NF2_NFRQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nf2 {
+
+/// Token kinds of the NFRQL language.
+enum class TokenType {
+  kIdentifier,   // relation / attribute names, keywords
+  kString,       // 'quoted literal'
+  kInteger,      // 42
+  kDouble,       // 3.5
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kStar,         // *
+  kSemicolon,    // ;
+  kEq,           // =
+  kNe,           // !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kArrow,        // ->   (FD)
+  kDoubleArrow,  // ->-> (MVD)
+  kPipe,         // |
+  kLBrace,       // {  (set-literal open)
+  kRBrace,       // }  (set-literal close)
+  kEnd,          // end of input
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// One lexed token. Identifiers keep their original spelling in `text`;
+/// keyword matching is case-insensitive and done by the parser.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // Byte offset in the source, for error messages.
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(const std::string& keyword) const;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_NFRQL_TOKEN_H_

@@ -1,0 +1,81 @@
+#include "storage/buffer_pool.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+BufferPool::BufferPool(HeapFile* file, size_t capacity)
+    : file_(file), capacity_(capacity) {
+  NF2_CHECK(file_ != nullptr);
+  NF2_CHECK(capacity_ >= 1) << "buffer pool needs at least one frame";
+}
+
+Result<Page*> BufferPool::Fetch(PageId id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    frames_.splice(frames_.begin(), frames_, it->second);
+    return &frames_.front().page;
+  }
+  ++stats_.misses;
+  if (frames_.size() >= capacity_) {
+    NF2_RETURN_IF_ERROR(EvictOne());
+  }
+  frames_.emplace_front();
+  Frame& frame = frames_.front();
+  frame.id = id;
+  Status read = file_->ReadPage(id, &frame.page);
+  if (!read.ok()) {
+    frames_.pop_front();
+    return read;
+  }
+  index_[id] = frames_.begin();
+  return &frame.page;
+}
+
+Result<std::pair<PageId, Page*>> BufferPool::Allocate() {
+  NF2_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  if (frames_.size() >= capacity_) {
+    NF2_RETURN_IF_ERROR(EvictOne());
+  }
+  frames_.emplace_front();
+  Frame& frame = frames_.front();
+  frame.id = id;
+  frame.page.Format();
+  frame.dirty = true;
+  index_[id] = frames_.begin();
+  return std::make_pair(id, &frame.page);
+}
+
+void BufferPool::MarkDirty(PageId id) {
+  auto it = index_.find(id);
+  NF2_CHECK(it != index_.end()) << "MarkDirty on non-resident page " << id;
+  it->second->dirty = true;
+}
+
+Status BufferPool::EvictOne() {
+  NF2_CHECK(!frames_.empty());
+  Frame& victim = frames_.back();
+  if (victim.dirty) {
+    NF2_RETURN_IF_ERROR(file_->WritePage(victim.id, victim.page));
+    ++stats_.writebacks;
+  }
+  ++stats_.evictions;
+  index_.erase(victim.id);
+  frames_.pop_back();
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.dirty) {
+      NF2_RETURN_IF_ERROR(file_->WritePage(frame.id, frame.page));
+      frame.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return file_->Sync();
+}
+
+}  // namespace nf2

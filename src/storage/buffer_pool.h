@@ -1,0 +1,69 @@
+#ifndef NF2_STORAGE_BUFFER_POOL_H_
+#define NF2_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// An LRU page cache in front of one HeapFile. Fetch() returns a
+/// pointer that stays valid until the next Fetch/Allocate (frames live
+/// in a stable list); dirty pages are written back on eviction and on
+/// FlushAll.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+
+  /// `capacity` is the maximum number of cached pages (>= 1).
+  BufferPool(HeapFile* file, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the cached page, loading (and possibly evicting) as
+  /// needed. Mark it dirty through MarkDirty after mutating.
+  Result<Page*> Fetch(PageId id);
+
+  /// Allocates a new page in the file and returns it cached (dirty).
+  Result<std::pair<PageId, Page*>> Allocate();
+
+  /// Marks a cached page dirty; fatal when `id` is not resident.
+  void MarkDirty(PageId id);
+
+  /// Writes back every dirty page and syncs the file.
+  Status FlushAll();
+
+  const Stats& stats() const { return stats_; }
+  size_t resident_pages() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    PageId id;
+    Page page;
+    bool dirty = false;
+  };
+
+  /// Evicts the least-recently-used frame (writes back if dirty).
+  Status EvictOne();
+
+  HeapFile* file_;
+  size_t capacity_;
+  std::list<Frame> frames_;  // Front = most recently used.
+  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_STORAGE_BUFFER_POOL_H_

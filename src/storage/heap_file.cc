@@ -1,0 +1,100 @@
+#include "storage/heap_file.h"
+
+#include <filesystem>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+
+std::string RecordId::ToString() const {
+  return StrCat("(page=", page, ", slot=", slot, ")");
+}
+
+HeapFile::~HeapFile() {
+  if (file_.is_open()) {
+    file_.flush();
+    file_.close();
+  }
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path) {
+  auto hf = std::make_unique<HeapFile>();
+  hf->path_ = path;
+  hf->file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                           std::ios::trunc);
+  if (!hf->file_.is_open()) {
+    return Status::IOError(StrCat("cannot create heap file ", path));
+  }
+  hf->page_count_ = 0;
+  return hf;
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path) {
+  std::error_code ec;
+  uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::NotFound(StrCat("heap file ", path, " not found"));
+  }
+  if (size % kPageSize != 0) {
+    return Status::Corruption(
+        StrCat("heap file ", path, " size ", size,
+               " is not a multiple of the page size"));
+  }
+  auto hf = std::make_unique<HeapFile>();
+  hf->path_ = path;
+  hf->file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!hf->file_.is_open()) {
+    return Status::IOError(StrCat("cannot open heap file ", path));
+  }
+  hf->page_count_ = static_cast<PageId>(size / kPageSize);
+  return hf;
+}
+
+Status HeapFile::ReadPage(PageId id, Page* page) {
+  if (id >= page_count_) {
+    return Status::OutOfRange(StrCat("page ", id, " past end"));
+  }
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(id) * kPageSize);
+  file_.read(page->mutable_data(), kPageSize);
+  if (!file_) {
+    return Status::IOError(StrCat("short read of page ", id));
+  }
+  return Status::OK();
+}
+
+Status HeapFile::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) {
+    return Status::OutOfRange(StrCat("page ", id, " past end"));
+  }
+  file_.clear();
+  file_.seekp(static_cast<std::streamoff>(id) * kPageSize);
+  file_.write(page.data(), kPageSize);
+  if (!file_) {
+    return Status::IOError(StrCat("short write of page ", id));
+  }
+  return Status::OK();
+}
+
+Result<PageId> HeapFile::AllocatePage() {
+  Page fresh;
+  PageId id = page_count_;
+  file_.clear();
+  file_.seekp(static_cast<std::streamoff>(id) * kPageSize);
+  file_.write(fresh.data(), kPageSize);
+  if (!file_) {
+    return Status::IOError("failed to extend heap file");
+  }
+  ++page_count_;
+  return id;
+}
+
+Status HeapFile::Sync() {
+  file_.flush();
+  if (!file_) {
+    return Status::IOError("flush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace nf2

@@ -1,0 +1,66 @@
+#ifndef NF2_STORAGE_HEAP_FILE_H_
+#define NF2_STORAGE_HEAP_FILE_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Identifies a record inside a heap file.
+struct RecordId {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const RecordId&) const = default;
+  std::string ToString() const;
+};
+
+/// A page-structured file of variable-length records. Raw I/O only —
+/// callers go through BufferPool for caching.
+///
+/// Not thread-safe; nf2db is a single-threaded embedded engine like the
+/// systems of its era.
+class HeapFile {
+ public:
+  HeapFile() = default;
+  ~HeapFile();
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Creates a new empty file (truncates an existing one).
+  static Result<std::unique_ptr<HeapFile>> Create(const std::string& path);
+
+  /// Opens an existing file; errors if missing or not page-aligned.
+  static Result<std::unique_ptr<HeapFile>> Open(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  PageId page_count() const { return page_count_; }
+
+  /// Reads page `id` into `*page`.
+  Status ReadPage(PageId id, Page* page);
+
+  /// Writes `page` at `id` (must be < page_count()).
+  Status WritePage(PageId id, const Page& page);
+
+  /// Appends a freshly formatted page; returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Flushes the underlying stream.
+  Status Sync();
+
+ private:
+  std::string path_;
+  std::fstream file_;
+  PageId page_count_ = 0;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_STORAGE_HEAP_FILE_H_

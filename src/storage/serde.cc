@@ -1,0 +1,312 @@
+#include "storage/serde.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+
+void BufferWriter::PutU8(uint8_t v) {
+  buf_.push_back(static_cast<char>(v));
+}
+
+void BufferWriter::PutU16(uint16_t v) {
+  for (int i = 0; i < 2; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void BufferWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BufferWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void BufferWriter::PutRaw(std::string_view s) { buf_.append(s); }
+
+namespace {
+Status Truncated(const char* what) {
+  return Status::Corruption(StrCat("buffer truncated reading ", what));
+}
+}  // namespace
+
+Result<uint8_t> BufferReader::GetU8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> BufferReader::GetU16() {
+  if (remaining() < 2) return Truncated("u16");
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint32_t> BufferReader::GetU32() {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> BufferReader::GetU64() {
+  if (remaining() < 8) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+Result<int64_t> BufferReader::GetI64() {
+  NF2_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BufferReader::GetDouble() {
+  NF2_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BufferReader::GetString() {
+  NF2_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  return GetRaw(len);
+}
+
+Result<std::string> BufferReader::GetRaw(size_t len) {
+  if (remaining() < len) return Truncated("bytes");
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+uint32_t Crc32(std::string_view data) {
+  static uint32_t table[256];
+  static bool initialized = false;
+  if (!initialized) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    initialized = true;
+  }
+  uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void EncodeValue(const Value& v, BufferWriter* out) {
+  out->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      out->PutI64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      out->PutDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      out->PutString(v.AsString());
+      break;
+    case ValueType::kSet: {
+      const std::vector<Value>& elements = v.AsSet();
+      out->PutU32(static_cast<uint32_t>(elements.size()));
+      for (const Value& e : elements) {
+        EncodeValue(e, out);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> DecodeValue(BufferReader* in) {
+  NF2_ASSIGN_OR_RETURN(uint8_t tag, in->GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      NF2_ASSIGN_OR_RETURN(uint8_t b, in->GetU8());
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt: {
+      NF2_ASSIGN_OR_RETURN(int64_t i, in->GetI64());
+      return Value::Int(i);
+    }
+    case ValueType::kDouble: {
+      NF2_ASSIGN_OR_RETURN(double d, in->GetDouble());
+      return Value::Double(d);
+    }
+    case ValueType::kString: {
+      NF2_ASSIGN_OR_RETURN(std::string s, in->GetString());
+      return Value::String(std::move(s));
+    }
+    case ValueType::kSet: {
+      NF2_ASSIGN_OR_RETURN(uint32_t count, in->GetU32());
+      if (count > in->remaining()) {
+        return Status::Corruption("set value count exceeds buffer size");
+      }
+      std::vector<Value> elements;
+      elements.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        NF2_ASSIGN_OR_RETURN(Value e, DecodeValue(in));
+        elements.push_back(std::move(e));
+      }
+      return Value::SetOf(std::move(elements));
+    }
+  }
+  return Status::Corruption(StrCat("unknown value tag ", int{tag}));
+}
+
+void EncodeValueSet(const ValueSet& s, BufferWriter* out) {
+  out->PutU32(static_cast<uint32_t>(s.size()));
+  for (const Value& v : s.values()) {
+    EncodeValue(v, out);
+  }
+}
+
+Result<ValueSet> DecodeValueSet(BufferReader* in) {
+  NF2_ASSIGN_OR_RETURN(uint32_t count, in->GetU32());
+  if (count > in->remaining()) {
+    return Status::Corruption("value-set count exceeds buffer size");
+  }
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NF2_ASSIGN_OR_RETURN(Value v, DecodeValue(in));
+    values.push_back(std::move(v));
+  }
+  return ValueSet(std::move(values));
+}
+
+void EncodeFlatTuple(const FlatTuple& t, BufferWriter* out) {
+  out->PutU32(static_cast<uint32_t>(t.degree()));
+  for (const Value& v : t.values()) {
+    EncodeValue(v, out);
+  }
+}
+
+Result<FlatTuple> DecodeFlatTuple(BufferReader* in) {
+  NF2_ASSIGN_OR_RETURN(uint32_t degree, in->GetU32());
+  if (degree > in->remaining()) {
+    return Status::Corruption("tuple degree exceeds buffer size");
+  }
+  std::vector<Value> values;
+  values.reserve(degree);
+  for (uint32_t i = 0; i < degree; ++i) {
+    NF2_ASSIGN_OR_RETURN(Value v, DecodeValue(in));
+    values.push_back(std::move(v));
+  }
+  return FlatTuple(std::move(values));
+}
+
+void EncodeNfrTuple(const NfrTuple& t, BufferWriter* out) {
+  out->PutU32(static_cast<uint32_t>(t.degree()));
+  for (const ValueSet& c : t.components()) {
+    EncodeValueSet(c, out);
+  }
+}
+
+Result<NfrTuple> DecodeNfrTuple(BufferReader* in) {
+  NF2_ASSIGN_OR_RETURN(uint32_t degree, in->GetU32());
+  if (degree > in->remaining()) {
+    return Status::Corruption("tuple degree exceeds buffer size");
+  }
+  std::vector<ValueSet> components;
+  components.reserve(degree);
+  for (uint32_t i = 0; i < degree; ++i) {
+    NF2_ASSIGN_OR_RETURN(ValueSet s, DecodeValueSet(in));
+    components.push_back(std::move(s));
+  }
+  return NfrTuple(std::move(components));
+}
+
+void EncodeSchema(const Schema& s, BufferWriter* out) {
+  out->PutU32(static_cast<uint32_t>(s.degree()));
+  for (const Attribute& attr : s.attributes()) {
+    out->PutString(attr.name);
+    out->PutU8(static_cast<uint8_t>(attr.type));
+  }
+}
+
+Result<Schema> DecodeSchema(BufferReader* in) {
+  NF2_ASSIGN_OR_RETURN(uint32_t degree, in->GetU32());
+  if (degree > AttrSet::kMaxAttrs) {
+    return Status::Corruption(
+        StrCat("schema degree ", degree, " exceeds limit"));
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(degree);
+  for (uint32_t i = 0; i < degree; ++i) {
+    NF2_ASSIGN_OR_RETURN(std::string name, in->GetString());
+    NF2_ASSIGN_OR_RETURN(uint8_t type, in->GetU8());
+    if (type > static_cast<uint8_t>(ValueType::kSet)) {
+      return Status::Corruption("bad attribute type tag");
+    }
+    for (const Attribute& prev : attrs) {
+      if (prev.name == name) {
+        return Status::Corruption("duplicate attribute name in schema");
+      }
+    }
+    attrs.push_back({std::move(name), static_cast<ValueType>(type)});
+  }
+  return Schema(std::move(attrs));
+}
+
+void EncodeNfrRelation(const NfrRelation& r, BufferWriter* out) {
+  EncodeSchema(r.schema(), out);
+  out->PutU32(static_cast<uint32_t>(r.size()));
+  for (const NfrTuple& t : r.tuples()) {
+    EncodeNfrTuple(t, out);
+  }
+}
+
+Result<NfrRelation> DecodeNfrRelation(BufferReader* in) {
+  NF2_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(in));
+  NF2_ASSIGN_OR_RETURN(uint32_t count, in->GetU32());
+  if (count > in->remaining()) {
+    return Status::Corruption("relation tuple count exceeds buffer size");
+  }
+  std::vector<NfrTuple> tuples;
+  tuples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NF2_ASSIGN_OR_RETURN(NfrTuple t, DecodeNfrTuple(in));
+    if (t.degree() != schema.degree()) {
+      return Status::Corruption("tuple degree mismatch in relation");
+    }
+    if (!t.IsWellFormed()) {
+      return Status::Corruption("empty component in stored tuple");
+    }
+    tuples.push_back(std::move(t));
+  }
+  return NfrRelation(std::move(schema), std::move(tuples));
+}
+
+}  // namespace nf2

@@ -1,0 +1,89 @@
+#ifndef NF2_STORAGE_SERDE_H_
+#define NF2_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/relation.h"
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "core/value.h"
+#include "core/value_set.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Append-only byte buffer with little-endian primitive encoders.
+/// All variable-length payloads are length-prefixed, so records are
+/// self-delimiting.
+class BufferWriter {
+ public:
+  const std::string& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  /// 32-bit length prefix + raw bytes.
+  void PutString(std::string_view s);
+  /// Raw bytes, no prefix (caller knows the length).
+  void PutRaw(std::string_view s);
+
+ private:
+  std::string buf_;
+};
+
+/// Sequential reader over a byte span; every getter returns Corruption
+/// when the buffer is exhausted.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<std::string> GetRaw(size_t len);
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC32 (IEEE 802.3 polynomial) used by WAL records and page footers.
+uint32_t Crc32(std::string_view data);
+
+// ---- Typed encoders ---------------------------------------------------
+
+void EncodeValue(const Value& v, BufferWriter* out);
+Result<Value> DecodeValue(BufferReader* in);
+
+void EncodeValueSet(const ValueSet& s, BufferWriter* out);
+Result<ValueSet> DecodeValueSet(BufferReader* in);
+
+void EncodeFlatTuple(const FlatTuple& t, BufferWriter* out);
+Result<FlatTuple> DecodeFlatTuple(BufferReader* in);
+
+void EncodeNfrTuple(const NfrTuple& t, BufferWriter* out);
+Result<NfrTuple> DecodeNfrTuple(BufferReader* in);
+
+void EncodeSchema(const Schema& s, BufferWriter* out);
+Result<Schema> DecodeSchema(BufferReader* in);
+
+void EncodeNfrRelation(const NfrRelation& r, BufferWriter* out);
+Result<NfrRelation> DecodeNfrRelation(BufferReader* in);
+
+}  // namespace nf2
+
+#endif  // NF2_STORAGE_SERDE_H_

@@ -1,0 +1,77 @@
+#ifndef NF2_STORAGE_TABLE_H_
+#define NF2_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/nest.h"
+#include "core/relation.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// A persistent NFR: one heap file holding a metadata record (schema +
+/// nest order) in page 0, slot 0, and one record per NFR tuple after
+/// it. This is the paper's "realization view": the nested relation IS
+/// the physical representation, with correspondingly fewer records than
+/// the 1NF expansion.
+class Table {
+ public:
+  /// Creates an empty table file.
+  static Result<std::unique_ptr<Table>> Create(const std::string& path,
+                                               Schema schema,
+                                               Permutation nest_order,
+                                               size_t pool_pages = 64);
+
+  /// Opens an existing table file and reads its metadata.
+  static Result<std::unique_ptr<Table>> Open(const std::string& path,
+                                             size_t pool_pages = 64);
+
+  const Schema& schema() const { return schema_; }
+  const Permutation& nest_order() const { return nest_order_; }
+  const std::string& path() const { return file_->path(); }
+
+  /// Appends one NFR tuple; returns where it landed.
+  Result<RecordId> Append(const NfrTuple& tuple);
+
+  /// Tombstones the record at `rid`.
+  Status Erase(RecordId rid);
+
+  /// Scans all live tuples into an NfrRelation.
+  Result<NfrRelation> ReadAll();
+
+  /// Scans all live tuples with their record ids.
+  Result<std::vector<std::pair<RecordId, NfrTuple>>> ScanWithIds();
+
+  /// Replaces the table contents with `relation` (used by checkpoints).
+  Status Rewrite(const NfrRelation& relation);
+
+  /// Compacts the file in place: rewrites live tuples, dropping
+  /// tombstone space and empty pages. Record ids are NOT stable across
+  /// a vacuum. Returns the number of live tuples kept.
+  Result<size_t> Vacuum();
+
+  /// Flushes dirty pages to disk.
+  Status Flush();
+
+  const BufferPool::Stats& pool_stats() const { return pool_->stats(); }
+
+ private:
+  Table() = default;
+
+  Status WriteMetadata();
+
+  Schema schema_;
+  Permutation nest_order_;
+  std::unique_ptr<HeapFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  PageId append_cursor_ = 0;  // Page most likely to have free space.
+};
+
+}  // namespace nf2
+
+#endif  // NF2_STORAGE_TABLE_H_

@@ -1,0 +1,151 @@
+#include "storage/wal.h"
+
+#include <filesystem>
+
+#include "storage/serde.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+const char* WalOpTypeToString(WalOpType type) {
+  switch (type) {
+    case WalOpType::kInsert:
+      return "INSERT";
+    case WalOpType::kDelete:
+      return "DELETE";
+    case WalOpType::kCreateRelation:
+      return "CREATE";
+    case WalOpType::kDropRelation:
+      return "DROP";
+    case WalOpType::kCheckpoint:
+      return "CHECKPOINT";
+    case WalOpType::kTxnBegin:
+      return "TXN_BEGIN";
+    case WalOpType::kTxnCommit:
+      return "TXN_COMMIT";
+    case WalOpType::kTxnAbort:
+      return "TXN_ABORT";
+  }
+  return "?";
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+namespace {
+
+/// Parses one frame from `reader`; returns NotFound at a clean end,
+/// Corruption for torn/garbled frames.
+Result<WalRecord> ReadFrame(BufferReader* reader) {
+  if (reader->AtEnd()) {
+    return Status::NotFound("end of log");
+  }
+  Result<uint32_t> total_len = reader->GetU32();
+  if (!total_len.ok()) return Status::Corruption("torn frame header");
+  Result<std::string> body = reader->GetRaw(*total_len);
+  if (!body.ok()) return Status::Corruption("torn frame body");
+  BufferReader frame(*body);
+  WalRecord record;
+  NF2_ASSIGN_OR_RETURN(record.lsn, frame.GetU64());
+  NF2_ASSIGN_OR_RETURN(uint8_t type, frame.GetU8());
+  if (type < 1 || type > 8) return Status::Corruption("bad op type");
+  record.type = static_cast<WalOpType>(type);
+  NF2_ASSIGN_OR_RETURN(record.relation, frame.GetString());
+  NF2_ASSIGN_OR_RETURN(record.payload, frame.GetString());
+  NF2_ASSIGN_OR_RETURN(uint32_t stored_crc, frame.GetU32());
+  std::string_view covered(body->data(), body->size() - 4);
+  if (Crc32(covered) != stored_crc) {
+    return Status::Corruption("crc mismatch");
+  }
+  return record;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  auto wal = std::make_unique<WriteAheadLog>();
+  wal->path_ = path;
+  // Scan the existing log (if any) for the next LSN.
+  if (std::filesystem::exists(path)) {
+    NF2_ASSIGN_OR_RETURN(std::vector<WalRecord> records, [&]() {
+      WriteAheadLog probe;
+      probe.path_ = path;
+      return probe.ReadAll();
+    }());
+    for (const WalRecord& r : records) {
+      wal->next_lsn_ = std::max(wal->next_lsn_, r.lsn + 1);
+    }
+  }
+  wal->out_.open(path, std::ios::binary | std::ios::app);
+  if (!wal->out_.is_open()) {
+    return Status::IOError(StrCat("cannot open WAL at ", path));
+  }
+  return wal;
+}
+
+Result<uint64_t> WriteAheadLog::Append(WalRecord record) {
+  record.lsn = next_lsn_;
+  BufferWriter body;
+  body.PutU64(record.lsn);
+  body.PutU8(static_cast<uint8_t>(record.type));
+  body.PutString(record.relation);
+  body.PutString(record.payload);
+  uint32_t crc = Crc32(body.data());
+  body.PutU32(crc);
+  BufferWriter frame;
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutRaw(body.data());
+  out_.write(frame.data().data(),
+             static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    return Status::IOError("WAL append failed");
+  }
+  return next_lsn_++;
+}
+
+Result<std::vector<WalRecord>> WriteAheadLog::ReadAll() const {
+  std::vector<WalRecord> records;
+  if (!std::filesystem::exists(path_)) {
+    return records;
+  }
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError(StrCat("cannot read WAL at ", path_));
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  BufferReader reader(contents);
+  while (true) {
+    Result<WalRecord> record = ReadFrame(&reader);
+    if (!record.ok()) {
+      // Clean end or torn tail: both terminate replay; anything parsed
+      // so far is durable.
+      break;
+    }
+    records.push_back(*std::move(record));
+  }
+  return records;
+}
+
+Status WriteAheadLog::Reset() {
+  out_.close();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IOError("cannot truncate WAL");
+  }
+  out_.close();
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_.is_open()) {
+    return Status::IOError("cannot reopen WAL");
+  }
+  next_lsn_ = 1;
+  return Status::OK();
+}
+
+}  // namespace nf2

@@ -1,0 +1,84 @@
+#ifndef NF2_STORAGE_WAL_H_
+#define NF2_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Kinds of logged operations. The engine logs logical (tuple-level)
+/// operations; recovery replays them through the same §4 update
+/// algorithms, so the canonical form is reconstructed exactly.
+enum class WalOpType : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kCreateRelation = 3,
+  kDropRelation = 4,
+  kCheckpoint = 5,
+  // Transaction demarcation: recovery applies the insert/delete records
+  // between kTxnBegin and kTxnCommit atomically, and discards those of
+  // aborted (kTxnAbort) or unfinished (crash-cut) transactions.
+  kTxnBegin = 6,
+  kTxnCommit = 7,
+  kTxnAbort = 8,
+};
+
+const char* WalOpTypeToString(WalOpType type);
+
+/// One logical log record.
+struct WalRecord {
+  uint64_t lsn = 0;        // Assigned by Append.
+  WalOpType type = WalOpType::kCheckpoint;
+  std::string relation;    // Target relation name ("" for checkpoint).
+  std::string payload;     // Serialized tuple / schema, op-specific.
+
+  bool operator==(const WalRecord&) const = default;
+};
+
+/// An append-only, CRC-checked write-ahead log.
+///
+/// On-disk record frame:
+///   [u32 total_len][u64 lsn][u8 type][u32 name_len][name]
+///   [u32 payload_len][payload][u32 crc of everything before]
+///
+/// ReadAll stops cleanly at the first torn/corrupt frame (a crash can
+/// leave a partial tail; everything before it is durable).
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens (creating if needed) the log at `path`, scanning it to find
+  /// the next LSN.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  /// Appends a record (lsn field is overwritten) and flushes.
+  Result<uint64_t> Append(WalRecord record);
+
+  /// All intact records, in order.
+  Result<std::vector<WalRecord>> ReadAll() const;
+
+  /// Truncates the log (after a checkpoint made its contents redundant).
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  uint64_t next_lsn_ = 1;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_STORAGE_WAL_H_

@@ -1,0 +1,28 @@
+#ifndef NF2_UTIL_HASH_H_
+#define NF2_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace nf2 {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes a range of hashable elements into one value.
+template <typename Iterator>
+size_t HashRange(Iterator begin, Iterator end) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (Iterator it = begin; it != end; ++it) {
+    using T = std::decay_t<decltype(*it)>;
+    seed = HashCombine(seed, std::hash<T>{}(*it));
+  }
+  return seed;
+}
+
+}  // namespace nf2
+
+#endif  // NF2_UTIL_HASH_H_

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace nf2 {
+
+namespace {
+LogLevel g_threshold = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogThreshold() { return g_threshold; }
+void SetLogThreshold(LogLevel level) { g_threshold = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (level_ >= g_threshold || level_ == LogLevel::kFatal) {
+    std::cerr << "[" << LevelName(level_) << " " << file_ << ":" << line_
+              << "] " << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace nf2

@@ -1,0 +1,85 @@
+#ifndef NF2_UTIL_LOGGING_H_
+#define NF2_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nf2 {
+
+/// Severity levels for NF2_LOG.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns/sets the minimum level that is actually emitted (default: Info).
+LogLevel GetLogThreshold();
+void SetLogThreshold(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log message builder. Emits on destruction; aborts the
+/// process for kFatal messages (used by NF2_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a check passes.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed LogMessage expression into void so it can sit on
+/// one arm of a ternary (glog's "voidify" trick). operator& binds more
+/// loosely than operator<<, so the whole message chain is consumed.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace nf2
+
+#define NF2_LOG(level)                                            \
+  ::nf2::internal::LogMessage(::nf2::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal assertion: always enabled, aborts with a message on failure.
+/// Additional context can be streamed: NF2_CHECK(ok) << "details".
+#define NF2_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                      \
+         : ::nf2::internal::LogMessageVoidify() &                       \
+               (::nf2::internal::LogMessage(::nf2::LogLevel::kFatal,    \
+                                            __FILE__, __LINE__)         \
+                << "Check failed: " #cond " ")
+
+/// Debug-only assertion.
+#ifdef NDEBUG
+#define NF2_DCHECK(cond) \
+  while (false) NF2_CHECK(cond)
+#else
+#define NF2_DCHECK(cond) NF2_CHECK(cond)
+#endif
+
+#endif  // NF2_UTIL_LOGGING_H_

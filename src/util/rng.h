@@ -1,0 +1,50 @@
+#ifndef NF2_UTIL_RNG_H_
+#define NF2_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nf2 {
+
+/// Deterministic 64-bit PRNG (xoshiro256**, seeded via splitmix64).
+///
+/// Used by tests and workload generators so experiments are exactly
+/// reproducible across runs and machines.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability `p`.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace nf2
+
+#endif  // NF2_UTIL_RNG_H_

@@ -1,0 +1,111 @@
+#ifndef NF2_UTIL_STATUS_H_
+#define NF2_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace nf2 {
+
+/// Canonical error codes used throughout nf2db. Modeled after the
+/// Google/Arrow convention: functions that can fail return a `Status`
+/// (or a `Result<T>`, see result.h) instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kCorruption = 6,
+  kIOError = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns a human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. A default-constructed Status is OK.
+///
+/// Typical use:
+///
+///   Status DoThing() {
+///     if (bad) return Status::InvalidArgument("bad thing");
+///     return Status::OK();
+///   }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Two statuses are equal when both code and message match.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace nf2
+
+/// Propagates a non-OK Status to the caller.
+#define NF2_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::nf2::Status nf2_status_macro_ = (expr);    \
+    if (!nf2_status_macro_.ok()) {               \
+      return nf2_status_macro_;                  \
+    }                                            \
+  } while (false)
+
+#endif  // NF2_UTIL_STATUS_H_

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "catalog/catalog.h"
+
+namespace nf2 {
+namespace {
+
+RelationInfo SampleInfo(const std::string& name = "students") {
+  RelationInfo info;
+  info.name = name;
+  info.schema = Schema::OfStrings({"Student", "Course", "Club"});
+  info.nest_order = {1, 2, 0};
+  info.fds = {Fd{AttrSet{0}, AttrSet{2}}};
+  info.mvds = {Mvd{AttrSet{0}, AttrSet{1}}};
+  info.table_file = name + ".tbl";
+  return info;
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "nf2_catalog_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CatalogTest, AddGetRemove) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(SampleInfo()).ok());
+  EXPECT_TRUE(catalog.Has("students"));
+  Result<const RelationInfo*> got = catalog.Get("students");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->schema.degree(), 3u);
+  EXPECT_EQ((*got)->nest_order, (Permutation{1, 2, 0}));
+  ASSERT_TRUE(catalog.Remove("students").ok());
+  EXPECT_FALSE(catalog.Has("students"));
+  EXPECT_EQ(catalog.Get("students").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.Remove("students").code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, DuplicateAddRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(SampleInfo()).ok());
+  EXPECT_EQ(catalog.Add(SampleInfo()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, BadNestOrderRejected) {
+  RelationInfo info = SampleInfo();
+  info.nest_order = {0, 0, 1};
+  Catalog catalog;
+  EXPECT_EQ(catalog.Add(info).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CatalogTest, NamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(SampleInfo("zeta")).ok());
+  ASSERT_TRUE(catalog.Add(SampleInfo("alpha")).ok());
+  EXPECT_EQ(catalog.Names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST_F(CatalogTest, RelationInfoRoundTrip) {
+  RelationInfo info = SampleInfo();
+  BufferWriter w;
+  EncodeRelationInfo(info, &w);
+  BufferReader r(w.data());
+  Result<RelationInfo> back = DecodeRelationInfo(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name, info.name);
+  EXPECT_EQ(back->schema, info.schema);
+  EXPECT_EQ(back->nest_order, info.nest_order);
+  ASSERT_EQ(back->fds.size(), 1u);
+  EXPECT_EQ(back->fds[0], info.fds[0]);
+  ASSERT_EQ(back->mvds.size(), 1u);
+  EXPECT_EQ(back->mvds[0], info.mvds[0]);
+  EXPECT_EQ(back->table_file, info.table_file);
+}
+
+TEST_F(CatalogTest, SaveAndLoad) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(SampleInfo("a")).ok());
+  ASSERT_TRUE(catalog.Add(SampleInfo("b")).ok());
+  ASSERT_TRUE(catalog.SaveToFile(Path("catalog.nf2")).ok());
+  Result<Catalog> loaded = Catalog::LoadFromFile(Path("catalog.nf2"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_TRUE(loaded->Has("a"));
+  EXPECT_TRUE(loaded->Has("b"));
+  Result<const RelationInfo*> a = loaded->Get("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->fds.size(), 1u);
+}
+
+TEST_F(CatalogTest, LoadMissingFileIsNotFound) {
+  EXPECT_EQ(Catalog::LoadFromFile(Path("nope.nf2")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, CorruptedFileDetected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(SampleInfo()).ok());
+  ASSERT_TRUE(catalog.SaveToFile(Path("catalog.nf2")).ok());
+  // Flip one byte in the middle.
+  {
+    std::fstream f(Path("catalog.nf2"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(10);
+    f.put('~');
+  }
+  Result<Catalog> loaded = Catalog::LoadFromFile(Path("catalog.nf2"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CatalogTest, FdSetAndMvdSetAccessors) {
+  RelationInfo info = SampleInfo();
+  FdSet fds = info.fd_set();
+  EXPECT_EQ(fds.degree(), 3u);
+  EXPECT_EQ(fds.fds().size(), 1u);
+  MvdSet mvds = info.mvd_set();
+  EXPECT_EQ(mvds.mvds().size(), 1u);
+}
+
+}  // namespace
+}  // namespace nf2

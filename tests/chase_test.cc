@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "dependency/chase.h"
+#include "tests/test_util.h"
+
+namespace nf2 {
+namespace {
+
+// Schema positions: 0=A, 1=B, 2=C, 3=D.
+
+TEST(ChaseTest, FdTransitivityViaChase) {
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{1}, AttrSet{2});
+  Chase chase(fds, MvdSet(3));
+  EXPECT_TRUE(chase.Implies(Fd{AttrSet{0}, AttrSet{2}}));
+  EXPECT_FALSE(chase.Implies(Fd{AttrSet{2}, AttrSet{0}}));
+}
+
+TEST(ChaseTest, FdChaseAgreesWithClosure) {
+  // The chase must decide FD implication identically to attribute-set
+  // closure when only FDs are declared.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    FdSet fds(4);
+    for (int i = 0; i < 4; ++i) {
+      AttrSet lhs, rhs;
+      lhs.Add(rng.NextBelow(4));
+      if (rng.NextBool()) lhs.Add(rng.NextBelow(4));
+      rhs.Add(rng.NextBelow(4));
+      fds.Add(lhs, rhs);
+    }
+    Chase chase(fds, MvdSet(4));
+    for (uint64_t l = 1; l < 16; ++l) {
+      for (size_t r = 0; r < 4; ++r) {
+        AttrSet lhs;
+        for (size_t i = 0; i < 4; ++i) {
+          if ((l >> i) & 1) lhs.Add(i);
+        }
+        Fd probe{lhs, AttrSet{r}};
+        EXPECT_EQ(chase.Implies(probe), fds.Implies(probe))
+            << probe.ToString(Schema::OfStrings({"A", "B", "C", "D"}));
+      }
+    }
+  }
+}
+
+TEST(ChaseTest, MvdComplementationRule) {
+  // A ->-> B over {A,B,C} implies A ->-> C.
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  Chase chase(FdSet(3), mvds);
+  EXPECT_TRUE(chase.Implies(Mvd{AttrSet{0}, AttrSet{2}}));
+  EXPECT_TRUE(chase.Implies(Mvd{AttrSet{0}, AttrSet{1}}));
+  // But not B ->-> A.
+  EXPECT_FALSE(chase.Implies(Mvd{AttrSet{1}, AttrSet{0}}));
+}
+
+TEST(ChaseTest, MvdAugmentationRule) {
+  // A ->-> B implies AD ->-> B (augment the LHS).
+  MvdSet mvds(4);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  Chase chase(FdSet(4), mvds);
+  EXPECT_TRUE(chase.Implies(Mvd{AttrSet{0, 3}, AttrSet{1}}));
+}
+
+TEST(ChaseTest, MvdTransitivityRule) {
+  // A ->-> B and B ->-> C imply A ->-> C - B (= C here).
+  MvdSet mvds(4);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  mvds.Add(AttrSet{1}, AttrSet{2});
+  Chase chase(FdSet(4), mvds);
+  EXPECT_TRUE(chase.Implies(Mvd{AttrSet{0}, AttrSet{2}}));
+}
+
+TEST(ChaseTest, FdPromotionRule) {
+  // Every FD X -> Y implies the MVD X ->-> Y.
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  Chase chase(fds, MvdSet(3));
+  EXPECT_TRUE(chase.Implies(Mvd{AttrSet{0}, AttrSet{1}}));
+}
+
+TEST(ChaseTest, MvdIntersectionRule) {
+  // X ->-> Y and X ->-> Z imply X ->-> Y ∩ Z. Over {A,B,C,D}:
+  // A ->-> BC and A ->-> BD imply A ->-> B.
+  MvdSet mvds(4);
+  mvds.Add(AttrSet{0}, AttrSet{1, 2});
+  mvds.Add(AttrSet{0}, AttrSet{1, 3});
+  Chase chase(FdSet(4), mvds);
+  EXPECT_TRUE(chase.Implies(Mvd{AttrSet{0}, AttrSet{1}}));
+}
+
+TEST(ChaseTest, TrivialMvdsAlwaysImplied) {
+  Chase chase(FdSet(3), MvdSet(3));
+  EXPECT_TRUE(chase.Implies(Mvd{AttrSet{0}, AttrSet{0}}));
+  EXPECT_TRUE(chase.Implies(Mvd{AttrSet{0}, AttrSet{1, 2}}));
+  // Non-trivial MVDs are NOT implied by nothing.
+  EXPECT_FALSE(chase.Implies(Mvd{AttrSet{0}, AttrSet{1}}));
+}
+
+TEST(ChaseTest, ImpliedMvdsHoldOnSatisfyingRelations) {
+  // Soundness: whenever the chase says Σ ⊨ σ, every relation
+  // satisfying Σ satisfies σ.
+  Rng rng(11);
+  MvdSet declared(3);
+  declared.Add(AttrSet{0}, AttrSet{1});
+  Chase chase(FdSet(3), declared);
+  std::vector<Mvd> probes = {
+      {AttrSet{0}, AttrSet{2}}, {AttrSet{1}, AttrSet{0}},
+      {AttrSet{2}, AttrSet{1}}, {AttrSet{0, 1}, AttrSet{2}}};
+  for (int trial = 0; trial < 30; ++trial) {
+    FlatRelation rel = RandomFlatRelation(&rng, 3, 3, 10);
+    if (!declared.SatisfiedBy(rel)) continue;
+    for (const Mvd& probe : probes) {
+      if (chase.Implies(probe)) {
+        EXPECT_TRUE(Satisfies(rel, probe))
+            << "chase claims implication but a model violates it";
+      }
+    }
+  }
+}
+
+TEST(ChaseTest, DependencyBasisSimpleMvd) {
+  // A ->-> B over {A,B,C}: basis of {A} is {{B},{C}}.
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  Chase chase(FdSet(3), mvds);
+  std::vector<AttrSet> basis = chase.DependencyBasis(AttrSet{0});
+  ASSERT_EQ(basis.size(), 2u);
+  EXPECT_EQ(basis[0], (AttrSet{1}));
+  EXPECT_EQ(basis[1], (AttrSet{2}));
+}
+
+TEST(ChaseTest, DependencyBasisNoDependencies) {
+  Chase chase(FdSet(3), MvdSet(3));
+  std::vector<AttrSet> basis = chase.DependencyBasis(AttrSet{0});
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0], (AttrSet{1, 2}));
+}
+
+TEST(ChaseTest, DependencyBasisWithFd) {
+  // A -> B gives {B} as a singleton block; C,D stay together unless
+  // split.
+  FdSet fds(4);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  Chase chase(fds, MvdSet(4));
+  std::vector<AttrSet> basis = chase.DependencyBasis(AttrSet{0});
+  ASSERT_EQ(basis.size(), 2u);
+  EXPECT_EQ(basis[0], (AttrSet{1}));
+  EXPECT_EQ(basis[1], (AttrSet{2, 3}));
+}
+
+TEST(ChaseTest, DependencyBasisBlocksAreImplied) {
+  // Consistency: X ->-> B is implied for every basis block B, and for
+  // unions of blocks, but not for sets cutting a block.
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    FdSet fds(4);
+    MvdSet mvds(4);
+    mvds.Add(AttrSet{rng.NextBelow(4)}, AttrSet{rng.NextBelow(4)});
+    if (rng.NextBool()) {
+      fds.Add(AttrSet{rng.NextBelow(4)}, AttrSet{rng.NextBelow(4)});
+    }
+    Chase chase(fds, mvds);
+    AttrSet x{rng.NextBelow(4)};
+    std::vector<AttrSet> basis = chase.DependencyBasis(x);
+    AttrSet all_blocks;
+    for (const AttrSet& block : basis) {
+      EXPECT_TRUE(chase.Implies(Mvd{x, block}))
+          << "basis block not implied: " << block.mask();
+      all_blocks = all_blocks.Union(block);
+    }
+    EXPECT_EQ(all_blocks, AttrSet::All(4).Difference(x));
+    // Unions of two blocks are implied too.
+    if (basis.size() >= 2) {
+      EXPECT_TRUE(chase.Implies(Mvd{x, basis[0].Union(basis[1])}));
+    }
+    // A proper, non-empty subset of a non-singleton block is NOT
+    // implied.
+    for (const AttrSet& block : basis) {
+      if (block.size() < 2) continue;
+      AttrSet cut{block.ToVector().front()};
+      EXPECT_FALSE(chase.Implies(Mvd{x, cut}))
+          << "sub-block unexpectedly implied";
+    }
+  }
+}
+
+TEST(ChaseTest, FourNfStyleQuery) {
+  // The classic course/teacher/book example: C ->-> T | B.
+  // From {C ->-> T}, check the full implied family.
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  Chase chase(FdSet(3), mvds);
+  struct Probe {
+    Mvd mvd;
+    bool expected;
+  };
+  std::vector<Probe> probes = {
+      {{AttrSet{0}, AttrSet{1}}, true},   // Declared.
+      {{AttrSet{0}, AttrSet{2}}, true},   // Complement.
+      {{AttrSet{0, 1}, AttrSet{2}}, true},// Augmented (also trivial here).
+      {{AttrSet{1}, AttrSet{2}}, false},
+      {{AttrSet{2}, AttrSet{0}}, false},
+  };
+  for (const Probe& probe : probes) {
+    EXPECT_EQ(chase.Implies(probe.mvd), probe.expected)
+        << probe.mvd.ToString(Schema::OfStrings({"C", "T", "B"}));
+  }
+}
+
+}  // namespace
+}  // namespace nf2

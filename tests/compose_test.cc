@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/compose.h"
+
+namespace nf2 {
+namespace {
+
+// The §3.2 worked example:
+//   t1 = [A(a1,a2) B(b1,b2) C(c1)]
+//   t2 = [A(a1,a2) B(b3)    C(c1)]
+//   vB(t1,t2) = [A(a1,a2) B(b1,b2,b3) C(c1)]
+NfrTuple T1() {
+  return NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet{V("b1"), V("b2")},
+                  ValueSet(V("c1"))};
+}
+NfrTuple T2() {
+  return NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b3")),
+                  ValueSet(V("c1"))};
+}
+NfrTuple T3() {
+  return NfrTuple{ValueSet{V("a1"), V("a2")},
+                  ValueSet{V("b1"), V("b2"), V("b3")}, ValueSet(V("c1"))};
+}
+
+TEST(ComposeTest, PaperExampleComposableOnB) {
+  EXPECT_TRUE(ComposableOn(T1(), T2(), 1));
+}
+
+TEST(ComposeTest, PaperExampleNotComposableElsewhere) {
+  EXPECT_FALSE(ComposableOn(T1(), T2(), 0));
+  EXPECT_FALSE(ComposableOn(T1(), T2(), 2));
+}
+
+TEST(ComposeTest, PaperExampleResult) {
+  EXPECT_EQ(Compose(T1(), T2(), 1), T3());
+}
+
+TEST(ComposeTest, CompositionIsSymmetric) {
+  EXPECT_TRUE(ComposableOn(T2(), T1(), 1));
+  EXPECT_EQ(Compose(T2(), T1(), 1), T3());
+}
+
+TEST(ComposeTest, IdenticalTuplesNotComposable) {
+  // Composing equal tuples would merge duplicates, which well-formed
+  // NFRs never contain.
+  EXPECT_FALSE(ComposableOn(T1(), T1(), 0));
+  EXPECT_FALSE(ComposableOn(T1(), T1(), 1));
+}
+
+TEST(ComposeTest, DegreeMismatchNotComposable) {
+  NfrTuple shorter{ValueSet(V("a1"))};
+  EXPECT_FALSE(ComposableOn(T1(), shorter, 0));
+}
+
+TEST(ComposeTest, OverlappingComponentSetsStillCompose) {
+  // Def. 1 only requires equality off Ec; the Ec sets may overlap (the
+  // result is the union). This happens during reduction of arbitrary
+  // NFRs.
+  NfrTuple a{ValueSet{V("x"), V("y")}, ValueSet(V("q"))};
+  NfrTuple b{ValueSet{V("y"), V("z")}, ValueSet(V("q"))};
+  ASSERT_TRUE(ComposableOn(a, b, 0));
+  EXPECT_EQ(Compose(a, b, 0),
+            (NfrTuple{ValueSet{V("x"), V("y"), V("z")}, ValueSet(V("q"))}));
+}
+
+TEST(ComposeDeathTest, ComposeRequiresComposability) {
+  EXPECT_DEATH(Compose(T1(), T2(), 0), "precondition");
+}
+
+TEST(DecomposeTest, PaperExampleUndoesComposition) {
+  // uB(b3)(t3) yields t1 and t2 (§3.2).
+  Result<Decomposition> d = Decompose(T3(), 1, V("b3"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->extracted, T2());
+  EXPECT_EQ(d->remainder, T1());
+}
+
+TEST(DecomposeTest, PaperExampleSecondSplit) {
+  // uA(a1)(t3) yields [A(a1) B(b1,b2,b3) C(c1)] and
+  // [A(a2) B(b1,b2,b3) C(c1)] (§3.2).
+  Result<Decomposition> d = Decompose(T3(), 0, V("a1"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->extracted,
+            (NfrTuple{ValueSet(V("a1")),
+                      ValueSet{V("b1"), V("b2"), V("b3")},
+                      ValueSet(V("c1"))}));
+  EXPECT_EQ(d->remainder,
+            (NfrTuple{ValueSet(V("a2")),
+                      ValueSet{V("b1"), V("b2"), V("b3")},
+                      ValueSet(V("c1"))}));
+}
+
+TEST(DecomposeTest, ValueNotInComponentErrors) {
+  Result<Decomposition> d = Decompose(T3(), 1, V("b9"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DecomposeTest, SingletonComponentErrors) {
+  // Splitting C(c1) on c1 would leave an empty remainder.
+  Result<Decomposition> d = Decompose(T3(), 2, V("c1"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DecomposeTest, PositionOutOfRangeErrors) {
+  Result<Decomposition> d = Decompose(T3(), 5, V("b1"));
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DecomposeSubsetTest, SplitsProperSubset) {
+  Result<Decomposition> d =
+      DecomposeSubset(T3(), 1, ValueSet{V("b1"), V("b3")});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->extracted.at(1), (ValueSet{V("b1"), V("b3")}));
+  EXPECT_EQ(d->remainder.at(1), ValueSet(V("b2")));
+  // Other components untouched.
+  EXPECT_EQ(d->extracted.at(0), T3().at(0));
+  EXPECT_EQ(d->remainder.at(2), T3().at(2));
+}
+
+TEST(DecomposeSubsetTest, WholeComponentErrors) {
+  Result<Decomposition> d =
+      DecomposeSubset(T3(), 1, ValueSet{V("b1"), V("b2"), V("b3")});
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(DecomposeSubsetTest, EmptySubsetErrors) {
+  EXPECT_FALSE(DecomposeSubset(T3(), 1, ValueSet()).ok());
+}
+
+TEST(DecomposeSubsetTest, NonSubsetErrors) {
+  EXPECT_FALSE(DecomposeSubset(T3(), 1, ValueSet{V("b1"), V("b9")}).ok());
+}
+
+TEST(ComposeDecomposeTest, RoundTripPreservesInformation) {
+  // Decomposition is the reverse of composition (§3.2): splitting and
+  // re-composing is the identity.
+  Result<Decomposition> d = Decompose(T3(), 1, V("b3"));
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(ComposableOn(d->extracted, d->remainder, 1));
+  EXPECT_EQ(Compose(d->extracted, d->remainder, 1), T3());
+}
+
+TEST(ComposeDecomposeTest, ExpansionIsPartitioned) {
+  // A decomposition partitions the expansion: no tuple lost or created.
+  Result<Decomposition> d = Decompose(T3(), 0, V("a1"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->extracted.ExpandedCount() + d->remainder.ExpandedCount(),
+            T3().ExpandedCount());
+  for (const FlatTuple& ft : d->extracted.Expand()) {
+    EXPECT_TRUE(T3().ExpansionContains(ft));
+    EXPECT_FALSE(d->remainder.ExpansionContains(ft));
+  }
+}
+
+}  // namespace
+}  // namespace nf2

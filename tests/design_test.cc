@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/fixedness.h"
+#include "dependency/design.h"
+#include "tests/test_util.h"
+
+namespace nf2 {
+namespace {
+
+TEST(AdvisePermutationTest, FdLhsNestedLast) {
+  // A->B over (A,B): A (the determinant) is nested last, B first.
+  FdSet fds(2);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  MvdSet mvds(2);
+  Permutation perm = AdvisePermutation(2, fds, mvds);
+  EXPECT_EQ(perm, (Permutation{1, 0}));
+}
+
+TEST(AdvisePermutationTest, MvdLhsNestedLast) {
+  // Student ->-> Course | Club: Student last; Course (an explicit RHS)
+  // before Club.
+  FdSet fds(3);
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  Permutation perm = AdvisePermutation(3, fds, mvds);
+  EXPECT_EQ(perm.back(), 0u);
+  EXPECT_EQ(perm.front(), 1u);
+}
+
+TEST(AdvisePermutationTest, NoDependenciesIsIdentity) {
+  FdSet fds(3);
+  MvdSet mvds(3);
+  EXPECT_EQ(AdvisePermutation(3, fds, mvds), IdentityPermutation(3));
+}
+
+TEST(AdvisePermutationTest, AdvisedCanonicalFixedOnFdLhs) {
+  // Theorem 3 payoff: with nest order advised from K->X,Y the canonical
+  // form is fixed on {K}.
+  Rng rng(21);
+  Schema schema = Schema::OfStrings({"K", "X", "Y"});
+  FlatRelation rel(schema);
+  for (int k = 0; k < 12; ++k) {
+    rel.Insert(FlatTuple{V(StrCat("k", k).c_str()),
+                         V(StrCat("x", k % 3).c_str()),
+                         V(StrCat("y", k % 2).c_str())});
+  }
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1, 2});
+  MvdSet mvds(3);
+  ASSERT_TRUE(fds.SatisfiedBy(rel));
+  Permutation perm = AdvisePermutation(3, fds, mvds);
+  EXPECT_EQ(perm.back(), 0u);  // K nested last.
+  NfrRelation canonical = CanonicalForm(rel, perm);
+  EXPECT_TRUE(IsFixedOn(canonical, {0}));
+}
+
+TEST(AdvisePermutationTest, AdvisedCanonicalFixedOnMvdLhs) {
+  // Theorem 4 payoff for the §2 R1 relation.
+  FlatRelation r1 = MakeStringRelation(
+      {"Student", "Course", "Club"},
+      {{"s1", "c1", "b1"}, {"s1", "c2", "b1"},
+       {"s2", "c1", "b2"}, {"s2", "c2", "b2"}});
+  FdSet fds(3);
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  Permutation perm = AdvisePermutation(3, fds, mvds);
+  NfrRelation canonical = CanonicalForm(r1, perm);
+  EXPECT_TRUE(IsFixedOn(canonical, {0}));
+  // One tuple per student.
+  EXPECT_EQ(canonical.size(), 2u);
+}
+
+TEST(PermutationScoreTest, CountsCanonicalTuples) {
+  FlatRelation rel = MakeStringRelation({"A", "B"}, {{"a1", "b1"},
+                                                     {"a2", "b1"},
+                                                     {"a3", "b1"}});
+  // Both orders collapse this relation to a single NFR tuple (nest A
+  // groups by b1; nest B first yields 3 groups whose B-sets then merge
+  // under nest A).
+  EXPECT_EQ(PermutationScore(rel, {0, 1}), 1u);
+  EXPECT_EQ(PermutationScore(rel, {1, 0}), 1u);
+  // By definition the score is the canonical form's tuple count.
+  Rng rng(23);
+  FlatRelation random = RandomFlatRelation(&rng, 3, 3, 10);
+  for (const Permutation& perm : AllPermutations(3)) {
+    EXPECT_EQ(PermutationScore(random, perm),
+              CanonicalForm(random, perm).size());
+  }
+}
+
+TEST(BestPermutationBySizeTest, FindsSmallest) {
+  FlatRelation rel = MakeStringRelation({"A", "B"}, {{"a1", "b1"},
+                                                     {"a2", "b1"},
+                                                     {"a3", "b1"}});
+  Permutation best = BestPermutationBySize(rel);
+  EXPECT_EQ(PermutationScore(rel, best), 1u);
+}
+
+TEST(BestPermutationBySizeTest, NeverWorseThanAnyPermutation) {
+  Rng rng(22);
+  for (int trial = 0; trial < 5; ++trial) {
+    FlatRelation rel = RandomFlatRelation(&rng, 3, 3, 12);
+    Permutation best = BestPermutationBySize(rel);
+    size_t best_score = PermutationScore(rel, best);
+    for (const Permutation& perm : AllPermutations(3)) {
+      EXPECT_LE(best_score, PermutationScore(rel, perm));
+    }
+  }
+}
+
+TEST(AnalyzeDesignTest, ReportFields) {
+  FlatRelation r1 = MakeStringRelation(
+      {"Student", "Course", "Club"},
+      {{"s1", "c1", "b1"}, {"s1", "c2", "b1"},
+       {"s2", "c1", "b2"}, {"s2", "c2", "b2"}});
+  FdSet fds(3);
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  DesignReport report = AnalyzeDesign(r1, fds, mvds);
+  EXPECT_EQ(report.flat_tuples, 4u);
+  EXPECT_EQ(report.canonical_tuples, 2u);
+  EXPECT_FALSE(report.fixed_on.empty());
+  std::string text = report.ToString(r1.schema());
+  EXPECT_NE(text.find("nest order"), std::string::npos);
+  EXPECT_NE(text.find("Student"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "core/relation.h"
+#include "dependency/fd.h"
+
+namespace nf2 {
+namespace {
+
+// Schema positions: 0=A, 1=B, 2=C, 3=D.
+Schema Abcd() { return Schema::OfStrings({"A", "B", "C", "D"}); }
+
+TEST(FdTest, TrivialDetection) {
+  EXPECT_TRUE((Fd{AttrSet{0, 1}, AttrSet{0}}).IsTrivial());
+  EXPECT_FALSE((Fd{AttrSet{0}, AttrSet{1}}).IsTrivial());
+}
+
+TEST(FdTest, ToStringUsesNames) {
+  EXPECT_EQ((Fd{AttrSet{0, 1}, AttrSet{2}}).ToString(Abcd()), "{A,B}->{C}");
+}
+
+TEST(FdSetTest, ClosureBasics) {
+  // A->B, B->C: closure(A) = {A,B,C}.
+  FdSet fds(4);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{1}, AttrSet{2});
+  EXPECT_EQ(fds.Closure(AttrSet{0}), (AttrSet{0, 1, 2}));
+  EXPECT_EQ(fds.Closure(AttrSet{1}), (AttrSet{1, 2}));
+  EXPECT_EQ(fds.Closure(AttrSet{3}), (AttrSet{3}));
+}
+
+TEST(FdSetTest, ClosureOfEmptySet) {
+  FdSet fds(3);
+  fds.Add(AttrSet{}, AttrSet{1});  // {} -> B: B is constant.
+  EXPECT_EQ(fds.Closure(AttrSet{}), (AttrSet{1}));
+}
+
+TEST(FdSetTest, Implies) {
+  FdSet fds(4);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{1}, AttrSet{2});
+  EXPECT_TRUE(fds.Implies(Fd{AttrSet{0}, AttrSet{2}}));       // Transitivity.
+  EXPECT_TRUE(fds.Implies(Fd{AttrSet{0, 3}, AttrSet{2, 3}})); // Augmentation.
+  EXPECT_TRUE(fds.Implies(Fd{AttrSet{0, 1}, AttrSet{0}}));    // Reflexivity.
+  EXPECT_FALSE(fds.Implies(Fd{AttrSet{2}, AttrSet{0}}));
+}
+
+TEST(FdSetTest, Superkey) {
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1, 2});
+  EXPECT_TRUE(fds.IsSuperkey(AttrSet{0}));
+  EXPECT_TRUE(fds.IsSuperkey(AttrSet{0, 1}));
+  EXPECT_FALSE(fds.IsSuperkey(AttrSet{1, 2}));
+}
+
+TEST(FdSetTest, CandidateKeysSimple) {
+  // A->B, B->C over {A,B,C}: only key is {A}.
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{1}, AttrSet{2});
+  std::vector<AttrSet> keys = fds.CandidateKeys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (AttrSet{0}));
+}
+
+TEST(FdSetTest, CandidateKeysMultiple) {
+  // A->B, B->A, AB is cyclic: keys {A,C?}: degree 3 with C free:
+  // A->B, B->A: keys are {A,C} and {B,C}.
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{1}, AttrSet{0});
+  std::vector<AttrSet> keys = fds.CandidateKeys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], (AttrSet{0, 2}));
+  EXPECT_EQ(keys[1], (AttrSet{1, 2}));
+}
+
+TEST(FdSetTest, CandidateKeysNoFds) {
+  FdSet fds(2);
+  std::vector<AttrSet> keys = fds.CandidateKeys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (AttrSet{0, 1}));
+}
+
+TEST(FdSetTest, MinimalCoverSplitsRhs) {
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1, 2});
+  FdSet cover = fds.MinimalCover();
+  EXPECT_EQ(cover.fds().size(), 2u);
+  for (const Fd& fd : cover.fds()) {
+    EXPECT_EQ(fd.rhs.size(), 1u);
+    EXPECT_EQ(fd.lhs, (AttrSet{0}));
+  }
+}
+
+TEST(FdSetTest, MinimalCoverRemovesExtraneousLhs) {
+  // A->B and AB->C: the cover reduces AB->C to A->C.
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{0, 1}, AttrSet{2});
+  FdSet cover = fds.MinimalCover();
+  bool found_a_to_c = false;
+  for (const Fd& fd : cover.fds()) {
+    if (fd.rhs == (AttrSet{2})) {
+      EXPECT_EQ(fd.lhs, (AttrSet{0}));
+      found_a_to_c = true;
+    }
+  }
+  EXPECT_TRUE(found_a_to_c);
+}
+
+TEST(FdSetTest, MinimalCoverRemovesRedundantFds) {
+  // A->B, B->C, A->C: A->C is redundant.
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{1}, AttrSet{2});
+  fds.Add(AttrSet{0}, AttrSet{2});
+  FdSet cover = fds.MinimalCover();
+  EXPECT_EQ(cover.fds().size(), 2u);
+  // The cover still implies the original FDs.
+  for (const Fd& fd : fds.fds()) {
+    EXPECT_TRUE(cover.Implies(fd));
+  }
+}
+
+TEST(FdSetTest, MinimalCoverEquivalentToOriginal) {
+  FdSet fds(4);
+  fds.Add(AttrSet{0}, AttrSet{1, 2});
+  fds.Add(AttrSet{1, 2}, AttrSet{3});
+  fds.Add(AttrSet{0, 3}, AttrSet{1});
+  FdSet cover = fds.MinimalCover();
+  for (const Fd& fd : fds.fds()) {
+    EXPECT_TRUE(cover.Implies(fd)) << fd.ToString(Abcd());
+  }
+  for (const Fd& fd : cover.fds()) {
+    EXPECT_TRUE(fds.Implies(fd)) << fd.ToString(Abcd());
+  }
+}
+
+TEST(FdSatisfactionTest, HoldsAndFails) {
+  FlatRelation rel = MakeStringRelation({"A", "B"}, {{"a1", "b1"},
+                                                     {"a2", "b1"},
+                                                     {"a3", "b2"}});
+  EXPECT_TRUE(Satisfies(rel, Fd{AttrSet{0}, AttrSet{1}}));  // A->B holds.
+  EXPECT_FALSE(Satisfies(rel, Fd{AttrSet{1}, AttrSet{0}})); // B->A fails.
+}
+
+TEST(FdSatisfactionTest, SetSatisfaction) {
+  FlatRelation rel = MakeStringRelation({"A", "B", "C"},
+                                        {{"a1", "b1", "c1"},
+                                         {"a2", "b1", "c1"}});
+  FdSet good(3);
+  good.Add(AttrSet{0}, AttrSet{1, 2});
+  EXPECT_TRUE(good.SatisfiedBy(rel));
+  FdSet bad(3);
+  bad.Add(AttrSet{1}, AttrSet{0});
+  EXPECT_FALSE(bad.SatisfiedBy(rel));
+}
+
+TEST(FdSetTest, ToStringRendersAll) {
+  FdSet fds(4);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{1, 2}, AttrSet{3});
+  EXPECT_EQ(fds.ToString(Abcd()), "{{A}->{B}; {B,C}->{D}}");
+}
+
+TEST(FdSetDeathTest, OutOfRangeAttrsFatal) {
+  FdSet fds(2);
+  EXPECT_DEATH(fds.Add(AttrSet{0}, AttrSet{5}), "outside the schema");
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/irreducible.h"
+#include "core/nest.h"
+#include "tests/test_util.h"
+
+namespace nf2 {
+namespace {
+
+FlatRelation Example1Flat() {
+  return MakeStringRelation({"A", "B"}, {{"a1", "b1"},
+                                         {"a2", "b1"},
+                                         {"a2", "b2"},
+                                         {"a3", "b2"}});
+}
+
+FlatRelation Example2Flat() {
+  return MakeStringRelation({"A", "B", "C"}, {{"a1", "b1", "c2"},
+                                              {"a1", "b2", "c1"},
+                                              {"a1", "b2", "c2"},
+                                              {"a2", "b1", "c1"},
+                                              {"a2", "b1", "c2"},
+                                              {"a2", "b2", "c1"}});
+}
+
+TEST(IrreducibleTest, FlatRelationWithSharedValuesIsReducible) {
+  EXPECT_FALSE(IsIrreducible(NfrRelation::FromFlat(Example1Flat())));
+}
+
+TEST(IrreducibleTest, SingleTupleIsIrreducible) {
+  NfrRelation r(Schema::OfStrings({"A"}));
+  r.Add(NfrTuple{ValueSet{V("x"), V("y")}});
+  EXPECT_TRUE(IsIrreducible(r));
+}
+
+TEST(IrreducibleTest, EmptyRelationIsIrreducible) {
+  EXPECT_TRUE(IsIrreducible(NfrRelation(Schema::OfStrings({"A", "B"}))));
+}
+
+TEST(IrreducibleTest, Example1FirstIrreducibleForm) {
+  // R1: {[A(a1,a2) B(b1)], [A(a2,a3) B(b2)]} via vA(r1,r2), vA(r3,r4).
+  NfrRelation r1(Schema::OfStrings({"A", "B"}));
+  r1.Add(NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))});
+  r1.Add(NfrTuple{ValueSet{V("a2"), V("a3")}, ValueSet(V("b2"))});
+  EXPECT_TRUE(IsIrreducible(r1));
+  EXPECT_EQ(r1.Expand(), Example1Flat());
+}
+
+TEST(IrreducibleTest, Example1SecondIrreducibleForm) {
+  // R2: {[A(a1) B(b1)], [A(a2) B(b1,b2)], [A(a3) B(b2)]} via vB(r2,r3).
+  NfrRelation r2(Schema::OfStrings({"A", "B"}));
+  r2.Add(NfrTuple{ValueSet(V("a1")), ValueSet(V("b1"))});
+  r2.Add(NfrTuple{ValueSet(V("a2")), ValueSet{V("b1"), V("b2")}});
+  r2.Add(NfrTuple{ValueSet(V("a3")), ValueSet(V("b2"))});
+  EXPECT_TRUE(IsIrreducible(r2));
+  EXPECT_EQ(r2.Expand(), Example1Flat());
+}
+
+TEST(IrreducibleTest, Example1BothFormsReachableByReduction) {
+  // Randomized reduction reaches both of Example 1's irreducible forms
+  // (2 tuples and 3 tuples) across seeds — irreducible forms are not
+  // unique.
+  std::set<size_t> sizes;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    NfrRelation reduced =
+        ReduceRandomized(NfrRelation::FromFlat(Example1Flat()), &rng);
+    EXPECT_TRUE(IsIrreducible(reduced));
+    EXPECT_EQ(reduced.Expand(), Example1Flat());
+    sizes.insert(reduced.size());
+  }
+  EXPECT_TRUE(sizes.count(2)) << "never reached the 2-tuple form";
+  EXPECT_TRUE(sizes.count(3)) << "never reached the 3-tuple form";
+}
+
+TEST(IrreducibleTest, ReduceGreedyIsIrreducibleAndEquivalent) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlatRelation flat = RandomFlatRelation(&rng, 3, 3, 12);
+    NfrRelation reduced = ReduceGreedy(NfrRelation::FromFlat(flat));
+    EXPECT_TRUE(IsIrreducible(reduced));
+    EXPECT_EQ(reduced.Expand(), flat);
+  }
+}
+
+TEST(IrreducibleTest, ReduceGreedyIsDeterministic) {
+  Rng rng(78);
+  FlatRelation flat = RandomFlatRelation(&rng, 3, 3, 12);
+  NfrRelation a = ReduceGreedy(NfrRelation::FromFlat(flat));
+  NfrRelation b = ReduceGreedy(NfrRelation::FromFlat(flat));
+  EXPECT_TRUE(a.EqualsAsSet(b));
+}
+
+TEST(IrreducibleTest, Example2MinimalBeatsEveryCanonicalForm) {
+  // The headline of Example 2: an irreducible form with 3 tuples exists
+  // while every canonical form needs 4.
+  FlatRelation flat = Example2Flat();
+  Result<NfrRelation> minimal = MinimalIrreducible(flat);
+  ASSERT_TRUE(minimal.ok()) << minimal.status();
+  EXPECT_EQ(minimal->size(), 3u);
+  EXPECT_EQ(minimal->Expand(), flat);
+  EXPECT_TRUE(IsIrreducible(*minimal));
+  EXPECT_EQ(MinCanonicalSize(flat), 4u);
+}
+
+TEST(IrreducibleTest, Example2PaperR4IsAValidIrreducibleForm) {
+  // The paper's R4 = {[A(a1) B(b1,b2) C(c2)], [A(a2) B(b1) C(c1,c2)],
+  // [A(a1,a2) B(b2) C(c1)]} is a 3-tuple irreducible form of R3. (The
+  // minimum is not unique — R3 is symmetric — so we check R4 itself and
+  // that MinimalIrreducible matches its size.)
+  FlatRelation flat = Example2Flat();
+  NfrRelation r4(flat.schema());
+  r4.Add(NfrTuple{ValueSet(V("a1")), ValueSet{V("b1"), V("b2")},
+                  ValueSet(V("c2"))});
+  r4.Add(NfrTuple{ValueSet(V("a2")), ValueSet(V("b1")),
+                  ValueSet{V("c1"), V("c2")}});
+  r4.Add(NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b2")),
+                  ValueSet(V("c1"))});
+  EXPECT_EQ(r4.Expand(), flat);
+  EXPECT_TRUE(IsIrreducible(r4));
+  EXPECT_TRUE(r4.Validate().ok());
+  Result<NfrRelation> minimal = MinimalIrreducible(flat);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->size(), r4.size());
+}
+
+TEST(IrreducibleTest, MinimalNeverLargerThanCanonical) {
+  Rng rng(79);
+  for (int trial = 0; trial < 8; ++trial) {
+    FlatRelation flat = RandomFlatRelation(&rng, 3, 2, 6);
+    Result<NfrRelation> minimal = MinimalIrreducible(flat);
+    ASSERT_TRUE(minimal.ok());
+    EXPECT_LE(minimal->size(), MinCanonicalSize(flat));
+    EXPECT_EQ(minimal->Expand(), flat);
+    EXPECT_TRUE(IsIrreducible(*minimal));
+  }
+}
+
+TEST(IrreducibleTest, MinimalErrorsOnOversizedInput) {
+  Rng rng(80);
+  FlatRelation flat = RandomFlatRelation(&rng, 2, 30, 40);
+  if (flat.size() > 16) {
+    Result<NfrRelation> r = MinimalIrreducible(flat);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(IrreducibleTest, MinimalOfEmptyRelation) {
+  FlatRelation flat(Schema::OfStrings({"A", "B"}));
+  Result<NfrRelation> r = MinimalIrreducible(flat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 0u);
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "core/nest.h"
+#include "dependency/mvd.h"
+#include "dependency/normalize.h"
+#include "tests/test_util.h"
+
+namespace nf2 {
+namespace {
+
+Schema Scc() { return Schema::OfStrings({"Student", "Course", "Club"}); }
+
+// The §2 motivating relation R1: each student takes a set of courses
+// and belongs to a set of clubs, independently -> MVD
+// Student ->-> Course | Club.
+FlatRelation R1Flat() {
+  return MakeStringRelation(
+      {"Student", "Course", "Club"},
+      {{"s1", "c1", "b1"}, {"s1", "c2", "b1"}, {"s1", "c3", "b1"},
+       {"s2", "c1", "b2"}, {"s2", "c2", "b2"}, {"s2", "c3", "b2"},
+       {"s3", "c1", "b1"}, {"s3", "c2", "b1"}, {"s3", "c3", "b1"}});
+}
+
+// R2 from Fig. 1: Student takes Course in Semester; no MVD.
+FlatRelation R2Flat() {
+  return MakeStringRelation(
+      {"Student", "Course", "Semester"},
+      {{"s1", "c1", "t1"}, {"s2", "c1", "t1"}, {"s3", "c1", "t1"},
+       {"s1", "c2", "t1"}, {"s2", "c2", "t1"}, {"s3", "c2", "t1"},
+       {"s1", "c3", "t1"}, {"s3", "c3", "t1"}, {"s2", "c3", "t2"}});
+}
+
+TEST(MvdTest, Complement) {
+  Mvd mvd{AttrSet{0}, AttrSet{1}};
+  EXPECT_EQ(mvd.Complement(3), (AttrSet{2}));
+  EXPECT_EQ(mvd.Complement(4), (AttrSet{2, 3}));
+}
+
+TEST(MvdTest, TrivialCases) {
+  EXPECT_TRUE((Mvd{AttrSet{0, 1}, AttrSet{1}}).IsTrivial(3));  // Y ⊆ X.
+  EXPECT_TRUE((Mvd{AttrSet{0}, AttrSet{1, 2}}).IsTrivial(3));  // X∪Y = U.
+  EXPECT_FALSE((Mvd{AttrSet{0}, AttrSet{1}}).IsTrivial(3));
+}
+
+TEST(MvdTest, ToString) {
+  EXPECT_EQ((Mvd{AttrSet{0}, AttrSet{1}}).ToString(Scc()),
+            "{Student}->->{Course}|{Club}");
+}
+
+TEST(MvdTest, PaperR1SatisfiesStudentMvd) {
+  // "we have a Multivalued Dependency Student ->-> Course | Club in R1,
+  // but no MVD in R2" (§2).
+  EXPECT_TRUE(Satisfies(R1Flat(), Mvd{AttrSet{0}, AttrSet{1}}));
+  EXPECT_TRUE(Satisfies(R1Flat(), Mvd{AttrSet{0}, AttrSet{2}}));
+}
+
+TEST(MvdTest, PaperR2ViolatesStudentMvd) {
+  // s2 takes c3 only in t2 while other courses are in t1: the cross
+  // product property fails.
+  EXPECT_FALSE(Satisfies(R2Flat(), Mvd{AttrSet{0}, AttrSet{1}}));
+}
+
+TEST(MvdTest, Example3MvdHolds) {
+  // Example 3: R9 over A,B,C with MVD A ->-> B|C.
+  FlatRelation r9 = MakeStringRelation({"A", "B", "C"},
+                                       {{"a1", "b1", "c1"},
+                                        {"a1", "b2", "c1"},
+                                        {"a2", "b1", "c1"},
+                                        {"a2", "b1", "c2"}});
+  EXPECT_TRUE(Satisfies(r9, Mvd{AttrSet{0}, AttrSet{1}}));
+}
+
+TEST(MvdTest, FdPromotionIsAlwaysSatisfiedWhenFdHolds) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlatRelation rel = RandomFlatRelation(&rng, 3, 3, 10);
+    Fd fd{AttrSet{0}, AttrSet{1}};
+    if (Satisfies(rel, fd)) {
+      EXPECT_TRUE(Satisfies(rel, PromoteToMvd(fd)));
+    }
+  }
+}
+
+TEST(MvdTest, TrivialMvdsAlwaysSatisfied) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlatRelation rel = RandomFlatRelation(&rng, 3, 3, 12);
+    EXPECT_TRUE(Satisfies(rel, Mvd{AttrSet{0}, AttrSet{1, 2}}));
+    EXPECT_TRUE(Satisfies(rel, Mvd{AttrSet{0, 1}, AttrSet{1}}));
+  }
+}
+
+TEST(MvdSetTest, SatisfiedBy) {
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  EXPECT_TRUE(mvds.SatisfiedBy(R1Flat()));
+  EXPECT_FALSE(mvds.SatisfiedBy(R2Flat()));
+}
+
+TEST(MvdSetTest, ToString) {
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  EXPECT_EQ(mvds.ToString(Scc()), "{{Student}->->{Course}|{Club}}");
+}
+
+TEST(MvdTest, MvdEnablesLosslessBinarySplit) {
+  // Fagin's theorem: X ->-> Y holds iff R = R[XY] |x| R[XZ].
+  FlatRelation r1 = R1Flat();
+  FlatRelation xy = ProjectRelation(r1, {0, 1});
+  FlatRelation xz = ProjectRelation(r1, {0, 2});
+  EXPECT_EQ(NaturalJoin(xy, xz).size(), r1.size());
+  // And for R2 (no MVD) the join is lossy (produces spurious tuples).
+  FlatRelation r2 = R2Flat();
+  FlatRelation xy2 = ProjectRelation(r2, {0, 1});
+  FlatRelation xz2 = ProjectRelation(r2, {0, 2});
+  EXPECT_GT(NaturalJoin(xy2, xz2).size(), r2.size());
+}
+
+TEST(MvdTest, NfrSingleTuplePerGroupUnderMvd) {
+  // Under Student ->-> Course | Club, nesting Course then Club packs
+  // each student into ONE tuple — the paper's entity-relation reading
+  // of R1.
+  FlatRelation r1 = R1Flat();
+  NfrRelation nested =
+      NestSequence(NfrRelation::FromFlat(r1), Permutation{1, 2, 0});
+  EXPECT_EQ(nested.size(), 2u);  // s1,s3 share club+courses; s2 alone.
+  // Every student appears in exactly one tuple.
+  for (const char* student : {"s1", "s2", "s3"}) {
+    size_t count = 0;
+    for (const NfrTuple& t : nested.tuples()) {
+      if (t.at(0).Contains(V(student))) ++count;
+    }
+    EXPECT_EQ(count, 1u) << student;
+  }
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "nested/nested_relation.h"
+#include "tests/test_util.h"
+
+namespace nf2 {
+namespace {
+
+FlatRelation ScFlat() {
+  return MakeStringRelation({"Student", "Course"}, {{"s1", "c1"},
+                                                    {"s1", "c2"},
+                                                    {"s2", "c1"}});
+}
+
+TEST(NestedSchemaTest, FromFlatAndAccessors) {
+  NestedSchema schema = NestedSchema::FromFlat(ScFlat().schema());
+  EXPECT_EQ(schema.degree(), 2u);
+  EXPECT_TRUE(schema.IsFlat());
+  EXPECT_EQ(schema.IndexOf("Course"), 1u);
+  EXPECT_EQ(schema.IndexOf("Zzz"), std::nullopt);
+  EXPECT_EQ(schema.ToString(), "(Student STRING, Course STRING)");
+}
+
+TEST(NestedSchemaTest, RelationValuedAttribute) {
+  auto sub = std::make_shared<const NestedSchema>(
+      NestedSchema::FromFlat(Schema::OfStrings({"X"})));
+  NestedSchema schema({NestedAttribute{"A", ValueType::kString, nullptr},
+                       NestedAttribute{"Rs", ValueType::kNull, sub}});
+  EXPECT_FALSE(schema.IsFlat());
+  EXPECT_TRUE(schema.attribute(1).is_relation());
+  EXPECT_EQ(schema.ToString(), "(A STRING, Rs (X STRING))");
+}
+
+TEST(NestedSchemaDeathTest, DuplicateNames) {
+  EXPECT_DEATH(NestedSchema({NestedAttribute{"A", ValueType::kString, {}},
+                             NestedAttribute{"A", ValueType::kInt, {}}}),
+               "Duplicate");
+}
+
+TEST(NestedRelationTest, FromFlatRoundTrip) {
+  FlatRelation flat = ScFlat();
+  NestedRelation nested = NestedRelation::FromFlat(flat);
+  EXPECT_EQ(nested.size(), 3u);
+  Result<FlatRelation> back = nested.ToFlat();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, flat);
+}
+
+TEST(NestedRelationTest, InsertDedups) {
+  NestedRelation rel(NestedSchema::FromFlat(Schema::OfStrings({"A"})));
+  EXPECT_TRUE(rel.Insert(NestedTuple({NestedValue(V("x"))})));
+  EXPECT_FALSE(rel.Insert(NestedTuple({NestedValue(V("x"))})));
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(NestAttrsTest, GroupsIntoSubrelations) {
+  // ν_Course(SC): one tuple per student with a courses subrelation —
+  // the [7] operation the paper's composition specializes.
+  NestedRelation sc = NestedRelation::FromFlat(ScFlat());
+  Result<NestedRelation> nested = NestAttrs(sc, {"Course"}, "Courses");
+  ASSERT_TRUE(nested.ok()) << nested.status();
+  EXPECT_EQ(nested->size(), 2u);
+  EXPECT_FALSE(nested->schema().IsFlat());
+  // s1's subrelation has two tuples; s2's one.
+  for (const NestedTuple& t : nested->tuples()) {
+    const std::string student = t.at(0).atom().AsString();
+    const NestedRelation& courses = t.at(1).relation();
+    EXPECT_EQ(courses.size(), student == "s1" ? 2u : 1u);
+  }
+}
+
+TEST(NestAttrsTest, SubrelationValuesCompareAsSets) {
+  // Two students with the same course set produce EQUAL subrelation
+  // values — the property the paper's canonical forms exploit.
+  FlatRelation flat = MakeStringRelation(
+      {"Student", "Course"},
+      {{"s1", "c1"}, {"s1", "c2"}, {"s2", "c1"}, {"s2", "c2"}});
+  Result<NestedRelation> nested =
+      NestAttrs(NestedRelation::FromFlat(flat), {"Course"}, "Courses");
+  ASSERT_TRUE(nested.ok());
+  ASSERT_EQ(nested->size(), 2u);
+  EXPECT_EQ(nested->tuple(0).at(1), nested->tuple(1).at(1));
+  // Re-nesting on the subrelation attribute groups the two students.
+  Result<NestedRelation> twice =
+      NestAttrs(*nested, {"Student"}, "Students");
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice->size(), 1u);  // One (course-set, student-set) pair.
+}
+
+TEST(NestAttrsTest, Errors) {
+  NestedRelation sc = NestedRelation::FromFlat(ScFlat());
+  EXPECT_FALSE(NestAttrs(sc, {}, "X").ok());
+  EXPECT_FALSE(NestAttrs(sc, {"Nope"}, "X").ok());
+  EXPECT_FALSE(NestAttrs(sc, {"Student", "Course"}, "X").ok());
+  EXPECT_FALSE(NestAttrs(sc, {"Course"}, "Student").ok());
+  // Reusing the nested attribute's own name is fine.
+  EXPECT_TRUE(NestAttrs(sc, {"Course"}, "Course").ok());
+}
+
+TEST(UnnestAttrTest, InvertsNest) {
+  // μ(ν(R)) = R — always, for any R (the direction that holds
+  // unconditionally in [7]).
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlatRelation flat = RandomFlatRelation(&rng, 3, 3, 12);
+    NestedRelation lifted = NestedRelation::FromFlat(flat);
+    Result<NestedRelation> nested = NestAttrs(lifted, {"E2"}, "Sub");
+    ASSERT_TRUE(nested.ok());
+    Result<NestedRelation> back = UnnestAttr(*nested, "Sub");
+    ASSERT_TRUE(back.ok());
+    // Column order changed (E2 moved to the end); compare as flat sets
+    // after projecting back.
+    Result<FlatRelation> back_flat = back->ToFlat();
+    ASSERT_TRUE(back_flat.ok());
+    EXPECT_EQ(back_flat->size(), flat.size());
+    for (const FlatTuple& t : flat.tuples()) {
+      FlatTuple reordered{t.at(0), t.at(2), t.at(1)};
+      EXPECT_TRUE(back_flat->Contains(reordered));
+    }
+  }
+}
+
+TEST(UnnestAttrTest, EmptySubrelationsVanish) {
+  // Standard μ semantics: a tuple with an empty subrelation produces
+  // no output tuples (information loss — why ν∘μ is not always id).
+  auto sub = std::make_shared<const NestedSchema>(
+      NestedSchema::FromFlat(Schema::OfStrings({"X"})));
+  NestedSchema schema({NestedAttribute{"A", ValueType::kString, nullptr},
+                       NestedAttribute{"Rs", ValueType::kNull, sub}});
+  NestedRelation rel(schema);
+  rel.Insert(NestedTuple(
+      {NestedValue(V("a1")), NestedValue(NestedRelation(*sub))}));
+  NestedRelation full_sub(*sub);
+  full_sub.Insert(NestedTuple({NestedValue(V("x1"))}));
+  rel.Insert(
+      NestedTuple({NestedValue(V("a2")), NestedValue(full_sub)}));
+  Result<NestedRelation> unnested = UnnestAttr(rel, "Rs");
+  ASSERT_TRUE(unnested.ok());
+  EXPECT_EQ(unnested->size(), 1u);  // a1's empty group disappeared.
+  EXPECT_EQ(unnested->tuple(0).at(0).atom(), V("a2"));
+}
+
+TEST(UnnestAttrTest, Errors) {
+  NestedRelation sc = NestedRelation::FromFlat(ScFlat());
+  EXPECT_FALSE(UnnestAttr(sc, "Student").ok());  // Atomic.
+  EXPECT_FALSE(UnnestAttr(sc, "Nope").ok());
+}
+
+TEST(NestedRelationTest, DeepNesting) {
+  // Two levels: departments -> students -> courses.
+  FlatRelation flat = MakeStringRelation(
+      {"Dept", "Student", "Course"},
+      {{"d1", "s1", "c1"}, {"d1", "s1", "c2"}, {"d1", "s2", "c1"},
+       {"d2", "s3", "c9"}});
+  NestedRelation lifted = NestedRelation::FromFlat(flat);
+  Result<NestedRelation> by_course =
+      NestAttrs(lifted, {"Course"}, "Courses");
+  ASSERT_TRUE(by_course.ok());
+  Result<NestedRelation> by_student =
+      NestAttrs(*by_course, {"Student", "Courses"}, "Students");
+  ASSERT_TRUE(by_student.ok());
+  EXPECT_EQ(by_student->size(), 2u);  // One tuple per department.
+  // Unnest both levels and verify we recover the data (modulo column
+  // order).
+  Result<NestedRelation> level1 = UnnestAttr(*by_student, "Students");
+  ASSERT_TRUE(level1.ok());
+  Result<NestedRelation> level0 = UnnestAttr(*level1, "Courses");
+  ASSERT_TRUE(level0.ok());
+  Result<FlatRelation> back = level0->ToFlat();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), flat.size());
+}
+
+TEST(NestedRelationTest, RenderingsAreStable) {
+  NestedRelation sc = NestedRelation::FromFlat(ScFlat());
+  Result<NestedRelation> nested = NestAttrs(sc, {"Course"}, "Courses");
+  ASSERT_TRUE(nested.ok());
+  std::string text = nested->ToString();
+  EXPECT_NE(text.find("Courses"), std::string::npos);
+  EXPECT_NE(text.find("{<c1>, <c2>}"), std::string::npos);
+  EXPECT_EQ(nested->ToString(), nested->ToString());
+}
+
+TEST(NestedValueTest, OrderingAndEquality) {
+  NestedValue a(V("a"));
+  NestedValue b(V("b"));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, NestedValue(V("a")));
+  NestedRelation r(NestedSchema::FromFlat(Schema::OfStrings({"X"})));
+  NestedValue rel_value{r};
+  EXPECT_NE(a, rel_value);
+  EXPECT_LT(a, rel_value);  // Atoms before relations.
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nfrql/executor.h"
+#include "nfrql/lexer.h"
+#include "nfrql/parser.h"
+
+namespace nf2 {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> tokens =
+      Lex("SELECT * FROM r WHERE a = 'x1' AND b >= 3;");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types,
+            (std::vector<TokenType>{
+                TokenType::kIdentifier, TokenType::kStar,
+                TokenType::kIdentifier, TokenType::kIdentifier,
+                TokenType::kIdentifier, TokenType::kIdentifier,
+                TokenType::kEq, TokenType::kString, TokenType::kIdentifier,
+                TokenType::kIdentifier, TokenType::kGe, TokenType::kInteger,
+                TokenType::kSemicolon, TokenType::kEnd}));
+}
+
+TEST(LexerTest, Numbers) {
+  Result<std::vector<Token>> tokens = Lex("42 -7 3.5 -0.25");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].int_value, -7);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, -0.25);
+}
+
+TEST(LexerTest, ArrowsAndComparisons) {
+  Result<std::vector<Token>> tokens = Lex("-> ->-> != <= >= < > = |");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kArrow, TokenType::kDoubleArrow,
+                       TokenType::kNe, TokenType::kLe, TokenType::kGe,
+                       TokenType::kLt, TokenType::kGt, TokenType::kEq,
+                       TokenType::kPipe, TokenType::kEnd}));
+}
+
+TEST(LexerTest, QuotedStringsWithEscapes) {
+  Result<std::vector<Token>> tokens = Lex("'it''s nested'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's nested");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("'unterminated").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+}
+
+TEST(ParserTest, CreateWithEverything) {
+  Result<Statement> stmt = ParseStatement(
+      "CREATE RELATION students (Student STRING, Course STRING, Club "
+      "STRING) NEST Course, Club, Student MVD Student ->-> Course "
+      "FD Student -> Club");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& create = std::get<CreateStatement>(*stmt);
+  EXPECT_EQ(create.name, "students");
+  EXPECT_EQ(create.attributes.size(), 3u);
+  EXPECT_EQ(create.nest_order,
+            (std::vector<std::string>{"Course", "Club", "Student"}));
+  ASSERT_EQ(create.mvds.size(), 1u);
+  EXPECT_EQ(create.mvds[0].lhs, (std::vector<std::string>{"Student"}));
+  ASSERT_EQ(create.fds.size(), 1u);
+  EXPECT_EQ(create.fds[0].rhs, (std::vector<std::string>{"Club"}));
+}
+
+TEST(ParserTest, InsertMultiRow) {
+  Result<Statement> stmt = ParseStatement(
+      "INSERT INTO r VALUES ('a', 1), ('b', 2)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& insert = std::get<InsertStatement>(*stmt);
+  ASSERT_EQ(insert.rows.size(), 2u);
+  EXPECT_EQ(insert.rows[0][0], Value::String("a"));
+  EXPECT_EQ(insert.rows[1][1], Value::Int(2));
+}
+
+TEST(ParserTest, BareIdentifiersAsLiterals) {
+  Result<Statement> stmt = ParseStatement("INSERT INTO r VALUES (s1, c1)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& insert = std::get<InsertStatement>(*stmt);
+  EXPECT_EQ(insert.rows[0][0], Value::String("s1"));
+}
+
+TEST(ParserTest, SelectWithCondition) {
+  Result<Statement> stmt = ParseStatement(
+      "SELECT a, b FROM r WHERE (a = x OR b != y) AND NOT c < 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& select = std::get<SelectStatement>(*stmt);
+  EXPECT_EQ(select.columns, (std::vector<std::string>{"a", "b"}));
+  ASSERT_NE(select.where, nullptr);
+  EXPECT_EQ(select.where->kind, ConditionNode::Kind::kAnd);
+  EXPECT_EQ(select.where->left->kind, ConditionNode::Kind::kOr);
+  EXPECT_EQ(select.where->right->kind, ConditionNode::Kind::kNot);
+}
+
+TEST(ParserTest, DeleteForms) {
+  Result<Statement> by_values =
+      ParseStatement("DELETE FROM r VALUES (a, b)");
+  ASSERT_TRUE(by_values.ok());
+  EXPECT_EQ(std::get<DeleteStatement>(*by_values).rows.size(), 1u);
+  Result<Statement> by_where =
+      ParseStatement("DELETE FROM r WHERE a = x");
+  ASSERT_TRUE(by_where.ok());
+  EXPECT_NE(std::get<DeleteStatement>(*by_where).where, nullptr);
+  EXPECT_FALSE(ParseStatement("DELETE FROM r").ok());
+}
+
+TEST(ParserTest, SmallStatements) {
+  EXPECT_TRUE(std::holds_alternative<ListStatement>(
+      *ParseStatement("LIST")));
+  EXPECT_TRUE(std::holds_alternative<CheckpointStatement>(
+      *ParseStatement("CHECKPOINT;")));
+  EXPECT_TRUE(std::holds_alternative<ShowStatement>(
+      *ParseStatement("SHOW r")));
+  EXPECT_TRUE(std::holds_alternative<StatsStatement>(
+      *ParseStatement("STATS r")));
+  EXPECT_TRUE(std::holds_alternative<DropStatement>(
+      *ParseStatement("DROP RELATION r")));
+  const auto& nest =
+      std::get<NestStatement>(*ParseStatement("NEST r ON a, b"));
+  EXPECT_FALSE(nest.unnest);
+  EXPECT_EQ(nest.attributes, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(
+      std::get<NestStatement>(*ParseStatement("UNNEST r ON a")).unnest);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseStatement("").ok());
+  EXPECT_FALSE(ParseStatement("FROBNICATE r").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM r").ok());
+  EXPECT_FALSE(ParseStatement("CREATE RELATION r").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO r VALUES ()").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM r extra junk").ok());
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "nf2_nfrql_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    db_ = *std::move(db);
+    executor_ = std::make_unique<Executor>(db_.get());
+  }
+  void TearDown() override {
+    executor_.reset();
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Must(const std::string& query) {
+    Result<std::string> out = executor_->Execute(query);
+    EXPECT_TRUE(out.ok()) << query << " -> " << out.status();
+    return out.ok() ? *out : "";
+  }
+
+  std::string dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorTest, EndToEndUniversityScenario) {
+  std::string created = Must(
+      "CREATE RELATION sc (Student STRING, Course STRING, Club STRING) "
+      "MVD Student ->-> Course");
+  EXPECT_NE(created.find("created relation sc"), std::string::npos);
+  // The advisor nests the MVD LHS (Student) last.
+  EXPECT_NE(created.find("Student]"), std::string::npos);
+
+  Must("INSERT INTO sc VALUES (s1, c1, b1), (s1, c2, b1), (s2, c1, b2)");
+  std::string select = Must("SELECT * FROM sc WHERE Student = s1");
+  EXPECT_NE(select.find("2 row(s)"), std::string::npos);
+  EXPECT_NE(select.find("c2"), std::string::npos);
+
+  std::string shown = Must("SHOW sc");
+  // s1's two courses are grouped into one NFR tuple.
+  EXPECT_NE(shown.find("c1, c2"), std::string::npos);
+
+  std::string stats = Must("STATS sc");
+  EXPECT_NE(stats.find("2 NFR tuples"), std::string::npos);
+
+  Must("DELETE FROM sc VALUES (s1, c1, b1)");
+  std::string after = Must("SELECT * FROM sc");
+  EXPECT_NE(after.find("2 row(s)"), std::string::npos);
+
+  Must("DELETE FROM sc WHERE Student = s2");
+  EXPECT_NE(Must("SELECT * FROM sc").find("1 row(s)"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ProjectionAndNestViews) {
+  Must("CREATE RELATION r (A STRING, B STRING) NEST A, B");
+  Must("INSERT INTO r VALUES (a1, b1), (a2, b1), (a1, b2)");
+  std::string projected = Must("SELECT A FROM r");
+  EXPECT_NE(projected.find("2 row(s)"), std::string::npos);
+  std::string nested = Must("NEST r ON A");
+  EXPECT_NE(nested.find("a1, a2"), std::string::npos);
+  std::string unnested = Must("UNNEST r ON A");
+  EXPECT_NE(unnested.find("NEST"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ListAndCheckpointAndDrop) {
+  EXPECT_EQ(Must("LIST"), "no relations");
+  Must("CREATE RELATION a (X STRING)");
+  Must("CREATE RELATION b (Y STRING)");
+  EXPECT_EQ(Must("LIST"), "a\nb");
+  EXPECT_EQ(Must("CHECKPOINT"), "checkpoint complete");
+  Must("DROP RELATION a");
+  EXPECT_EQ(Must("LIST"), "b");
+}
+
+TEST_F(ExecutorTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(executor_->Execute("SELECT * FROM missing").ok());
+  Must("CREATE RELATION r (A STRING)");
+  EXPECT_FALSE(executor_->Execute("INSERT INTO r VALUES (x, y)").ok());
+  EXPECT_FALSE(
+      executor_->Execute("SELECT * FROM r WHERE Nope = 1").ok());
+  EXPECT_FALSE(executor_->Execute("CREATE RELATION r (A BADTYPE)").ok());
+  EXPECT_FALSE(executor_->Execute("garbage !!").ok());
+}
+
+TEST_F(ExecutorTest, DescribeStatement) {
+  Must("CREATE RELATION r1 (Student STRING, Course STRING, Club STRING) "
+       "MVD Student ->-> Course FD Student -> Club");
+  Must("INSERT INTO r1 VALUES (s1, c1, b1), (s1, c2, b1)");
+  std::string out = Must("DESCRIBE r1");
+  EXPECT_NE(out.find("relation  : r1"), std::string::npos);
+  EXPECT_NE(out.find("nest order:"), std::string::npos);
+  EXPECT_NE(out.find("{Student}->{Club}"), std::string::npos);
+  EXPECT_NE(out.find("->->"), std::string::npos);
+  EXPECT_NE(out.find("|R*|=2"), std::string::npos);
+  EXPECT_FALSE(executor_->Execute("DESCRIBE missing").ok());
+}
+
+TEST_F(ExecutorTest, GroupByCount) {
+  Must("CREATE RELATION takes (Student STRING, Course STRING) "
+       "NEST Course, Student");
+  Must("INSERT INTO takes VALUES (ada, algebra), (ada, calculus), "
+       "(ada, crypto), (bob, algebra), (eve, crypto), (eve, algebra)");
+  std::string out =
+      Must("SELECT Student, COUNT(Course) FROM takes GROUP BY Student");
+  EXPECT_NE(out.find("ada\t3"), std::string::npos);
+  EXPECT_NE(out.find("bob\t1"), std::string::npos);
+  EXPECT_NE(out.find("eve\t2"), std::string::npos);
+  EXPECT_NE(out.find("3 group(s)"), std::string::npos);
+  // With a WHERE filter.
+  std::string filtered = Must(
+      "SELECT Student, COUNT(Course) FROM takes WHERE Course != crypto "
+      "GROUP BY Student");
+  EXPECT_NE(filtered.find("ada\t2"), std::string::npos);
+  EXPECT_NE(filtered.find("eve\t1"), std::string::npos);
+  // Errors: mismatched GROUP BY attribute; joins unsupported.
+  EXPECT_FALSE(executor_
+                   ->Execute("SELECT Student, COUNT(Course) FROM takes "
+                             "GROUP BY Course")
+                   .ok());
+  EXPECT_FALSE(executor_
+                   ->Execute("SELECT Student, COUNT(Course) FROM takes")
+                   .ok());
+}
+
+TEST_F(ExecutorTest, UpdateStatement) {
+  Must("CREATE RELATION emp (Name STRING, Dept STRING, Level INT)");
+  Must("INSERT INTO emp VALUES (ada, cs, 3), (bob, cs, 2), "
+       "(eve, math, 3)");
+  std::string out = Must("UPDATE emp SET Dept = eng WHERE Name = ada");
+  EXPECT_NE(out.find("updated 1 tuple(s)"), std::string::npos);
+  EXPECT_NE(Must("SELECT * FROM emp WHERE Dept = eng").find("ada"),
+            std::string::npos);
+  // Multi-attribute SET, multi-row WHERE.
+  Must("UPDATE emp SET Dept = ops, Level = 1 WHERE Level = 3");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE Dept = ops"), "2");
+  // No WHERE touches every tuple.
+  Must("UPDATE emp SET Level = 9");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE Level = 9"), "3");
+  // Merging rewrite: two rows collapse into one.
+  Must("UPDATE emp SET Name = anon, Dept = x WHERE Dept = ops");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp"), "2");
+  // Errors.
+  EXPECT_FALSE(executor_->Execute("UPDATE emp SET Nope = 1").ok());
+  EXPECT_FALSE(executor_->Execute("UPDATE emp SET").ok());
+  EXPECT_FALSE(executor_->Execute("UPDATE missing SET Level = 1").ok());
+}
+
+TEST_F(ExecutorTest, JoinAndCount) {
+  Must("CREATE RELATION sc (Student STRING, Course STRING)");
+  Must("CREATE RELATION ct (Course STRING, Teacher STRING)");
+  Must("INSERT INTO sc VALUES (s1, db), (s2, db), (s2, ai)");
+  Must("INSERT INTO ct VALUES (db, codd), (ai, mccarthy), (os, unix)");
+  std::string joined = Must("SELECT * FROM sc JOIN ct");
+  EXPECT_NE(joined.find("3 row(s)"), std::string::npos);
+  EXPECT_NE(joined.find("codd"), std::string::npos);
+  std::string filtered =
+      Must("SELECT Student FROM sc JOIN ct WHERE Teacher = codd");
+  EXPECT_NE(filtered.find("2 row(s)"), std::string::npos);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM sc"), "3");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM sc JOIN ct WHERE Teacher = codd"),
+            "2");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM sc WHERE Student = s2"), "2");
+  // Parse errors.
+  EXPECT_FALSE(executor_->Execute("SELECT COUNT( FROM sc").ok());
+  EXPECT_FALSE(executor_->Execute("SELECT * FROM sc JOIN").ok());
+  // Unknown relation in the join list.
+  EXPECT_FALSE(executor_->Execute("SELECT * FROM sc JOIN nope").ok());
+}
+
+TEST_F(ExecutorTest, TransactionStatements) {
+  Must("CREATE RELATION t (A STRING)");
+  EXPECT_EQ(Must("BEGIN"), "transaction started");
+  Must("INSERT INTO t VALUES (x)");
+  EXPECT_EQ(Must("ROLLBACK"), "transaction rolled back");
+  EXPECT_NE(Must("SELECT * FROM t").find("0 row(s)"), std::string::npos);
+  EXPECT_EQ(Must("BEGIN"), "transaction started");
+  Must("INSERT INTO t VALUES (y)");
+  EXPECT_EQ(Must("COMMIT"), "transaction committed");
+  EXPECT_NE(Must("SELECT * FROM t").find("1 row(s)"), std::string::npos);
+  // Stray commit errors.
+  EXPECT_FALSE(executor_->Execute("COMMIT").ok());
+}
+
+TEST_F(ExecutorTest, TypedColumns) {
+  Must("CREATE RELATION t (Name STRING, Age INT, Score DOUBLE)");
+  Must("INSERT INTO t VALUES ('ann', 31, 9.5), ('bob', 25, 7.25)");
+  std::string young = Must("SELECT Name FROM t WHERE Age < 30");
+  EXPECT_NE(young.find("bob"), std::string::npos);
+  EXPECT_EQ(young.find("ann"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "dependency/normalize.h"
+#include "tests/test_util.h"
+
+namespace nf2 {
+namespace {
+
+TEST(Synthesize3NFTest, TextbookExample) {
+  // R(A,B,C,D): A->B, A->C, C->D. Cover groups: A->{B,C}, C->{D}.
+  FdSet fds(4);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{0}, AttrSet{2});
+  fds.Add(AttrSet{2}, AttrSet{3});
+  std::vector<SubScheme> schemes = Synthesize3NF(fds);
+  ASSERT_EQ(schemes.size(), 2u);
+  // One scheme {A,B,C}, one {C,D}; key A is inside the first.
+  std::vector<AttrSet> attr_sets;
+  for (const SubScheme& s : schemes) attr_sets.push_back(s.attrs);
+  std::sort(attr_sets.begin(), attr_sets.end());
+  EXPECT_EQ(attr_sets[0], (AttrSet{0, 1, 2}));
+  EXPECT_EQ(attr_sets[1], (AttrSet{2, 3}));
+}
+
+TEST(Synthesize3NFTest, AddsKeySchemeWhenMissing) {
+  // R(A,B,C): A->B only. Key is {A,C}; no FD group contains it, so a
+  // key scheme must be appended.
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  std::vector<SubScheme> schemes = Synthesize3NF(fds);
+  ASSERT_EQ(schemes.size(), 2u);
+  bool has_key_scheme = false;
+  for (const SubScheme& s : schemes) {
+    if ((AttrSet{0, 2}).IsSubsetOf(s.attrs)) has_key_scheme = true;
+  }
+  EXPECT_TRUE(has_key_scheme);
+}
+
+TEST(Synthesize3NFTest, MergesSameLhsGroups) {
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1});
+  fds.Add(AttrSet{0}, AttrSet{2});
+  std::vector<SubScheme> schemes = Synthesize3NF(fds);
+  ASSERT_EQ(schemes.size(), 1u);
+  EXPECT_EQ(schemes[0].attrs, (AttrSet{0, 1, 2}));
+}
+
+TEST(BcnfTest, Detection) {
+  FdSet good(3);
+  good.Add(AttrSet{0}, AttrSet{1, 2});
+  EXPECT_TRUE(IsBcnf(good));
+  FdSet bad(3);
+  bad.Add(AttrSet{0}, AttrSet{1, 2});
+  bad.Add(AttrSet{1}, AttrSet{2});  // B is not a superkey.
+  EXPECT_FALSE(IsBcnf(bad));
+}
+
+TEST(FourNFTest, MvdWithNonKeyLhsViolates) {
+  // Student ->-> Course with Student not a key: not 4NF.
+  FdSet fds(3);
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  EXPECT_FALSE(Is4NF(fds, mvds));
+  // If Student were a key it would be fine.
+  FdSet key_fds(3);
+  key_fds.Add(AttrSet{0}, AttrSet{1, 2});
+  EXPECT_TRUE(Is4NF(key_fds, mvds));
+}
+
+TEST(FourNFTest, TrivialMvdsDoNotViolate) {
+  FdSet fds(3);
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1, 2});  // X∪Y = U: trivial.
+  EXPECT_TRUE(Is4NF(fds, mvds));
+}
+
+TEST(Decompose4NFTest, SplitsR1IntoTwoProjections) {
+  FlatRelation r1 = MakeStringRelation(
+      {"Student", "Course", "Club"},
+      {{"s1", "c1", "b1"}, {"s1", "c2", "b1"},
+       {"s2", "c1", "b2"}, {"s2", "c2", "b2"}});
+  FdSet fds(3);
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  std::vector<DecomposedRelation> parts = Decompose4NF(r1, fds, mvds);
+  ASSERT_EQ(parts.size(), 2u);
+  // Lossless: joining the parts recovers R1.
+  FlatRelation joined = NaturalJoin(parts[0].relation, parts[1].relation);
+  // Column order may differ; compare projected back to original order.
+  ASSERT_EQ(joined.degree(), 3u);
+  Result<FlatRelation> reordered = ProjectByName(
+      joined, {"Student", "Course", "Club"});
+  ASSERT_TRUE(reordered.ok());
+  EXPECT_EQ(*reordered, r1);
+}
+
+TEST(Decompose4NFTest, NoViolationKeepsRelationWhole) {
+  FlatRelation rel = MakeStringRelation({"A", "B"}, {{"a1", "b1"}});
+  FdSet fds(2);
+  MvdSet mvds(2);
+  std::vector<DecomposedRelation> parts = Decompose4NF(rel, fds, mvds);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].relation, rel);
+}
+
+TEST(Decompose4NFTest, KeyLhsMvdDoesNotSplit) {
+  FlatRelation rel = MakeStringRelation({"A", "B", "C"},
+                                        {{"a1", "b1", "c1"}});
+  FdSet fds(3);
+  fds.Add(AttrSet{0}, AttrSet{1, 2});
+  MvdSet mvds(3);
+  mvds.Add(AttrSet{0}, AttrSet{1});
+  EXPECT_EQ(Decompose4NF(rel, fds, mvds).size(), 1u);
+}
+
+TEST(SubSchemeTest, ToString) {
+  Schema schema = Schema::OfStrings({"A", "B", "C"});
+  SubScheme s{AttrSet{0, 1}, {Fd{AttrSet{0}, AttrSet{1}}}};
+  EXPECT_EQ(s.ToString(schema), "{A,B} with {A}->{B}");
+}
+
+}  // namespace
+}  // namespace nf2

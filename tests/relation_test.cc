@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/format.h"
+#include "core/relation.h"
+
+namespace nf2 {
+namespace {
+
+FlatRelation Example1Flat() {
+  // Example 1's four tuples over A, B.
+  return MakeStringRelation({"A", "B"}, {{"a1", "b1"},
+                                         {"a2", "b1"},
+                                         {"a2", "b2"},
+                                         {"a3", "b2"}});
+}
+
+TEST(FlatRelationTest, ConstructionSortsAndDedups) {
+  FlatRelation r = MakeStringRelation(
+      {"A"}, {{"b"}, {"a"}, {"b"}});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuple(0), (FlatTuple{V("a")}));
+  EXPECT_EQ(r.tuple(1), (FlatTuple{V("b")}));
+}
+
+TEST(FlatRelationTest, InsertEraseContains) {
+  FlatRelation r(Schema::OfStrings({"A", "B"}));
+  EXPECT_TRUE(r.Insert(FlatTuple{V("a1"), V("b1")}));
+  EXPECT_FALSE(r.Insert(FlatTuple{V("a1"), V("b1")}));
+  EXPECT_TRUE(r.Contains(FlatTuple{V("a1"), V("b1")}));
+  EXPECT_TRUE(r.Erase(FlatTuple{V("a1"), V("b1")}));
+  EXPECT_FALSE(r.Erase(FlatTuple{V("a1"), V("b1")}));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(FlatRelationTest, Equality) {
+  EXPECT_EQ(Example1Flat(), Example1Flat());
+  FlatRelation other = Example1Flat();
+  other.Insert(FlatTuple{V("a9"), V("b9")});
+  EXPECT_NE(Example1Flat(), other);
+}
+
+TEST(NfrRelationTest, FromFlatIsAllSingletons) {
+  NfrRelation r = NfrRelation::FromFlat(Example1Flat());
+  EXPECT_EQ(r.size(), 4u);
+  for (const NfrTuple& t : r.tuples()) {
+    EXPECT_TRUE(t.IsSimple());
+  }
+}
+
+TEST(NfrRelationTest, ExpandRoundTripsFlat) {
+  // Theorem 1 direction: NFR built from 1NF expands back to it.
+  FlatRelation flat = Example1Flat();
+  EXPECT_EQ(NfrRelation::FromFlat(flat).Expand(), flat);
+}
+
+TEST(NfrRelationTest, ExpandOfCompoundTuples) {
+  NfrRelation r(Schema::OfStrings({"A", "B"}));
+  r.Add(NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))});
+  r.Add(NfrTuple{ValueSet{V("a2"), V("a3")}, ValueSet(V("b2"))});
+  EXPECT_EQ(r.Expand(), Example1Flat());
+  EXPECT_EQ(r.ExpandedSize(), 4u);
+}
+
+TEST(NfrRelationTest, FindContaining) {
+  NfrRelation r(Schema::OfStrings({"A", "B"}));
+  r.Add(NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))});
+  r.Add(NfrTuple{ValueSet(V("a3")), ValueSet(V("b2"))});
+  EXPECT_EQ(r.FindContaining(FlatTuple{V("a2"), V("b1")}), 0u);
+  EXPECT_EQ(r.FindContaining(FlatTuple{V("a3"), V("b2")}), 1u);
+  EXPECT_EQ(r.FindContaining(FlatTuple{V("a3"), V("b1")}), r.size());
+  EXPECT_TRUE(r.ExpansionContains(FlatTuple{V("a1"), V("b1")}));
+  EXPECT_FALSE(r.ExpansionContains(FlatTuple{V("a9"), V("b1")}));
+}
+
+TEST(NfrRelationTest, RemoveByValue) {
+  NfrRelation r(Schema::OfStrings({"A"}));
+  r.Add(NfrTuple{ValueSet(V("x"))});
+  EXPECT_TRUE(r.Remove(NfrTuple{ValueSet(V("x"))}));
+  EXPECT_FALSE(r.Remove(NfrTuple{ValueSet(V("x"))}));
+}
+
+TEST(NfrRelationTest, ValidateAcceptsDisjointTuples) {
+  NfrRelation r(Schema::OfStrings({"A", "B"}));
+  r.Add(NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))});
+  r.Add(NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b2"))});
+  EXPECT_TRUE(r.Validate().ok());
+}
+
+TEST(NfrRelationTest, ValidateRejectsOverlappingExpansions) {
+  NfrRelation r(Schema::OfStrings({"A", "B"}));
+  r.Add(NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))});
+  r.Add(NfrTuple{ValueSet{V("a2"), V("a3")}, ValueSet{V("b1"), V("b2")}});
+  Status s = r.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(NfrRelationTest, EqualsAsSetIgnoresOrder) {
+  NfrRelation a(Schema::OfStrings({"A"}));
+  a.Add(NfrTuple{ValueSet(V("x"))});
+  a.Add(NfrTuple{ValueSet(V("y"))});
+  NfrRelation b(Schema::OfStrings({"A"}));
+  b.Add(NfrTuple{ValueSet(V("y"))});
+  b.Add(NfrTuple{ValueSet(V("x"))});
+  EXPECT_TRUE(a.EqualsAsSet(b));
+  b.Add(NfrTuple{ValueSet(V("z"))});
+  EXPECT_FALSE(a.EqualsAsSet(b));
+}
+
+TEST(NfrRelationTest, EquivalentToComparesExpansions) {
+  // Two different NFRs denoting the same R* are "equivalent" — the
+  // paper's information-preservation notion for composition.
+  NfrRelation a(Schema::OfStrings({"A", "B"}));
+  a.Add(NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))});
+  NfrRelation b(Schema::OfStrings({"A", "B"}));
+  b.Add(NfrTuple{ValueSet(V("a1")), ValueSet(V("b1"))});
+  b.Add(NfrTuple{ValueSet(V("a2")), ValueSet(V("b1"))});
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_FALSE(a.EqualsAsSet(b));
+}
+
+TEST(NfrRelationDeathTest, AddRejectsEmptyComponent) {
+  NfrRelation r(Schema::OfStrings({"A"}));
+  EXPECT_DEATH(r.Add(NfrTuple{ValueSet()}), "empty component");
+}
+
+TEST(NfrRelationDeathTest, AddRejectsDegreeMismatch) {
+  NfrRelation r(Schema::OfStrings({"A", "B"}));
+  EXPECT_DEATH(r.Add(NfrTuple{ValueSet(V("x"))}), "degree");
+}
+
+TEST(FormatTest, RenderNfrTable) {
+  NfrRelation r(Schema::OfStrings({"Student", "Course"}));
+  r.Add(NfrTuple{ValueSet(V("s1")), ValueSet{V("c1"), V("c2")}});
+  std::string table = RenderTable(r, "R1");
+  EXPECT_NE(table.find("R1"), std::string::npos);
+  EXPECT_NE(table.find("Student"), std::string::npos);
+  EXPECT_NE(table.find("c1, c2"), std::string::npos);
+  EXPECT_NE(table.find("+--"), std::string::npos);
+}
+
+TEST(FormatTest, RenderFlatTable) {
+  std::string table = RenderTable(Example1Flat());
+  EXPECT_NE(table.find("| a1"), std::string::npos);
+  EXPECT_NE(table.find("| b2"), std::string::npos);
+}
+
+TEST(MakeStringRelationTest, BuildsExpectedTuples) {
+  FlatRelation r = Example1Flat();
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_TRUE(r.Contains(FlatTuple{V("a3"), V("b2")}));
+  EXPECT_EQ(r.schema().attribute(1).name, "B");
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+
+namespace nf2 {
+namespace {
+
+TEST(SchemaTest, OfStringsBuildsStringAttributes) {
+  Schema s = Schema::OfStrings({"Student", "Course", "Club"});
+  EXPECT_EQ(s.degree(), 3u);
+  EXPECT_EQ(s.attribute(0).name, "Student");
+  EXPECT_EQ(s.attribute(0).type, ValueType::kString);
+  EXPECT_EQ(s.attribute(2).name, "Club");
+}
+
+TEST(SchemaTest, MixedTypes) {
+  Schema s({{"Id", ValueType::kInt}, {"Name", ValueType::kString}});
+  EXPECT_EQ(s.attribute(0).type, ValueType::kInt);
+  EXPECT_EQ(s.attribute(1).type, ValueType::kString);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = Schema::OfStrings({"A", "B", "C"});
+  EXPECT_EQ(s.IndexOf("B"), 1u);
+  EXPECT_EQ(s.IndexOf("Z"), std::nullopt);
+}
+
+TEST(SchemaTest, RequireIndexErrorsOnMissing) {
+  Schema s = Schema::OfStrings({"A"});
+  Result<size_t> r = s.RequireIndex("B");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(s.RequireIndex("A").ok());
+  EXPECT_EQ(*s.RequireIndex("A"), 0u);
+}
+
+TEST(SchemaTest, Project) {
+  Schema s = Schema::OfStrings({"A", "B", "C"});
+  Schema p = s.Project({2, 0});
+  EXPECT_EQ(p.degree(), 2u);
+  EXPECT_EQ(p.attribute(0).name, "C");
+  EXPECT_EQ(p.attribute(1).name, "A");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(Schema::OfStrings({"A", "B"}), Schema::OfStrings({"A", "B"}));
+  EXPECT_NE(Schema::OfStrings({"A", "B"}), Schema::OfStrings({"B", "A"}));
+  EXPECT_NE(Schema::OfStrings({"A"}),
+            Schema({{"A", ValueType::kInt}}));
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"Id", ValueType::kInt}, {"Name", ValueType::kString}});
+  EXPECT_EQ(s.ToString(), "(Id INT, Name STRING)");
+}
+
+TEST(SchemaDeathTest, DuplicateNamesFatal) {
+  EXPECT_DEATH(Schema::OfStrings({"A", "A"}), "Duplicate attribute");
+}
+
+TEST(AttrSetTest, EmptyByDefault) {
+  AttrSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(AttrSetTest, AddRemoveContains) {
+  AttrSet s;
+  s.Add(3);
+  s.Add(0);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.size(), 2u);
+  s.Remove(0);
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(AttrSetTest, InitializerList) {
+  AttrSet s{0, 2, 5};
+  EXPECT_EQ(s.ToVector(), (std::vector<size_t>{0, 2, 5}));
+}
+
+TEST(AttrSetTest, All) {
+  AttrSet s = AttrSet::All(3);
+  EXPECT_EQ(s.ToVector(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(AttrSet::All(0).size(), 0u);
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a{0, 1};
+  AttrSet b{1, 2};
+  EXPECT_EQ(a.Union(b), (AttrSet{0, 1, 2}));
+  EXPECT_EQ(a.Intersect(b), (AttrSet{1}));
+  EXPECT_EQ(a.Difference(b), (AttrSet{0}));
+}
+
+TEST(AttrSetTest, SubsetRelation) {
+  EXPECT_TRUE((AttrSet{1}).IsSubsetOf(AttrSet{0, 1}));
+  EXPECT_TRUE(AttrSet().IsSubsetOf(AttrSet{0}));
+  EXPECT_FALSE((AttrSet{2}).IsSubsetOf(AttrSet{0, 1}));
+}
+
+TEST(AttrSetTest, ToStringUsesSchemaNames) {
+  Schema s = Schema::OfStrings({"A", "B", "C"});
+  EXPECT_EQ((AttrSet{0, 2}).ToString(s), "{A,C}");
+  EXPECT_EQ(AttrSet().ToString(s), "{}");
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/nest.h"
+#include "storage/serde.h"
+#include "tests/test_util.h"
+
+namespace nf2 {
+namespace {
+
+TEST(BufferTest, PrimitiveRoundTrip) {
+  BufferWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(2.5);
+  w.PutString("hello");
+  BufferReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 2.5);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, TruncationIsCorruption) {
+  BufferWriter w;
+  w.PutU32(7);
+  BufferReader r(w.data());
+  ASSERT_TRUE(r.GetU32().ok());
+  Result<uint64_t> bad = r.GetU64();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BufferTest, StringWithEmbeddedNulls) {
+  BufferWriter w;
+  std::string s("a\0b", 3);
+  w.PutString(s);
+  BufferReader r(w.data());
+  EXPECT_EQ(*r.GetString(), s);
+}
+
+TEST(Crc32Test, KnownVectorsAndSensitivity) {
+  // Standard check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+}
+
+TEST(SerdeTest, ValueRoundTripAllTypes) {
+  for (const Value& v :
+       {Value::Null(), Value::Bool(true), Value::Bool(false),
+        Value::Int(-123456789), Value::Double(3.14159),
+        Value::String("nf2"), Value::String("")}) {
+    BufferWriter w;
+    EncodeValue(v, &w);
+    BufferReader r(w.data());
+    Result<Value> back = DecodeValue(&r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(SerdeTest, BadValueTagIsCorruption) {
+  BufferWriter w;
+  w.PutU8(99);
+  BufferReader r(w.data());
+  EXPECT_EQ(DecodeValue(&r).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerdeTest, ValueSetRoundTrip) {
+  ValueSet s{V("c3"), V("c1"), V("c2")};
+  BufferWriter w;
+  EncodeValueSet(s, &w);
+  BufferReader r(w.data());
+  Result<ValueSet> back = DecodeValueSet(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(SerdeTest, FlatTupleRoundTrip) {
+  FlatTuple t{V("s1"), Value::Int(7), Value::Double(0.5)};
+  BufferWriter w;
+  EncodeFlatTuple(t, &w);
+  BufferReader r(w.data());
+  Result<FlatTuple> back = DecodeFlatTuple(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(SerdeTest, NfrTupleRoundTrip) {
+  NfrTuple t{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1")),
+             ValueSet{Value::Int(1), Value::Int(2), Value::Int(3)}};
+  BufferWriter w;
+  EncodeNfrTuple(t, &w);
+  BufferReader r(w.data());
+  Result<NfrTuple> back = DecodeNfrTuple(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(SerdeTest, SchemaRoundTrip) {
+  Schema s({{"Id", ValueType::kInt},
+            {"Name", ValueType::kString},
+            {"Score", ValueType::kDouble}});
+  BufferWriter w;
+  EncodeSchema(s, &w);
+  BufferReader r(w.data());
+  Result<Schema> back = DecodeSchema(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(SerdeTest, RelationRoundTrip) {
+  Rng rng(55);
+  FlatRelation flat = RandomFlatRelation(&rng, 3, 4, 20);
+  NfrRelation nested = CanonicalForm(flat, {2, 1, 0});
+  BufferWriter w;
+  EncodeNfrRelation(nested, &w);
+  BufferReader r(w.data());
+  Result<NfrRelation> back = DecodeNfrRelation(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->EqualsAsSet(nested));
+  EXPECT_EQ(back->Expand(), flat);
+}
+
+TEST(SerdeTest, RelationDecodingRejectsGarbage) {
+  std::string garbage = "not a relation at all";
+  BufferReader r(garbage);
+  EXPECT_FALSE(DecodeNfrRelation(&r).ok());
+}
+
+}  // namespace
+}  // namespace nf2

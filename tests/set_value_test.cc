@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/compose.h"
+#include "core/nest.h"
+#include "core/update.h"
+#include "nfrql/executor.h"
+#include "storage/serde.h"
+
+namespace nf2 {
+namespace {
+
+Value Prereq(std::initializer_list<const char*> courses) {
+  std::vector<Value> elements;
+  for (const char* c : courses) elements.push_back(V(c));
+  return Value::SetOf(std::move(elements));
+}
+
+TEST(SetValueTest, ConstructionSortsAndDedups) {
+  Value s = Value::SetOf({V("c2"), V("c1"), V("c2")});
+  EXPECT_EQ(s.type(), ValueType::kSet);
+  ASSERT_EQ(s.AsSet().size(), 2u);
+  EXPECT_EQ(s.AsSet()[0], V("c1"));
+  EXPECT_EQ(s.AsSet()[1], V("c2"));
+}
+
+TEST(SetValueTest, EqualityIsSetBased) {
+  EXPECT_EQ(Prereq({"c1", "c2"}), Prereq({"c2", "c1"}));
+  EXPECT_NE(Prereq({"c1"}), Prereq({"c1", "c2"}));
+  EXPECT_NE(Prereq({"c1"}), V("c1"));  // A set is not its element.
+}
+
+TEST(SetValueTest, EmptySet) {
+  Value empty = Value::SetOf({});
+  EXPECT_EQ(empty.type(), ValueType::kSet);
+  EXPECT_TRUE(empty.AsSet().empty());
+  EXPECT_EQ(empty.ToString(), "{}");
+}
+
+TEST(SetValueTest, Ordering) {
+  EXPECT_LT(Prereq({"c1"}), Prereq({"c1", "c2"}));
+  EXPECT_LT(Prereq({"c1", "c2"}), Prereq({"c1", "c3"}));
+  // Sets order after all scalar types (highest type tag).
+  EXPECT_LT(V("zzz"), Prereq({"a"}));
+}
+
+TEST(SetValueTest, HashConsistent) {
+  EXPECT_EQ(Prereq({"c2", "c1"}).Hash(), Prereq({"c1", "c2"}).Hash());
+  EXPECT_NE(Prereq({"c1"}).Hash(), Prereq({"c2"}).Hash());
+}
+
+TEST(SetValueTest, ToString) {
+  EXPECT_EQ(Prereq({"c2", "c1"}).ToString(), "{c1,c2}");
+}
+
+TEST(SetValueTest, SetsOfSetsNest) {
+  // The paper's (c0, {{c1,c2},{c1,c3}}) — alternative prerequisite
+  // conditions as a set of sets.
+  Value alternatives =
+      Value::SetOf({Prereq({"c1", "c2"}), Prereq({"c1", "c3"})});
+  EXPECT_EQ(alternatives.AsSet().size(), 2u);
+  EXPECT_EQ(alternatives.ToString(), "{{c1,c2},{c1,c3}}");
+  EXPECT_EQ(alternatives,
+            Value::SetOf({Prereq({"c1", "c3"}), Prereq({"c2", "c1"})}));
+}
+
+TEST(SetValueTest, SerdeRoundTrip) {
+  for (const Value& v :
+       {Prereq({"c1", "c2"}), Value::SetOf({}),
+        Value::SetOf({Prereq({"a"}), Value::Int(3), V("mixed")})}) {
+    BufferWriter w;
+    EncodeValue(v, &w);
+    BufferReader r(w.data());
+    Result<Value> back = DecodeValue(&r);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(SetValueTest, CompositionTreatsSetsAtomically) {
+  // The §2 CP[Course, Prerequisite] discussion: (c0,{c1,c2}) and
+  // (c0,{c1,c3}) are DIFFERENT prerequisite conditions; nesting over
+  // Prerequisite collects the two set-values without merging their
+  // contents.
+  Schema schema({{"Course", ValueType::kString},
+                 {"Prerequisite", ValueType::kSet}});
+  FlatRelation cp(schema);
+  cp.Insert(FlatTuple{V("c0"), Prereq({"c1", "c2"})});
+  cp.Insert(FlatTuple{V("c0"), Prereq({"c1", "c3"})});
+  NfrRelation nested = NestOn(NfrRelation::FromFlat(cp), 1);
+  ASSERT_EQ(nested.size(), 1u);
+  // The component holds two atomic sets, not three courses.
+  EXPECT_EQ(nested.tuple(0).at(1).size(), 2u);
+  EXPECT_TRUE(nested.tuple(0).at(1).Contains(Prereq({"c1", "c2"})));
+  EXPECT_TRUE(nested.tuple(0).at(1).Contains(Prereq({"c1", "c3"})));
+  EXPECT_FALSE(nested.tuple(0).at(1).Contains(V("c1")));
+  // Round trip: expansion recovers the two original tuples (the sets
+  // were never split).
+  EXPECT_EQ(nested.Expand(), cp);
+}
+
+TEST(SetValueTest, CanonicalUpdatesWorkOnSetDomains) {
+  Schema schema({{"Course", ValueType::kString},
+                 {"Prerequisite", ValueType::kSet}});
+  CanonicalRelation cp(schema, {1, 0});
+  ASSERT_TRUE(cp.Insert(FlatTuple{V("c0"), Prereq({"c1", "c2"})}).ok());
+  ASSERT_TRUE(cp.Insert(FlatTuple{V("c0"), Prereq({"c1", "c3"})}).ok());
+  ASSERT_TRUE(cp.Insert(FlatTuple{V("c9"), Prereq({"c1", "c2"})}).ok());
+  EXPECT_TRUE(cp.Contains(FlatTuple{V("c0"), Prereq({"c2", "c1"})}));
+  ASSERT_TRUE(cp.Delete(FlatTuple{V("c0"), Prereq({"c1", "c3"})}).ok());
+  // c0 and c9 now share the single condition {c1,c2}: canonical form
+  // with Prerequisite nested first merges them on Course.
+  EXPECT_EQ(cp.size(), 1u);
+  EXPECT_EQ(cp.relation().tuple(0).at(0), (ValueSet{V("c0"), V("c9")}));
+}
+
+TEST(SetValueTest, NfrqlSetLiterals) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "nf2_setval_test").string();
+  std::filesystem::remove_all(dir);
+  auto db = Database::Open(dir);
+  ASSERT_TRUE(db.ok());
+  Executor executor(db->get());
+  ASSERT_TRUE(executor
+                  .Execute("CREATE RELATION cp (Course STRING, "
+                           "Prereq SET) NEST Prereq, Course")
+                  .ok());
+  Result<std::string> inserted = executor.Execute(
+      "INSERT INTO cp VALUES (c0, {c1, c2}), (c0, {c1, c3})");
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  Result<std::string> shown = executor.Execute("SHOW cp");
+  ASSERT_TRUE(shown.ok());
+  EXPECT_NE(shown->find("{c1,c2}"), std::string::npos);
+  // Selecting on the whole set value.
+  Result<std::string> selected =
+      executor.Execute("SELECT * FROM cp WHERE Prereq = {c2, c1}");
+  ASSERT_TRUE(selected.ok()) << selected.status();
+  EXPECT_NE(selected->find("1 row(s)"), std::string::npos);
+  // Nested set literals.
+  ASSERT_TRUE(
+      executor.Execute("INSERT INTO cp VALUES (c7, {{a, b}, {c}})").ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SetValueTest, NfrqlBadSetLiteralErrors) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "nf2_setval_err").string();
+  std::filesystem::remove_all(dir);
+  auto db = Database::Open(dir);
+  ASSERT_TRUE(db.ok());
+  Executor executor(db->get());
+  ASSERT_TRUE(
+      executor.Execute("CREATE RELATION r (A STRING, B SET)").ok());
+  EXPECT_FALSE(executor.Execute("INSERT INTO r VALUES (x, {a, b)").ok());
+  EXPECT_FALSE(executor.Execute("INSERT INTO r VALUES (x, {a,,b})").ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace nf2

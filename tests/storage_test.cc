@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/nest.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/serde.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace nf2 {
+namespace {
+
+/// Creates a fresh scratch directory per test and removes it after.
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nf2_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageTest, PageInsertReadDelete) {
+  Page page;
+  std::optional<uint16_t> s0 = page.Insert("record zero");
+  std::optional<uint16_t> s1 = page.Insert("record one");
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(*page.Read(*s0), "record zero");
+  EXPECT_EQ(*page.Read(*s1), "record one");
+  ASSERT_TRUE(page.Delete(*s0).ok());
+  EXPECT_EQ(page.Read(*s0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(page.Read(*s1).status().code(), StatusCode::kOk);
+  EXPECT_EQ(page.Delete(*s0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(page.Read(99).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageTest, PageFillsUpThenRejects) {
+  Page page;
+  std::string record(100, 'x');
+  size_t inserted = 0;
+  while (page.Insert(record).has_value()) {
+    ++inserted;
+  }
+  // ~4096 / 104 ≈ 39 records.
+  EXPECT_GT(inserted, 30u);
+  EXPECT_LT(inserted, 45u);
+  EXPECT_FALSE(page.Insert(record).has_value());
+}
+
+TEST_F(StorageTest, PageCompactReclaimsSpace) {
+  Page page;
+  std::string record(100, 'y');
+  std::vector<uint16_t> slots;
+  while (true) {
+    std::optional<uint16_t> s = page.Insert(record);
+    if (!s.has_value()) break;
+    slots.push_back(*s);
+  }
+  // Delete every other record and compact.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page.Delete(slots[i]).ok());
+  }
+  size_t live_before = page.LiveRecords().size();
+  page.Compact();
+  EXPECT_EQ(page.LiveRecords().size(), live_before);
+  EXPECT_TRUE(page.Insert(record).has_value());
+}
+
+TEST_F(StorageTest, PageLiveRecordsSkipsTombstones) {
+  Page page;
+  auto a = page.Insert("a");
+  auto b = page.Insert("b");
+  auto c = page.Insert("c");
+  ASSERT_TRUE(a && b && c);
+  ASSERT_TRUE(page.Delete(*b).ok());
+  auto live = page.LiveRecords();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].second, "a");
+  EXPECT_EQ(live[1].second, "c");
+}
+
+TEST_F(StorageTest, HeapFileCreateWriteRead) {
+  auto hf = HeapFile::Create(Path("t.nf2"));
+  ASSERT_TRUE(hf.ok());
+  EXPECT_EQ((*hf)->page_count(), 0u);
+  Result<PageId> p0 = (*hf)->AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0u);
+  Page page;
+  page.Insert("persisted");
+  ASSERT_TRUE((*hf)->WritePage(*p0, page).ok());
+  ASSERT_TRUE((*hf)->Sync().ok());
+
+  Page loaded;
+  ASSERT_TRUE((*hf)->ReadPage(*p0, &loaded).ok());
+  EXPECT_EQ(*loaded.Read(0), "persisted");
+}
+
+TEST_F(StorageTest, HeapFileReopenSeesData) {
+  {
+    auto hf = HeapFile::Create(Path("t.nf2"));
+    ASSERT_TRUE(hf.ok());
+    ASSERT_TRUE((*hf)->AllocatePage().ok());
+    ASSERT_TRUE((*hf)->AllocatePage().ok());
+    Page page;
+    page.Insert("second page record");
+    ASSERT_TRUE((*hf)->WritePage(1, page).ok());
+  }
+  auto reopened = HeapFile::Open(Path("t.nf2"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->page_count(), 2u);
+  Page loaded;
+  ASSERT_TRUE((*reopened)->ReadPage(1, &loaded).ok());
+  EXPECT_EQ(*loaded.Read(0), "second page record");
+}
+
+TEST_F(StorageTest, HeapFileErrors) {
+  EXPECT_EQ(HeapFile::Open(Path("missing.nf2")).status().code(),
+            StatusCode::kNotFound);
+  // Non-page-aligned file is corrupt.
+  {
+    std::ofstream f(Path("bad.nf2"), std::ios::binary);
+    f << "stub";
+  }
+  EXPECT_EQ(HeapFile::Open(Path("bad.nf2")).status().code(),
+            StatusCode::kCorruption);
+  auto hf = HeapFile::Create(Path("t.nf2"));
+  ASSERT_TRUE(hf.ok());
+  Page page;
+  EXPECT_EQ((*hf)->ReadPage(5, &page).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ((*hf)->WritePage(5, page).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageTest, BufferPoolCachesAndEvicts) {
+  auto hf = HeapFile::Create(Path("t.nf2"));
+  ASSERT_TRUE(hf.ok());
+  BufferPool pool(hf->get(), 2);
+  // Allocate 3 pages through the pool: capacity 2 forces an eviction.
+  for (int i = 0; i < 3; ++i) {
+    auto allocated = pool.Allocate();
+    ASSERT_TRUE(allocated.ok());
+    auto [id, page] = *allocated;
+    page->Insert(StrCat("page ", id));
+    pool.MarkDirty(id);
+  }
+  EXPECT_EQ(pool.resident_pages(), 2u);
+  EXPECT_GE(pool.stats().evictions, 1u);
+  EXPECT_GE(pool.stats().writebacks, 1u);  // Evicted page was dirty.
+  // Fetching page 0 reloads from disk with the evicted content intact.
+  auto page0 = pool.Fetch(0);
+  ASSERT_TRUE(page0.ok());
+  EXPECT_EQ(*(*page0)->Read(0), "page 0");
+}
+
+TEST_F(StorageTest, BufferPoolHitMissAccounting) {
+  auto hf = HeapFile::Create(Path("t.nf2"));
+  ASSERT_TRUE(hf.ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE((*hf)->AllocatePage().ok());
+  BufferPool pool(hf->get(), 4);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST_F(StorageTest, BufferPoolFlushAllPersists) {
+  auto hf = HeapFile::Create(Path("t.nf2"));
+  ASSERT_TRUE(hf.ok());
+  BufferPool pool(hf->get(), 8);
+  auto allocated = pool.Allocate();
+  ASSERT_TRUE(allocated.ok());
+  allocated->second->Insert("durable");
+  pool.MarkDirty(allocated->first);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page direct;
+  ASSERT_TRUE((*hf)->ReadPage(allocated->first, &direct).ok());
+  EXPECT_EQ(*direct.Read(0), "durable");
+}
+
+TEST_F(StorageTest, WalAppendAndReadAll) {
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  WalRecord r1{0, WalOpType::kInsert, "students", "tuple-bytes"};
+  WalRecord r2{0, WalOpType::kDelete, "students", "other-bytes"};
+  ASSERT_TRUE((*wal)->Append(r1).ok());
+  ASSERT_TRUE((*wal)->Append(r2).ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].lsn, 1u);
+  EXPECT_EQ((*records)[1].lsn, 2u);
+  EXPECT_EQ((*records)[0].type, WalOpType::kInsert);
+  EXPECT_EQ((*records)[1].payload, "other-bytes");
+}
+
+TEST_F(StorageTest, WalLsnsContinueAcrossReopen) {
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(
+        (*wal)->Append({0, WalOpType::kInsert, "r", "x"}).ok());
+  }
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_lsn(), 2u);
+  Result<uint64_t> lsn = (*wal)->Append({0, WalOpType::kDelete, "r", "y"});
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);
+}
+
+TEST_F(StorageTest, WalTornTailIsIgnored) {
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "ok"}).ok());
+  }
+  // Simulate a crash mid-append: garbage half-frame at the tail.
+  {
+    std::ofstream f(Path("wal.log"), std::ios::binary | std::ios::app);
+    uint32_t bogus_len = 1000;
+    f.write(reinterpret_cast<const char*>(&bogus_len), 4);
+    f << "partial";
+  }
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].payload, "ok");
+}
+
+TEST_F(StorageTest, WalCorruptedRecordStopsReplay) {
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "first"}).ok());
+    ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "second"}).ok());
+  }
+  // Flip a byte inside the second frame's payload.
+  {
+    std::fstream f(Path("wal.log"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    std::streamoff size = f.tellg();
+    f.seekp(size - 8);
+    f.put('!');
+  }
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].payload, "first");
+}
+
+TEST_F(StorageTest, WalReset) {
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "x"}).ok());
+  ASSERT_TRUE((*wal)->Reset().ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  EXPECT_EQ((*wal)->next_lsn(), 1u);
+}
+
+TEST_F(StorageTest, WalRandomCorruptionNeverCrashesAndKeepsPrefix) {
+  // Property: flipping any single byte of the log yields, at worst, a
+  // clean prefix of the original records — never a crash, never a
+  // corrupted record passed through.
+  std::vector<WalRecord> original;
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 6; ++i) {
+      WalRecord r{0, i % 2 == 0 ? WalOpType::kInsert : WalOpType::kDelete,
+                  StrCat("rel", i), StrCat("payload-", i)};
+      ASSERT_TRUE((*wal)->Append(r).ok());
+    }
+    auto all = (*wal)->ReadAll();
+    ASSERT_TRUE(all.ok());
+    original = *all;
+  }
+  std::ifstream in(Path("wal.log"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  Rng rng(1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string corrupted = bytes;
+    size_t pos = rng.NextBelow(corrupted.size());
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^
+                                       (1u << rng.NextBelow(8)));
+    std::string path = Path(StrCat("wal_fuzz_", trial, ".log"));
+    {
+      std::ofstream out(path, std::ios::binary);
+      out << corrupted;
+    }
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    auto records = (*wal)->ReadAll();
+    ASSERT_TRUE(records.ok());
+    ASSERT_LE(records->size(), original.size());
+    for (size_t i = 0; i < records->size(); ++i) {
+      // Each surviving record is bit-exact (CRC catches payload damage)
+      // OR the damage hit this record and truncated the log before it.
+      EXPECT_EQ((*records)[i], original[i]) << "trial " << trial;
+    }
+  }
+}
+
+TEST_F(StorageTest, TableRejectsOversizedTuple) {
+  Schema schema = Schema::OfStrings({"A"});
+  auto table = Table::Create(Path("r.tbl"), schema, {0});
+  ASSERT_TRUE(table.ok());
+  // One giant string value larger than a page.
+  std::string huge(kPageSize + 100, 'x');
+  Result<RecordId> rid =
+      (*table)->Append(NfrTuple{ValueSet(Value::String(huge))});
+  ASSERT_FALSE(rid.ok());
+  EXPECT_EQ(rid.status().code(), StatusCode::kInvalidArgument);
+  // The table remains usable afterwards.
+  EXPECT_TRUE((*table)->Append(NfrTuple{ValueSet(V("ok"))}).ok());
+}
+
+TEST_F(StorageTest, TableCreateAppendScan) {
+  Schema schema = Schema::OfStrings({"A", "B"});
+  auto table = Table::Create(Path("r.tbl"), schema, {0, 1});
+  ASSERT_TRUE(table.ok());
+  NfrTuple t1{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))};
+  NfrTuple t2{ValueSet(V("a3")), ValueSet(V("b2"))};
+  ASSERT_TRUE((*table)->Append(t1).ok());
+  ASSERT_TRUE((*table)->Append(t2).ok());
+  auto all = (*table)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  NfrRelation expected(schema);
+  expected.Add(t1);
+  expected.Add(t2);
+  EXPECT_TRUE(all->EqualsAsSet(expected));
+}
+
+TEST_F(StorageTest, TablePersistsAcrossReopen) {
+  Schema schema = Schema::OfStrings({"A", "B"});
+  NfrTuple t{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))};
+  {
+    auto table = Table::Create(Path("r.tbl"), schema, {1, 0});
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*table)->Append(t).ok());
+    ASSERT_TRUE((*table)->Flush().ok());
+  }
+  auto reopened = Table::Open(Path("r.tbl"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->schema(), schema);
+  EXPECT_EQ((*reopened)->nest_order(), (Permutation{1, 0}));
+  auto all = (*reopened)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ(all->tuple(0), t);
+}
+
+TEST_F(StorageTest, TableEraseRemovesTuple) {
+  Schema schema = Schema::OfStrings({"A"});
+  auto table = Table::Create(Path("r.tbl"), schema, {0});
+  ASSERT_TRUE(table.ok());
+  Result<RecordId> rid = (*table)->Append(NfrTuple{ValueSet(V("x"))});
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE((*table)->Append(NfrTuple{ValueSet(V("y"))}).ok());
+  ASSERT_TRUE((*table)->Erase(*rid).ok());
+  auto all = (*table)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ(all->tuple(0), NfrTuple{ValueSet(V("y"))});
+}
+
+TEST_F(StorageTest, TableSpillsAcrossPages) {
+  Schema schema = Schema::OfStrings({"A", "B"});
+  auto table = Table::Create(Path("r.tbl"), schema, {0, 1}, /*pool=*/4);
+  ASSERT_TRUE(table.ok());
+  // Enough tuples with fat components to exceed a few pages.
+  NfrRelation expected(schema);
+  for (int i = 0; i < 300; ++i) {
+    ValueSet courses;
+    for (int j = 0; j < 8; ++j) {
+      courses.Insert(V(StrCat("course_with_long_name_", i, "_", j).c_str()));
+    }
+    NfrTuple t{ValueSet(V(StrCat("student", i).c_str())), courses};
+    expected.Add(t);
+    ASSERT_TRUE((*table)->Append(t).ok());
+  }
+  ASSERT_TRUE((*table)->Flush().ok());
+  auto all = (*table)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->EqualsAsSet(expected));
+  // More than one page and pool pressure happened.
+  EXPECT_GT((*table)->pool_stats().evictions, 0u);
+}
+
+TEST_F(StorageTest, TableRewriteReplacesContents) {
+  Schema schema = Schema::OfStrings({"A"});
+  auto table = Table::Create(Path("r.tbl"), schema, {0});
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->Append(NfrTuple{ValueSet(V("old"))}).ok());
+  NfrRelation fresh(schema);
+  fresh.Add(NfrTuple{ValueSet(V("new1"))});
+  fresh.Add(NfrTuple{ValueSet(V("new2"))});
+  ASSERT_TRUE((*table)->Rewrite(fresh).ok());
+  auto all = (*table)->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->EqualsAsSet(fresh));
+  // And it survives reopen.
+  auto reopened = Table::Open(Path("r.tbl"));
+  ASSERT_TRUE(reopened.ok());
+  auto all2 = (*reopened)->ReadAll();
+  ASSERT_TRUE(all2.ok());
+  EXPECT_TRUE(all2->EqualsAsSet(fresh));
+}
+
+TEST_F(StorageTest, TableRejectsBadInputs) {
+  Schema schema = Schema::OfStrings({"A", "B"});
+  EXPECT_FALSE(Table::Create(Path("r.tbl"), schema, {0}).ok());
+  auto table = Table::Create(Path("r2.tbl"), schema, {0, 1});
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE((*table)->Append(NfrTuple{ValueSet(V("x"))}).ok());
+  NfrRelation wrong(Schema::OfStrings({"Z"}));
+  EXPECT_FALSE((*table)->Rewrite(wrong).ok());
+}
+
+}  // namespace
+}  // namespace nf2

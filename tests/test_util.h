@@ -1,0 +1,40 @@
+#ifndef NF2_TESTS_TEST_UTIL_H_
+#define NF2_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+/// Generates a random 1NF relation for property tests: `degree`
+/// attributes named E1..En with per-attribute active domains of size
+/// `domain_size`, and ~`target_tuples` distinct random tuples. Small
+/// domains force heavy value sharing, which is what exercises
+/// nesting/composition paths.
+inline FlatRelation RandomFlatRelation(Rng* rng, size_t degree,
+                                       size_t domain_size,
+                                       size_t target_tuples) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < degree; ++i) {
+    names.push_back(StrCat("E", i + 1));
+  }
+  FlatRelation rel(Schema::OfStrings(names));
+  for (size_t t = 0; t < target_tuples; ++t) {
+    std::vector<Value> values;
+    values.reserve(degree);
+    for (size_t i = 0; i < degree; ++i) {
+      values.push_back(
+          Value::String(StrCat("v", i, "_", rng->NextBelow(domain_size))));
+    }
+    rel.Insert(FlatTuple(std::move(values)));
+  }
+  return rel;
+}
+
+}  // namespace nf2
+
+#endif  // NF2_TESTS_TEST_UTIL_H_

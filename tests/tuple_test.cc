@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/tuple.h"
+
+namespace nf2 {
+namespace {
+
+NfrTuple PaperTuple() {
+  // [A(a1,a2) B(b1)] from §3.1's example.
+  return NfrTuple{ValueSet{V("a1"), V("a2")}, ValueSet(V("b1"))};
+}
+
+TEST(FlatTupleTest, BasicAccessors) {
+  FlatTuple t{V("s1"), V("c1")};
+  EXPECT_EQ(t.degree(), 2u);
+  EXPECT_EQ(t.at(0), V("s1"));
+  EXPECT_EQ(t.at(1), V("c1"));
+}
+
+TEST(FlatTupleTest, EqualityAndOrdering) {
+  FlatTuple a{V("a"), V("b")};
+  FlatTuple b{V("a"), V("c")};
+  EXPECT_EQ(a, (FlatTuple{V("a"), V("b")}));
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_LT((FlatTuple{V("a")}), (FlatTuple{V("a"), V("b")}));
+}
+
+TEST(FlatTupleTest, Hash) {
+  FlatTuple a{V("a"), V("b")};
+  EXPECT_EQ(a.Hash(), (FlatTuple{V("a"), V("b")}).Hash());
+  EXPECT_NE(a.Hash(), (FlatTuple{V("b"), V("a")}).Hash());
+}
+
+TEST(FlatTupleTest, ToString) {
+  EXPECT_EQ((FlatTuple{V("s1"), V("c1")}).ToString(), "(s1, c1)");
+}
+
+TEST(NfrTupleTest, FromFlatMakesSingletons) {
+  NfrTuple t = NfrTuple::FromFlat(FlatTuple{V("x"), V("y")});
+  EXPECT_TRUE(t.IsSimple());
+  EXPECT_EQ(t.at(0).single(), V("x"));
+}
+
+TEST(NfrTupleTest, IsSimpleFalseForCompound) {
+  EXPECT_FALSE(PaperTuple().IsSimple());
+}
+
+TEST(NfrTupleTest, WellFormedness) {
+  EXPECT_TRUE(PaperTuple().IsWellFormed());
+  NfrTuple bad{ValueSet(), ValueSet(V("b1"))};
+  EXPECT_FALSE(bad.IsWellFormed());
+}
+
+TEST(NfrTupleTest, ExpandedCountIsProductOfComponentSizes) {
+  // The §3.1 semantics: [A(a1,a2) B(b1)] denotes 2 simple tuples.
+  EXPECT_EQ(PaperTuple().ExpandedCount(), 2u);
+  NfrTuple t{ValueSet{V("a"), V("b"), V("c")}, ValueSet{V("x"), V("y")}};
+  EXPECT_EQ(t.ExpandedCount(), 6u);
+}
+
+TEST(NfrTupleTest, ExpandMatchesPaperExample) {
+  // "[A(a1,a2) B(b1)] means the set of two tuples [A(a1) B(b1)] and
+  // [A(a2) B(b1)]" (§3.1).
+  std::vector<FlatTuple> expanded = PaperTuple().Expand();
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0], (FlatTuple{V("a1"), V("b1")}));
+  EXPECT_EQ(expanded[1], (FlatTuple{V("a2"), V("b1")}));
+}
+
+TEST(NfrTupleTest, ExpandIsSorted) {
+  NfrTuple t{ValueSet{V("b"), V("a")}, ValueSet{V("y"), V("x")}};
+  std::vector<FlatTuple> expanded = t.Expand();
+  ASSERT_EQ(expanded.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(expanded.begin(), expanded.end()));
+}
+
+TEST(NfrTupleTest, ExpansionContains) {
+  NfrTuple t = PaperTuple();
+  EXPECT_TRUE(t.ExpansionContains(FlatTuple{V("a1"), V("b1")}));
+  EXPECT_TRUE(t.ExpansionContains(FlatTuple{V("a2"), V("b1")}));
+  EXPECT_FALSE(t.ExpansionContains(FlatTuple{V("a3"), V("b1")}));
+  EXPECT_FALSE(t.ExpansionContains(FlatTuple{V("a1"), V("b2")}));
+  EXPECT_FALSE(t.ExpansionContains(FlatTuple{V("a1")}));  // Degree mismatch.
+}
+
+TEST(NfrTupleTest, AgreesExcept) {
+  NfrTuple t1{ValueSet{V("a1"), V("a2")}, ValueSet{V("b1"), V("b2")},
+              ValueSet(V("c1"))};
+  NfrTuple t2{ValueSet{V("a1"), V("a2")}, ValueSet(V("b3")),
+              ValueSet(V("c1"))};
+  EXPECT_TRUE(t1.AgreesExcept(t2, 1));
+  EXPECT_FALSE(t1.AgreesExcept(t2, 0));
+  EXPECT_FALSE(t1.AgreesExcept(t2, 2));
+}
+
+TEST(NfrTupleTest, ComponentwiseSubset) {
+  NfrTuple small{ValueSet(V("a1")), ValueSet(V("b1"))};
+  NfrTuple big{ValueSet{V("a1"), V("a2")}, ValueSet{V("b1"), V("b2")}};
+  EXPECT_TRUE(small.IsComponentwiseSubsetOf(big));
+  EXPECT_FALSE(big.IsComponentwiseSubsetOf(small));
+  EXPECT_TRUE(big.IsComponentwiseSubsetOf(big));
+}
+
+TEST(NfrTupleTest, EqualityIsSetBased) {
+  NfrTuple a{ValueSet{V("a2"), V("a1")}, ValueSet(V("b1"))};
+  EXPECT_EQ(a, PaperTuple());
+}
+
+TEST(NfrTupleTest, HashConsistent) {
+  NfrTuple a{ValueSet{V("a2"), V("a1")}, ValueSet(V("b1"))};
+  EXPECT_EQ(a.Hash(), PaperTuple().Hash());
+}
+
+TEST(NfrTupleTest, ToStringWithSchema) {
+  Schema schema = Schema::OfStrings({"A", "B"});
+  EXPECT_EQ(PaperTuple().ToString(schema), "[A(a1,a2) B(b1)]");
+}
+
+TEST(NfrTupleTest, ToStringWithoutSchemaUsesPositions) {
+  EXPECT_EQ(PaperTuple().ToString(), "[E1(a1,a2) E2(b1)]");
+}
+
+TEST(NfrTupleTest, ExpandedCountSaturates) {
+  // 5^30 overflows uint64; the count must saturate, not wrap.
+  std::vector<ValueSet> comps;
+  for (int i = 0; i < 30; ++i) {
+    ValueSet s;
+    for (int j = 0; j < 5; ++j) {
+      s.Insert(Value::Int(j));
+    }
+    comps.push_back(s);
+  }
+  NfrTuple t(std::move(comps));
+  EXPECT_EQ(t.ExpandedCount(), std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace nf2

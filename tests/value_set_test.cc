@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/value_set.h"
+
+namespace nf2 {
+namespace {
+
+ValueSet Strings(std::initializer_list<const char*> items) {
+  std::vector<Value> values;
+  for (const char* s : items) values.push_back(Value::String(s));
+  return ValueSet(std::move(values));
+}
+
+TEST(ValueSetTest, DefaultIsEmpty) {
+  ValueSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.IsSingleton());
+}
+
+TEST(ValueSetTest, SingletonConstructor) {
+  ValueSet s(V("c1"));
+  EXPECT_TRUE(s.IsSingleton());
+  EXPECT_EQ(s.single(), V("c1"));
+}
+
+TEST(ValueSetTest, DuplicatesCollapse) {
+  ValueSet s = Strings({"b", "a", "b", "a"});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], V("a"));
+  EXPECT_EQ(s[1], V("b"));
+}
+
+TEST(ValueSetTest, ElementsSortedRegardlessOfInsertionOrder) {
+  ValueSet s;
+  s.Insert(V("c3"));
+  s.Insert(V("c1"));
+  s.Insert(V("c2"));
+  EXPECT_EQ(s.values(),
+            (std::vector<Value>{V("c1"), V("c2"), V("c3")}));
+}
+
+TEST(ValueSetTest, InsertReportsNovelty) {
+  ValueSet s;
+  EXPECT_TRUE(s.Insert(V("x")));
+  EXPECT_FALSE(s.Insert(V("x")));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(ValueSetTest, EraseReportsPresence) {
+  ValueSet s = Strings({"a", "b"});
+  EXPECT_TRUE(s.Erase(V("a")));
+  EXPECT_FALSE(s.Erase(V("a")));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(V("b")));
+}
+
+TEST(ValueSetTest, Contains) {
+  ValueSet s = Strings({"c1", "c2"});
+  EXPECT_TRUE(s.Contains(V("c1")));
+  EXPECT_FALSE(s.Contains(V("c3")));
+}
+
+TEST(ValueSetTest, Union) {
+  EXPECT_EQ(Strings({"a", "b"}).Union(Strings({"b", "c"})),
+            Strings({"a", "b", "c"}));
+  EXPECT_EQ(ValueSet().Union(Strings({"x"})), Strings({"x"}));
+}
+
+TEST(ValueSetTest, Intersect) {
+  EXPECT_EQ(Strings({"a", "b", "c"}).Intersect(Strings({"b", "c", "d"})),
+            Strings({"b", "c"}));
+  EXPECT_TRUE(Strings({"a"}).Intersect(Strings({"b"})).empty());
+}
+
+TEST(ValueSetTest, Difference) {
+  EXPECT_EQ(Strings({"a", "b", "c"}).Difference(Strings({"b"})),
+            Strings({"a", "c"}));
+  EXPECT_EQ(Strings({"a"}).Difference(Strings({"a"})), ValueSet());
+}
+
+TEST(ValueSetTest, SubsetRelation) {
+  EXPECT_TRUE(Strings({"a"}).IsSubsetOf(Strings({"a", "b"})));
+  EXPECT_TRUE(ValueSet().IsSubsetOf(Strings({"a"})));
+  EXPECT_TRUE(Strings({"a", "b"}).IsSubsetOf(Strings({"a", "b"})));
+  EXPECT_FALSE(Strings({"a", "c"}).IsSubsetOf(Strings({"a", "b"})));
+}
+
+TEST(ValueSetTest, Disjointness) {
+  EXPECT_TRUE(Strings({"a", "b"}).IsDisjointFrom(Strings({"c", "d"})));
+  EXPECT_FALSE(Strings({"a", "b"}).IsDisjointFrom(Strings({"b", "c"})));
+  EXPECT_TRUE(ValueSet().IsDisjointFrom(Strings({"a"})));
+}
+
+TEST(ValueSetTest, SetEqualityIgnoresConstructionOrder) {
+  EXPECT_EQ(Strings({"c2", "c1"}), Strings({"c1", "c2"}));
+  EXPECT_NE(Strings({"c1"}), Strings({"c1", "c2"}));
+}
+
+TEST(ValueSetTest, LexicographicOrdering) {
+  EXPECT_LT(Strings({"a"}), Strings({"a", "b"}));
+  EXPECT_LT(Strings({"a", "b"}), Strings({"b"}));
+}
+
+TEST(ValueSetTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Strings({"b", "a"}).Hash(), Strings({"a", "b"}).Hash());
+  EXPECT_NE(Strings({"a"}).Hash(), Strings({"a", "b"}).Hash());
+}
+
+TEST(ValueSetTest, ToStringPaperStyle) {
+  EXPECT_EQ(Strings({"s2", "s3"}).ToString(), "s2,s3");
+  EXPECT_EQ(ValueSet(V("s1")).ToString(), "s1");
+  EXPECT_EQ(ValueSet().ToString(), "");
+}
+
+TEST(ValueSetTest, MixedTypesSortByTypeTag) {
+  ValueSet s{Value::String("a"), Value::Int(5)};
+  EXPECT_EQ(s[0], Value::Int(5));
+  EXPECT_EQ(s[1], Value::String("a"));
+}
+
+}  // namespace
+}  // namespace nf2

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/value.h"
+
+namespace nf2 {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, TypedConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("s1").AsString(), "s1");
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(1).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Double(1.0).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+}
+
+TEST(ValueTest, EqualitySameType) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+}
+
+TEST(ValueTest, CrossTypeValuesNeverEqual) {
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  EXPECT_NE(Value::String("1"), Value::Int(1));
+  EXPECT_NE(Value::Null(), Value::Int(0));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_LT(Value::Double(-1.0), Value::Double(0.0));
+  EXPECT_LT(Value::Bool(false), Value::Bool(true));
+}
+
+TEST(ValueTest, OrderingAcrossTypesIsByTag) {
+  // Null < Bool < Int < Double < String by variant index.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(-100));
+  EXPECT_LT(Value::Int(100), Value::Double(-5.0));
+  EXPECT_LT(Value::Double(9.9), Value::String(""));
+}
+
+TEST(ValueTest, CompareIsAntisymmetric) {
+  Value a = Value::Int(1), b = Value::Int(2);
+  EXPECT_EQ(a.Compare(b), -b.Compare(a));
+  EXPECT_EQ(a.Compare(a), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::String("s1").Hash(), Value::String("s1").Hash());
+  EXPECT_EQ(Value::Int(12).Hash(), Value::Int(12).Hash());
+  // Different payloads should (overwhelmingly) hash differently.
+  EXPECT_NE(Value::Int(12).Hash(), Value::Int(13).Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Bool(true).Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value> set;
+  set.insert(Value::String("a"));
+  set.insert(Value::String("a"));
+  set.insert(Value::Int(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Value::String("a")));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("c1").ToString(), "c1");
+}
+
+TEST(ValueTest, ShorthandConstructors) {
+  EXPECT_EQ(V("s1"), Value::String("s1"));
+  EXPECT_EQ(V(int64_t{5}), Value::Int(5));
+}
+
+TEST(ValueTest, ValueTypeToStringNames) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "NULL");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kBool), "BOOL");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt), "INT");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace nf2

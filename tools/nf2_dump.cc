@@ -1,0 +1,63 @@
+// nf2_dump — prints the contents of a single nf2db table file (.tbl):
+// the stored schema, nest order, page statistics, and every live tuple.
+//
+//   $ nf2_dump <table_file> [--tuples]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/format.h"
+#include "storage/table.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <table_file> [--tuples]\n", argv[0]);
+    return 2;
+  }
+  bool show_tuples = argc > 2 && std::strcmp(argv[2], "--tuples") == 0;
+  auto table = nf2::Table::Open(argv[1]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "cannot open table: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("table file : %s\n", argv[1]);
+  std::printf("schema     : %s\n",
+              (*table)->schema().ToString().c_str());
+  std::vector<std::string> order_names;
+  for (size_t p : (*table)->nest_order()) {
+    order_names.push_back((*table)->schema().attribute(p).name);
+  }
+  std::printf("nest order : %s\n",
+              nf2::Join(order_names, " then ").c_str());
+
+  auto scanned = (*table)->ScanWithIds();
+  if (!scanned.ok()) {
+    std::fprintf(stderr, "scan failed: %s\n",
+                 scanned.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("tuples     : %zu\n", scanned->size());
+  uint64_t expanded = 0;
+  for (const auto& [rid, tuple] : *scanned) {
+    expanded += tuple.ExpandedCount();
+  }
+  std::printf("|R*|       : %llu\n",
+              static_cast<unsigned long long>(expanded));
+
+  if (show_tuples) {
+    std::printf("\n");
+    for (const auto& [rid, tuple] : *scanned) {
+      std::printf("%-18s %s\n", rid.ToString().c_str(),
+                  tuple.ToString((*table)->schema()).c_str());
+    }
+  } else {
+    auto rel = (*table)->ReadAll();
+    if (rel.ok()) {
+      std::printf("\n%s", nf2::RenderTable(*rel).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// nf2_shell — the interactive NFRQL shell.
+//
+//   $ nf2_shell <db_dir>
+//
+// Reads one NFRQL statement per line (see nfrql/parser.h for the
+// grammar), executes it against the database in <db_dir>, and prints
+// the result. `help` lists commands; `quit`/EOF exits (checkpointing
+// on the way out).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/database.h"
+#include "nfrql/executor.h"
+#include "util/string_util.h"
+
+namespace {
+
+constexpr char kHelp[] = R"(NFRQL statements:
+  CREATE RELATION name (attr TYPE, ...) [NEST a, b, ...]
+      [FD a,b -> c]... [MVD a ->-> b]...     types: STRING INT DOUBLE BOOL SET
+  DROP RELATION name
+  INSERT INTO name VALUES (v, ...)[, (v, ...)]...
+  DELETE FROM name VALUES (v, ...) | DELETE FROM name WHERE cond
+  UPDATE name SET attr = v [, attr = v]... [WHERE cond]
+  SELECT * | cols | COUNT(*) FROM name [JOIN name]... [WHERE cond]
+  SELECT g, COUNT(c) FROM name [WHERE cond] GROUP BY g
+  SHOW name            print the stored nested relation
+  DESCRIBE name        schema, nest order, dependencies, sizes
+  NEST name ON a[,b]   print a re-nested view
+  UNNEST name ON a     print an unnested view
+  LIST | STATS name | CHECKPOINT
+  BEGIN | COMMIT | ROLLBACK
+  help | quit)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <db_dir>\n", argv[0]);
+    return 2;
+  }
+  auto db = nf2::Database::Open(argv[1]);
+  if (!db.ok()) {
+    std::fprintf(stderr, "cannot open database: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  nf2::Executor executor(db->get());
+  std::printf("nf2db shell — database at %s (type 'help')\n", argv[1]);
+
+  std::string line;
+  while (true) {
+    std::printf("nfrql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed = nf2::Trim(line);
+    if (trimmed.empty()) continue;
+    std::string lower = nf2::ToLower(trimmed);
+    if (lower == "quit" || lower == "exit") break;
+    if (lower == "help") {
+      std::printf("%s\n", kHelp);
+      continue;
+    }
+    nf2::Result<std::string> out = executor.Execute(trimmed);
+    if (out.ok()) {
+      std::printf("%s\n", out->c_str());
+    } else {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}
