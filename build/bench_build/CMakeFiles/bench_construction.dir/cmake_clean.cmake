@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_construction"
+  "../bench/bench_construction.pdb"
+  "CMakeFiles/bench_construction.dir/bench_construction.cc.o"
+  "CMakeFiles/bench_construction.dir/bench_construction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_examples"
+  "../bench/bench_examples.pdb"
+  "CMakeFiles/bench_examples.dir/bench_examples.cc.o"
+  "CMakeFiles/bench_examples.dir/bench_examples.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_fig2"
+  "../bench/bench_fig1_fig2.pdb"
+  "CMakeFiles/bench_fig1_fig2.dir/bench_fig1_fig2.cc.o"
+  "CMakeFiles/bench_fig1_fig2.dir/bench_fig1_fig2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fig2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_venn"
+  "../bench/bench_fig3_venn.pdb"
+  "CMakeFiles/bench_fig3_venn.dir/bench_fig3_venn.cc.o"
+  "CMakeFiles/bench_fig3_venn.dir/bench_fig3_venn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_venn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_search_space"
+  "../bench/bench_search_space.pdb"
+  "CMakeFiles/bench_search_space.dir/bench_search_space.cc.o"
+  "CMakeFiles/bench_search_space.dir/bench_search_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

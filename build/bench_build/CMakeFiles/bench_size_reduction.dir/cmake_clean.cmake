@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_size_reduction"
+  "../bench/bench_size_reduction.pdb"
+  "CMakeFiles/bench_size_reduction.dir/bench_size_reduction.cc.o"
+  "CMakeFiles/bench_size_reduction.dir/bench_size_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_size_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

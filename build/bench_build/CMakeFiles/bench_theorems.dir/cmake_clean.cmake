@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorems"
+  "../bench/bench_theorems.pdb"
+  "CMakeFiles/bench_theorems.dir/bench_theorems.cc.o"
+  "CMakeFiles/bench_theorems.dir/bench_theorems.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_update_complexity"
+  "../bench/bench_update_complexity.pdb"
+  "CMakeFiles/bench_update_complexity.dir/bench_update_complexity.cc.o"
+  "CMakeFiles/bench_update_complexity.dir/bench_update_complexity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf2_bench_workload.dir/workload.cc.o"
+  "CMakeFiles/nf2_bench_workload.dir/workload.cc.o.d"
+  "libnf2_bench_workload.a"
+  "libnf2_bench_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf2_bench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnf2_bench_workload.a"
+)

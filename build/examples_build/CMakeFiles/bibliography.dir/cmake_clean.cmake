@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/bibliography"
+  "../examples/bibliography.pdb"
+  "CMakeFiles/bibliography.dir/bibliography.cpp.o"
+  "CMakeFiles/bibliography.dir/bibliography.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

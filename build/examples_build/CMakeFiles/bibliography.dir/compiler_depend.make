@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bibliography.
+# This may be replaced when dependencies are built.

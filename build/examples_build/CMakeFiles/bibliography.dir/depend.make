@@ -1,0 +1,2 @@
+# Empty dependencies file for bibliography.
+# This may be replaced when dependencies are built.

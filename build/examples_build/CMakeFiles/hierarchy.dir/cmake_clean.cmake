@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hierarchy"
+  "../examples/hierarchy.pdb"
+  "CMakeFiles/hierarchy.dir/hierarchy.cpp.o"
+  "CMakeFiles/hierarchy.dir/hierarchy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/prerequisites"
+  "../examples/prerequisites.pdb"
+  "CMakeFiles/prerequisites.dir/prerequisites.cpp.o"
+  "CMakeFiles/prerequisites.dir/prerequisites.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prerequisites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

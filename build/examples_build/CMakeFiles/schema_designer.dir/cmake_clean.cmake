@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/schema_designer"
+  "../examples/schema_designer.pdb"
+  "CMakeFiles/schema_designer.dir/schema_designer.cpp.o"
+  "CMakeFiles/schema_designer.dir/schema_designer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

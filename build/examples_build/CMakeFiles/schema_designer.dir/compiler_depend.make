@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for schema_designer.
+# This may be replaced when dependencies are built.

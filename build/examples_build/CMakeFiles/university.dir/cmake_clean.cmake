@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/university"
+  "../examples/university.pdb"
+  "CMakeFiles/university.dir/university.cpp.o"
+  "CMakeFiles/university.dir/university.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/nest_unnest.cc" "src/CMakeFiles/nf2.dir/algebra/nest_unnest.cc.o" "gcc" "src/CMakeFiles/nf2.dir/algebra/nest_unnest.cc.o.d"
+  "/root/repo/src/algebra/operators.cc" "src/CMakeFiles/nf2.dir/algebra/operators.cc.o" "gcc" "src/CMakeFiles/nf2.dir/algebra/operators.cc.o.d"
+  "/root/repo/src/algebra/predicate.cc" "src/CMakeFiles/nf2.dir/algebra/predicate.cc.o" "gcc" "src/CMakeFiles/nf2.dir/algebra/predicate.cc.o.d"
+  "/root/repo/src/baseline/flat_engine.cc" "src/CMakeFiles/nf2.dir/baseline/flat_engine.cc.o" "gcc" "src/CMakeFiles/nf2.dir/baseline/flat_engine.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/nf2.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/nf2.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/core/compose.cc" "src/CMakeFiles/nf2.dir/core/compose.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/compose.cc.o.d"
+  "/root/repo/src/core/diff.cc" "src/CMakeFiles/nf2.dir/core/diff.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/diff.cc.o.d"
+  "/root/repo/src/core/fixedness.cc" "src/CMakeFiles/nf2.dir/core/fixedness.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/fixedness.cc.o.d"
+  "/root/repo/src/core/format.cc" "src/CMakeFiles/nf2.dir/core/format.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/format.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/CMakeFiles/nf2.dir/core/index.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/index.cc.o.d"
+  "/root/repo/src/core/irreducible.cc" "src/CMakeFiles/nf2.dir/core/irreducible.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/irreducible.cc.o.d"
+  "/root/repo/src/core/nest.cc" "src/CMakeFiles/nf2.dir/core/nest.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/nest.cc.o.d"
+  "/root/repo/src/core/relation.cc" "src/CMakeFiles/nf2.dir/core/relation.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/relation.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/nf2.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/tuple.cc" "src/CMakeFiles/nf2.dir/core/tuple.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/tuple.cc.o.d"
+  "/root/repo/src/core/update.cc" "src/CMakeFiles/nf2.dir/core/update.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/update.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/CMakeFiles/nf2.dir/core/value.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/value.cc.o.d"
+  "/root/repo/src/core/value_set.cc" "src/CMakeFiles/nf2.dir/core/value_set.cc.o" "gcc" "src/CMakeFiles/nf2.dir/core/value_set.cc.o.d"
+  "/root/repo/src/dependency/chase.cc" "src/CMakeFiles/nf2.dir/dependency/chase.cc.o" "gcc" "src/CMakeFiles/nf2.dir/dependency/chase.cc.o.d"
+  "/root/repo/src/dependency/design.cc" "src/CMakeFiles/nf2.dir/dependency/design.cc.o" "gcc" "src/CMakeFiles/nf2.dir/dependency/design.cc.o.d"
+  "/root/repo/src/dependency/fd.cc" "src/CMakeFiles/nf2.dir/dependency/fd.cc.o" "gcc" "src/CMakeFiles/nf2.dir/dependency/fd.cc.o.d"
+  "/root/repo/src/dependency/mvd.cc" "src/CMakeFiles/nf2.dir/dependency/mvd.cc.o" "gcc" "src/CMakeFiles/nf2.dir/dependency/mvd.cc.o.d"
+  "/root/repo/src/dependency/normalize.cc" "src/CMakeFiles/nf2.dir/dependency/normalize.cc.o" "gcc" "src/CMakeFiles/nf2.dir/dependency/normalize.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/nf2.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/nf2.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/statistics.cc" "src/CMakeFiles/nf2.dir/engine/statistics.cc.o" "gcc" "src/CMakeFiles/nf2.dir/engine/statistics.cc.o.d"
+  "/root/repo/src/nested/nested_relation.cc" "src/CMakeFiles/nf2.dir/nested/nested_relation.cc.o" "gcc" "src/CMakeFiles/nf2.dir/nested/nested_relation.cc.o.d"
+  "/root/repo/src/nfrql/executor.cc" "src/CMakeFiles/nf2.dir/nfrql/executor.cc.o" "gcc" "src/CMakeFiles/nf2.dir/nfrql/executor.cc.o.d"
+  "/root/repo/src/nfrql/lexer.cc" "src/CMakeFiles/nf2.dir/nfrql/lexer.cc.o" "gcc" "src/CMakeFiles/nf2.dir/nfrql/lexer.cc.o.d"
+  "/root/repo/src/nfrql/parser.cc" "src/CMakeFiles/nf2.dir/nfrql/parser.cc.o" "gcc" "src/CMakeFiles/nf2.dir/nfrql/parser.cc.o.d"
+  "/root/repo/src/nfrql/token.cc" "src/CMakeFiles/nf2.dir/nfrql/token.cc.o" "gcc" "src/CMakeFiles/nf2.dir/nfrql/token.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/nf2.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/nf2.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/nf2.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/nf2.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/nf2.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/nf2.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/serde.cc" "src/CMakeFiles/nf2.dir/storage/serde.cc.o" "gcc" "src/CMakeFiles/nf2.dir/storage/serde.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/nf2.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/nf2.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/nf2.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/nf2.dir/storage/wal.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/nf2.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/nf2.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/nf2.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/nf2.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/nf2.dir/util/status.cc.o" "gcc" "src/CMakeFiles/nf2.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/nf2.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/nf2.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_test.dir/compose_test.cc.o"
+  "CMakeFiles/compose_test.dir/compose_test.cc.o.d"
+  "compose_test"
+  "compose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_test.dir/design_test.cc.o"
+  "CMakeFiles/design_test.dir/design_test.cc.o.d"
+  "design_test"
+  "design_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_test.dir/fd_test.cc.o"
+  "CMakeFiles/fd_test.dir/fd_test.cc.o.d"
+  "fd_test"
+  "fd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixedness_test.dir/fixedness_test.cc.o"
+  "CMakeFiles/fixedness_test.dir/fixedness_test.cc.o.d"
+  "fixedness_test"
+  "fixedness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixedness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

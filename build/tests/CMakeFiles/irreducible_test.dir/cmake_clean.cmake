@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irreducible_test.dir/irreducible_test.cc.o"
+  "CMakeFiles/irreducible_test.dir/irreducible_test.cc.o.d"
+  "irreducible_test"
+  "irreducible_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irreducible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

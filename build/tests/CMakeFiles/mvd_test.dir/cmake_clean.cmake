@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvd_test.dir/mvd_test.cc.o"
+  "CMakeFiles/mvd_test.dir/mvd_test.cc.o.d"
+  "mvd_test"
+  "mvd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_test.dir/nest_test.cc.o"
+  "CMakeFiles/nest_test.dir/nest_test.cc.o.d"
+  "nest_test"
+  "nest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

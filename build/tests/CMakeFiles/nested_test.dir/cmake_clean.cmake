@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_test.dir/nested_test.cc.o"
+  "CMakeFiles/nested_test.dir/nested_test.cc.o.d"
+  "nested_test"
+  "nested_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfrql_test.dir/nfrql_test.cc.o"
+  "CMakeFiles/nfrql_test.dir/nfrql_test.cc.o.d"
+  "nfrql_test"
+  "nfrql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfrql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_test.dir/relation_test.cc.o"
+  "CMakeFiles/relation_test.dir/relation_test.cc.o.d"
+  "relation_test"
+  "relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

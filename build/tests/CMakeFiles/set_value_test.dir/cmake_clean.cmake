@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_value_test.dir/set_value_test.cc.o"
+  "CMakeFiles/set_value_test.dir/set_value_test.cc.o.d"
+  "set_value_test"
+  "set_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

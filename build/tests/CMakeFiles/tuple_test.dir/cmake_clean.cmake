@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_test.dir/tuple_test.cc.o"
+  "CMakeFiles/tuple_test.dir/tuple_test.cc.o.d"
+  "tuple_test"
+  "tuple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_test.dir/update_test.cc.o"
+  "CMakeFiles/update_test.dir/update_test.cc.o.d"
+  "update_test"
+  "update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

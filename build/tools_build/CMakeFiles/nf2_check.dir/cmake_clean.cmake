@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/nf2_check"
+  "../tools/nf2_check.pdb"
+  "CMakeFiles/nf2_check.dir/nf2_check.cc.o"
+  "CMakeFiles/nf2_check.dir/nf2_check.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf2_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/nf2_dump"
+  "../tools/nf2_dump.pdb"
+  "CMakeFiles/nf2_dump.dir/nf2_dump.cc.o"
+  "CMakeFiles/nf2_dump.dir/nf2_dump.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf2_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/nf2_shell"
+  "../tools/nf2_shell.pdb"
+  "CMakeFiles/nf2_shell.dir/nf2_shell.cc.o"
+  "CMakeFiles/nf2_shell.dir/nf2_shell.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf2_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
