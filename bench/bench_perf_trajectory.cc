@@ -1,0 +1,213 @@
+// Perf-trajectory harness: times the dictionary-encoded hot paths
+// against the retained Value-keyed legacy paths on the same workloads
+// and emits a machine-readable JSON file (default BENCH_PR1.json, or
+// argv[1]) so successive PRs leave a comparable throughput record.
+//
+// Measured sections (keyed workload, see bench/workload.h):
+//   canonical_form — CanonicalFormLegacy vs CanonicalForm over a 10k-row
+//                    keyed relation (rows/sec).
+//   insert_delete  — CanonicalRelation Encoding::kValue vs kInterned,
+//                    both SearchMode::kIndexed, over an insert+delete
+//                    stream (ops/sec), with the §4 algebra counters
+//                    asserted bit-identical across encodings.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/workload.h"
+#include "core/nest.h"
+#include "core/update.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace bench {
+namespace {
+
+double SecondsOf(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Best-of-N wall time — robust to scheduler noise without averaging in
+/// warm-up effects.
+double BestSeconds(int repetitions, const std::function<void()>& fn) {
+  double best = SecondsOf(fn);
+  for (int i = 1; i < repetitions; ++i) {
+    best = std::min(best, SecondsOf(fn));
+  }
+  return best;
+}
+
+struct Section {
+  std::string name;
+  size_t operations = 0;      // Units the throughput is measured in.
+  double baseline_sec = 0.0;  // Legacy Value path.
+  double optimized_sec = 0.0; // Interned path.
+  uint64_t baseline_compositions = 0;
+  uint64_t optimized_compositions = 0;
+  uint64_t baseline_decompositions = 0;
+  uint64_t optimized_decompositions = 0;
+  bool counters_identical = true;
+
+  double BaselineOps() const { return operations / baseline_sec; }
+  double OptimizedOps() const { return operations / optimized_sec; }
+  double Speedup() const { return baseline_sec / optimized_sec; }
+};
+
+Section BenchCanonicalForm(const FlatRelation& flat,
+                           const Permutation& perm, int reps) {
+  Section out;
+  out.name = "canonical_form";
+  out.operations = flat.size();
+  NfrRelation legacy(flat.schema());
+  NfrRelation interned(flat.schema());
+  out.baseline_sec =
+      BestSeconds(reps, [&] { legacy = CanonicalFormLegacy(flat, perm); });
+  out.optimized_sec =
+      BestSeconds(reps, [&] { interned = CanonicalForm(flat, perm); });
+  // Nesting performs no §4 algebra, so the comparable "count" here is
+  // the result itself: both paths must produce the same canonical form
+  // (Theorem 2 uniqueness makes set equality the right check).
+  NF2_CHECK(legacy.EqualsAsSet(interned))
+      << "interned canonical form diverged from legacy";
+  return out;
+}
+
+Section BenchInsertDelete(const FlatRelation& flat, const Permutation& perm,
+                          size_t stream_rows) {
+  Section out;
+  out.name = "insert_delete";
+  // Split: bulk-load everything but the tail, then run the tail as an
+  // insert stream followed by a delete stream of the same tuples.
+  std::vector<FlatTuple> base_rows(flat.tuples().begin(),
+                                   flat.tuples().end() - stream_rows);
+  std::vector<FlatTuple> stream(flat.tuples().end() - stream_rows,
+                                flat.tuples().end());
+  out.operations = 2 * stream.size();
+
+  auto run = [&](CanonicalRelation::Encoding encoding, double* seconds,
+                 UpdateStats* stats) {
+    FlatRelation base(flat.schema(), std::vector<FlatTuple>(base_rows));
+    Result<CanonicalRelation> rel = CanonicalRelation::FromFlat(
+        base, perm, CanonicalRelation::SearchMode::kIndexed, encoding);
+    NF2_CHECK(rel.ok()) << rel.status().ToString();
+    rel->mutable_stats()->Reset();
+    *seconds = SecondsOf([&] {
+      for (const FlatTuple& t : stream) {
+        Status s = rel->Insert(t);
+        NF2_CHECK(s.ok()) << s.ToString();
+      }
+      for (const FlatTuple& t : stream) {
+        Status s = rel->Delete(t);
+        NF2_CHECK(s.ok()) << s.ToString();
+      }
+    });
+    *stats = rel->stats();
+  };
+
+  UpdateStats value_stats;
+  UpdateStats interned_stats;
+  run(CanonicalRelation::Encoding::kValue, &out.baseline_sec, &value_stats);
+  run(CanonicalRelation::Encoding::kInterned, &out.optimized_sec,
+      &interned_stats);
+
+  out.baseline_compositions = value_stats.compositions;
+  out.optimized_compositions = interned_stats.compositions;
+  out.baseline_decompositions = value_stats.decompositions;
+  out.optimized_decompositions = interned_stats.decompositions;
+  out.counters_identical =
+      value_stats.compositions == interned_stats.compositions &&
+      value_stats.decompositions == interned_stats.decompositions &&
+      value_stats.recons_calls == interned_stats.recons_calls &&
+      value_stats.candidate_scans == interned_stats.candidate_scans;
+  NF2_CHECK(out.counters_identical)
+      << "encoding changed the §4 algebra: value="
+      << value_stats.ToString()
+      << " interned=" << interned_stats.ToString();
+  return out;
+}
+
+void WriteJson(const std::string& path, const KeyedConfig& config,
+               const std::vector<Section>& sections) {
+  std::ofstream file(path, std::ios::trunc);
+  NF2_CHECK(file.is_open()) << "cannot write " << path;
+  file << "{\n";
+  file << "  \"pr\": 1,\n";
+  file << "  \"title\": \"dictionary-encoded atoms\",\n";
+  file << "  \"workload\": {\"generator\": \"keyed\", \"rows\": "
+       << config.rows << ", \"degree\": " << config.degree
+       << ", \"value_pool\": " << config.value_pool
+       << ", \"seed\": " << config.seed << "},\n";
+  file << "  \"sections\": [\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const Section& s = sections[i];
+    file << "    {\n";
+    file << "      \"name\": \"" << s.name << "\",\n";
+    file << "      \"operations\": " << s.operations << ",\n";
+    file << "      \"baseline_ops_per_sec\": " << Fmt(s.BaselineOps(), 1)
+         << ",\n";
+    file << "      \"optimized_ops_per_sec\": " << Fmt(s.OptimizedOps(), 1)
+         << ",\n";
+    file << "      \"speedup\": " << Fmt(s.Speedup(), 3) << ",\n";
+    file << "      \"baseline_compositions\": " << s.baseline_compositions
+         << ",\n";
+    file << "      \"optimized_compositions\": " << s.optimized_compositions
+         << ",\n";
+    file << "      \"baseline_decompositions\": "
+         << s.baseline_decompositions << ",\n";
+    file << "      \"optimized_decompositions\": "
+         << s.optimized_decompositions << ",\n";
+    file << "      \"counters_identical\": "
+         << (s.counters_identical ? "true" : "false") << "\n";
+    file << "    }" << (i + 1 < sections.size() ? "," : "") << "\n";
+  }
+  file << "  ]\n";
+  file << "}\n";
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR1.json";
+  KeyedConfig config;
+  config.rows = 10000;
+  config.degree = 4;
+  config.value_pool = 8;
+  config.seed = 44;
+  FlatRelation flat = GenerateKeyed(config);
+  Permutation perm;
+  // Nest the dependent attributes first, key last — the grouping-heavy
+  // order for the keyed workload.
+  for (size_t i = 1; i < config.degree; ++i) perm.push_back(i);
+  perm.push_back(0);
+
+  std::vector<Section> sections;
+  sections.push_back(BenchCanonicalForm(flat, perm, /*reps=*/3));
+  sections.push_back(BenchInsertDelete(flat, perm, /*stream_rows=*/1000));
+  WriteJson(out_path, config, sections);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Section& s : sections) {
+    rows.push_back({s.name, StrCat(s.operations),
+                    Fmt(s.BaselineOps(), 0), Fmt(s.OptimizedOps(), 0),
+                    StrCat("x", Fmt(s.Speedup(), 2)),
+                    s.counters_identical ? "yes" : "NO"});
+  }
+  PrintReportTable(
+      StrCat("PERF TRAJECTORY (written to ", out_path, ")"),
+      {"section", "ops", "baseline/s", "interned/s", "speedup",
+       "counts equal"},
+      rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nf2
+
+int main(int argc, char** argv) { return nf2::bench::Main(argc, argv); }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <unordered_map>
 
+#include "core/value_dictionary.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -189,17 +191,29 @@ Result<std::vector<GroupCount>> GroupedDistinctCounts(
   }
   // Distinct counted values per group value. NFR tuples contribute
   // their counted component once per contained group value; sets union
-  // across tuples (a group value may appear in several tuples).
-  std::map<Value, ValueSet> per_group;
+  // across tuples (a group value may appear in several tuples). The
+  // accumulation runs interned: group and counted values intern once per
+  // tuple, the per-group unions are integer merges, and the dictionary's
+  // rank order recovers the sorted-by-group output contract.
+  ValueDictionary dict;
+  std::unordered_map<ValueId, IdSet> per_group;
   for (const NfrTuple& t : rel.tuples()) {
-    for (const Value& g : t.at(group_attr).values()) {
-      per_group[g] = per_group[g].Union(t.at(counted_attr));
+    IdSet groups = InternValueSet(&dict, t.at(group_attr));
+    IdSet counted = InternValueSet(&dict, t.at(counted_attr));
+    for (ValueId g : groups.ids()) {
+      IdSet& acc = per_group[g];
+      acc = acc.Union(counted);
     }
   }
+  std::vector<ValueId> group_ids;
+  group_ids.reserve(per_group.size());
+  for (const auto& [g, counted] : per_group) group_ids.push_back(g);
+  std::sort(group_ids.begin(), group_ids.end(),
+            [&dict](ValueId a, ValueId b) { return dict.CompareIds(a, b) < 0; });
   std::vector<GroupCount> out;
-  out.reserve(per_group.size());
-  for (const auto& [g, counted] : per_group) {
-    out.push_back(GroupCount{g, counted.size()});
+  out.reserve(group_ids.size());
+  for (ValueId g : group_ids) {
+    out.push_back(GroupCount{dict.value(g), per_group[g].size()});
   }
   return out;
 }

@@ -36,10 +36,17 @@ void EncodeRelationInfo(const RelationInfo& info, BufferWriter* out);
 Result<RelationInfo> DecodeRelationInfo(BufferReader* in);
 
 /// The database catalog: named relation metadata, persisted as a single
-/// serialized file.
+/// serialized file. It also registers the database-wide value
+/// dictionary: the file (relative to the database dir) whose contents
+/// fix the Value → ValueId assignment every stored relation encodes
+/// against.
 class Catalog {
  public:
   Catalog() = default;
+
+  /// File name of the shared value dictionary. Not per-relation: ids
+  /// are database-global so encoded tuples compare across relations.
+  const std::string& dictionary_file() const { return dictionary_file_; }
 
   bool Has(const std::string& name) const;
   Result<const RelationInfo*> Get(const std::string& name) const;
@@ -56,6 +63,7 @@ class Catalog {
 
  private:
   std::map<std::string, RelationInfo> relations_;
+  std::string dictionary_file_ = "dict.nf2";
 };
 
 }  // namespace nf2

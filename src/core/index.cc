@@ -6,11 +6,18 @@
 
 namespace nf2 {
 
-NfrIndex::NfrIndex(size_t degree) : postings_(degree) {}
+NfrIndex::NfrIndex(size_t degree) : degree_(degree), postings_(degree) {}
+
+NfrIndex::NfrIndex(size_t degree,
+                   std::shared_ptr<const ValueDictionary> dict)
+    : degree_(degree), dict_(std::move(dict)), postings_by_id_(degree) {
+  NF2_CHECK(dict_ != nullptr) << "id-keyed NfrIndex needs a dictionary";
+}
 
 void NfrIndex::AddTuple(size_t tuple_id, const NfrTuple& t) {
-  NF2_CHECK(t.degree() == postings_.size());
-  for (size_t attr = 0; attr < postings_.size(); ++attr) {
+  NF2_CHECK(!interned()) << "Value-keyed mutation on an id-keyed index";
+  NF2_CHECK(t.degree() == degree_);
+  for (size_t attr = 0; attr < degree_; ++attr) {
     for (const Value& v : t.at(attr).values()) {
       std::vector<size_t>& ids = postings_[attr][v];
       auto it = std::lower_bound(ids.begin(), ids.end(), tuple_id);
@@ -21,8 +28,9 @@ void NfrIndex::AddTuple(size_t tuple_id, const NfrTuple& t) {
 }
 
 void NfrIndex::RemoveTuple(size_t tuple_id, const NfrTuple& t) {
-  NF2_CHECK(t.degree() == postings_.size());
-  for (size_t attr = 0; attr < postings_.size(); ++attr) {
+  NF2_CHECK(!interned()) << "Value-keyed mutation on an id-keyed index";
+  NF2_CHECK(t.degree() == degree_);
+  for (size_t attr = 0; attr < degree_; ++attr) {
     for (const Value& v : t.at(attr).values()) {
       auto map_it = postings_[attr].find(v);
       NF2_CHECK(map_it != postings_[attr].end())
@@ -45,11 +53,63 @@ void NfrIndex::MoveTuple(size_t from_id, size_t to_id, const NfrTuple& t) {
   AddTuple(to_id, t);
 }
 
+void NfrIndex::AddEncoded(size_t tuple_id, const EncodedTuple& t) {
+  NF2_CHECK(interned()) << "id-keyed mutation on a Value-keyed index";
+  NF2_CHECK(t.size() == degree_);
+  for (size_t attr = 0; attr < degree_; ++attr) {
+    std::vector<std::vector<size_t>>& slots = postings_by_id_[attr];
+    for (ValueId v : t[attr].ids()) {
+      if (v >= slots.size()) slots.resize(v + 1);
+      std::vector<size_t>& ids = slots[v];
+      auto it = std::lower_bound(ids.begin(), ids.end(), tuple_id);
+      NF2_DCHECK(it == ids.end() || *it != tuple_id);
+      ids.insert(it, tuple_id);
+    }
+  }
+}
+
+void NfrIndex::RemoveEncoded(size_t tuple_id, const EncodedTuple& t) {
+  NF2_CHECK(interned()) << "id-keyed mutation on a Value-keyed index";
+  NF2_CHECK(t.size() == degree_);
+  for (size_t attr = 0; attr < degree_; ++attr) {
+    std::vector<std::vector<size_t>>& slots = postings_by_id_[attr];
+    for (ValueId v : t[attr].ids()) {
+      NF2_CHECK(v < slots.size()) << "index missing value id " << v;
+      std::vector<size_t>& ids = slots[v];
+      auto it = std::lower_bound(ids.begin(), ids.end(), tuple_id);
+      NF2_CHECK(it != ids.end() && *it == tuple_id)
+          << "index missing id for value id " << v;
+      ids.erase(it);
+    }
+  }
+}
+
+void NfrIndex::MoveEncoded(size_t from_id, size_t to_id,
+                           const EncodedTuple& t) {
+  if (from_id == to_id) return;
+  RemoveEncoded(from_id, t);
+  AddEncoded(to_id, t);
+}
+
 const std::vector<size_t>* NfrIndex::Postings(size_t attr,
                                               const Value& v) const {
-  NF2_CHECK(attr < postings_.size());
+  NF2_CHECK(attr < degree_);
+  if (interned()) {
+    std::optional<ValueId> id = dict_->Find(v);
+    if (!id.has_value()) return nullptr;
+    return PostingsById(attr, *id);
+  }
   auto it = postings_[attr].find(v);
   return it == postings_[attr].end() ? nullptr : &it->second;
+}
+
+const std::vector<size_t>* NfrIndex::PostingsById(size_t attr,
+                                                  ValueId id) const {
+  NF2_CHECK(interned());
+  NF2_CHECK(attr < degree_);
+  const std::vector<std::vector<size_t>>& slots = postings_by_id_[attr];
+  if (id >= slots.size() || slots[id].empty()) return nullptr;
+  return &slots[id];
 }
 
 std::vector<size_t> IntersectSorted(const std::vector<size_t>& a,
@@ -74,17 +134,48 @@ std::vector<size_t> NfrIndex::ContainingAll(size_t attr,
   return out;
 }
 
+std::vector<size_t> NfrIndex::ContainingAllIds(size_t attr,
+                                               const IdSet& ids) const {
+  NF2_CHECK(!ids.empty());
+  const std::vector<size_t>* first = PostingsById(attr, ids[0]);
+  if (first == nullptr) return {};
+  std::vector<size_t> out = *first;
+  for (size_t i = 1; i < ids.size() && !out.empty(); ++i) {
+    const std::vector<size_t>* next = PostingsById(attr, ids[i]);
+    if (next == nullptr) return {};
+    out = IntersectSorted(out, *next);
+  }
+  return out;
+}
+
 std::vector<size_t> NfrIndex::ContainingTuple(const NfrTuple& t) const {
-  NF2_CHECK(t.degree() == postings_.size());
+  NF2_CHECK(t.degree() == degree_);
   std::vector<size_t> out = ContainingAll(0, t.at(0));
-  for (size_t attr = 1; attr < postings_.size() && !out.empty(); ++attr) {
+  for (size_t attr = 1; attr < degree_ && !out.empty(); ++attr) {
     out = IntersectSorted(out, ContainingAll(attr, t.at(attr)));
+  }
+  return out;
+}
+
+std::vector<size_t> NfrIndex::ContainingEncoded(const EncodedTuple& t) const {
+  NF2_CHECK(t.size() == degree_);
+  std::vector<size_t> out = ContainingAllIds(0, t[0]);
+  for (size_t attr = 1; attr < degree_ && !out.empty(); ++attr) {
+    out = IntersectSorted(out, ContainingAllIds(attr, t[attr]));
   }
   return out;
 }
 
 size_t NfrIndex::entry_count() const {
   size_t total = 0;
+  if (interned()) {
+    for (const auto& per_attr : postings_by_id_) {
+      for (const auto& ids : per_attr) {
+        total += ids.size();
+      }
+    }
+    return total;
+  }
   for (const auto& per_attr : postings_) {
     for (const auto& [value, ids] : per_attr) {
       total += ids.size();

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/compose.h"
+#include "core/value_dictionary.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -57,19 +58,70 @@ std::vector<Permutation> AllPermutations(size_t degree) {
 
 namespace {
 
-/// Hash of all components except `attr` — the grouping key of NestOn.
-size_t KeyHash(const NfrTuple& t, size_t attr) {
-  size_t seed = 0x9e57;
-  for (size_t i = 0; i < t.degree(); ++i) {
+/// Componentwise equality of encoded tuples except position `attr` —
+/// the id-space form of NfrTuple::AgreesExcept.
+bool AgreesExceptEncoded(const EncodedTuple& a, const EncodedTuple& b,
+                         size_t attr) {
+  for (size_t i = 0; i < a.size(); ++i) {
     if (i == attr) continue;
-    seed = HashCombine(seed, t.at(i).Hash());
+    if (a[i] != b[i]) return false;
   }
-  return seed;
+  return true;
+}
+
+/// One NestOn stage in id space: group tuples that agree on every
+/// component except `attr` (integer hash + integer equality), union the
+/// attr ids within each group. Same loop structure as the Value path,
+/// so the output tuple order is identical.
+std::vector<EncodedTuple> NestEncodedOn(std::vector<EncodedTuple> tuples,
+                                        size_t attr) {
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  std::vector<EncodedTuple> merged;
+  merged.reserve(tuples.size());
+  for (EncodedTuple& t : tuples) {
+    size_t h = HashEncodedTupleExcept(t, attr);
+    auto& bucket = buckets[h];
+    bool joined = false;
+    for (size_t idx : bucket) {
+      if (AgreesExceptEncoded(merged[idx], t, attr)) {
+        merged[idx][attr] = merged[idx][attr].Union(t[attr]);
+        joined = true;
+        break;
+      }
+    }
+    if (!joined) {
+      bucket.push_back(merged.size());
+      merged.push_back(std::move(t));
+    }
+  }
+  return merged;
+}
+
+NfrRelation DecodeRelation(const Schema& schema, const ValueDictionary& dict,
+                           std::vector<EncodedTuple> tuples) {
+  std::vector<NfrTuple> out;
+  out.reserve(tuples.size());
+  for (const EncodedTuple& t : tuples) {
+    out.push_back(DecodeTuple(dict, t));
+  }
+  return NfrRelation(schema, std::move(out));
 }
 
 }  // namespace
 
 NfrRelation NestOn(const NfrRelation& r, size_t attr) {
+  NF2_CHECK(attr < r.degree()) << "NestOn attribute out of range";
+  ValueDictionary dict;
+  std::vector<EncodedTuple> encoded;
+  encoded.reserve(r.size());
+  for (const NfrTuple& t : r.tuples()) {
+    encoded.push_back(InternTuple(&dict, t));
+  }
+  return DecodeRelation(r.schema(), dict,
+                        NestEncodedOn(std::move(encoded), attr));
+}
+
+NfrRelation NestOnLegacy(const NfrRelation& r, size_t attr) {
   NF2_CHECK(attr < r.degree()) << "NestOn attribute out of range";
   // Group tuples that agree on every component except `attr`, then union
   // the attr-components within each group. This is exactly the closure
@@ -79,7 +131,7 @@ NfrRelation NestOn(const NfrRelation& r, size_t attr) {
   std::vector<NfrTuple> merged;
   merged.reserve(r.size());
   for (const NfrTuple& t : r.tuples()) {
-    size_t h = KeyHash(t, attr);
+    size_t h = t.HashExcept(attr);
     auto& bucket = buckets[h];
     bool joined = false;
     for (size_t idx : bucket) {
@@ -127,15 +179,55 @@ NfrRelation RandomizedNestOn(const NfrRelation& r, size_t attr, Rng* rng) {
 NfrRelation NestSequence(const NfrRelation& r, const Permutation& perm) {
   NF2_CHECK(IsValidPermutation(perm, r.degree()))
       << "NestSequence: invalid permutation";
+  // Encode once, run every stage on ids, decode once.
+  ValueDictionary dict;
+  std::vector<EncodedTuple> encoded;
+  encoded.reserve(r.size());
+  for (const NfrTuple& t : r.tuples()) {
+    encoded.push_back(InternTuple(&dict, t));
+  }
+  for (size_t attr : perm) {
+    encoded = NestEncodedOn(std::move(encoded), attr);
+  }
+  return DecodeRelation(r.schema(), dict, std::move(encoded));
+}
+
+NfrRelation CanonicalForm(const FlatRelation& r, const Permutation& perm) {
+  NF2_CHECK(IsValidPermutation(perm, r.degree()))
+      << "CanonicalForm: invalid permutation";
+  // Flat tuples encode directly to all-singleton id tuples; the
+  // intermediate singleton NfrRelation of the definition never
+  // materializes.
+  ValueDictionary dict;
+  std::vector<EncodedTuple> encoded;
+  encoded.reserve(r.size());
+  for (const FlatTuple& t : r.tuples()) {
+    EncodedTuple enc;
+    enc.reserve(t.degree());
+    for (const Value& v : t.values()) {
+      enc.push_back(IdSet(dict.Intern(v)));
+    }
+    encoded.push_back(std::move(enc));
+  }
+  for (size_t attr : perm) {
+    encoded = NestEncodedOn(std::move(encoded), attr);
+  }
+  return DecodeRelation(r.schema(), dict, std::move(encoded));
+}
+
+NfrRelation NestSequenceLegacy(const NfrRelation& r, const Permutation& perm) {
+  NF2_CHECK(IsValidPermutation(perm, r.degree()))
+      << "NestSequence: invalid permutation";
   NfrRelation out = r;
   for (size_t attr : perm) {
-    out = NestOn(out, attr);
+    out = NestOnLegacy(out, attr);
   }
   return out;
 }
 
-NfrRelation CanonicalForm(const FlatRelation& r, const Permutation& perm) {
-  return NestSequence(NfrRelation::FromFlat(r), perm);
+NfrRelation CanonicalFormLegacy(const FlatRelation& r,
+                                const Permutation& perm) {
+  return NestSequenceLegacy(NfrRelation::FromFlat(r), perm);
 }
 
 NfrRelation UnnestOn(const NfrRelation& r, size_t attr) {

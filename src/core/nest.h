@@ -37,7 +37,15 @@ std::vector<Permutation> AllPermutations(size_t degree);
 /// over attribute position `attr`, applied exhaustively. By Theorem 2
 /// the result is unique, and this implementation computes it directly by
 /// grouping tuples on their remaining components (O(N) with hashing).
+/// Runs on the interned representation: tuples are encoded against a
+/// transient ValueDictionary so grouping keys hash and compare as dense
+/// integers instead of variant payloads.
 NfrRelation NestOn(const NfrRelation& r, size_t attr);
+
+/// The pre-interning Value-path implementation of NestOn, kept verbatim
+/// as the comparison control for the perf-trajectory bench and as a
+/// correctness oracle (NestOnLegacy == NestOn on every input).
+NfrRelation NestOnLegacy(const NfrRelation& r, size_t attr);
 
 /// Definition 4 implemented literally as successive pairwise
 /// compositions in a random order. Exists to test Theorem 2: for every
@@ -45,10 +53,20 @@ NfrRelation NestOn(const NfrRelation& r, size_t attr);
 NfrRelation RandomizedNestOn(const NfrRelation& r, size_t attr, Rng* rng);
 
 /// Applies NestOn for each position of `perm` in order (perm[0] first).
+/// The whole sequence runs in id space: tuples are encoded once, every
+/// stage groups and unions dense ids, and the result decodes once.
 NfrRelation NestSequence(const NfrRelation& r, const Permutation& perm);
 
-/// Definition 5: the canonical form V_P(R) of a 1NF relation.
+/// Definition 5: the canonical form V_P(R) of a 1NF relation. Encodes
+/// the flat tuples straight into id space (no intermediate singleton
+/// NFR) and nests there.
 NfrRelation CanonicalForm(const FlatRelation& r, const Permutation& perm);
+
+/// Value-path controls mirroring NestSequence / CanonicalForm (see
+/// NestOnLegacy).
+NfrRelation NestSequenceLegacy(const NfrRelation& r, const Permutation& perm);
+NfrRelation CanonicalFormLegacy(const FlatRelation& r,
+                                const Permutation& perm);
 
 /// Algebraic unnest on one attribute: splits every tuple's `attr`
 /// component into singletons (the inverse of NestOn up to re-nesting).

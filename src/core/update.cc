@@ -1,5 +1,7 @@
 #include "core/update.h"
 
+#include <chrono>
+
 #include "core/compose.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -10,7 +12,38 @@ namespace {
 // Recursion bound for recons: Theorem A-4 bounds the work by a function
 // of the degree only; anything past this indicates a broken invariant.
 constexpr int kMaxReconsDepth = 100000;
+
+/// Accumulates the elapsed wall time into `*sink` on scope exit.
+class ScopedNsTimer {
+ public:
+  explicit ScopedNsTimer(uint64_t* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedNsTimer() {
+    *sink_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  ScopedNsTimer(const ScopedNsTimer&) = delete;
+  ScopedNsTimer& operator=(const ScopedNsTimer&) = delete;
+
+ private:
+  uint64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
 }  // namespace
+
+double UpdateStats::AvgFindCandidateNs() const {
+  // FindCandidate runs exactly once per recons call.
+  if (recons_calls == 0) return 0.0;
+  return static_cast<double>(find_candidate_ns) /
+         static_cast<double>(recons_calls);
+}
+
+double UpdateStats::AvgReconsNs() const {
+  if (recons_calls == 0) return 0.0;
+  return static_cast<double>(recons_ns) / static_cast<double>(recons_calls);
+}
 
 UpdateStats UpdateStats::operator-(const UpdateStats& other) const {
   UpdateStats out;
@@ -18,6 +51,8 @@ UpdateStats UpdateStats::operator-(const UpdateStats& other) const {
   out.decompositions = decompositions - other.decompositions;
   out.recons_calls = recons_calls - other.recons_calls;
   out.candidate_scans = candidate_scans - other.candidate_scans;
+  out.find_candidate_ns = find_candidate_ns - other.find_candidate_ns;
+  out.recons_ns = recons_ns - other.recons_ns;
   return out;
 }
 
@@ -25,27 +60,49 @@ std::string UpdateStats::ToString() const {
   return StrCat("{compositions=", compositions,
                 " decompositions=", decompositions,
                 " recons_calls=", recons_calls,
-                " candidate_scans=", candidate_scans, "}");
+                " candidate_scans=", candidate_scans,
+                " recons_ns=", recons_ns, " (", AvgReconsNs(),
+                "/call) find_candidate_ns=", find_candidate_ns, " (",
+                AvgFindCandidateNs(), "/call)}");
 }
 
 CanonicalRelation::CanonicalRelation(Schema schema, Permutation order,
-                                     SearchMode mode)
-    : relation_(std::move(schema)), order_(std::move(order)), mode_(mode) {
+                                     SearchMode mode, Encoding encoding,
+                                     std::shared_ptr<ValueDictionary> dict)
+    : relation_(std::move(schema)),
+      order_(std::move(order)),
+      mode_(mode),
+      encoding_(encoding) {
   NF2_CHECK(IsValidPermutation(order_, relation_.schema().degree()))
       << "CanonicalRelation: invalid nest order";
+  if (encoding_ == Encoding::kInterned) {
+    dict_ = dict != nullptr ? std::move(dict)
+                            : std::make_shared<ValueDictionary>();
+  } else {
+    NF2_CHECK(dict == nullptr)
+        << "a dictionary requires Encoding::kInterned";
+  }
   if (mode_ == SearchMode::kIndexed) {
-    index_.emplace(relation_.schema().degree());
+    if (encoding_ == Encoding::kInterned) {
+      index_.emplace(relation_.schema().degree(), dict_);
+    } else {
+      index_.emplace(relation_.schema().degree());
+    }
   }
 }
 
 Result<CanonicalRelation> CanonicalRelation::FromFlat(
-    const FlatRelation& flat, Permutation order, SearchMode mode) {
+    const FlatRelation& flat, Permutation order, SearchMode mode,
+    Encoding encoding, std::shared_ptr<ValueDictionary> dict) {
   if (!IsValidPermutation(order, flat.degree())) {
     return Status::InvalidArgument(
         "nest order is not a permutation of the schema positions");
   }
-  CanonicalRelation out(flat.schema(), std::move(order), mode);
-  NfrRelation canonical = CanonicalForm(flat, out.order_);
+  CanonicalRelation out(flat.schema(), std::move(order), mode, encoding,
+                        std::move(dict));
+  NfrRelation canonical = encoding == Encoding::kValue
+                              ? CanonicalFormLegacy(flat, out.order_)
+                              : CanonicalForm(flat, out.order_);
   for (const NfrTuple& t : canonical.tuples()) {
     out.AddTuple(t);
   }
@@ -53,7 +110,13 @@ Result<CanonicalRelation> CanonicalRelation::FromFlat(
 }
 
 void CanonicalRelation::AddTuple(NfrTuple t) {
-  if (index_.has_value()) {
+  if (dict_ != nullptr) {
+    EncodedTuple encoded = InternTuple(dict_.get(), t);
+    if (index_.has_value()) {
+      index_->AddEncoded(relation_.size(), encoded);
+    }
+    encoded_.push_back(std::move(encoded));
+  } else if (index_.has_value()) {
     index_->AddTuple(relation_.size(), t);
   }
   relation_.Add(std::move(t));
@@ -61,11 +124,22 @@ void CanonicalRelation::AddTuple(NfrTuple t) {
 
 NfrTuple CanonicalRelation::TakeTupleAt(size_t index) {
   NfrTuple out = relation_.tuple(index);
-  if (index_.has_value()) {
+  size_t last = relation_.size() - 1;
+  if (dict_ != nullptr) {
+    if (index_.has_value()) {
+      index_->RemoveEncoded(index, encoded_[index]);
+      // NfrRelation::RemoveAt swap-removes: the last tuple moves into
+      // `index`.
+      if (index != last) {
+        index_->MoveEncoded(last, index, encoded_[last]);
+      }
+    }
+    if (index != last) {
+      encoded_[index] = std::move(encoded_[last]);
+    }
+    encoded_.pop_back();
+  } else if (index_.has_value()) {
     index_->RemoveTuple(index, out);
-    // NfrRelation::RemoveAt swap-removes: the last tuple moves into
-    // `index`.
-    size_t last = relation_.size() - 1;
     if (index != last) {
       index_->MoveTuple(last, index, relation_.tuple(last));
     }
@@ -74,7 +148,41 @@ NfrTuple CanonicalRelation::TakeTupleAt(size_t index) {
   return out;
 }
 
+std::optional<EncodedTuple> CanonicalRelation::TryEncodeFlat(
+    const FlatTuple& t) const {
+  EncodedTuple encoded;
+  encoded.reserve(t.degree());
+  for (const Value& v : t.values()) {
+    std::optional<ValueId> id = dict_->Find(v);
+    if (!id.has_value()) return std::nullopt;
+    encoded.push_back(IdSet(*id));
+  }
+  return encoded;
+}
+
 size_t CanonicalRelation::FindContainingTuple(const FlatTuple& t) const {
+  if (dict_ != nullptr) {
+    std::optional<EncodedTuple> probe = TryEncodeFlat(t);
+    if (!probe.has_value()) return relation_.size();  // Unseen value.
+    if (index_.has_value()) {
+      std::vector<size_t> ids = index_->ContainingEncoded(*probe);
+      NF2_DCHECK(ids.size() <= 1) << "disjoint-expansion invariant broken";
+      return ids.empty() ? relation_.size() : ids.front();
+    }
+    // Scan over the encoded mirror: an NFR tuple contains the simple
+    // tuple iff every component holds the corresponding id.
+    for (size_t i = 0; i < encoded_.size(); ++i) {
+      bool contains = true;
+      for (size_t attr = 0; attr < t.degree(); ++attr) {
+        if (!encoded_[i][attr].Contains((*probe)[attr].single())) {
+          contains = false;
+          break;
+        }
+      }
+      if (contains) return i;
+    }
+    return relation_.size();
+  }
   if (index_.has_value()) {
     std::vector<size_t> ids = index_->ContainingTuple(NfrTuple::FromFlat(t));
     NF2_DCHECK(ids.size() <= 1) << "disjoint-expansion invariant broken";
@@ -119,6 +227,7 @@ Status CanonicalRelation::Insert(const FlatTuple& t) {
     return Status::AlreadyExists(
         StrCat("tuple ", t.ToString(), " already present"));
   }
+  ScopedNsTimer timer(&stats_.recons_ns);
   Recons(NfrTuple::FromFlat(t), /*depth=*/0);
   return Status::OK();
 }
@@ -143,7 +252,10 @@ Status CanonicalRelation::Delete(const FlatTuple& t) {
     Result<Decomposition> split = Decompose(q, attr, t.at(attr));
     NF2_CHECK(split.ok()) << split.status().ToString();
     ++stats_.decompositions;
-    Recons(std::move(split->remainder), /*depth=*/0);
+    {
+      ScopedNsTimer timer(&stats_.recons_ns);
+      Recons(std::move(split->remainder), /*depth=*/0);
+    }
     q = std::move(split->extracted);
   }
   // q is now exactly the simple tuple t; it stays deleted.
@@ -173,17 +285,46 @@ bool CanonicalRelation::IsCandidateAt(const NfrTuple& s, const NfrTuple& t,
   return true;
 }
 
+bool CanonicalRelation::IsCandidateAtEncoded(const EncodedTuple& s,
+                                             const EncodedTuple& t,
+                                             size_t m) const {
+  const size_t n = order_.size();
+  for (size_t k = 0; k < n; ++k) {
+    size_t attr = order_[k];
+    if (k < m) {
+      if (s[attr] != t[attr]) return false;
+    } else if (k == m) {
+      if (!s[attr].IsDisjointFrom(t[attr])) return false;
+    } else {
+      if (!t[attr].IsSubsetOf(s[attr])) return false;
+    }
+  }
+  return true;
+}
+
 std::optional<CanonicalRelation::Candidate> CanonicalRelation::FindCandidate(
     const NfrTuple& t) {
+  ScopedNsTimer timer(&stats_.find_candidate_ns);
   const size_t n = order_.size();
+  // In interned mode the probe is encoded once (interning any values it
+  // introduces) and every comparison below is an integer merge against
+  // the encoded mirror.
+  EncodedTuple probe;
+  if (dict_ != nullptr) {
+    probe = InternTuple(dict_.get(), t);
+  }
+  auto is_candidate = [&](size_t i, size_t m) {
+    ++stats_.candidate_scans;
+    return dict_ != nullptr ? IsCandidateAtEncoded(encoded_[i], probe, m)
+                            : IsCandidateAt(relation_.tuple(i), t, m);
+  };
   if (!index_.has_value()) {
     // Scan nest-order positions from the first-nested attribute; Lemma
     // A-1 gives at most one candidate per position, and the algorithm
     // wants the smallest such position.
     for (size_t m = 0; m < n; ++m) {
       for (size_t i = 0; i < relation_.size(); ++i) {
-        ++stats_.candidate_scans;
-        if (IsCandidateAt(relation_.tuple(i), t, m)) {
+        if (is_candidate(i, m)) {
           return Candidate{i, m};
         }
       }
@@ -197,7 +338,10 @@ std::optional<CanonicalRelation::Candidate> CanonicalRelation::FindCandidate(
   // one merge.
   std::vector<std::vector<size_t>> containing(n);
   for (size_t k = 0; k < n; ++k) {
-    containing[k] = index_->ContainingAll(order_[k], t.at(order_[k]));
+    containing[k] =
+        dict_ != nullptr
+            ? index_->ContainingAllIds(order_[k], probe[order_[k]])
+            : index_->ContainingAll(order_[k], t.at(order_[k]));
   }
   // prefix[k] = intersection of containing[0..k-1].
   std::vector<std::vector<size_t>> suffix(n + 1);
@@ -225,8 +369,7 @@ std::optional<CanonicalRelation::Candidate> CanonicalRelation::FindCandidate(
       }
     }
     for (size_t i : ids) {
-      ++stats_.candidate_scans;
-      if (IsCandidateAt(relation_.tuple(i), t, m)) {
+      if (is_candidate(i, m)) {
         return Candidate{i, m};
       }
     }

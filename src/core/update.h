@@ -1,12 +1,14 @@
 #ifndef NF2_CORE_UPDATE_H_
 #define NF2_CORE_UPDATE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "core/index.h"
 #include "core/nest.h"
 #include "core/relation.h"
+#include "core/value_dictionary.h"
 #include "util/result.h"
 
 namespace nf2 {
@@ -14,13 +16,26 @@ namespace nf2 {
 /// Operation counters for the §4 update algorithms. The paper measures
 /// complexity as the *number of compositions* (Theorem A-4: at most a
 /// function of the degree n, independent of the number of tuples).
+///
+/// The *_ns counters are wall-clock nanoseconds, so `\stats` can show
+/// where time goes alongside how much algebra ran. recons_ns covers the
+/// top-level recons invocations (including the candidate searches they
+/// perform); find_candidate_ns isolates the candt search itself.
 struct UpdateStats {
   uint64_t compositions = 0;    // compo() applications (Def. 1)
   uint64_t decompositions = 0;  // unnest() applications (Def. 2)
   uint64_t recons_calls = 0;    // invocations of procedure "recons"
   uint64_t candidate_scans = 0; // tuples examined while searching candt
+  uint64_t find_candidate_ns = 0;  // wall time inside FindCandidate
+  uint64_t recons_ns = 0;          // wall time inside top-level Recons
 
   void Reset() { *this = UpdateStats{}; }
+
+  /// Average nanoseconds per FindCandidate call (0 when never called).
+  double AvgFindCandidateNs() const;
+  /// Average nanoseconds per top-level recons chain, approximated per
+  /// recons call (0 when never called).
+  double AvgReconsNs() const;
 
   UpdateStats operator-(const UpdateStats& other) const;
   std::string ToString() const;
@@ -42,15 +57,30 @@ class CanonicalRelation {
   /// Both produce identical relations; only the search cost differs.
   enum class SearchMode { kScan, kIndexed };
 
+  /// Which representation the candidate/containment searches run on.
+  /// kValue is the untouched pre-dictionary path, kept as the
+  /// comparison control; kInterned maintains an id-encoded mirror of
+  /// every tuple against a ValueDictionary, so the hot searches compare
+  /// and hash dense integers. The two modes execute the same algebra —
+  /// composition/decomposition/recons counts are bit-identical.
+  enum class Encoding { kValue, kInterned };
+
   /// An empty canonical relation. `order` must be a permutation of the
-  /// schema's positions; order[0] is nested first.
+  /// schema's positions; order[0] is nested first. When `dict` is null
+  /// and `encoding` is kInterned, the relation owns a private
+  /// dictionary; the engine passes its per-database dictionary instead
+  /// so ids are shared across relations.
   CanonicalRelation(Schema schema, Permutation order,
-                    SearchMode mode = SearchMode::kIndexed);
+                    SearchMode mode = SearchMode::kIndexed,
+                    Encoding encoding = Encoding::kInterned,
+                    std::shared_ptr<ValueDictionary> dict = nullptr);
 
   /// Builds the canonical form of an existing 1NF relation.
   static Result<CanonicalRelation> FromFlat(
       const FlatRelation& flat, Permutation order,
-      SearchMode mode = SearchMode::kIndexed);
+      SearchMode mode = SearchMode::kIndexed,
+      Encoding encoding = Encoding::kInterned,
+      std::shared_ptr<ValueDictionary> dict = nullptr);
 
   const Schema& schema() const { return relation_.schema(); }
   const Permutation& order() const { return order_; }
@@ -82,6 +112,13 @@ class CanonicalRelation {
   UpdateStats* mutable_stats() { return &stats_; }
 
   SearchMode search_mode() const { return mode_; }
+  Encoding encoding() const { return encoding_; }
+
+  /// The dictionary backing the interned representation (null in
+  /// kValue mode).
+  const std::shared_ptr<ValueDictionary>& dictionary() const {
+    return dict_;
+  }
 
  private:
   /// The paper's procedure "recons": repeatedly merge `t` into the
@@ -106,16 +143,29 @@ class CanonicalRelation {
   /// True when tuple `s` is a candidate for `t` at nest position `m`.
   bool IsCandidateAt(const NfrTuple& s, const NfrTuple& t, size_t m) const;
 
-  /// Index-maintaining mutations of relation_.
+  /// Id-space twin of IsCandidateAt — pure integer merges.
+  bool IsCandidateAtEncoded(const EncodedTuple& s, const EncodedTuple& t,
+                            size_t m) const;
+
+  /// Index-maintaining mutations of relation_ (and, in kInterned mode,
+  /// of the encoded mirror).
   void AddTuple(NfrTuple t);
   NfrTuple TakeTupleAt(size_t index);
 
   /// The unique tuple whose expansion contains `t`, or size() if none.
   size_t FindContainingTuple(const FlatTuple& t) const;
 
+  /// Encodes the simple tuple `t` against dict_ WITHOUT interning new
+  /// values: nullopt when some value is not in the dictionary (then no
+  /// stored tuple can contain `t`).
+  std::optional<EncodedTuple> TryEncodeFlat(const FlatTuple& t) const;
+
   NfrRelation relation_;
   Permutation order_;
   SearchMode mode_;
+  Encoding encoding_;
+  std::shared_ptr<ValueDictionary> dict_;  // kInterned only.
+  std::vector<EncodedTuple> encoded_;      // Mirror of relation_ (kInterned).
   std::optional<NfrIndex> index_;
   UpdateStats stats_;
 };

@@ -17,6 +17,15 @@ ValueSet::ValueSet(std::vector<Value> values) : values_(std::move(values)) {
   values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
 }
 
+ValueSet ValueSet::FromSortedUnique(std::vector<Value> values) {
+  NF2_DCHECK(std::is_sorted(values.begin(), values.end()) &&
+             std::adjacent_find(values.begin(), values.end()) == values.end())
+      << "FromSortedUnique input not sorted-unique";
+  ValueSet out;
+  out.values_ = std::move(values);
+  return out;
+}
+
 const Value& ValueSet::single() const {
   NF2_CHECK(IsSingleton()) << "ValueSet::single() on set of size "
                            << values_.size();

@@ -29,6 +29,11 @@ class ValueSet {
   ValueSet(std::initializer_list<Value> values);
   explicit ValueSet(std::vector<Value> values);
 
+  /// Trusted constructor for callers that already hold the elements in
+  /// ascending order without duplicates (the dictionary decode path) —
+  /// skips the O(k log k) payload sort.
+  static ValueSet FromSortedUnique(std::vector<Value> values);
+
   /// Number of elements.
   size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }

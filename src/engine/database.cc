@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <filesystem>
+#include <fstream>
+#include <string_view>
 
 #include "algebra/operators.h"
 #include "dependency/design.h"
@@ -13,6 +15,7 @@ namespace nf2 {
 namespace {
 constexpr char kCatalogFile[] = "catalog.nf2";
 constexpr char kWalFile[] = "wal.log";
+constexpr uint32_t kDictionaryMagic = 0x4e463244;  // "NF2D".
 
 std::string SanitizedFileName(const std::string& name) {
   std::string out;
@@ -32,7 +35,10 @@ Database::~Database() {
       NF2_LOG(Warning) << "rollback on close failed: " << rb;
     }
   }
-  if (wal_ != nullptr) {
+  // Only checkpoint a fully-recovered database: after a failed Recover
+  // the catalog may list relations that were never loaded, and writing
+  // that state out would destroy the recoverable files.
+  if (wal_ != nullptr && recovered_) {
     Status s = Checkpoint();
     if (!s.ok()) {
       NF2_LOG(Warning) << "checkpoint on close failed: " << s;
@@ -48,6 +54,61 @@ std::string Database::CatalogPath() const {
   return (std::filesystem::path(dir_) / kCatalogFile).string();
 }
 
+std::string Database::DictionaryPath() const {
+  return (std::filesystem::path(dir_) / catalog_.dictionary_file()).string();
+}
+
+Status Database::SaveDictionary() const {
+  BufferWriter out;
+  out.PutU32(kDictionaryMagic);
+  EncodeValueDictionary(*dict_, &out);
+  out.PutU32(Crc32(out.data()));
+  std::ofstream file(DictionaryPath(), std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError(
+        StrCat("cannot write dictionary at ", DictionaryPath()));
+  }
+  file.write(out.data().data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file) {
+    return Status::IOError("dictionary write failed");
+  }
+  return Status::OK();
+}
+
+Status Database::LoadDictionary() {
+  std::ifstream file(DictionaryPath(), std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound(
+        StrCat("dictionary not found at ", DictionaryPath()));
+  }
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  if (contents.size() < 12) {
+    return Status::Corruption("dictionary file too small");
+  }
+  std::string_view body(contents.data(), contents.size() - 4);
+  BufferReader crc_reader(
+      std::string_view(contents.data() + contents.size() - 4, 4));
+  NF2_ASSIGN_OR_RETURN(uint32_t stored_crc, crc_reader.GetU32());
+  if (Crc32(body) != stored_crc) {
+    return Status::Corruption("dictionary crc mismatch");
+  }
+  BufferReader in(body);
+  NF2_ASSIGN_OR_RETURN(uint32_t magic, in.GetU32());
+  if (magic != kDictionaryMagic) {
+    return Status::Corruption("bad dictionary magic");
+  }
+  NF2_ASSIGN_OR_RETURN(dict_, DecodeValueDictionary(&in));
+  return Status::OK();
+}
+
+CanonicalRelation Database::MakeRelation(const Schema& schema,
+                                         const Permutation& order) const {
+  return CanonicalRelation(schema, order, CanonicalRelation::SearchMode::kIndexed,
+                           CanonicalRelation::Encoding::kInterned, dict_);
+}
+
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
                                                  Options options) {
   std::error_code ec;
@@ -58,6 +119,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   std::unique_ptr<Database> db(new Database());
   db->dir_ = dir;
   db->options_ = options;
+  db->dict_ = std::make_shared<ValueDictionary>();
   NF2_ASSIGN_OR_RETURN(
       db->wal_, WriteAheadLog::Open(
                     (std::filesystem::path(dir) / kWalFile).string()));
@@ -66,13 +128,18 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
 }
 
 Status Database::Recover() {
-  // 1. Catalog + checkpointed tables.
+  // 1. Catalog + shared dictionary + checkpointed tables. A missing
+  // dictionary file is fine (pre-dictionary database or nothing
+  // checkpointed yet): re-interning during table load rebuilds it.
   if (std::filesystem::exists(CatalogPath())) {
     NF2_ASSIGN_OR_RETURN(catalog_, Catalog::LoadFromFile(CatalogPath()));
   }
+  if (std::filesystem::exists(DictionaryPath())) {
+    NF2_RETURN_IF_ERROR(LoadDictionary());
+  }
   for (const std::string& name : catalog_.Names()) {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
-    CanonicalRelation rel(info->schema, info->nest_order);
+    CanonicalRelation rel = MakeRelation(info->schema, info->nest_order);
     if (std::filesystem::exists(TablePath(*info))) {
       NF2_ASSIGN_OR_RETURN(auto table, Table::Open(TablePath(*info)));
       NF2_ASSIGN_OR_RETURN(NfrRelation stored, table->ReadAll());
@@ -81,7 +148,10 @@ Status Database::Recover() {
       // partial writes).
       NF2_ASSIGN_OR_RETURN(
           CanonicalRelation rebuilt,
-          CanonicalRelation::FromFlat(stored.Expand(), info->nest_order));
+          CanonicalRelation::FromFlat(
+              stored.Expand(), info->nest_order,
+              CanonicalRelation::SearchMode::kIndexed,
+              CanonicalRelation::Encoding::kInterned, dict_));
       if (!rebuilt.relation().EqualsAsSet(stored)) {
         return Status::Corruption(
             StrCat("table for '", name, "' is not in canonical form"));
@@ -125,7 +195,7 @@ Status Database::Recover() {
         NF2_ASSIGN_OR_RETURN(RelationInfo info, DecodeRelationInfo(&reader));
         NF2_RETURN_IF_ERROR(catalog_.Add(info));
         relations_.emplace(info.name,
-                           CanonicalRelation(info.schema, info.nest_order));
+                           MakeRelation(info.schema, info.nest_order));
         break;
       }
       case WalOpType::kDropRelation: {
@@ -155,6 +225,7 @@ Status Database::Recover() {
     ++ops_since_checkpoint_;
   }
   // A transaction cut off by a crash is implicitly aborted.
+  recovered_ = true;
   return Status::OK();
 }
 
@@ -245,8 +316,7 @@ Status Database::CreateRelation(const std::string& name, Schema schema,
   NF2_RETURN_IF_ERROR(
       wal_->Append({0, WalOpType::kCreateRelation, name, payload.data()})
           .status());
-  relations_.emplace(name,
-                     CanonicalRelation(info.schema, info.nest_order));
+  relations_.emplace(name, MakeRelation(info.schema, info.nest_order));
   // Create the (empty) table file and persist the catalog eagerly.
   NF2_ASSIGN_OR_RETURN(auto table, Table::Create(TablePath(info),
                                                  info.schema,
@@ -442,6 +512,7 @@ Status Database::Checkpoint() {
     NF2_RETURN_IF_ERROR(table->Rewrite(it->second.relation()));
   }
   NF2_RETURN_IF_ERROR(catalog_.SaveToFile(CatalogPath()));
+  NF2_RETURN_IF_ERROR(SaveDictionary());
   NF2_RETURN_IF_ERROR(wal_->Reset());
   ops_since_checkpoint_ = 0;
   return Status::OK();
@@ -482,6 +553,9 @@ Result<RelationStats> Database::Stats(const std::string& name) const {
   RelationStats stats = ComputeRelationStats(it->second.relation());
   stats.name = name;
   stats.update_stats = it->second.stats();
+  if (it->second.dictionary() != nullptr) {
+    stats.dict_values = it->second.dictionary()->size();
+  }
   return stats;
 }
 

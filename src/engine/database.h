@@ -124,6 +124,14 @@ class Database {
     return ops_since_checkpoint_;
   }
 
+  /// The database-wide value dictionary: every relation interns its
+  /// atoms here, so one atomic value has one dense id across the whole
+  /// database. Persisted at Checkpoint and reloaded (with identical id
+  /// assignment) at Open.
+  const std::shared_ptr<ValueDictionary>& dictionary() const {
+    return dict_;
+  }
+
   const std::string& dir() const { return dir_; }
 
  private:
@@ -142,12 +150,19 @@ class Database {
   Status ApplyDelete(const std::string& name, const FlatTuple& tuple);
   std::string TablePath(const RelationInfo& info) const;
   std::string CatalogPath() const;
+  std::string DictionaryPath() const;
+  Status SaveDictionary() const;
+  Status LoadDictionary();
+  /// A fresh interned CanonicalRelation wired to the shared dictionary.
+  CanonicalRelation MakeRelation(const Schema& schema,
+                                 const Permutation& order) const;
   Status MaybeAutoCheckpoint();
 
   std::string dir_;
   Options options_;
   Catalog catalog_;
   std::unique_ptr<WriteAheadLog> wal_;
+  std::shared_ptr<ValueDictionary> dict_;
   std::map<std::string, CanonicalRelation> relations_;
   uint64_t ops_since_checkpoint_ = 0;
 
@@ -158,6 +173,9 @@ class Database {
     FlatTuple tuple;
   };
   bool in_txn_ = false;
+  /// Set once Recover() completes; the destructor refuses to checkpoint
+  /// a partially-recovered database (see ~Database).
+  bool recovered_ = false;
   std::vector<UndoEntry> undo_log_;
 };
 

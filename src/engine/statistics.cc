@@ -19,8 +19,8 @@ std::string RelationStats::ToString() const {
   return StrCat(name, ": ", nfr_tuples, " NFR tuples (", nfr_bytes,
                 " bytes) vs ", flat_tuples, " 1NF tuples (", flat_bytes,
                 " bytes); reduction x", TupleReduction(), " tuples, x",
-                ByteReduction(), " bytes; updates ",
-                update_stats.ToString());
+                ByteReduction(), " bytes; dict ", dict_values,
+                " values; updates ", update_stats.ToString());
 }
 
 RelationStats ComputeRelationStats(const NfrRelation& rel) {

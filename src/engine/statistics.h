@@ -18,7 +18,10 @@ struct RelationStats {
   uint64_t flat_tuples = 0;    // |R*|: what 1NF storage would hold.
   size_t nfr_bytes = 0;        // Serialized NFR size.
   size_t flat_bytes = 0;       // Serialized 1NF size.
-  UpdateStats update_stats;    // Cumulative §4 operation counters.
+  size_t dict_values = 0;      // Distinct atoms in the value dictionary.
+  UpdateStats update_stats;    // Cumulative §4 operation counters,
+                               // including wall-time (ns) in the hot
+                               // FindCandidate/Recons paths.
 
   /// flat_tuples / nfr_tuples (1.0 for empty relations).
   double TupleReduction() const;

@@ -309,4 +309,28 @@ Result<NfrRelation> DecodeNfrRelation(BufferReader* in) {
   return NfrRelation(std::move(schema), std::move(tuples));
 }
 
+void EncodeValueDictionary(const ValueDictionary& d, BufferWriter* out) {
+  out->PutU32(static_cast<uint32_t>(d.size()));
+  for (ValueId id = 0; id < d.size(); ++id) {
+    EncodeValue(d.value(id), out);
+  }
+}
+
+Result<std::shared_ptr<ValueDictionary>> DecodeValueDictionary(
+    BufferReader* in) {
+  NF2_ASSIGN_OR_RETURN(uint32_t count, in->GetU32());
+  if (count > in->remaining()) {
+    return Status::Corruption("dictionary entry count exceeds buffer size");
+  }
+  auto dict = std::make_shared<ValueDictionary>();
+  for (uint32_t i = 0; i < count; ++i) {
+    NF2_ASSIGN_OR_RETURN(Value v, DecodeValue(in));
+    ValueId id = dict->Intern(v);
+    if (id != i) {
+      return Status::Corruption("duplicate value in stored dictionary");
+    }
+  }
+  return dict;
+}
+
 }  // namespace nf2

@@ -2,6 +2,7 @@
 #define NF2_STORAGE_SERDE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -9,6 +10,7 @@
 #include "core/schema.h"
 #include "core/tuple.h"
 #include "core/value.h"
+#include "core/value_dictionary.h"
 #include "core/value_set.h"
 #include "util/result.h"
 
@@ -83,6 +85,14 @@ Result<Schema> DecodeSchema(BufferReader* in);
 
 void EncodeNfrRelation(const NfrRelation& r, BufferWriter* out);
 Result<NfrRelation> DecodeNfrRelation(BufferReader* in);
+
+/// The dictionary is persisted as its values in id order, so decoding
+/// re-interns them and reproduces the exact id assignment — stored
+/// id-encoded state (and any future id-encoded pages) stays valid
+/// across restarts.
+void EncodeValueDictionary(const ValueDictionary& d, BufferWriter* out);
+Result<std::shared_ptr<ValueDictionary>> DecodeValueDictionary(
+    BufferReader* in);
 
 }  // namespace nf2
 

@@ -126,8 +126,8 @@ TEST(ParserTest, SmallStatements) {
       *ParseStatement("STATS r")));
   EXPECT_TRUE(std::holds_alternative<DropStatement>(
       *ParseStatement("DROP RELATION r")));
-  const auto& nest =
-      std::get<NestStatement>(*ParseStatement("NEST r ON a, b"));
+  Result<Statement> nest_result = ParseStatement("NEST r ON a, b");
+  const auto& nest = std::get<NestStatement>(*nest_result);
   EXPECT_FALSE(nest.unnest);
   EXPECT_EQ(nest.attributes, (std::vector<std::string>{"a", "b"}));
   EXPECT_TRUE(
