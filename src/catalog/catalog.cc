@@ -1,8 +1,5 @@
 #include "catalog/catalog.h"
 
-#include <filesystem>
-#include <fstream>
-
 #include "util/string_util.h"
 
 namespace nf2 {
@@ -120,7 +117,7 @@ std::vector<std::string> Catalog::Names() const {
   return out;
 }
 
-Status Catalog::SaveToFile(const std::string& path) const {
+Status Catalog::SaveToFile(Env* env, const std::string& path) const {
   BufferWriter out;
   out.PutU32(0x4e463243);  // "NF2C".
   out.PutU32(static_cast<uint32_t>(relations_.size()));
@@ -128,25 +125,16 @@ Status Catalog::SaveToFile(const std::string& path) const {
     EncodeRelationInfo(info, &out);
   }
   out.PutU32(Crc32(out.data()));
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file.is_open()) {
-    return Status::IOError(StrCat("cannot write catalog at ", path));
-  }
-  file.write(out.data().data(), static_cast<std::streamsize>(out.size()));
-  file.flush();
-  if (!file) {
-    return Status::IOError("catalog write failed");
-  }
-  return Status::OK();
+  // Never truncate the live catalog in place: a crash between truncate
+  // and write would lose every relation.
+  return env->WriteFileAtomic(path, out.data());
 }
 
-Result<Catalog> Catalog::LoadFromFile(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file.is_open()) {
+Result<Catalog> Catalog::LoadFromFile(Env* env, const std::string& path) {
+  if (!env->FileExists(path)) {
     return Status::NotFound(StrCat("catalog not found at ", path));
   }
-  std::string contents((std::istreambuf_iterator<char>(file)),
-                       std::istreambuf_iterator<char>());
+  NF2_ASSIGN_OR_RETURN(std::string contents, env->ReadFileToString(path));
   if (contents.size() < 12) {
     return Status::Corruption("catalog too small");
   }

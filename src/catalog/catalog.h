@@ -9,6 +9,7 @@
 #include "core/schema.h"
 #include "dependency/fd.h"
 #include "dependency/mvd.h"
+#include "storage/env.h"
 #include "storage/serde.h"
 #include "util/result.h"
 
@@ -57,9 +58,18 @@ class Catalog {
   std::vector<std::string> Names() const;
   size_t size() const { return relations_.size(); }
 
-  /// Serialization to/from a catalog file.
-  Status SaveToFile(const std::string& path) const;
-  static Result<Catalog> LoadFromFile(const std::string& path);
+  /// Serialization to/from a catalog file. Saving replaces the file
+  /// atomically (write temp → sync → rename → sync dir), so a crash
+  /// mid-save leaves the previous catalog intact instead of a truncated
+  /// hybrid.
+  Status SaveToFile(Env* env, const std::string& path) const;
+  Status SaveToFile(const std::string& path) const {
+    return SaveToFile(Env::Default(), path);
+  }
+  static Result<Catalog> LoadFromFile(Env* env, const std::string& path);
+  static Result<Catalog> LoadFromFile(const std::string& path) {
+    return LoadFromFile(Env::Default(), path);
+  }
 
  private:
   std::map<std::string, RelationInfo> relations_;

@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <string_view>
 
 #include "algebra/operators.h"
@@ -63,27 +62,19 @@ Status Database::SaveDictionary() const {
   out.PutU32(kDictionaryMagic);
   EncodeValueDictionary(*dict_, &out);
   out.PutU32(Crc32(out.data()));
-  std::ofstream file(DictionaryPath(), std::ios::binary | std::ios::trunc);
-  if (!file.is_open()) {
-    return Status::IOError(
-        StrCat("cannot write dictionary at ", DictionaryPath()));
-  }
-  file.write(out.data().data(), static_cast<std::streamsize>(out.size()));
-  file.flush();
-  if (!file) {
-    return Status::IOError("dictionary write failed");
-  }
-  return Status::OK();
+  // Never truncate the live dictionary in place: every checkpointed
+  // table encodes against it, so losing it to a mid-write crash would
+  // orphan all of them.
+  return env_->WriteFileAtomic(DictionaryPath(), out.data());
 }
 
 Status Database::LoadDictionary() {
-  std::ifstream file(DictionaryPath(), std::ios::binary);
-  if (!file.is_open()) {
+  if (!env_->FileExists(DictionaryPath())) {
     return Status::NotFound(
         StrCat("dictionary not found at ", DictionaryPath()));
   }
-  std::string contents((std::istreambuf_iterator<char>(file)),
-                       std::istreambuf_iterator<char>());
+  NF2_ASSIGN_OR_RETURN(std::string contents,
+                       env_->ReadFileToString(DictionaryPath()));
   if (contents.size() < 12) {
     return Status::Corruption("dictionary file too small");
   }
@@ -110,19 +101,33 @@ CanonicalRelation Database::MakeRelation(const Schema& schema,
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
-                                                 Options options) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError(StrCat("cannot create database dir ", dir));
-  }
+                                                 Options options, Env* env) {
+  NF2_RETURN_IF_ERROR(env->CreateDirs(dir));
   std::unique_ptr<Database> db(new Database());
   db->dir_ = dir;
   db->options_ = options;
+  db->env_ = env;
   db->dict_ = std::make_shared<ValueDictionary>();
+  // Sweep leftovers of atomic writes cut by a crash: a "*.tmp" sibling
+  // is never live state — the rename that would have published it
+  // never happened.
+  NF2_ASSIGN_OR_RETURN(std::vector<std::string> entries, env->ListDir(dir));
+  for (const std::string& entry : entries) {
+    if (entry.size() > 4 && entry.ends_with(".tmp")) {
+      Status s = env->RemoveFile(
+          (std::filesystem::path(dir) / entry).string());
+      if (!s.ok()) {
+        NF2_LOG(Warning) << "cannot remove stray temp file " << entry
+                         << ": " << s;
+      }
+    }
+  }
+  WriteAheadLog::Options wal_options;
+  wal_options.sync_on_commit = options.sync_wal;
   NF2_ASSIGN_OR_RETURN(
-      db->wal_, WriteAheadLog::Open(
-                    (std::filesystem::path(dir) / kWalFile).string()));
+      db->wal_,
+      WriteAheadLog::Open(env, (std::filesystem::path(dir) / kWalFile).string(),
+                          wal_options));
   NF2_RETURN_IF_ERROR(db->Recover());
   return db;
 }
@@ -131,17 +136,18 @@ Status Database::Recover() {
   // 1. Catalog + shared dictionary + checkpointed tables. A missing
   // dictionary file is fine (pre-dictionary database or nothing
   // checkpointed yet): re-interning during table load rebuilds it.
-  if (std::filesystem::exists(CatalogPath())) {
-    NF2_ASSIGN_OR_RETURN(catalog_, Catalog::LoadFromFile(CatalogPath()));
+  if (env_->FileExists(CatalogPath())) {
+    NF2_ASSIGN_OR_RETURN(catalog_,
+                         Catalog::LoadFromFile(env_, CatalogPath()));
   }
-  if (std::filesystem::exists(DictionaryPath())) {
+  if (env_->FileExists(DictionaryPath())) {
     NF2_RETURN_IF_ERROR(LoadDictionary());
   }
   for (const std::string& name : catalog_.Names()) {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
     CanonicalRelation rel = MakeRelation(info->schema, info->nest_order);
-    if (std::filesystem::exists(TablePath(*info))) {
-      NF2_ASSIGN_OR_RETURN(auto table, Table::Open(TablePath(*info)));
+    if (env_->FileExists(TablePath(*info))) {
+      NF2_ASSIGN_OR_RETURN(auto table, Table::Open(env_, TablePath(*info)));
       NF2_ASSIGN_OR_RETURN(NfrRelation stored, table->ReadAll());
       // Trust but verify: the stored form must be the canonical form of
       // its own expansion (cheap for the usual sizes; guards against
@@ -160,10 +166,17 @@ Status Database::Recover() {
     }
     relations_.emplace(name, std::move(rel));
   }
-  // 2. Replay the WAL through the §4 algorithms. Insert/delete records
-  // inside a transaction are buffered and applied only when the commit
-  // record is seen; aborted or crash-cut transactions are discarded.
-  NF2_ASSIGN_OR_RETURN(std::vector<WalRecord> records, wal_->ReadAll());
+  // 2. Replay the WAL through the §4 algorithms. The records were read
+  // (and the torn tail cut) once, at WriteAheadLog::Open — no second
+  // scan of the log file. Insert/delete records inside a transaction
+  // are buffered and applied only when the commit record is seen;
+  // aborted or crash-cut transactions are discarded.
+  //
+  // Only applied data and DDL operations count toward
+  // ops_since_checkpoint_: transaction markers and checkpoint records
+  // are bookkeeping, and counting them would make the auto-checkpoint
+  // cadence drift after every recovery.
+  const std::vector<WalRecord>& records = wal_->recovered_records();
   bool replay_in_txn = false;
   std::vector<WalRecord> pending;
   auto apply_data_record = [&](const WalRecord& record) -> Status {
@@ -171,11 +184,18 @@ Status Database::Recover() {
     NF2_ASSIGN_OR_RETURN(FlatTuple tuple, DecodeFlatTuple(&reader));
     if (record.type == WalOpType::kInsert) {
       Status s = ApplyInsert(record.relation, tuple);
-      if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+      // AlreadyExists: the op landed in a checkpoint before the crash.
+      // NotFound: the relation was dropped later in this same log (the
+      // drop saved the catalog eagerly, superseding these records).
+      if (!s.ok() && s.code() != StatusCode::kAlreadyExists &&
+          s.code() != StatusCode::kNotFound) {
+        return s;
+      }
     } else {
       Status s = ApplyDelete(record.relation, tuple);
       if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
     }
+    ++ops_since_checkpoint_;
     return Status::OK();
   };
   for (const WalRecord& record : records) {
@@ -190,6 +210,7 @@ Status Database::Recover() {
         break;
       }
       case WalOpType::kCreateRelation: {
+        ++ops_since_checkpoint_;
         if (catalog_.Has(record.relation)) break;  // Already applied.
         BufferReader reader(record.payload);
         NF2_ASSIGN_OR_RETURN(RelationInfo info, DecodeRelationInfo(&reader));
@@ -199,6 +220,7 @@ Status Database::Recover() {
         break;
       }
       case WalOpType::kDropRelation: {
+        ++ops_since_checkpoint_;
         if (!catalog_.Has(record.relation)) break;
         NF2_RETURN_IF_ERROR(catalog_.Remove(record.relation));
         relations_.erase(record.relation);
@@ -222,7 +244,6 @@ Status Database::Recover() {
       case WalOpType::kCheckpoint:
         break;
     }
-    ++ops_since_checkpoint_;
   }
   // A transaction cut off by a crash is implicitly aborted.
   recovered_ = true;
@@ -248,7 +269,8 @@ Status Database::Commit() {
       wal_->Append({0, WalOpType::kTxnCommit, "", ""}).status());
   in_txn_ = false;
   undo_log_.clear();
-  ++ops_since_checkpoint_;
+  // The marker itself is not an operation; the transaction's data ops
+  // were already counted as they ran.
   return MaybeAutoCheckpoint();
 }
 
@@ -313,17 +335,20 @@ Status Database::CreateRelation(const std::string& name, Schema schema,
 
   BufferWriter payload;
   EncodeRelationInfo(info, &payload);
+  // The WAL record (fsync'd — DDL is a commit point) goes first: once
+  // it is durable, a crash anywhere below is repaired by replay, which
+  // recreates whatever file or catalog entry is missing.
   NF2_RETURN_IF_ERROR(
       wal_->Append({0, WalOpType::kCreateRelation, name, payload.data()})
           .status());
   relations_.emplace(name, MakeRelation(info.schema, info.nest_order));
-  // Create the (empty) table file and persist the catalog eagerly.
-  NF2_ASSIGN_OR_RETURN(auto table, Table::Create(TablePath(info),
-                                                 info.schema,
-                                                 info.nest_order));
-  NF2_RETURN_IF_ERROR(table->Flush());
+  // Publish the (empty) table file atomically, then the catalog.
+  NF2_RETURN_IF_ERROR(WriteTableAtomic(env_, TablePath(info), info.schema,
+                                       info.nest_order,
+                                       NfrRelation(info.schema)));
   NF2_RETURN_IF_ERROR(catalog_.Add(std::move(info)));
-  return catalog_.SaveToFile(CatalogPath());
+  ++ops_since_checkpoint_;
+  return catalog_.SaveToFile(env_, CatalogPath());
 }
 
 Status Database::DropRelation(const std::string& name) {
@@ -337,9 +362,15 @@ Status Database::DropRelation(const std::string& name) {
       wal_->Append({0, WalOpType::kDropRelation, name, ""}).status());
   NF2_RETURN_IF_ERROR(catalog_.Remove(name));
   relations_.erase(name);
-  std::error_code ec;
-  std::filesystem::remove(table_path, ec);  // Best effort.
-  return catalog_.SaveToFile(CatalogPath());
+  if (env_->FileExists(table_path)) {
+    Status removed = env_->RemoveFile(table_path);  // Best effort.
+    if (!removed.ok()) {
+      NF2_LOG(Warning) << "cannot remove dropped table file " << table_path
+                       << ": " << removed;
+    }
+  }
+  ++ops_since_checkpoint_;
+  return catalog_.SaveToFile(env_, CatalogPath());
 }
 
 std::vector<std::string> Database::ListRelations() const {
@@ -497,22 +528,27 @@ Status Database::Checkpoint() {
     return Status::FailedPrecondition(
         "cannot checkpoint with an open transaction");
   }
+  // Every file is replaced atomically (write temp → sync → rename →
+  // sync dir); the WAL truncation at the end is the commit point. A
+  // crash anywhere before it leaves some mix of old and new files plus
+  // the full WAL — and because replay is idempotent (inserts ignore
+  // AlreadyExists, deletes ignore NotFound), recovery converges to the
+  // same state from any such mix.
+  //
+  // Order matters for the dictionary: tables encode against it, so the
+  // dictionary on disk must always be a superset of what any table
+  // file references. It is append-only between checkpoints — writing
+  // it first keeps that invariant through a crash.
+  NF2_RETURN_IF_ERROR(SaveDictionary());
   for (const std::string& name : catalog_.Names()) {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
     auto it = relations_.find(name);
     NF2_CHECK(it != relations_.end());
-    std::string path = TablePath(*info);
-    std::unique_ptr<Table> table;
-    if (std::filesystem::exists(path)) {
-      NF2_ASSIGN_OR_RETURN(table, Table::Open(path));
-    } else {
-      NF2_ASSIGN_OR_RETURN(table, Table::Create(path, info->schema,
-                                                info->nest_order));
-    }
-    NF2_RETURN_IF_ERROR(table->Rewrite(it->second.relation()));
+    NF2_RETURN_IF_ERROR(WriteTableAtomic(env_, TablePath(*info),
+                                         info->schema, info->nest_order,
+                                         it->second.relation()));
   }
-  NF2_RETURN_IF_ERROR(catalog_.SaveToFile(CatalogPath()));
-  NF2_RETURN_IF_ERROR(SaveDictionary());
+  NF2_RETURN_IF_ERROR(catalog_.SaveToFile(env_, CatalogPath()));
   NF2_RETURN_IF_ERROR(wal_->Reset());
   ops_since_checkpoint_ = 0;
   return Status::OK();

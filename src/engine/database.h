@@ -21,14 +21,22 @@ namespace nf2 {
 /// write-ahead log.
 ///
 /// Durability protocol:
-///  - CreateRelation/DropRelation update the catalog file immediately
-///    (and are logged, so a crash between the two is recoverable).
-///  - Insert/Delete are logged to the WAL, then applied in memory via
-///    the §4 algorithms. Table files are only rewritten at Checkpoint,
-///    which then truncates the WAL.
-///  - Open loads the catalog and table files, then replays the WAL
-///    through the same §4 algorithms — recovery reconstructs exactly
-///    the canonical form (Theorem 2 uniqueness makes this well-defined).
+///  - CreateRelation/DropRelation are logged (fsync'd), then the table
+///    and catalog files are replaced atomically — a crash between the
+///    steps is recovered by replaying the log.
+///  - Insert/Delete are logged to the WAL (fsync'd at each commit
+///    point: every autocommit op, every Commit), then applied in
+///    memory via the §4 algorithms. Table files are only rewritten at
+///    Checkpoint, which then truncates the WAL.
+///  - Checkpoint replaces every file via write-temp → sync → rename →
+///    sync-dir and truncates the WAL only after all renames landed. A
+///    crash at any point leaves a state WAL replay converges from:
+///    either the old checkpoint plus the full log, or the new one plus
+///    an idempotent replay.
+///  - Open removes stray temp files, loads the catalog and table
+///    files, then replays the WAL through the same §4 algorithms —
+///    recovery reconstructs exactly the canonical form (Theorem 2
+///    uniqueness makes this well-defined).
 class Database {
  public:
   struct Options {
@@ -40,11 +48,23 @@ class Database {
     /// enforced: the paper's §2 lesson is precisely that updates must
     /// not assume MVDs continue to hold.
     bool enforce_fds = true;
+    /// When true (the default) the WAL fdatasyncs at every commit
+    /// point, so an acknowledged operation survives a crash. Turning
+    /// it off trades that guarantee for speed (benchmarks, bulk
+    /// loads): data is still consistent after a crash, just possibly
+    /// stale.
+    bool sync_wal = true;
   };
 
   /// Opens (creating if needed) a database in `dir`, running recovery.
+  /// All file I/O goes through `env` (fault-injection tests pass a
+  /// FaultInjectionEnv here).
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
-                                                Options options);
+                                                Options options, Env* env);
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                Options options) {
+    return Open(dir, options, Env::Default());
+  }
   static Result<std::unique_ptr<Database>> Open(const std::string& dir) {
     return Open(dir, Options{});
   }
@@ -119,10 +139,20 @@ class Database {
   /// Returns the first violation found, OK when everything checks out.
   Status VerifyIntegrity() const;
 
-  /// Number of WAL records appended since the last checkpoint.
+  /// Number of data/DDL operations applied since the last checkpoint.
+  /// Transaction markers and checkpoint records do not count — after
+  /// recovery this equals the number of replayed, applied operations,
+  /// so auto-checkpoint cadence is unchanged by a crash.
   uint64_t wal_records_since_checkpoint() const {
     return ops_since_checkpoint_;
   }
+
+  /// The Env all storage I/O goes through.
+  Env* env() const { return env_; }
+
+  /// fdatasyncs issued by the WAL since open — observability for the
+  /// group-commit batching benchmarks.
+  uint64_t wal_sync_count() const { return wal_->sync_count(); }
 
   /// The database-wide value dictionary: every relation interns its
   /// atoms here, so one atomic value has one dense id across the whole
@@ -160,6 +190,7 @@ class Database {
 
   std::string dir_;
   Options options_;
+  Env* env_ = nullptr;
   Catalog catalog_;
   std::unique_ptr<WriteAheadLog> wal_;
   std::shared_ptr<ValueDictionary> dict_;

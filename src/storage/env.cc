@@ -1,0 +1,269 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(StrCat(context, ": ", std::strerror(errno)));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("append on closed file");
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus(StrCat("write ", path_));
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync on closed file");
+    if (::fdatasync(fd_) != 0) {
+      return ErrnoStatus(StrCat("fdatasync ", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return ErrnoStatus(StrCat("close ", path_));
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomRWFile : public RandomRWFile {
+ public:
+  PosixRandomRWFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixRandomRWFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* out) override {
+    if (fd_ < 0) return Status::IOError("read on closed file");
+    size_t done = 0;
+    while (done < n) {
+      ssize_t got = ::pread(fd_, out + done, n - done,
+                            static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus(StrCat("pread ", path_));
+      }
+      if (got == 0) {
+        return Status::IOError(
+            StrCat("short read of ", n, " bytes at offset ", offset, " in ",
+                   path_));
+      }
+      done += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("write on closed file");
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                           static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus(StrCat("pwrite ", path_));
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync on closed file");
+    if (::fdatasync(fd_) != 0) {
+      return ErrnoStatus(StrCat("fdatasync ", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return ErrnoStatus(StrCat("close ", path_));
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus(StrCat("open ", path));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus(StrCat("open ", path));
+    return std::unique_ptr<RandomRWFile>(
+        std::make_unique<PosixRandomRWFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound(StrCat(path, " not found"));
+      }
+      return ErrnoStatus(StrCat("open ", path));
+    }
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status s = ErrnoStatus(StrCat("read ", path));
+        ::close(fd);
+        return s;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound(StrCat(path, " not found"));
+      }
+      return ErrnoStatus(StrCat("stat ", path));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus(StrCat("rename ", from, " -> ", to));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus(StrCat("unlink ", path));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus(StrCat("truncate ", path));
+    }
+    // Make the new length durable, not just the data: a torn tail that
+    // reappears after a crash would undo the truncation.
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus(StrCat("open ", path));
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus(StrCat("fsync ", path));
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return Status::IOError(StrCat("cannot create dir ", path));
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus(StrCat("open dir ", path));
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus(StrCat("fsync dir ", path));
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(path, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::IOError(StrCat("cannot list dir ", path));
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Status Env::WriteFileAtomic(const std::string& path,
+                            std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    NF2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         NewWritableFile(tmp, /*truncate=*/true));
+    NF2_RETURN_IF_ERROR(file->Append(contents));
+    NF2_RETURN_IF_ERROR(file->Sync());
+    NF2_RETURN_IF_ERROR(file->Close());
+  }
+  NF2_RETURN_IF_ERROR(RenameFile(tmp, path));
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  return SyncDir(dir);
+}
+
+}  // namespace nf2

@@ -1,0 +1,104 @@
+#ifndef NF2_STORAGE_ENV_H_
+#define NF2_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace nf2 {
+
+/// A sequential, append-only file handle. Append buffers in the OS;
+/// nothing is durable until Sync returns OK.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces everything appended so far to stable storage (fdatasync).
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Append/Sync after Close are errors.
+  virtual Status Close() = 0;
+};
+
+/// A positional read/write file handle (page-structured files).
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+
+  /// Reads exactly `n` bytes at `offset` into `out`; IOError on a
+  /// short read.
+  virtual Status Read(uint64_t offset, size_t n, char* out) = 0;
+
+  /// Writes `data` at `offset`, extending the file as needed.
+  virtual Status Write(uint64_t offset, std::string_view data) = 0;
+
+  /// Forces all writes to stable storage (fdatasync).
+  virtual Status Sync() = 0;
+
+  /// Closes the handle.
+  virtual Status Close() = 0;
+};
+
+/// All file-system access of the storage layer goes through an Env, so
+/// tests can interpose fault injection and the durability protocol is
+/// auditable in one place. The default implementation (Env::Default())
+/// is POSIX fd-based: Sync is a real fdatasync, SyncDir a real fsync of
+/// the directory, and RenameFile the atomic rename(2).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+
+  /// Opens `path` for appending, creating it if missing; truncates
+  /// first when `truncate` is set.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Opens `path` for positional read/write, creating it if missing;
+  /// truncates first when `truncate` is set.
+  virtual Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the whole file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes and makes the truncation durable.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Fsyncs the directory itself so renames/creates within it are
+  /// durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// File names (not paths) of the directory's entries.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// Crash-atomic whole-file replacement: writes `contents` to a
+  /// sibling temp file, syncs it, renames it over `path`, and syncs the
+  /// parent directory. A crash at any point leaves either the old file
+  /// or the new one, never a torn hybrid.
+  Status WriteFileAtomic(const std::string& path, std::string_view contents);
+};
+
+}  // namespace nf2
+
+#endif  // NF2_STORAGE_ENV_H_

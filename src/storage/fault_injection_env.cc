@@ -1,0 +1,272 @@
+#include "storage/fault_injection_env.h"
+
+#include <utility>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+
+namespace {
+
+Status Killed() { return Status::IOError("injected fault: write stream dead"); }
+
+}  // namespace
+
+/// Append-only wrapper: counts appends and syncs, applies the seeded
+/// partial effect at the trigger.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string path,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    switch (env_->NextOp()) {
+      case FaultInjectionEnv::OpFate::kProceed:
+        return base_->Append(data);
+      case FaultInjectionEnv::OpFate::kFailPartial: {
+        // A torn write: only a prefix reaches the file.
+        size_t n = static_cast<size_t>(env_->PartialFraction() *
+                                       static_cast<double>(data.size()));
+        Status s = base_->Append(data.substr(0, n));
+        (void)s;
+        return Killed();
+      }
+      case FaultInjectionEnv::OpFate::kFailClean:
+        return Killed();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Sync() override {
+    switch (env_->NextOp()) {
+      case FaultInjectionEnv::OpFate::kProceed: {
+        NF2_RETURN_IF_ERROR(base_->Sync());
+        env_->MarkDurable(path_);
+        return Status::OK();
+      }
+      case FaultInjectionEnv::OpFate::kFailPartial:
+        // The drive persisted part of the dirty range before power cut.
+        env_->MarkPartiallyDurable(path_);
+        return Killed();
+      case FaultInjectionEnv::OpFate::kFailClean:
+        return Killed();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+/// Positional wrapper: reads pass through (unsynced writes are visible,
+/// like an OS page cache); writes and syncs are injectable.
+class FaultRandomRWFile : public RandomRWFile {
+ public:
+  FaultRandomRWFile(FaultInjectionEnv* env, std::string path,
+                    std::unique_ptr<RandomRWFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* out) override {
+    return base_->Read(offset, n, out);
+  }
+
+  Status Write(uint64_t offset, std::string_view data) override {
+    switch (env_->NextOp()) {
+      case FaultInjectionEnv::OpFate::kProceed:
+        return base_->Write(offset, data);
+      case FaultInjectionEnv::OpFate::kFailPartial: {
+        size_t n = static_cast<size_t>(env_->PartialFraction() *
+                                       static_cast<double>(data.size()));
+        Status s = base_->Write(offset, data.substr(0, n));
+        (void)s;
+        return Killed();
+      }
+      case FaultInjectionEnv::OpFate::kFailClean:
+        return Killed();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Sync() override {
+    switch (env_->NextOp()) {
+      case FaultInjectionEnv::OpFate::kProceed: {
+        NF2_RETURN_IF_ERROR(base_->Sync());
+        env_->MarkDurable(path_);
+        return Status::OK();
+      }
+      case FaultInjectionEnv::OpFate::kFailPartial:
+        env_->MarkPartiallyDurable(path_);
+        return Killed();
+      case FaultInjectionEnv::OpFate::kFailClean:
+        return Killed();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<RandomRWFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
+    : base_(base), seed_(seed) {}
+
+void FaultInjectionEnv::Arm(uint64_t trigger) {
+  trigger_ = trigger;
+  op_count_ = 0;
+  killed_ = false;
+  durable_.clear();
+}
+
+void FaultInjectionEnv::Disarm() { trigger_ = UINT64_MAX; }
+
+FaultInjectionEnv::OpFate FaultInjectionEnv::NextOp() {
+  if (killed_) return OpFate::kFailClean;
+  ++op_count_;
+  if (op_count_ == trigger_) {
+    killed_ = true;
+    return OpFate::kFailPartial;
+  }
+  return OpFate::kProceed;
+}
+
+double FaultInjectionEnv::PartialFraction() const {
+  // Deterministic per (seed, trigger); includes both endpoints so "no
+  // bytes made it" and "everything made it but the ack was lost" both
+  // occur across injection points.
+  Rng rng(seed_ ^ (trigger_ * 0x9E3779B97F4A7C15ULL));
+  return static_cast<double>(rng.NextBelow(11)) / 10.0;
+}
+
+namespace {
+std::string CurrentContent(Env* base, const std::string& path) {
+  Result<std::string> content = base->ReadFileToString(path);
+  return content.ok() ? *std::move(content) : std::string();
+}
+}  // namespace
+
+void FaultInjectionEnv::MarkDurable(const std::string& path) {
+  durable_[path] = CurrentContent(base_, path);
+}
+
+void FaultInjectionEnv::MarkPartiallyDurable(const std::string& path) {
+  // The crash persisted an arbitrary prefix of the current content;
+  // beyond it the file keeps whatever was durable before.
+  std::string cur = CurrentContent(base_, path);
+  auto it = durable_.find(path);
+  std::string prev = it != durable_.end() ? it->second : std::string();
+  size_t pos = static_cast<size_t>(PartialFraction() *
+                                   static_cast<double>(cur.size()));
+  std::string mixed = cur.substr(0, pos);
+  if (prev.size() > pos) mixed += prev.substr(pos);
+  durable_[path] = std::move(mixed);
+}
+
+Status FaultInjectionEnv::DropUnsyncedState() {
+  for (const auto& [path, content] : durable_) {
+    if (!base_->FileExists(path)) continue;
+    if (CurrentContent(base_, path) == content) continue;
+    NF2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         base_->NewWritableFile(path, /*truncate=*/true));
+    NF2_RETURN_IF_ERROR(file->Append(content));
+    NF2_RETURN_IF_ERROR(file->Sync());
+    NF2_RETURN_IF_ERROR(file->Close());
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  if (NextOp() != OpFate::kProceed) return Killed();
+  NF2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                       base_->NewWritableFile(path, truncate));
+  if (truncate) {
+    durable_[path] = "";
+  } else {
+    // Pre-existing bytes were durable before this run began.
+    durable_.emplace(path, CurrentContent(base_, path));
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, path, std::move(base)));
+}
+
+Result<std::unique_ptr<RandomRWFile>> FaultInjectionEnv::NewRandomRWFile(
+    const std::string& path, bool truncate) {
+  if (NextOp() != OpFate::kProceed) return Killed();
+  NF2_ASSIGN_OR_RETURN(std::unique_ptr<RandomRWFile> base,
+                       base_->NewRandomRWFile(path, truncate));
+  if (truncate) {
+    durable_[path] = "";
+  } else {
+    durable_.emplace(path, CurrentContent(base_, path));
+  }
+  return std::unique_ptr<RandomRWFile>(
+      std::make_unique<FaultRandomRWFile>(this, path, std::move(base)));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (NextOp() != OpFate::kProceed) return Killed();
+  NF2_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  auto it = durable_.find(from);
+  if (it != durable_.end()) {
+    durable_[to] = std::move(it->second);
+    durable_.erase(it);
+  } else {
+    durable_[to] = CurrentContent(base_, to);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  if (NextOp() != OpFate::kProceed) return Killed();
+  NF2_RETURN_IF_ERROR(base_->RemoveFile(path));
+  durable_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  if (NextOp() != OpFate::kProceed) return Killed();
+  NF2_RETURN_IF_ERROR(base_->TruncateFile(path, size));
+  durable_[path] = CurrentContent(base_, path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  return base_->CreateDirs(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  if (NextOp() != OpFate::kProceed) return Killed();
+  return base_->SyncDir(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+}  // namespace nf2

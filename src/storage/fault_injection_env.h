@@ -1,0 +1,107 @@
+#ifndef NF2_STORAGE_FAULT_INJECTION_ENV_H_
+#define NF2_STORAGE_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace nf2 {
+
+/// An Env that simulates power loss at an exact, reproducible point in
+/// the write stream.
+///
+/// Every mutating operation (append, positional write, sync, rename,
+/// truncate, remove, create, directory sync) increments a counter; when
+/// the counter reaches the armed trigger the environment "kills" the
+/// write stream: the triggering operation takes partial effect (a
+/// seeded prefix — modeling a torn sector write or a sync that pushed
+/// only part of the dirty range) and every later mutation fails with
+/// IOError, exactly as if the process had lost power mid-syscall.
+///
+/// Writes pass through to the base Env (so reads observe them, like an
+/// OS page cache), while the environment separately tracks the content
+/// each file had at its last successful Sync. After the kill,
+/// DropUnsyncedState() rolls every file back to that durable content —
+/// the state a real machine would reboot with. Reopening the database
+/// against the base Env then exercises recovery against precisely the
+/// bytes that survived.
+///
+/// Determinism: the same (seed, trigger) pair always tears the same
+/// operation at the same byte offset.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base, uint64_t seed);
+
+  /// Arms the kill switch: the `trigger`-th mutating operation (1-based)
+  /// fails with partial effect; everything after fails cleanly. Resets
+  /// the operation counter, kill flag, and durable-state tracking.
+  void Arm(uint64_t trigger);
+
+  /// Disarms without clearing tracking (operations keep counting).
+  void Disarm();
+
+  /// Mutating operations observed since the last Arm.
+  uint64_t op_count() const { return op_count_; }
+
+  /// True once the trigger fired.
+  bool killed() const { return killed_; }
+
+  /// Simulates the reboot after power loss: every file written during
+  /// this run is rolled back to its last-synced content. Call after the
+  /// database handle is destroyed and before reopening.
+  Status DropUnsyncedState();
+
+  // Env interface -------------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDirs(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomRWFile;
+
+  /// What the next mutating operation is allowed to do.
+  enum class OpFate {
+    kProceed,      // Not at the trigger: full effect.
+    kFailClean,    // At/past the trigger: no effect, IOError.
+    kFailPartial,  // The trigger itself: partial effect, then IOError.
+  };
+  OpFate NextOp();
+
+  /// Deterministic in [0, 1]: how much of the triggering operation's
+  /// effect survives.
+  double PartialFraction() const;
+
+  /// Records the current on-disk content of `path` as durable.
+  void MarkDurable(const std::string& path);
+
+  /// Marks a seeded mixture of current and last-durable content as
+  /// durable (a partially-effective sync).
+  void MarkPartiallyDurable(const std::string& path);
+
+  Env* base_;
+  uint64_t seed_;
+  uint64_t trigger_ = UINT64_MAX;
+  uint64_t op_count_ = 0;
+  bool killed_ = false;
+  /// Path -> content at last successful sync (files touched this run).
+  std::map<std::string, std::string> durable_;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_STORAGE_FAULT_INJECTION_ENV_H_

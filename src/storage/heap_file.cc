@@ -1,7 +1,6 @@
 #include "storage/heap_file.h"
 
-#include <filesystem>
-
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace nf2 {
@@ -11,41 +10,41 @@ std::string RecordId::ToString() const {
 }
 
 HeapFile::~HeapFile() {
-  if (file_.is_open()) {
-    file_.flush();
-    file_.close();
+  if (file_ != nullptr) {
+    Status s = file_->Close();
+    if (!s.ok()) {
+      NF2_LOG(Warning) << "closing heap file " << path_ << " failed: " << s;
+    }
   }
 }
 
-Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path) {
+Result<std::unique_ptr<HeapFile>> HeapFile::Create(Env* env,
+                                                   const std::string& path) {
   auto hf = std::make_unique<HeapFile>();
+  hf->env_ = env;
   hf->path_ = path;
-  hf->file_.open(path, std::ios::binary | std::ios::in | std::ios::out |
-                           std::ios::trunc);
-  if (!hf->file_.is_open()) {
-    return Status::IOError(StrCat("cannot create heap file ", path));
-  }
+  NF2_ASSIGN_OR_RETURN(hf->file_,
+                       env->NewRandomRWFile(path, /*truncate=*/true));
   hf->page_count_ = 0;
   return hf;
 }
 
-Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path) {
-  std::error_code ec;
-  uintmax_t size = std::filesystem::file_size(path, ec);
-  if (ec) {
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(Env* env,
+                                                 const std::string& path) {
+  if (!env->FileExists(path)) {
     return Status::NotFound(StrCat("heap file ", path, " not found"));
   }
+  NF2_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
   if (size % kPageSize != 0) {
     return Status::Corruption(
         StrCat("heap file ", path, " size ", size,
                " is not a multiple of the page size"));
   }
   auto hf = std::make_unique<HeapFile>();
+  hf->env_ = env;
   hf->path_ = path;
-  hf->file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
-  if (!hf->file_.is_open()) {
-    return Status::IOError(StrCat("cannot open heap file ", path));
-  }
+  NF2_ASSIGN_OR_RETURN(hf->file_,
+                       env->NewRandomRWFile(path, /*truncate=*/false));
   hf->page_count_ = static_cast<PageId>(size / kPageSize);
   return hf;
 }
@@ -54,47 +53,28 @@ Status HeapFile::ReadPage(PageId id, Page* page) {
   if (id >= page_count_) {
     return Status::OutOfRange(StrCat("page ", id, " past end"));
   }
-  file_.clear();
-  file_.seekg(static_cast<std::streamoff>(id) * kPageSize);
-  file_.read(page->mutable_data(), kPageSize);
-  if (!file_) {
-    return Status::IOError(StrCat("short read of page ", id));
-  }
-  return Status::OK();
+  return file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize,
+                     page->mutable_data());
 }
 
 Status HeapFile::WritePage(PageId id, const Page& page) {
   if (id >= page_count_) {
     return Status::OutOfRange(StrCat("page ", id, " past end"));
   }
-  file_.clear();
-  file_.seekp(static_cast<std::streamoff>(id) * kPageSize);
-  file_.write(page.data(), kPageSize);
-  if (!file_) {
-    return Status::IOError(StrCat("short write of page ", id));
-  }
-  return Status::OK();
+  return file_->Write(static_cast<uint64_t>(id) * kPageSize,
+                      std::string_view(page.data(), kPageSize));
 }
 
 Result<PageId> HeapFile::AllocatePage() {
   Page fresh;
   PageId id = page_count_;
-  file_.clear();
-  file_.seekp(static_cast<std::streamoff>(id) * kPageSize);
-  file_.write(fresh.data(), kPageSize);
-  if (!file_) {
-    return Status::IOError("failed to extend heap file");
-  }
+  NF2_RETURN_IF_ERROR(
+      file_->Write(static_cast<uint64_t>(id) * kPageSize,
+                   std::string_view(fresh.data(), kPageSize)));
   ++page_count_;
   return id;
 }
 
-Status HeapFile::Sync() {
-  file_.flush();
-  if (!file_) {
-    return Status::IOError("flush failed");
-  }
-  return Status::OK();
-}
+Status HeapFile::Sync() { return file_->Sync(); }
 
 }  // namespace nf2

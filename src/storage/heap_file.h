@@ -1,11 +1,11 @@
 #ifndef NF2_STORAGE_HEAP_FILE_H_
 #define NF2_STORAGE_HEAP_FILE_H_
 
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "storage/env.h"
 #include "storage/page.h"
 #include "util/result.h"
 
@@ -22,7 +22,9 @@ struct RecordId {
 };
 
 /// A page-structured file of variable-length records. Raw I/O only —
-/// callers go through BufferPool for caching.
+/// callers go through BufferPool for caching. All I/O flows through the
+/// owning Env, so fault-injection tests can cut the write stream at any
+/// syscall.
 ///
 /// Not thread-safe; nf2db is a single-threaded embedded engine like the
 /// systems of its era.
@@ -35,10 +37,18 @@ class HeapFile {
   HeapFile& operator=(const HeapFile&) = delete;
 
   /// Creates a new empty file (truncates an existing one).
-  static Result<std::unique_ptr<HeapFile>> Create(const std::string& path);
+  static Result<std::unique_ptr<HeapFile>> Create(Env* env,
+                                                  const std::string& path);
+  static Result<std::unique_ptr<HeapFile>> Create(const std::string& path) {
+    return Create(Env::Default(), path);
+  }
 
   /// Opens an existing file; errors if missing or not page-aligned.
-  static Result<std::unique_ptr<HeapFile>> Open(const std::string& path);
+  static Result<std::unique_ptr<HeapFile>> Open(Env* env,
+                                                const std::string& path);
+  static Result<std::unique_ptr<HeapFile>> Open(const std::string& path) {
+    return Open(Env::Default(), path);
+  }
 
   const std::string& path() const { return path_; }
   PageId page_count() const { return page_count_; }
@@ -52,12 +62,14 @@ class HeapFile {
   /// Appends a freshly formatted page; returns its id.
   Result<PageId> AllocatePage();
 
-  /// Flushes the underlying stream.
+  /// fdatasyncs the file: every written page is on stable storage when
+  /// this returns OK.
   Status Sync();
 
  private:
+  Env* env_ = nullptr;
   std::string path_;
-  std::fstream file_;
+  std::unique_ptr<RandomRWFile> file_;
   PageId page_count_ = 0;
 };
 

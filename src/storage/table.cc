@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <filesystem>
+
 #include "storage/serde.h"
 #include "util/string_util.h"
 
@@ -41,7 +43,8 @@ Result<std::pair<Schema, Permutation>> DecodeMetadata(
 }
 }  // namespace
 
-Result<std::unique_ptr<Table>> Table::Create(const std::string& path,
+Result<std::unique_ptr<Table>> Table::Create(Env* env,
+                                             const std::string& path,
                                              Schema schema,
                                              Permutation nest_order,
                                              size_t pool_pages) {
@@ -49,19 +52,22 @@ Result<std::unique_ptr<Table>> Table::Create(const std::string& path,
     return Status::InvalidArgument("nest order is not a permutation");
   }
   std::unique_ptr<Table> table(new Table());
+  table->env_ = env;
   table->schema_ = std::move(schema);
   table->nest_order_ = std::move(nest_order);
-  NF2_ASSIGN_OR_RETURN(table->file_, HeapFile::Create(path));
+  NF2_ASSIGN_OR_RETURN(table->file_, HeapFile::Create(env, path));
   table->pool_ =
       std::make_unique<BufferPool>(table->file_.get(), pool_pages);
   NF2_RETURN_IF_ERROR(table->WriteMetadata());
   return table;
 }
 
-Result<std::unique_ptr<Table>> Table::Open(const std::string& path,
+Result<std::unique_ptr<Table>> Table::Open(Env* env,
+                                           const std::string& path,
                                            size_t pool_pages) {
   std::unique_ptr<Table> table(new Table());
-  NF2_ASSIGN_OR_RETURN(table->file_, HeapFile::Open(path));
+  table->env_ = env;
+  NF2_ASSIGN_OR_RETURN(table->file_, HeapFile::Open(env, path));
   if (table->file_->page_count() == 0) {
     return Status::Corruption("table file has no metadata page");
   }
@@ -161,7 +167,7 @@ Status Table::Rewrite(const NfrRelation& relation) {
   std::string path = file_->path();
   pool_.reset();
   file_.reset();
-  NF2_ASSIGN_OR_RETURN(file_, HeapFile::Create(path));
+  NF2_ASSIGN_OR_RETURN(file_, HeapFile::Create(env_, path));
   pool_ = std::make_unique<BufferPool>(file_.get(), 64);
   append_cursor_ = 0;
   NF2_RETURN_IF_ERROR(WriteMetadata());
@@ -179,5 +185,25 @@ Result<size_t> Table::Vacuum() {
 }
 
 Status Table::Flush() { return pool_->FlushAll(); }
+
+Status WriteTableAtomic(Env* env, const std::string& path,
+                        const Schema& schema, const Permutation& nest_order,
+                        const NfrRelation& relation) {
+  const std::string tmp = path + ".tmp";
+  {
+    NF2_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                         Table::Create(env, tmp, schema, nest_order));
+    for (const NfrTuple& t : relation.tuples()) {
+      NF2_RETURN_IF_ERROR(table->Append(t).status());
+    }
+    // FlushAll writes back every dirty page and fdatasyncs, so the temp
+    // file is complete on stable storage before the rename publishes it.
+    NF2_RETURN_IF_ERROR(table->Flush());
+  }
+  NF2_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  return env->SyncDir(dir);
+}
 
 }  // namespace nf2

@@ -22,14 +22,27 @@ namespace nf2 {
 class Table {
  public:
   /// Creates an empty table file.
-  static Result<std::unique_ptr<Table>> Create(const std::string& path,
+  static Result<std::unique_ptr<Table>> Create(Env* env,
+                                               const std::string& path,
                                                Schema schema,
                                                Permutation nest_order,
                                                size_t pool_pages = 64);
+  static Result<std::unique_ptr<Table>> Create(const std::string& path,
+                                               Schema schema,
+                                               Permutation nest_order,
+                                               size_t pool_pages = 64) {
+    return Create(Env::Default(), path, std::move(schema),
+                  std::move(nest_order), pool_pages);
+  }
 
   /// Opens an existing table file and reads its metadata.
-  static Result<std::unique_ptr<Table>> Open(const std::string& path,
+  static Result<std::unique_ptr<Table>> Open(Env* env,
+                                             const std::string& path,
                                              size_t pool_pages = 64);
+  static Result<std::unique_ptr<Table>> Open(const std::string& path,
+                                             size_t pool_pages = 64) {
+    return Open(Env::Default(), path, pool_pages);
+  }
 
   const Schema& schema() const { return schema_; }
   const Permutation& nest_order() const { return nest_order_; }
@@ -55,7 +68,7 @@ class Table {
   /// a vacuum. Returns the number of live tuples kept.
   Result<size_t> Vacuum();
 
-  /// Flushes dirty pages to disk.
+  /// Flushes dirty pages and fdatasyncs the file.
   Status Flush();
 
   const BufferPool::Stats& pool_stats() const { return pool_->stats(); }
@@ -65,12 +78,22 @@ class Table {
 
   Status WriteMetadata();
 
+  Env* env_ = nullptr;
   Schema schema_;
   Permutation nest_order_;
   std::unique_ptr<HeapFile> file_;
   std::unique_ptr<BufferPool> pool_;
   PageId append_cursor_ = 0;  // Page most likely to have free space.
 };
+
+/// Crash-atomic whole-table replacement: builds the table at a sibling
+/// temp path, flushes and syncs it, renames it over `path`, and syncs
+/// the parent directory. A crash at any point leaves either the old
+/// table file or the new one, never a torn hybrid — the building block
+/// of the checkpoint protocol.
+Status WriteTableAtomic(Env* env, const std::string& path,
+                        const Schema& schema, const Permutation& nest_order,
+                        const NfrRelation& relation);
 
 }  // namespace nf2
 

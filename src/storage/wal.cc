@@ -1,8 +1,7 @@
 #include "storage/wal.h"
 
-#include <filesystem>
-
 #include "storage/serde.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace nf2 {
@@ -30,9 +29,11 @@ const char* WalOpTypeToString(WalOpType type) {
 }
 
 WriteAheadLog::~WriteAheadLog() {
-  if (out_.is_open()) {
-    out_.flush();
-    out_.close();
+  if (out_ != nullptr) {
+    Status s = out_->Close();
+    if (!s.ok()) {
+      NF2_LOG(Warning) << "closing WAL failed: " << s;
+    }
   }
 }
 
@@ -52,7 +53,9 @@ Result<WalRecord> ReadFrame(BufferReader* reader) {
   WalRecord record;
   NF2_ASSIGN_OR_RETURN(record.lsn, frame.GetU64());
   NF2_ASSIGN_OR_RETURN(uint8_t type, frame.GetU8());
-  if (type < 1 || type > 8) return Status::Corruption("bad op type");
+  if (type < kMinWalOpType || type > kMaxWalOpType) {
+    return Status::Corruption("bad op type");
+  }
   record.type = static_cast<WalOpType>(type);
   NF2_ASSIGN_OR_RETURN(record.relation, frame.GetString());
   NF2_ASSIGN_OR_RETURN(record.payload, frame.GetString());
@@ -64,31 +67,60 @@ Result<WalRecord> ReadFrame(BufferReader* reader) {
   return record;
 }
 
+Result<WalReadResult> ScanLog(Env* env, const std::string& path) {
+  WalReadResult out;
+  if (!env->FileExists(path)) {
+    return out;
+  }
+  NF2_ASSIGN_OR_RETURN(std::string contents, env->ReadFileToString(path));
+  BufferReader reader(contents);
+  while (true) {
+    size_t frame_start = reader.position();
+    Result<WalRecord> record = ReadFrame(&reader);
+    if (!record.ok()) {
+      out.valid_bytes = frame_start;
+      out.clean_eof = record.status().code() == StatusCode::kNotFound;
+      break;
+    }
+    out.records.push_back(*std::move(record));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
-    const std::string& path) {
+    Env* env, const std::string& path, Options options) {
   auto wal = std::make_unique<WriteAheadLog>();
+  wal->env_ = env;
+  wal->options_ = options;
   wal->path_ = path;
-  // Scan the existing log (if any) for the next LSN.
-  if (std::filesystem::exists(path)) {
-    NF2_ASSIGN_OR_RETURN(std::vector<WalRecord> records, [&]() {
-      WriteAheadLog probe;
-      probe.path_ = path;
-      return probe.ReadAll();
-    }());
-    for (const WalRecord& r : records) {
-      wal->next_lsn_ = std::max(wal->next_lsn_, r.lsn + 1);
-    }
+  // One scan serves both LSN discovery and recovery (the records are
+  // cached for the caller), and finds where the intact prefix ends.
+  NF2_ASSIGN_OR_RETURN(WalReadResult scan, ScanLog(env, path));
+  for (const WalRecord& r : scan.records) {
+    wal->next_lsn_ = std::max(wal->next_lsn_, r.lsn + 1);
   }
-  wal->out_.open(path, std::ios::binary | std::ios::app);
-  if (!wal->out_.is_open()) {
-    return Status::IOError(StrCat("cannot open WAL at ", path));
+  if (!scan.clean_eof) {
+    // A crash tore the tail. Cut it off BEFORE appending: a frame
+    // appended after garbage would survive on disk but be unreachable
+    // by replay — silently losing every acknowledged record after this
+    // point at the next recovery.
+    NF2_LOG(Warning) << "WAL at " << path << " has a torn tail; truncating "
+                     << "to " << scan.valid_bytes << " intact bytes";
+    NF2_RETURN_IF_ERROR(env->TruncateFile(path, scan.valid_bytes));
+    wal->truncated_on_open_ = true;
   }
+  wal->recovered_ = std::move(scan.records);
+  NF2_ASSIGN_OR_RETURN(wal->out_,
+                       env->NewWritableFile(path, /*truncate=*/false));
   return wal;
 }
 
 Result<uint64_t> WriteAheadLog::Append(WalRecord record) {
+  if (out_ == nullptr) {
+    return Status::IOError("WAL is not open (a failed Reset closed it)");
+  }
   record.lsn = next_lsn_;
   BufferWriter body;
   body.PutU64(record.lsn);
@@ -100,51 +132,50 @@ Result<uint64_t> WriteAheadLog::Append(WalRecord record) {
   BufferWriter frame;
   frame.PutU32(static_cast<uint32_t>(body.size()));
   frame.PutRaw(body.data());
-  out_.write(frame.data().data(),
-             static_cast<std::streamsize>(frame.size()));
-  out_.flush();
-  if (!out_) {
-    return Status::IOError("WAL append failed");
+  NF2_RETURN_IF_ERROR(out_->Append(frame.data()));
+  // Commit-critical records must be on stable storage before the
+  // operation is acknowledged. Data records inside an open transaction
+  // defer to the commit/abort marker (group commit); everything else —
+  // autocommit data ops, DDL, checkpoint markers — is a commit point of
+  // its own.
+  bool commit_critical = true;
+  switch (record.type) {
+    case WalOpType::kTxnBegin:
+      in_txn_ = true;
+      commit_critical = false;
+      break;
+    case WalOpType::kTxnCommit:
+    case WalOpType::kTxnAbort:
+      in_txn_ = false;
+      break;
+    default:
+      commit_critical = !in_txn_;
+      break;
+  }
+  if (commit_critical && options_.sync_on_commit) {
+    NF2_RETURN_IF_ERROR(out_->Sync());
+    ++sync_count_;
   }
   return next_lsn_++;
 }
 
-Result<std::vector<WalRecord>> WriteAheadLog::ReadAll() const {
-  std::vector<WalRecord> records;
-  if (!std::filesystem::exists(path_)) {
-    return records;
-  }
-  std::ifstream in(path_, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::IOError(StrCat("cannot read WAL at ", path_));
-  }
-  std::string contents((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-  BufferReader reader(contents);
-  while (true) {
-    Result<WalRecord> record = ReadFrame(&reader);
-    if (!record.ok()) {
-      // Clean end or torn tail: both terminate replay; anything parsed
-      // so far is durable.
-      break;
-    }
-    records.push_back(*std::move(record));
-  }
-  return records;
+Result<WalReadResult> WriteAheadLog::ReadAll() const {
+  return ScanLog(env_, path_);
 }
 
 Status WriteAheadLog::Reset() {
-  out_.close();
-  out_.open(path_, std::ios::binary | std::ios::trunc);
-  if (!out_.is_open()) {
-    return Status::IOError("cannot truncate WAL");
+  if (out_ != nullptr) {
+    NF2_RETURN_IF_ERROR(out_->Close());
+    out_ = nullptr;
   }
-  out_.close();
-  out_.open(path_, std::ios::binary | std::ios::app);
-  if (!out_.is_open()) {
-    return Status::IOError("cannot reopen WAL");
-  }
+  // TruncateFile is durable (data + length) when it returns OK — the
+  // checkpoint that made these records redundant commits here.
+  NF2_RETURN_IF_ERROR(env_->TruncateFile(path_, 0));
+  NF2_ASSIGN_OR_RETURN(out_, env_->NewWritableFile(path_,
+                                                   /*truncate=*/false));
+  recovered_.clear();
   next_lsn_ = 1;
+  in_txn_ = false;
   return Status::OK();
 }
 

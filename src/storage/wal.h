@@ -2,12 +2,12 @@
 #define NF2_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tuple.h"
+#include "storage/env.h"
 #include "util/result.h"
 
 namespace nf2 {
@@ -29,6 +29,17 @@ enum class WalOpType : uint8_t {
   kTxnAbort = 8,
 };
 
+/// Frame validation bounds, tied to the enum so adding an op type
+/// without updating them fails to compile.
+inline constexpr uint8_t kMinWalOpType =
+    static_cast<uint8_t>(WalOpType::kInsert);
+inline constexpr uint8_t kMaxWalOpType =
+    static_cast<uint8_t>(WalOpType::kTxnAbort);
+static_assert(kMinWalOpType == 1 && kMaxWalOpType == 8,
+              "WalOpType enumerators must stay dense in [1, 8]; update "
+              "kMin/kMaxWalOpType (and any frame-format note) if the enum "
+              "grows");
+
 const char* WalOpTypeToString(WalOpType type);
 
 /// One logical log record.
@@ -41,42 +52,102 @@ struct WalRecord {
   bool operator==(const WalRecord&) const = default;
 };
 
+/// Outcome of one full scan of the log.
+struct WalReadResult {
+  std::vector<WalRecord> records;  // The intact prefix, in order.
+  /// True when the log ended exactly at a frame boundary; false when a
+  /// torn or corrupt tail was cut off after `valid_bytes`.
+  bool clean_eof = true;
+  /// Byte length of the intact prefix (where appends may resume).
+  uint64_t valid_bytes = 0;
+};
+
 /// An append-only, CRC-checked write-ahead log.
 ///
 /// On-disk record frame:
 ///   [u32 total_len][u64 lsn][u8 type][u32 name_len][name]
 ///   [u32 payload_len][payload][u32 crc of everything before]
 ///
-/// ReadAll stops cleanly at the first torn/corrupt frame (a crash can
-/// leave a partial tail; everything before it is durable).
+/// Crash discipline: Open scans the log once, truncates any torn or
+/// corrupt tail (a crash mid-append must not leave garbage that would
+/// silently orphan every later record), and caches the surviving
+/// records for recovery. Append fdatasyncs at commit points — every
+/// record that is not inside an open transaction, plus the commit and
+/// abort markers that close one — so an acknowledged operation is on
+/// stable storage before control returns.
 class WriteAheadLog {
  public:
+  struct Options {
+    /// When false, Append never syncs (a benchmark control and a
+    /// deliberate durability/throughput trade — a crash can lose
+    /// acknowledged tail records, but never tear the log).
+    bool sync_on_commit = true;
+  };
+
   WriteAheadLog() = default;
   ~WriteAheadLog();
 
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  /// Opens (creating if needed) the log at `path`, scanning it to find
-  /// the next LSN.
-  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+  /// Opens (creating if needed) the log at `path`: scans it once,
+  /// truncates a torn tail, caches the recovered records
+  /// (see recovered_records()), and positions appends after the intact
+  /// prefix.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(Env* env,
+                                                     const std::string& path,
+                                                     Options options);
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      Env* env, const std::string& path) {
+    return Open(env, path, Options{});
+  }
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path) {
+    return Open(Env::Default(), path);
+  }
 
-  /// Appends a record (lsn field is overwritten) and flushes.
+  /// Appends a record (lsn field is overwritten), flushing always and
+  /// syncing at commit points (see class comment).
   Result<uint64_t> Append(WalRecord record);
 
-  /// All intact records, in order.
-  Result<std::vector<WalRecord>> ReadAll() const;
+  /// Re-scans the file: the intact record prefix plus whether the tail
+  /// was clean. (Open already did this once; recovery should prefer
+  /// recovered_records() over a second scan.)
+  Result<WalReadResult> ReadAll() const;
 
-  /// Truncates the log (after a checkpoint made its contents redundant).
+  /// The records recovered by Open, without re-reading the file.
+  const std::vector<WalRecord>& recovered_records() const {
+    return recovered_;
+  }
+
+  /// True when Open had to cut a torn/corrupt tail off the log.
+  bool truncated_on_open() const { return truncated_on_open_; }
+
+  /// Truncates the log (after a checkpoint made its contents
+  /// redundant). Durable when it returns OK: this is the commit point
+  /// of the checkpoint protocol.
   Status Reset();
 
   const std::string& path() const { return path_; }
   uint64_t next_lsn() const { return next_lsn_; }
 
+  /// fdatasync calls issued by Append (observability for the
+  /// group-commit batching benchmarks).
+  uint64_t sync_count() const { return sync_count_; }
+
  private:
+  Env* env_ = nullptr;
+  Options options_;
   std::string path_;
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> out_;
+  std::vector<WalRecord> recovered_;
+  bool truncated_on_open_ = false;
+  /// Tracks open-transaction state from the record types flowing
+  /// through Append, so data records inside a transaction can defer
+  /// their sync to the commit marker.
+  bool in_txn_ = false;
   uint64_t next_lsn_ = 1;
+  uint64_t sync_count_ = 0;
 };
 
 }  // namespace nf2

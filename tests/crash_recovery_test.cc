@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/flat_engine.h"
+#include "engine/database.h"
+#include "storage/fault_injection_env.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace {
+
+// ---------------------------------------------------------------------
+// Torture harness: run a deterministic keyed workload against a
+// FaultInjectionEnv, kill the write stream at EVERY mutating syscall in
+// turn, drop unsynced state (the reboot), reopen against the real Env,
+// and demand that recovery lands on an exact acknowledged state.
+//
+// The oracle is a shadow FlatBaseline (single-table 1NF engine) per
+// relation, snapshotted after every acknowledged unit. A crash during
+// unit u+1 must recover to snapshot[u] (the unit's commit record never
+// became durable) or to the unit's own post-state (the commit record
+// reached disk but the ack was lost) — anything else is lost or
+// phantom data.
+// ---------------------------------------------------------------------
+
+using Snapshot = std::map<std::string, FlatRelation>;
+using ShadowMap = std::map<std::string, FlatBaseline>;
+
+Schema EnrollSchema() {
+  return Schema::OfStrings({"Student", "Course", "Club"});
+}
+Schema AcctSchema() { return Schema::OfStrings({"Owner", "Asset"}); }
+
+FlatBaseline MakeShadow(const Schema& schema) {
+  size_t d = schema.degree();
+  return FlatBaseline(schema, FdSet(d, {}), MvdSet(d, {}),
+                      FlatBaseline::Mode::kSingleTable);
+}
+
+Snapshot SnapOf(const ShadowMap& shadow) {
+  Snapshot out;
+  for (const auto& [name, baseline] : shadow) {
+    out.emplace(name, baseline.Scan());
+  }
+  return out;
+}
+
+std::string DescribeSnapshot(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, rel] : snap) {
+    out += StrCat(name, "=", rel.size(), " tuples; ");
+  }
+  return out.empty() ? "(no relations)" : out;
+}
+
+/// Number of data-op units in the workload (transactions count as one
+/// unit of several ops; the total logical op count exceeds 500).
+constexpr int kDataUnits = 520;
+constexpr uint64_t kWorkloadSeed = 0xA11CE5EED;
+
+/// Runs the full workload against `db`, mirroring every unit into a
+/// shadow oracle. Appends one snapshot per ACKNOWLEDGED unit to
+/// `snapshots` (snapshots->front() is the pre-workload empty state) and
+/// leaves the in-flight unit's would-be post-state in `candidate`.
+/// Returns the first error (the injected kill, in torture runs).
+Status RunWorkload(Database* db, std::vector<Snapshot>* snapshots,
+                   Snapshot* candidate, size_t* logical_ops) {
+  Rng rng(kWorkloadSeed);
+  ShadowMap shadow;
+  snapshots->clear();
+  snapshots->push_back(SnapOf(shadow));
+  *candidate = snapshots->front();
+
+  // Runs one unit: `apply` mutates the tentative shadow to the unit's
+  // post-state (it doubles as the candidate for a commit-record-durable
+  // crash), `db_ops` issues the engine calls.
+  auto run_unit = [&](auto&& apply,
+                      auto&& db_ops) -> Status {
+    ShadowMap tentative = shadow;
+    apply(&tentative);
+    *candidate = SnapOf(tentative);
+    NF2_RETURN_IF_ERROR(db_ops(&tentative));
+    shadow = std::move(tentative);
+    snapshots->push_back(*candidate);
+    return Status::OK();
+  };
+
+  // A keyed op against relation `name`: tuples are drawn from a small
+  // fixed universe, so inserts and deletes keep hitting the same keys
+  // (value sharing exercises the §4 canonical-form maintenance).
+  auto random_tuple = [&](const std::string& name) -> FlatTuple {
+    if (name == "enroll") {
+      return FlatTuple{
+          Value::String(StrCat("s", rng.NextBelow(6))),
+          Value::String(StrCat("c", rng.NextBelow(4))),
+          Value::String(StrCat("k", rng.NextBelow(4)))};
+    }
+    return FlatTuple{Value::String(StrCat("o", rng.NextBelow(5))),
+                     Value::String(StrCat("a", rng.NextBelow(6)))};
+  };
+  // Insert when absent, delete when present — decided against the
+  // tentative shadow so ops inside one transaction compose.
+  auto one_op = [&](Database* target, ShadowMap* tentative,
+                    const std::string& name) -> Status {
+    FlatTuple t = random_tuple(name);
+    FlatBaseline& oracle = tentative->at(name);
+    if (oracle.Contains(t)) {
+      NF2_RETURN_IF_ERROR(oracle.Delete(t));
+      ++*logical_ops;
+      return target->Delete(name, t);
+    }
+    NF2_RETURN_IF_ERROR(oracle.Insert(t));
+    ++*logical_ops;
+    return target->Insert(name, t);
+  };
+  auto pick_relation = [&](const ShadowMap& s) -> std::string {
+    if (s.count("acct") == 0) return "enroll";
+    return rng.NextBelow(10) < 7 ? "enroll" : "acct";
+  };
+
+  // Unit 1+2: DDL.
+  NF2_RETURN_IF_ERROR(run_unit(
+      [&](ShadowMap* t) { t->emplace("enroll", MakeShadow(EnrollSchema())); },
+      [&](ShadowMap*) {
+        return db->CreateRelation("enroll", EnrollSchema(), {0, 1, 2});
+      }));
+  NF2_RETURN_IF_ERROR(run_unit(
+      [&](ShadowMap* t) { t->emplace("acct", MakeShadow(AcctSchema())); },
+      [&](ShadowMap*) {
+        return db->CreateRelation("acct", AcctSchema(), {1, 0});
+      }));
+
+  for (int unit = 0; unit < kDataUnits; ++unit) {
+    if (unit > 0 && unit % 40 == 0) {
+      // Checkpoint unit: no logical change, heavy I/O — many of the
+      // most interesting injection points live here.
+      NF2_RETURN_IF_ERROR(run_unit([](ShadowMap*) {},
+                                   [&](ShadowMap*) { return db->Checkpoint(); }));
+      continue;
+    }
+    if (unit == 250) {
+      NF2_RETURN_IF_ERROR(run_unit(
+          [&](ShadowMap* t) { t->erase("acct"); },
+          [&](ShadowMap*) { return db->DropRelation("acct"); }));
+      continue;
+    }
+    if (unit == 260) {
+      NF2_RETURN_IF_ERROR(run_unit(
+          [&](ShadowMap* t) {
+            t->emplace("acct", MakeShadow(AcctSchema()));
+          },
+          [&](ShadowMap*) {
+            return db->CreateRelation("acct", AcctSchema(), {1, 0});
+          }));
+      continue;
+    }
+    // Decide the unit's shape and keys OUTSIDE run_unit so the random
+    // stream is identical whether or not the engine calls fail.
+    bool txn_unit = rng.NextBelow(10) == 0;
+    size_t txn_ops = 2 + rng.NextBelow(4);
+    if (txn_unit) {
+      NF2_RETURN_IF_ERROR(run_unit(
+          [](ShadowMap*) {},  // Applied inside db_ops via one_op.
+          [&](ShadowMap* tentative) -> Status {
+            NF2_RETURN_IF_ERROR(db->Begin());
+            for (size_t i = 0; i < txn_ops; ++i) {
+              NF2_RETURN_IF_ERROR(
+                  one_op(db, tentative, pick_relation(*tentative)));
+            }
+            Status s = db->Commit();
+            // The candidate snapshot must carry the tentative state
+            // mutated by one_op, so recompute it here.
+            *candidate = SnapOf(*tentative);
+            return s;
+          }));
+    } else {
+      NF2_RETURN_IF_ERROR(run_unit(
+          [](ShadowMap*) {},
+          [&](ShadowMap* tentative) -> Status {
+            Status s = one_op(db, tentative, pick_relation(*tentative));
+            *candidate = SnapOf(*tentative);
+            return s;
+          }));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Snapshot> DbSnapshot(Database* db) {
+  Snapshot out;
+  for (const std::string& name : db->ListRelations()) {
+    NF2_ASSIGN_OR_RETURN(FlatRelation rel, db->Scan(name));
+    out.emplace(name, std::move(rel));
+  }
+  return out;
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Every killed run logs warnings (torn WAL tails, failed shutdown
+    // checkpoints) by design; thousands of them would drown real
+    // output.
+    SetLogThreshold(LogLevel::kError);
+    // Prefer a RAM-backed directory: the sweep issues hundreds of
+    // thousands of fsyncs, which are free on tmpfs and painful on disk.
+    std::string base = std::filesystem::exists("/dev/shm")
+                           ? "/dev/shm"
+                           : std::filesystem::temp_directory_path().string();
+    dir_ = (std::filesystem::path(base) /
+            ("nf2_crash_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    ResetDir();
+  }
+  void TearDown() override {
+    SetLogThreshold(LogLevel::kInfo);
+    std::filesystem::remove_all(dir_);
+  }
+
+  void ResetDir() {
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(Env::Default()->CreateDirs(dir_).ok());
+  }
+
+  static Database::Options DbOptions() {
+    Database::Options options;
+    options.enforce_fds = false;
+    options.sync_wal = true;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CrashRecoveryTest, WorkloadRunsCleanWithoutFaults) {
+  // Baseline sanity: the workload itself is valid, and the shadow
+  // oracle tracks the engine exactly.
+  FaultInjectionEnv fault(Env::Default(), /*seed=*/1);
+  fault.Arm(UINT64_MAX);
+  std::vector<Snapshot> snapshots;
+  Snapshot candidate;
+  size_t logical_ops = 0;
+  {
+    auto db = Database::Open(dir_, DbOptions(), &fault);
+    ASSERT_TRUE(db.ok()) << db.status();
+    Status s = RunWorkload(db->get(), &snapshots, &candidate, &logical_ops);
+    ASSERT_TRUE(s.ok()) << s;
+    EXPECT_GE(logical_ops, 500u) << "workload must stay >= 500 ops";
+    ASSERT_TRUE((*db)->VerifyIntegrity().ok());
+    auto state = DbSnapshot(db->get());
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(*state, snapshots.back());
+  }
+  EXPECT_GT(fault.op_count(), 1000u);  // A real injection surface.
+}
+
+TEST_F(CrashRecoveryTest, EveryInjectionPointRecoversExactly) {
+  // Pass 1: count the workload's mutating operations.
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv fault(Env::Default(), /*seed=*/0);
+    fault.Arm(UINT64_MAX);
+    std::vector<Snapshot> snapshots;
+    Snapshot candidate;
+    size_t logical_ops = 0;
+    {
+      auto db = Database::Open(dir_, DbOptions(), &fault);
+      ASSERT_TRUE(db.ok()) << db.status();
+      ASSERT_TRUE(
+          RunWorkload(db->get(), &snapshots, &candidate, &logical_ops).ok());
+      ASSERT_GE(logical_ops, 500u);
+    }  // Destructor checkpoint is part of the op stream.
+    total_ops = fault.op_count();
+  }
+  ASSERT_GT(total_ops, 0u);
+  ASSERT_LT(total_ops, 100000u) << "workload op count exploded";
+
+  // Pass 2: one run per injection point. Each starts from a fresh
+  // directory, so determinism makes run k identical to the count run
+  // up to the kill at mutating op k.
+  for (uint64_t kill_at = 1; kill_at <= total_ops; ++kill_at) {
+    ResetDir();
+    FaultInjectionEnv fault(Env::Default(), /*seed=*/kill_at * 7919);
+    fault.Arm(kill_at);
+    std::vector<Snapshot> snapshots;
+    Snapshot candidate;
+    size_t logical_ops = 0;
+    {
+      auto db = Database::Open(dir_, DbOptions(), &fault);
+      if (db.ok()) {
+        // The workload stops at the injected kill; the destructor's
+        // best-effort checkpoint fails cleanly against the dead env.
+        Status ignored =
+            RunWorkload(db->get(), &snapshots, &candidate, &logical_ops);
+        (void)ignored;
+      } else {
+        // The kill hit during Open itself; the acknowledged state is
+        // the empty database.
+        snapshots.assign(1, Snapshot{});
+        candidate = Snapshot{};
+      }
+    }
+    ASSERT_TRUE(fault.killed()) << "trigger " << kill_at << " never fired";
+    // Reboot: everything unsynced vanishes.
+    ASSERT_TRUE(fault.DropUnsyncedState().ok());
+
+    // Recover against the real Env and audit.
+    auto db = Database::Open(dir_, DbOptions());
+    ASSERT_TRUE(db.ok()) << "kill_at=" << kill_at
+                         << " recovery failed: " << db.status();
+    Status integrity = (*db)->VerifyIntegrity();
+    ASSERT_TRUE(integrity.ok())
+        << "kill_at=" << kill_at << ": " << integrity;
+    auto state = DbSnapshot(db->get());
+    ASSERT_TRUE(state.ok()) << "kill_at=" << kill_at << ": "
+                            << state.status();
+    const Snapshot& acked = snapshots.back();
+    EXPECT_TRUE(*state == acked || *state == candidate)
+        << "kill_at=" << kill_at << " recovered to neither the last "
+        << "acknowledged state nor the in-flight unit's post-state\n"
+        << "  recovered: " << DescribeSnapshot(*state) << "\n"
+        << "  acked:     " << DescribeSnapshot(acked) << "\n"
+        << "  in-flight: " << DescribeSnapshot(candidate);
+    if (::testing::Test::HasFailure()) break;  // One repro is enough.
+  }
+}
+
+TEST_F(CrashRecoveryTest, CrashCutTransactionIsDiscarded) {
+  // A kill between a transaction's data records and its commit marker
+  // must discard the whole transaction on recovery.
+  FaultInjectionEnv fault(Env::Default(), /*seed=*/3);
+  fault.Arm(UINT64_MAX);
+  {
+    auto db = Database::Open(dir_, DbOptions(), &fault);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(
+        (*db)->CreateRelation("acct", AcctSchema(), {1, 0}).ok());
+    ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("ada"), V("gold")}).ok());
+    ASSERT_TRUE((*db)->Begin().ok());
+    ASSERT_TRUE(
+        (*db)->Insert("acct", FlatTuple{V("bob"), V("gold")}).ok());
+    ASSERT_TRUE(
+        (*db)->Delete("acct", FlatTuple{V("ada"), V("gold")}).ok());
+    // Crash NOW: leak the handle so neither the rollback nor the
+    // shutdown checkpoint runs, exactly like a power cut. The txn's
+    // data records were appended but never synced (they defer to the
+    // commit marker, which never happened).
+    (void)(*db).release();
+  }
+  ASSERT_TRUE(fault.DropUnsyncedState().ok());
+  auto db = Database::Open(dir_, DbOptions());
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE((*db)->VerifyIntegrity().ok());
+  auto scan = (*db)->Scan("acct");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), 1u);
+  EXPECT_TRUE(scan->Contains(FlatTuple{V("ada"), V("gold")}));
+  EXPECT_FALSE(scan->Contains(FlatTuple{V("bob"), V("gold")}));
+}
+
+TEST_F(CrashRecoveryTest, RecoveryCountsOnlyAppliedOps) {
+  // A committed 2-op transaction is 4 WAL records (begin, two data
+  // records, commit) but exactly 2 operations. After a crash-reopen
+  // the counter must say 2 — counting markers would make the
+  // auto-checkpoint cadence drift on every recovery.
+  {
+    auto db = Database::Open(dir_, DbOptions());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(
+        (*db)->CreateRelation("acct", AcctSchema(), {1, 0}).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->Begin().ok());
+    ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("a"), V("x")}).ok());
+    ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("b"), V("y")}).ok());
+    ASSERT_TRUE((*db)->Commit().ok());
+    EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u);
+    // Simulate a crash: leak the handle so no shutdown checkpoint runs.
+    (void)(*db).release();
+  }
+  auto db = Database::Open(dir_, DbOptions());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u)
+      << "replay must count applied data ops, not WAL records";
+}
+
+}  // namespace
+}  // namespace nf2

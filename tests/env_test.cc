@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/env.h"
+#include "storage/fault_injection_env.h"
+#include "tests/test_util.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("nf2_env_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(Env::Default()->CreateDirs(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (std::filesystem::path(dir_) / name).string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(EnvTest, WritableFileAppendsAndPersists) {
+  Env* env = Env::Default();
+  auto file = env->NewWritableFile(Path("a.txt"), /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  auto contents = env->ReadFileToString(Path("a.txt"));
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello world");
+}
+
+TEST_F(EnvTest, WritableFileAppendModeKeepsExistingBytes) {
+  Env* env = Env::Default();
+  {
+    auto file = env->NewWritableFile(Path("a.txt"), /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("one,").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  {
+    auto file = env->NewWritableFile(Path("a.txt"), /*truncate=*/false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("two").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  EXPECT_EQ(*env->ReadFileToString(Path("a.txt")), "one,two");
+}
+
+TEST_F(EnvTest, RandomRWFileReadsBackPositionalWrites) {
+  Env* env = Env::Default();
+  auto file = env->NewRandomRWFile(Path("r.bin"), /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "aaaa").ok());
+  ASSERT_TRUE((*file)->Write(8, "bbbb").ok());  // Leaves a hole.
+  ASSERT_TRUE((*file)->Write(2, "XX").ok());    // Overwrite in place.
+  char buf[4];
+  ASSERT_TRUE((*file)->Read(0, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "aaXX");
+  ASSERT_TRUE((*file)->Read(8, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "bbbb");
+  EXPECT_EQ(*env->FileSize(Path("r.bin")), 12u);
+  // A read past EOF is an error, not a silent short read.
+  EXPECT_FALSE((*file)->Read(10, 4, buf).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST_F(EnvTest, TruncateFileCutsToExactLength) {
+  Env* env = Env::Default();
+  {
+    auto file = env->NewWritableFile(Path("t.txt"), /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("0123456789").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  ASSERT_TRUE(env->TruncateFile(Path("t.txt"), 4).ok());
+  EXPECT_EQ(*env->ReadFileToString(Path("t.txt")), "0123");
+  // Appends resume exactly after the cut.
+  auto file = env->NewWritableFile(Path("t.txt"), /*truncate=*/false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("X").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(*env->ReadFileToString(Path("t.txt")), "0123X");
+}
+
+TEST_F(EnvTest, WriteFileAtomicReplacesAndLeavesNoTemp) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->WriteFileAtomic(Path("f.dat"), "first").ok());
+  EXPECT_EQ(*env->ReadFileToString(Path("f.dat")), "first");
+  ASSERT_TRUE(env->WriteFileAtomic(Path("f.dat"), "second").ok());
+  EXPECT_EQ(*env->ReadFileToString(Path("f.dat")), "second");
+  EXPECT_FALSE(env->FileExists(Path("f.dat.tmp")));
+  auto entries = env->ListDir(dir_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);
+}
+
+TEST_F(EnvTest, RenameAndRemove) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->WriteFileAtomic(Path("a"), "x").ok());
+  ASSERT_TRUE(env->RenameFile(Path("a"), Path("b")).ok());
+  EXPECT_FALSE(env->FileExists(Path("a")));
+  EXPECT_TRUE(env->FileExists(Path("b")));
+  ASSERT_TRUE(env->RemoveFile(Path("b")).ok());
+  EXPECT_FALSE(env->FileExists(Path("b")));
+}
+
+// ---------------------------------------------------------------------
+// FaultInjectionEnv
+// ---------------------------------------------------------------------
+
+TEST_F(EnvTest, FaultEnvKillsAtExactTriggerAndStaysDead) {
+  FaultInjectionEnv fault(Env::Default(), /*seed=*/7);
+  fault.Arm(3);  // Op 1: open. Op 2: first append. Op 3: second append.
+  auto file = fault.NewWritableFile(Path("w.log"), /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("first").ok());
+  EXPECT_FALSE((*file)->Append("second").ok());  // The trigger.
+  EXPECT_TRUE(fault.killed());
+  // Every mutation after the kill fails cleanly.
+  EXPECT_FALSE((*file)->Append("third").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(fault.RenameFile(Path("w.log"), Path("x.log")).ok());
+  EXPECT_FALSE(fault.TruncateFile(Path("w.log"), 0).ok());
+  EXPECT_FALSE(fault.NewWritableFile(Path("y.log"), true).ok());
+}
+
+TEST_F(EnvTest, FaultEnvPartialEffectIsDeterministic) {
+  // The same (seed, trigger) must tear the same byte count, run after
+  // run — the torture harness depends on exact reproducibility.
+  auto torn_size = [&](uint64_t seed) -> uint64_t {
+    std::string path = Path(StrCat("det_", seed, ".log"));
+    FaultInjectionEnv fault(Env::Default(), seed);
+    fault.Arm(2);
+    auto file = fault.NewWritableFile(path, /*truncate=*/true);
+    EXPECT_TRUE(file.ok());
+    EXPECT_FALSE((*file)->Append("0123456789").ok());
+    uint64_t size = *Env::Default()->FileSize(path);
+    EXPECT_TRUE(Env::Default()->RemoveFile(path).ok());
+    return size;
+  };
+  EXPECT_EQ(torn_size(1), torn_size(1));
+  EXPECT_EQ(torn_size(2), torn_size(2));
+  // A torn write never writes more than was asked.
+  EXPECT_LE(torn_size(3), 10u);
+}
+
+TEST_F(EnvTest, FaultEnvDropUnsyncedStateRollsBackToLastSync) {
+  FaultInjectionEnv fault(Env::Default(), /*seed=*/42);
+  fault.Arm(UINT64_MAX);  // Count ops without killing.
+  auto file = fault.NewWritableFile(Path("w.log"), /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("-volatile").ok());  // Never synced.
+  ASSERT_TRUE((*file)->Close().ok());
+  // Writes pass through (reads see them, like the OS page cache)...
+  EXPECT_EQ(*fault.ReadFileToString(Path("w.log")), "durable-volatile");
+  // ...but only the synced prefix survives the "reboot".
+  ASSERT_TRUE(fault.DropUnsyncedState().ok());
+  EXPECT_EQ(*Env::Default()->ReadFileToString(Path("w.log")), "durable");
+}
+
+TEST_F(EnvTest, FaultEnvUnsyncedNewFileRollsBackToEmpty) {
+  FaultInjectionEnv fault(Env::Default(), /*seed=*/9);
+  fault.Arm(UINT64_MAX);
+  auto file = fault.NewWritableFile(Path("new.log"), /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("never synced").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(fault.DropUnsyncedState().ok());
+  EXPECT_EQ(*Env::Default()->ReadFileToString(Path("new.log")), "");
+}
+
+TEST_F(EnvTest, FaultEnvRenameCarriesDurableContent) {
+  FaultInjectionEnv fault(Env::Default(), /*seed=*/11);
+  fault.Arm(UINT64_MAX);
+  auto file = fault.NewWritableFile(Path("f.tmp"), /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("payload").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(fault.RenameFile(Path("f.tmp"), Path("f.dat")).ok());
+  ASSERT_TRUE(fault.DropUnsyncedState().ok());
+  // The synced-then-renamed file survives under its new name.
+  EXPECT_EQ(*Env::Default()->ReadFileToString(Path("f.dat")), "payload");
+  EXPECT_FALSE(Env::Default()->FileExists(Path("f.tmp")));
+}
+
+TEST_F(EnvTest, FaultEnvCountsAreStableAcrossIdenticalRuns) {
+  // The torture harness counts ops in a dry run, then replays the same
+  // workload once per injection point: identical runs must produce
+  // identical op counts.
+  auto run = [&](int salt) -> uint64_t {
+    std::string path = Path(StrCat("count_", salt, ".log"));
+    FaultInjectionEnv fault(Env::Default(), /*seed=*/5);
+    fault.Arm(UINT64_MAX);
+    auto file = fault.NewWritableFile(path, /*truncate=*/true);
+    EXPECT_TRUE(file.ok());
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE((*file)->Append("x").ok());
+      EXPECT_TRUE((*file)->Sync().ok());
+    }
+    EXPECT_TRUE((*file)->Close().ok());
+    EXPECT_TRUE(Env::Default()->RemoveFile(path).ok());
+    return fault.op_count();
+  };
+  EXPECT_EQ(run(1), run(2));
+  EXPECT_EQ(run(1), 11u);  // 1 open + 5 appends + 5 syncs.
+}
+
+}  // namespace
+}  // namespace nf2

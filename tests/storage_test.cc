@@ -203,13 +203,15 @@ TEST_F(StorageTest, WalAppendAndReadAll) {
   WalRecord r2{0, WalOpType::kDelete, "students", "other-bytes"};
   ASSERT_TRUE((*wal)->Append(r1).ok());
   ASSERT_TRUE((*wal)->Append(r2).ok());
-  auto records = (*wal)->ReadAll();
-  ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 2u);
-  EXPECT_EQ((*records)[0].lsn, 1u);
-  EXPECT_EQ((*records)[1].lsn, 2u);
-  EXPECT_EQ((*records)[0].type, WalOpType::kInsert);
-  EXPECT_EQ((*records)[1].payload, "other-bytes");
+  auto read = (*wal)->ReadAll();
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->clean_eof);
+  const std::vector<WalRecord>& records = read->records;
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].lsn, 1u);
+  EXPECT_EQ(records[1].lsn, 2u);
+  EXPECT_EQ(records[0].type, WalOpType::kInsert);
+  EXPECT_EQ(records[1].payload, "other-bytes");
 }
 
 TEST_F(StorageTest, WalLsnsContinueAcrossReopen) {
@@ -242,10 +244,47 @@ TEST_F(StorageTest, WalTornTailIsIgnored) {
   }
   auto wal = WriteAheadLog::Open(Path("wal.log"));
   ASSERT_TRUE(wal.ok());
-  auto records = (*wal)->ReadAll();
-  ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].payload, "ok");
+  // Open cut the garbage off, and the surviving prefix is cached.
+  EXPECT_TRUE((*wal)->truncated_on_open());
+  ASSERT_EQ((*wal)->recovered_records().size(), 1u);
+  EXPECT_EQ((*wal)->recovered_records()[0].payload, "ok");
+  auto read = (*wal)->ReadAll();
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->clean_eof);  // The tail is gone from disk.
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "ok");
+}
+
+TEST_F(StorageTest, WalAppendAfterTornTailKeepsNewRecords) {
+  // Regression: records appended after a torn tail used to land AFTER
+  // the garbage, so replay (which stops at the first bad frame) would
+  // silently drop them at the next open. Open must truncate first.
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "one"}).ok());
+  }
+  {
+    std::ofstream f(Path("wal.log"), std::ios::binary | std::ios::app);
+    uint32_t bogus_len = 1000;
+    f.write(reinterpret_cast<const char*>(&bogus_len), 4);
+    f << "partial";
+  }
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    EXPECT_TRUE((*wal)->truncated_on_open());
+    ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "two"}).ok());
+    ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "three"}).ok());
+  }
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  EXPECT_FALSE((*wal)->truncated_on_open());
+  const std::vector<WalRecord>& records = (*wal)->recovered_records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].payload, "one");
+  EXPECT_EQ(records[1].payload, "two");
+  EXPECT_EQ(records[2].payload, "three");
 }
 
 TEST_F(StorageTest, WalCorruptedRecordStopsReplay) {
@@ -266,10 +305,10 @@ TEST_F(StorageTest, WalCorruptedRecordStopsReplay) {
   }
   auto wal = WriteAheadLog::Open(Path("wal.log"));
   ASSERT_TRUE(wal.ok());
-  auto records = (*wal)->ReadAll();
-  ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].payload, "first");
+  EXPECT_TRUE((*wal)->truncated_on_open());
+  const std::vector<WalRecord>& records = (*wal)->recovered_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "first");
 }
 
 TEST_F(StorageTest, WalReset) {
@@ -277,9 +316,10 @@ TEST_F(StorageTest, WalReset) {
   ASSERT_TRUE(wal.ok());
   ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "x"}).ok());
   ASSERT_TRUE((*wal)->Reset().ok());
-  auto records = (*wal)->ReadAll();
-  ASSERT_TRUE(records.ok());
-  EXPECT_TRUE(records->empty());
+  auto read = (*wal)->ReadAll();
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_TRUE(read->clean_eof);
   EXPECT_EQ((*wal)->next_lsn(), 1u);
 }
 
@@ -298,7 +338,7 @@ TEST_F(StorageTest, WalRandomCorruptionNeverCrashesAndKeepsPrefix) {
     }
     auto all = (*wal)->ReadAll();
     ASSERT_TRUE(all.ok());
-    original = *all;
+    original = all->records;
   }
   std::ifstream in(Path("wal.log"), std::ios::binary);
   std::string bytes((std::istreambuf_iterator<char>(in)),
@@ -317,13 +357,12 @@ TEST_F(StorageTest, WalRandomCorruptionNeverCrashesAndKeepsPrefix) {
     }
     auto wal = WriteAheadLog::Open(path);
     ASSERT_TRUE(wal.ok());
-    auto records = (*wal)->ReadAll();
-    ASSERT_TRUE(records.ok());
-    ASSERT_LE(records->size(), original.size());
-    for (size_t i = 0; i < records->size(); ++i) {
+    const std::vector<WalRecord>& records = (*wal)->recovered_records();
+    ASSERT_LE(records.size(), original.size());
+    for (size_t i = 0; i < records.size(); ++i) {
       // Each surviving record is bit-exact (CRC catches payload damage)
       // OR the damage hit this record and truncated the log before it.
-      EXPECT_EQ((*records)[i], original[i]) << "trial " << trial;
+      EXPECT_EQ(records[i], original[i]) << "trial " << trial;
     }
   }
 }
