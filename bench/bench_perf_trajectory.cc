@@ -1,7 +1,13 @@
 // Perf-trajectory harness: times the dictionary-encoded hot paths
 // against the retained Value-keyed legacy paths on the same workloads
-// and emits a machine-readable JSON file (default BENCH_PR2.json, or
+// and emits a machine-readable JSON file (default BENCH_PR3.json, or
 // argv[1]) so successive PRs leave a comparable throughput record.
+// argv[2] overrides the workload row count (CI runs a small smoke
+// workload; section names and per-op rates stay comparable).
+//
+// The wal_durability section also snapshots the engine's
+// MetricsRegistry (Database::MetricsSnapshot) after the durable run and
+// embeds the WAL / buffer-pool / §4 counters in the JSON.
 //
 // Measured sections (keyed workload, see bench/workload.h):
 //   canonical_form — CanonicalFormLegacy vs CanonicalForm over a 10k-row
@@ -157,7 +163,7 @@ Section BenchInsertDelete(const FlatRelation& flat, const Permutation& perm,
 /// 1 - Speedup() is the durability overhead the PR bounds at 10%.
 Section BenchWalDurability(const FlatRelation& flat, const Permutation& perm,
                            size_t stream_rows, size_t batch, int cycles,
-                           int reps) {
+                           int reps, MetricsSnapshot* durable_metrics) {
   Section out;
   out.name = "wal_durability";
   std::vector<FlatTuple> stream(flat.tuples().end() - stream_rows,
@@ -215,6 +221,9 @@ Section BenchWalDurability(const FlatRelation& flat, const Permutation& perm,
     Result<FlatRelation> scan = (*db)->Scan("bench");
     NF2_CHECK(scan.ok()) << scan.status().ToString();
     *final_scan = *std::move(scan);
+    if (sync && durable_metrics != nullptr) {
+      *durable_metrics = (*db)->MetricsSnapshot();
+    }
     db->reset();  // Checkpoint + close outside the timed region.
     std::filesystem::remove_all(dir);
     return sec;
@@ -251,16 +260,44 @@ Section BenchWalDurability(const FlatRelation& flat, const Permutation& perm,
 }
 
 void WriteJson(const std::string& path, const KeyedConfig& config,
-               const std::vector<Section>& sections) {
+               const std::vector<Section>& sections,
+               const MetricsSnapshot& metrics) {
   std::ofstream file(path, std::ios::trunc);
   NF2_CHECK(file.is_open()) << "cannot write " << path;
   file << "{\n";
-  file << "  \"pr\": 2,\n";
-  file << "  \"title\": \"crash-safe WAL and checkpoint\",\n";
+  file << "  \"pr\": 3,\n";
+  file << "  \"title\": \"observability layer\",\n";
   file << "  \"workload\": {\"generator\": \"keyed\", \"rows\": "
        << config.rows << ", \"degree\": " << config.degree
        << ", \"value_pool\": " << config.value_pool
        << ", \"seed\": " << config.seed << "},\n";
+  // Engine counters from the durable wal_durability run — the registry
+  // view of the same work the sections time.
+  const auto* batch = metrics.histogram("nf2_wal_group_commit_batch");
+  file << "  \"engine_metrics\": {\n";
+  file << "    \"wal_appends\": " << metrics.counter("nf2_wal_appends_total")
+       << ",\n";
+  file << "    \"wal_fsyncs\": " << metrics.counter("nf2_wal_fsyncs_total")
+       << ",\n";
+  file << "    \"wal_append_bytes\": "
+       << metrics.counter("nf2_wal_append_bytes_total") << ",\n";
+  file << "    \"group_commit_batch_mean\": "
+       << Fmt(batch == nullptr ? 0.0 : batch->Mean(), 1) << ",\n";
+  file << "    \"pool_hits\": " << metrics.counter("nf2_pool_hits_total")
+       << ",\n";
+  file << "    \"pool_misses\": " << metrics.counter("nf2_pool_misses_total")
+       << ",\n";
+  file << "    \"compositions\": " << metrics.counter("nf2_compo_total")
+       << ",\n";
+  file << "    \"decompositions\": " << metrics.counter("nf2_unnest_total")
+       << ",\n";
+  file << "    \"recons_calls\": " << metrics.counter("nf2_recons_total")
+       << ",\n";
+  file << "    \"candidate_scans\": "
+       << metrics.counter("nf2_candt_scans_total") << ",\n";
+  file << "    \"dict_values\": " << metrics.gauge("nf2_dict_values")
+       << "\n";
+  file << "  },\n";
   file << "  \"sections\": [\n";
   for (size_t i = 0; i < sections.size(); ++i) {
     const Section& s = sections[i];
@@ -295,9 +332,12 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR2.json";
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR3.json";
+  const size_t workload_rows =
+      argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : 10000;
+  NF2_CHECK(workload_rows >= 100) << "workload needs at least 100 rows";
   KeyedConfig config;
-  config.rows = 10000;
+  config.rows = workload_rows;
   config.degree = 4;
   config.value_pool = 8;
   config.seed = 44;
@@ -308,13 +348,20 @@ int Main(int argc, char** argv) {
   for (size_t i = 1; i < config.degree; ++i) perm.push_back(i);
   perm.push_back(0);
 
+  // Scale the streams with the workload so the smoke run (small rows)
+  // keeps the same shape per section.
+  const size_t flat_rows = flat.size();
+  const int wal_reps = flat_rows >= 10000 ? 5 : 3;
+  MetricsSnapshot durable_metrics;
   std::vector<Section> sections;
   sections.push_back(BenchCanonicalForm(flat, perm, /*reps=*/3));
-  sections.push_back(BenchInsertDelete(flat, perm, /*stream_rows=*/1000));
-  sections.push_back(BenchWalDurability(flat, perm, /*stream_rows=*/10000,
-                                        /*batch=*/5000, /*cycles=*/3,
-                                        /*reps=*/5));
-  WriteJson(out_path, config, sections);
+  sections.push_back(
+      BenchInsertDelete(flat, perm, /*stream_rows=*/flat_rows / 10));
+  sections.push_back(BenchWalDurability(
+      flat, perm, /*stream_rows=*/flat_rows,
+      /*batch=*/std::max<size_t>(1, flat_rows / 2), /*cycles=*/3,
+      wal_reps, &durable_metrics));
+  WriteJson(out_path, config, sections, durable_metrics);
 
   std::vector<std::vector<std::string>> rows;
   for (const Section& s : sections) {

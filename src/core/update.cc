@@ -13,24 +13,36 @@ namespace {
 // of the degree only; anything past this indicates a broken invariant.
 constexpr int kMaxReconsDepth = 100000;
 
-/// Accumulates the elapsed wall time into `*sink` on scope exit.
+/// Accumulates the elapsed wall time into `*sink` (and, when non-null,
+/// into the registry counter `mirror`) on scope exit.
 class ScopedNsTimer {
  public:
-  explicit ScopedNsTimer(uint64_t* sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedNsTimer(uint64_t* sink, Counter* mirror = nullptr)
+      : sink_(sink),
+        mirror_(mirror),
+        start_(std::chrono::steady_clock::now()) {}
   ~ScopedNsTimer() {
-    *sink_ += static_cast<uint64_t>(
+    uint64_t elapsed = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start_)
             .count());
+    *sink_ += elapsed;
+    if (mirror_ != nullptr) mirror_->Increment(elapsed);
   }
   ScopedNsTimer(const ScopedNsTimer&) = delete;
   ScopedNsTimer& operator=(const ScopedNsTimer&) = delete;
 
  private:
   uint64_t* sink_;
+  Counter* mirror_;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// ++counter plus the registry mirror, in one expression.
+inline void BumpMirrored(uint64_t* field, Counter* mirror) {
+  ++*field;
+  if (mirror != nullptr) mirror->Increment();
+}
 }  // namespace
 
 double UpdateStats::AvgFindCandidateNs() const {
@@ -227,7 +239,7 @@ Status CanonicalRelation::Insert(const FlatTuple& t) {
     return Status::AlreadyExists(
         StrCat("tuple ", t.ToString(), " already present"));
   }
-  ScopedNsTimer timer(&stats_.recons_ns);
+  ScopedNsTimer timer(&stats_.recons_ns, metrics_.recons_ns);
   Recons(NfrTuple::FromFlat(t), /*depth=*/0);
   return Status::OK();
 }
@@ -251,9 +263,9 @@ Status CanonicalRelation::Delete(const FlatTuple& t) {
     if (q.at(attr).IsSingleton()) continue;
     Result<Decomposition> split = Decompose(q, attr, t.at(attr));
     NF2_CHECK(split.ok()) << split.status().ToString();
-    ++stats_.decompositions;
+    BumpMirrored(&stats_.decompositions, metrics_.decompositions);
     {
-      ScopedNsTimer timer(&stats_.recons_ns);
+      ScopedNsTimer timer(&stats_.recons_ns, metrics_.recons_ns);
       Recons(std::move(split->remainder), /*depth=*/0);
     }
     q = std::move(split->extracted);
@@ -304,7 +316,7 @@ bool CanonicalRelation::IsCandidateAtEncoded(const EncodedTuple& s,
 
 std::optional<CanonicalRelation::Candidate> CanonicalRelation::FindCandidate(
     const NfrTuple& t) {
-  ScopedNsTimer timer(&stats_.find_candidate_ns);
+  ScopedNsTimer timer(&stats_.find_candidate_ns, metrics_.find_candidate_ns);
   const size_t n = order_.size();
   // In interned mode the probe is encoded once (interning any values it
   // introduces) and every comparison below is an integer merge against
@@ -314,7 +326,7 @@ std::optional<CanonicalRelation::Candidate> CanonicalRelation::FindCandidate(
     probe = InternTuple(dict_.get(), t);
   }
   auto is_candidate = [&](size_t i, size_t m) {
-    ++stats_.candidate_scans;
+    BumpMirrored(&stats_.candidate_scans, metrics_.candidate_scans);
     return dict_ != nullptr ? IsCandidateAtEncoded(encoded_[i], probe, m)
                             : IsCandidateAt(relation_.tuple(i), t, m);
   };
@@ -384,7 +396,7 @@ std::optional<CanonicalRelation::Candidate> CanonicalRelation::FindCandidate(
 void CanonicalRelation::Recons(NfrTuple t, int depth) {
   NF2_CHECK(depth < kMaxReconsDepth)
       << "recons recursion exceeded bound — canonical invariant broken";
-  ++stats_.recons_calls;
+  BumpMirrored(&stats_.recons_calls, metrics_.recons_calls);
   std::optional<Candidate> cand = FindCandidate(t);
   if (!cand.has_value()) {
     AddTuple(std::move(t));
@@ -399,7 +411,7 @@ void CanonicalRelation::Recons(NfrTuple t, int depth) {
     if (p.at(attr) == t.at(attr)) continue;
     Result<Decomposition> split = DecomposeSubset(p, attr, t.at(attr));
     NF2_CHECK(split.ok()) << split.status().ToString();
-    ++stats_.decompositions;
+    BumpMirrored(&stats_.decompositions, metrics_.decompositions);
     Recons(std::move(split->remainder), depth + 1);
     p = std::move(split->extracted);
   }
@@ -409,7 +421,7 @@ void CanonicalRelation::Recons(NfrTuple t, int depth) {
       << "candidate not composable after unnesting: p="
       << p.ToString(schema()) << " t=" << t.ToString(schema());
   NfrTuple w = Compose(p, t, m_attr);
-  ++stats_.compositions;
+  BumpMirrored(&stats_.compositions, metrics_.compositions);
   // The composed tuple may itself compose further (Lemma A-3).
   Recons(std::move(w), depth + 1);
 }

@@ -9,6 +9,7 @@
 #include "core/nest.h"
 #include "core/relation.h"
 #include "core/value_dictionary.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace nf2 {
@@ -111,6 +112,12 @@ class CanonicalRelation {
   const UpdateStats& stats() const { return stats_; }
   UpdateStats* mutable_stats() { return &stats_; }
 
+  /// Mirrors every stats_ increment into the given registry counters
+  /// (the engine passes handles from its MetricsRegistry, so the
+  /// database-wide §4 counters stay bit-identical to the sum of the
+  /// per-relation UpdateStats). Call before the first operation.
+  void set_metrics(const UpdatePathMetrics& metrics) { metrics_ = metrics; }
+
   SearchMode search_mode() const { return mode_; }
   Encoding encoding() const { return encoding_; }
 
@@ -168,6 +175,7 @@ class CanonicalRelation {
   std::vector<EncodedTuple> encoded_;      // Mirror of relation_ (kInterned).
   std::optional<NfrIndex> index_;
   UpdateStats stats_;
+  UpdatePathMetrics metrics_;  // All-null when not wired to a registry.
 };
 
 /// Ablation baseline: re-derives the canonical form of R* ± t from

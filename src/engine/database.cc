@@ -6,6 +6,7 @@
 
 #include "algebra/operators.h"
 #include "dependency/design.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -96,8 +97,13 @@ Status Database::LoadDictionary() {
 
 CanonicalRelation Database::MakeRelation(const Schema& schema,
                                          const Permutation& order) const {
-  return CanonicalRelation(schema, order, CanonicalRelation::SearchMode::kIndexed,
-                           CanonicalRelation::Encoding::kInterned, dict_);
+  CanonicalRelation rel(schema, order,
+                        CanonicalRelation::SearchMode::kIndexed,
+                        CanonicalRelation::Encoding::kInterned, dict_);
+  // Mirror the relation's §4 counters into the engine-wide registry so
+  // the database totals stay bit-identical to the per-relation sums.
+  rel.set_metrics(UpdatePathMetrics::ForRegistry(&metrics_));
+  return rel;
 }
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
@@ -122,13 +128,41 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
       }
     }
   }
+  // Register the engine-level metric handles once, up front — every
+  // later increment is a relaxed atomic on a stable pointer.
+  MetricsRegistry* reg = &db->metrics_;
+  db->metric_checkpoints_ = reg->GetCounter(
+      "nf2_checkpoints_total", "Checkpoints completed");
+  db->metric_recoveries_ = reg->GetCounter(
+      "nf2_recoveries_total", "Recovery runs completed at Open");
+  db->metric_inserts_ = reg->GetCounter(
+      "nf2_inserts_total", "Tuple inserts applied");
+  db->metric_deletes_ = reg->GetCounter(
+      "nf2_deletes_total", "Tuple deletes applied");
+  db->metric_checkpoint_ns_ = reg->GetHistogram(
+      "nf2_checkpoint_duration_ns", "Wall time per checkpoint (ns)");
+  db->metric_recovery_ns_ = reg->GetHistogram(
+      "nf2_recovery_duration_ns", "Wall time per recovery (ns)");
+  db->metric_insert_ns_ = reg->GetHistogram(
+      "nf2_insert_duration_ns", "Wall time per applied insert (ns)");
+  db->metric_delete_ns_ = reg->GetHistogram(
+      "nf2_delete_duration_ns", "Wall time per applied delete (ns)");
+  db->metric_dict_values_ = reg->GetGauge(
+      "nf2_dict_values", "Distinct atoms in the shared dictionary");
+  db->metric_relations_ = reg->GetGauge(
+      "nf2_relations", "Relations in the catalog");
   WriteAheadLog::Options wal_options;
   wal_options.sync_on_commit = options.sync_wal;
+  wal_options.metrics = reg;
   NF2_ASSIGN_OR_RETURN(
       db->wal_,
       WriteAheadLog::Open(env, (std::filesystem::path(dir) / kWalFile).string(),
                           wal_options));
-  NF2_RETURN_IF_ERROR(db->Recover());
+  {
+    TraceSpan span(nullptr, "recover", db->metric_recovery_ns_);
+    NF2_RETURN_IF_ERROR(db->Recover());
+  }
+  db->metric_recoveries_->Increment();
   return db;
 }
 
@@ -147,7 +181,10 @@ Status Database::Recover() {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
     CanonicalRelation rel = MakeRelation(info->schema, info->nest_order);
     if (env_->FileExists(TablePath(*info))) {
-      NF2_ASSIGN_OR_RETURN(auto table, Table::Open(env_, TablePath(*info)));
+      NF2_ASSIGN_OR_RETURN(
+          auto table,
+          Table::Open(env_, TablePath(*info), /*pool_pages=*/64,
+                      BufferPoolMetrics::ForRegistry(&metrics_)));
       NF2_ASSIGN_OR_RETURN(NfrRelation stored, table->ReadAll());
       // Trust but verify: the stored form must be the canonical form of
       // its own expansion (cheap for the usual sizes; guards against
@@ -345,7 +382,9 @@ Status Database::CreateRelation(const std::string& name, Schema schema,
   // Publish the (empty) table file atomically, then the catalog.
   NF2_RETURN_IF_ERROR(WriteTableAtomic(env_, TablePath(info), info.schema,
                                        info.nest_order,
-                                       NfrRelation(info.schema)));
+                                       NfrRelation(info.schema),
+                                       BufferPoolMetrics::ForRegistry(
+                                           &metrics_)));
   NF2_RETURN_IF_ERROR(catalog_.Add(std::move(info)));
   ++ops_since_checkpoint_;
   return catalog_.SaveToFile(env_, CatalogPath());
@@ -460,9 +499,14 @@ Status Database::Insert(const std::string& name, const FlatTuple& tuple) {
   }
   BufferWriter payload;
   EncodeFlatTuple(tuple, &payload);
-  NF2_RETURN_IF_ERROR(
-      wal_->Append({0, WalOpType::kInsert, name, payload.data()}).status());
-  NF2_RETURN_IF_ERROR(it->second.Insert(tuple));
+  {
+    TraceSpan span(nullptr, "insert", metric_insert_ns_);
+    NF2_RETURN_IF_ERROR(
+        wal_->Append({0, WalOpType::kInsert, name, payload.data()})
+            .status());
+    NF2_RETURN_IF_ERROR(it->second.Insert(tuple));
+  }
+  metric_inserts_->Increment();
   if (in_txn_) {
     undo_log_.push_back(UndoEntry{true, name, tuple});
   }
@@ -481,9 +525,14 @@ Status Database::Delete(const std::string& name, const FlatTuple& tuple) {
   }
   BufferWriter payload;
   EncodeFlatTuple(tuple, &payload);
-  NF2_RETURN_IF_ERROR(
-      wal_->Append({0, WalOpType::kDelete, name, payload.data()}).status());
-  NF2_RETURN_IF_ERROR(it->second.Delete(tuple));
+  {
+    TraceSpan span(nullptr, "delete", metric_delete_ns_);
+    NF2_RETURN_IF_ERROR(
+        wal_->Append({0, WalOpType::kDelete, name, payload.data()})
+            .status());
+    NF2_RETURN_IF_ERROR(it->second.Delete(tuple));
+  }
+  metric_deletes_->Increment();
   if (in_txn_) {
     undo_log_.push_back(UndoEntry{false, name, tuple});
   }
@@ -539,18 +588,21 @@ Status Database::Checkpoint() {
   // dictionary on disk must always be a superset of what any table
   // file references. It is append-only between checkpoints — writing
   // it first keeps that invariant through a crash.
+  TraceSpan span(nullptr, "checkpoint", metric_checkpoint_ns_);
   NF2_RETURN_IF_ERROR(SaveDictionary());
   for (const std::string& name : catalog_.Names()) {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
     auto it = relations_.find(name);
     NF2_CHECK(it != relations_.end());
-    NF2_RETURN_IF_ERROR(WriteTableAtomic(env_, TablePath(*info),
-                                         info->schema, info->nest_order,
-                                         it->second.relation()));
+    NF2_RETURN_IF_ERROR(
+        WriteTableAtomic(env_, TablePath(*info), info->schema,
+                         info->nest_order, it->second.relation(),
+                         BufferPoolMetrics::ForRegistry(&metrics_)));
   }
   NF2_RETURN_IF_ERROR(catalog_.SaveToFile(env_, CatalogPath()));
   NF2_RETURN_IF_ERROR(wal_->Reset());
   ops_since_checkpoint_ = 0;
+  metric_checkpoints_->Increment();
   return Status::OK();
 }
 
@@ -579,6 +631,37 @@ Status Database::VerifyIntegrity() const {
     }
   }
   return Status::OK();
+}
+
+::nf2::MetricsSnapshot Database::MetricsSnapshot() const {
+  // Derived gauges are refreshed lazily, at observation time — keeping
+  // them current on every insert would put map lookups on the hot path.
+  if (metric_dict_values_ != nullptr && dict_ != nullptr) {
+    metric_dict_values_->Set(static_cast<int64_t>(dict_->size()));
+  }
+  if (metric_relations_ != nullptr) {
+    metric_relations_->Set(static_cast<int64_t>(relations_.size()));
+  }
+  return metrics_.Snapshot();
+}
+
+Result<UpdateStats> Database::RelationUpdateStats(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  return it->second.stats();
+}
+
+std::string Database::MetricsText(bool prometheus) const {
+  if (metric_dict_values_ != nullptr && dict_ != nullptr) {
+    metric_dict_values_->Set(static_cast<int64_t>(dict_->size()));
+  }
+  if (metric_relations_ != nullptr) {
+    metric_relations_->Set(static_cast<int64_t>(relations_.size()));
+  }
+  return prometheus ? metrics_.ToPrometheusText() : metrics_.ToString();
 }
 
 Result<RelationStats> Database::Stats(const std::string& name) const {

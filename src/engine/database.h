@@ -11,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "core/update.h"
 #include "engine/statistics.h"
+#include "obs/metrics.h"
 #include "storage/table.h"
 #include "storage/wal.h"
 #include "util/result.h"
@@ -162,6 +163,24 @@ class Database {
     return dict_;
   }
 
+  /// The engine-wide metrics registry — WAL, buffer pools, checkpoint /
+  /// recovery timings, and §4 algebra counters all land here. Valid for
+  /// the lifetime of the Database.
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  /// A point-in-time copy of every registered metric (refreshes derived
+  /// gauges like the dictionary size first).
+  ::nf2::MetricsSnapshot MetricsSnapshot() const;
+
+  /// Per-relation §4 operation counters without the (expensive) size
+  /// statistics of Stats() — what PROFILE uses to delta around one
+  /// statement.
+  Result<UpdateStats> RelationUpdateStats(const std::string& name) const;
+
+  /// Human-readable (`prometheus = false`) or Prometheus text-exposition
+  /// dump of the registry — the shell's `\metrics` command.
+  std::string MetricsText(bool prometheus) const;
+
   const std::string& dir() const { return dir_; }
 
  private:
@@ -188,6 +207,9 @@ class Database {
                                  const Permutation& order) const;
   Status MaybeAutoCheckpoint();
 
+  /// Declared first so it is destroyed last: the WAL, tables, and
+  /// relations all hold Counter*/Histogram* handles into it.
+  mutable MetricsRegistry metrics_;
   std::string dir_;
   Options options_;
   Env* env_ = nullptr;
@@ -196,6 +218,18 @@ class Database {
   std::shared_ptr<ValueDictionary> dict_;
   std::map<std::string, CanonicalRelation> relations_;
   uint64_t ops_since_checkpoint_ = 0;
+
+  // Registry handles cached at Open (stable for the Database lifetime).
+  Counter* metric_checkpoints_ = nullptr;
+  Counter* metric_recoveries_ = nullptr;
+  Counter* metric_inserts_ = nullptr;
+  Counter* metric_deletes_ = nullptr;
+  Histogram* metric_checkpoint_ns_ = nullptr;
+  Histogram* metric_recovery_ns_ = nullptr;
+  Histogram* metric_insert_ns_ = nullptr;
+  Histogram* metric_delete_ns_ = nullptr;
+  Gauge* metric_dict_values_ = nullptr;
+  Gauge* metric_relations_ = nullptr;
 
   /// One undoable operation of the open transaction.
   struct UndoEntry {

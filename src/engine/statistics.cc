@@ -30,13 +30,29 @@ RelationStats ComputeRelationStats(const NfrRelation& rel) {
   BufferWriter nfr_writer;
   EncodeNfrRelation(rel, &nfr_writer);
   stats.nfr_bytes = nfr_writer.size();
-  BufferWriter flat_writer;
-  EncodeSchema(rel.schema(), &flat_writer);
-  FlatRelation flat = rel.Expand();
-  for (const FlatTuple& t : flat.tuples()) {
-    EncodeFlatTuple(t, &flat_writer);
+  // 1NF size WITHOUT materializing R* (whose tuple count is the product
+  // of the component cardinalities — Theorem 1 — and can dwarf the NFR
+  // by orders of magnitude). Each flat tuple encodes as a u32 degree
+  // plus one value per attribute; an atom of component c_a appears in
+  // exactly ExpandedCount / |c_a| of the tuple's expansions.
+  BufferWriter schema_writer;
+  EncodeSchema(rel.schema(), &schema_writer);
+  uint64_t flat_bytes = schema_writer.size();
+  BufferWriter atom_writer;
+  for (const NfrTuple& t : rel.tuples()) {
+    const uint64_t expansions = t.ExpandedCount();
+    if (expansions == 0) continue;
+    flat_bytes += expansions * sizeof(uint32_t);  // Degree prefix.
+    for (const ValueSet& component : t.components()) {
+      const uint64_t repeats = expansions / component.size();
+      for (const Value& atom : component.values()) {
+        size_t before = atom_writer.size();
+        EncodeValue(atom, &atom_writer);
+        flat_bytes += repeats * (atom_writer.size() - before);
+      }
+    }
   }
-  stats.flat_bytes = flat_writer.size();
+  stats.flat_bytes = flat_bytes;
   return stats;
 }
 

@@ -31,8 +31,11 @@ struct RelationStats {
   std::string ToString() const;
 };
 
-/// Computes size statistics for `rel` by serializing both
-/// representations (name/update_stats are filled by the caller).
+/// Computes size statistics for `rel`. The NFR side is measured by
+/// serializing it; the 1NF side is derived analytically from the
+/// component cardinalities (Theorem 1) — R* itself is never
+/// materialized, so STATS stays cheap even when the expansion is huge.
+/// name/update_stats are filled by the caller.
 RelationStats ComputeRelationStats(const NfrRelation& rel);
 
 }  // namespace nf2

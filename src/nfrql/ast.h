@@ -108,6 +108,16 @@ struct StatsStatement {
 /// CHECKPOINT — flush tables, truncate the WAL.
 struct CheckpointStatement {};
 
+struct StatementBox;  // Holds the inner Statement; defined below.
+
+/// EXPLAIN <stmt> — the operator plan tree, without executing.
+/// PROFILE <stmt> — executes <stmt> and reports the span tree with
+/// wall times, rows in/out, and §4 composition counts.
+struct ExplainStatement {
+  bool profile = false;
+  std::unique_ptr<StatementBox> inner;
+};
+
 /// BEGIN / COMMIT / ROLLBACK.
 struct TxnStatement {
   enum class Kind { kBegin, kCommit, kRollback };
@@ -119,7 +129,13 @@ using Statement =
                  DeleteStatement, UpdateStatement, SelectStatement,
                  ShowStatement, DescribeStatement, NestStatement,
                  ListStatement, StatsStatement, CheckpointStatement,
-                 TxnStatement>;
+                 TxnStatement, ExplainStatement>;
+
+/// Indirection so ExplainStatement can hold the (recursive) variant —
+/// same trick ConditionNode uses for its children.
+struct StatementBox {
+  Statement stmt;
+};
 
 }  // namespace nf2
 

@@ -30,6 +30,135 @@ Result<AttrSet> ResolveAttrs(const Schema& schema,
   return out;
 }
 
+std::string OpLabel(const char* op, const std::string& name) {
+  return StrCat(op, "(", name, ")");
+}
+
+/// Snapshots a relation's §4 counters on construction and attaches the
+/// deltas (compositions, decompositions, ...) to `span` on destruction
+/// — the PROFILE numbers come from the same UpdateStats the registry
+/// mirrors, so they match `\metrics` exactly. Declare after the span it
+/// annotates so it closes first.
+class Section4Probe {
+ public:
+  Section4Probe(Database* db, std::string name, TraceSpan* span)
+      : db_(db), name_(std::move(name)), span_(span) {
+    if (span_ == nullptr) return;
+    Result<UpdateStats> stats = db_->RelationUpdateStats(name_);
+    if (stats.ok()) before_ = *stats;
+  }
+  ~Section4Probe() {
+    if (span_ == nullptr) return;
+    Result<UpdateStats> stats = db_->RelationUpdateStats(name_);
+    if (!stats.ok()) return;
+    UpdateStats d = *stats - before_;
+    span_->AddAttr("compositions", static_cast<int64_t>(d.compositions));
+    span_->AddAttr("decompositions",
+                   static_cast<int64_t>(d.decompositions));
+    span_->AddAttr("recons_calls", static_cast<int64_t>(d.recons_calls));
+    span_->AddAttr("candidate_scans",
+                   static_cast<int64_t>(d.candidate_scans));
+  }
+
+ private:
+  Database* db_;
+  std::string name_;
+  TraceSpan* span_;
+  UpdateStats before_;
+};
+
+/// Plan-tree label for statements EXPLAIN renders as a single operator.
+std::string StatementLabel(const Statement& stmt) {
+  return std::visit(
+      [](const auto& s) -> std::string {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateStatement>) {
+          return OpLabel("create", s.name);
+        } else if constexpr (std::is_same_v<T, DropStatement>) {
+          return OpLabel("drop", s.name);
+        } else if constexpr (std::is_same_v<T, InsertStatement>) {
+          return OpLabel("insert", s.name);
+        } else if constexpr (std::is_same_v<T, DeleteStatement>) {
+          return OpLabel("delete", s.name);
+        } else if constexpr (std::is_same_v<T, UpdateStatement>) {
+          return OpLabel("update", s.name);
+        } else if constexpr (std::is_same_v<T, SelectStatement>) {
+          return OpLabel("select", s.name);
+        } else if constexpr (std::is_same_v<T, ShowStatement>) {
+          return OpLabel("show", s.name);
+        } else if constexpr (std::is_same_v<T, DescribeStatement>) {
+          return OpLabel("describe", s.name);
+        } else if constexpr (std::is_same_v<T, NestStatement>) {
+          return OpLabel(s.unnest ? "unnest" : "nest", s.name);
+        } else if constexpr (std::is_same_v<T, StatsStatement>) {
+          return OpLabel("stats", s.name);
+        } else if constexpr (std::is_same_v<T, ListStatement>) {
+          return "list";
+        } else if constexpr (std::is_same_v<T, CheckpointStatement>) {
+          return "checkpoint";
+        } else if constexpr (std::is_same_v<T, TxnStatement>) {
+          return "txn";
+        } else {
+          return "explain";
+        }
+      },
+      stmt);
+}
+
+/// Builds the EXPLAIN plan tree under `parent` — the same operator
+/// structure the PROFILE spans produce, with only statically-known
+/// attributes, so the output is deterministic.
+void BuildPlan(const Statement& stmt, SpanNode* parent) {
+  if (const auto* ins = std::get_if<InsertStatement>(&stmt)) {
+    SpanNode* n = parent->AddChild(OpLabel("insert", ins->name));
+    n->AddAttr("rows_in", static_cast<int64_t>(ins->rows.size()));
+    n->AddChild("recons");
+    return;
+  }
+  if (const auto* del = std::get_if<DeleteStatement>(&stmt)) {
+    SpanNode* n = parent->AddChild(OpLabel("delete", del->name));
+    if (!del->rows.empty()) {
+      n->AddAttr("rows_in", static_cast<int64_t>(del->rows.size()));
+    } else {
+      n->AddChild(OpLabel("filter", del->name));
+    }
+    n->AddChild("recons");
+    return;
+  }
+  if (const auto* upd = std::get_if<UpdateStatement>(&stmt)) {
+    SpanNode* n = parent->AddChild(OpLabel("update", upd->name));
+    n->AddChild(upd->where != nullptr ? OpLabel("filter", upd->name)
+                                      : OpLabel("scan", upd->name));
+    n->AddChild("recons");
+    return;
+  }
+  if (const auto* sel = std::get_if<SelectStatement>(&stmt)) {
+    SpanNode* n = parent->AddChild(OpLabel("select", sel->name));
+    if (!sel->group_attr.empty()) {
+      if (sel->where != nullptr) {
+        n->AddChild(OpLabel("filter", sel->name));
+      }
+      n->AddChild(StrCat("group_count(", sel->group_attr, ",",
+                         sel->count_attr, ")"));
+      return;
+    }
+    if (sel->joins.empty()) {
+      n->AddChild(sel->where != nullptr ? OpLabel("filter", sel->name)
+                                        : OpLabel("scan", sel->name));
+    } else {
+      n->AddChild(OpLabel("scan", sel->name));
+      for (const std::string& j : sel->joins) {
+        n->AddChild(OpLabel("join", j));
+      }
+      if (sel->where != nullptr) n->AddChild("filter");
+    }
+    if (sel->count_only) n->AddChild("count");
+    if (!sel->columns.empty()) n->AddChild("project");
+    return;
+  }
+  parent->AddChild(StatementLabel(stmt));
+}
+
 }  // namespace
 
 Result<std::string> Executor::Execute(std::string_view source) {
@@ -65,6 +194,8 @@ Result<std::string> Executor::Execute(const Statement& stmt) {
           return ExecStats(s);
         } else if constexpr (std::is_same_v<T, TxnStatement>) {
           return ExecTxn(s);
+        } else if constexpr (std::is_same_v<T, ExplainStatement>) {
+          return ExecExplain(s);
         } else {
           return ExecCheckpoint();
         }
@@ -113,6 +244,11 @@ Result<std::string> Executor::ExecDrop(const DropStatement& stmt) {
 }
 
 Result<std::string> Executor::ExecInsert(const InsertStatement& stmt) {
+  TraceSpan span(trace_, OpLabel("insert", stmt.name));
+  span.AddAttr("rows_in", static_cast<int64_t>(stmt.rows.size()));
+  TraceSpan apply(trace_, "recons");
+  Section4Probe probe(db_, stmt.name,
+                      trace_ == nullptr ? nullptr : &apply);
   size_t inserted = 0;
   for (const std::vector<Value>& row : stmt.rows) {
     NF2_RETURN_IF_ERROR(db_->Insert(stmt.name, FlatTuple(row)));
@@ -122,8 +258,13 @@ Result<std::string> Executor::ExecInsert(const InsertStatement& stmt) {
 }
 
 Result<std::string> Executor::ExecDelete(const DeleteStatement& stmt) {
+  TraceSpan span(trace_, OpLabel("delete", stmt.name));
   size_t deleted = 0;
   if (!stmt.rows.empty()) {
+    span.AddAttr("rows_in", static_cast<int64_t>(stmt.rows.size()));
+    TraceSpan apply(trace_, "recons");
+    Section4Probe probe(db_, stmt.name,
+                        trace_ == nullptr ? nullptr : &apply);
     for (const std::vector<Value>& row : stmt.rows) {
       NF2_RETURN_IF_ERROR(db_->Delete(stmt.name, FlatTuple(row)));
       ++deleted;
@@ -131,10 +272,17 @@ Result<std::string> Executor::ExecDelete(const DeleteStatement& stmt) {
   } else {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
     NF2_CHECK(stmt.where != nullptr);
-    NF2_ASSIGN_OR_RETURN(Predicate pred,
-                         ResolveCondition(*stmt.where, info->schema));
-    NF2_ASSIGN_OR_RETURN(FlatRelation matching,
-                         db_->Query(stmt.name, pred));
+    FlatRelation matching(info->schema);
+    {
+      TraceSpan filter(trace_, OpLabel("filter", stmt.name));
+      NF2_ASSIGN_OR_RETURN(Predicate pred,
+                           ResolveCondition(*stmt.where, info->schema));
+      NF2_ASSIGN_OR_RETURN(matching, db_->Query(stmt.name, pred));
+      filter.AddAttr("rows_out", static_cast<int64_t>(matching.size()));
+    }
+    TraceSpan apply(trace_, "recons");
+    Section4Probe probe(db_, stmt.name,
+                        trace_ == nullptr ? nullptr : &apply);
     for (const FlatTuple& t : matching.tuples()) {
       NF2_RETURN_IF_ERROR(db_->Delete(stmt.name, t));
       ++deleted;
@@ -144,6 +292,7 @@ Result<std::string> Executor::ExecDelete(const DeleteStatement& stmt) {
 }
 
 Result<std::string> Executor::ExecUpdate(const UpdateStatement& stmt) {
+  TraceSpan span(trace_, OpLabel("update", stmt.name));
   NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
   std::vector<std::pair<size_t, Value>> sets;
   for (const auto& [attr, literal] : stmt.sets) {
@@ -152,14 +301,21 @@ Result<std::string> Executor::ExecUpdate(const UpdateStatement& stmt) {
   }
   FlatRelation matching(info->schema);
   if (stmt.where != nullptr) {
+    TraceSpan filter(trace_, OpLabel("filter", stmt.name));
     NF2_ASSIGN_OR_RETURN(Predicate pred,
                          ResolveCondition(*stmt.where, info->schema));
     NF2_ASSIGN_OR_RETURN(matching, db_->Query(stmt.name, pred));
+    filter.AddAttr("rows_out", static_cast<int64_t>(matching.size()));
   } else {
+    TraceSpan scan(trace_, OpLabel("scan", stmt.name));
     NF2_ASSIGN_OR_RETURN(matching, db_->Scan(stmt.name));
+    scan.AddAttr("rows_out", static_cast<int64_t>(matching.size()));
   }
   // Set semantics: delete each matching tuple, insert its rewrite.
   // Rewrites that collide with existing tuples simply merge.
+  TraceSpan apply(trace_, "recons");
+  Section4Probe probe(db_, stmt.name,
+                      trace_ == nullptr ? nullptr : &apply);
   size_t updated = 0;
   for (const FlatTuple& old_tuple : matching.tuples()) {
     FlatTuple new_tuple = old_tuple;
@@ -179,6 +335,7 @@ Result<std::string> Executor::ExecUpdate(const UpdateStatement& stmt) {
 }
 
 Result<std::string> Executor::ExecSelect(const SelectStatement& stmt) {
+  TraceSpan span(trace_, OpLabel("select", stmt.name));
   if (!stmt.group_attr.empty()) {
     // Aggregate form: counts come straight off the NFR components.
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
@@ -189,12 +346,17 @@ Result<std::string> Executor::ExecSelect(const SelectStatement& stmt) {
                          info->schema.RequireIndex(stmt.count_attr));
     NfrRelation view = *rel;
     if (stmt.where != nullptr) {
+      TraceSpan filter(trace_, OpLabel("filter", stmt.name));
       NF2_ASSIGN_OR_RETURN(Predicate pred,
                            ResolveCondition(*stmt.where, info->schema));
       view = SelectNfrExact(*rel, pred);
+      filter.AddAttr("rows_out", static_cast<int64_t>(view.size()));
     }
+    TraceSpan group(trace_, StrCat("group_count(", stmt.group_attr, ",",
+                                   stmt.count_attr, ")"));
     NF2_ASSIGN_OR_RETURN(std::vector<GroupCount> counts,
                          GroupedDistinctCounts(view, group_idx, count_idx));
+    group.AddAttr("groups", static_cast<int64_t>(counts.size()));
     std::string out;
     for (const GroupCount& gc : counts) {
       out += StrCat(gc.group.ToString(), "\t", gc.count, "\n");
@@ -207,30 +369,46 @@ Result<std::string> Executor::ExecSelect(const SelectStatement& stmt) {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
     if (stmt.where != nullptr) {
       // Single-relation selections evaluate against the NFR directly.
+      TraceSpan filter(trace_, OpLabel("filter", stmt.name));
       NF2_ASSIGN_OR_RETURN(Predicate pred,
                            ResolveCondition(*stmt.where, info->schema));
       NF2_ASSIGN_OR_RETURN(result, db_->Query(stmt.name, pred));
+      filter.AddAttr("rows_out", static_cast<int64_t>(result.size()));
     } else {
+      TraceSpan scan(trace_, OpLabel("scan", stmt.name));
       NF2_ASSIGN_OR_RETURN(result, db_->Scan(stmt.name));
+      scan.AddAttr("rows_out", static_cast<int64_t>(result.size()));
     }
   } else {
     // Natural-join the scans left to right, then filter.
-    NF2_ASSIGN_OR_RETURN(result, db_->Scan(stmt.name));
+    {
+      TraceSpan scan(trace_, OpLabel("scan", stmt.name));
+      NF2_ASSIGN_OR_RETURN(result, db_->Scan(stmt.name));
+      scan.AddAttr("rows_out", static_cast<int64_t>(result.size()));
+    }
     for (const std::string& next : stmt.joins) {
+      TraceSpan join(trace_, OpLabel("join", next));
       NF2_ASSIGN_OR_RETURN(FlatRelation right, db_->Scan(next));
       result = NaturalJoin(result, right);
+      join.AddAttr("rows_out", static_cast<int64_t>(result.size()));
     }
     if (stmt.where != nullptr) {
+      TraceSpan filter(trace_, "filter");
       NF2_ASSIGN_OR_RETURN(Predicate pred,
                            ResolveCondition(*stmt.where, result.schema()));
       result = Select(result, pred);
+      filter.AddAttr("rows_out", static_cast<int64_t>(result.size()));
     }
   }
   if (stmt.count_only) {
+    TraceSpan count(trace_, "count");
+    count.AddAttr("rows_in", static_cast<int64_t>(result.size()));
     return StrCat(result.size());
   }
   if (!stmt.columns.empty()) {
+    TraceSpan project(trace_, "project");
     NF2_ASSIGN_OR_RETURN(result, ProjectByName(result, stmt.columns));
+    project.AddAttr("rows_out", static_cast<int64_t>(result.size()));
   }
   return StrCat(RenderTable(result), result.size(), " row(s)");
 }
@@ -289,8 +467,31 @@ Result<std::string> Executor::ExecStats(const StatsStatement& stmt) {
 }
 
 Result<std::string> Executor::ExecCheckpoint() {
+  TraceSpan span(trace_, "checkpoint");
   NF2_RETURN_IF_ERROR(db_->Checkpoint());
   return std::string("checkpoint complete");
+}
+
+Result<std::string> Executor::ExecExplain(const ExplainStatement& stmt) {
+  NF2_CHECK(stmt.inner != nullptr);
+  const Statement& inner = stmt.inner->stmt;
+  if (!stmt.profile) {
+    Trace plan;
+    BuildPlan(inner, plan.mutable_root());
+    return StrCat("EXPLAIN\n", plan.Render(TraceRender::kPlanOnly));
+  }
+  Trace trace;
+  trace_ = &trace;
+  Result<std::string> result = Execute(inner);
+  trace_ = nullptr;
+  NF2_RETURN_IF_ERROR(result.status());
+  if (trace.root().children.empty()) {
+    // Statements without dedicated instrumentation still report as one
+    // (untimed) operator rather than an empty profile.
+    trace.mutable_root()->AddChild(StatementLabel(inner));
+  }
+  return StrCat(*result, "\n\nPROFILE\n",
+                trace.Render(TraceRender::kWithTimes));
 }
 
 Result<std::string> Executor::ExecTxn(const TxnStatement& stmt) {

@@ -6,6 +6,7 @@
 
 #include "engine/database.h"
 #include "nfrql/ast.h"
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace nf2 {
@@ -36,12 +37,16 @@ class Executor {
   Result<std::string> ExecStats(const StatsStatement& stmt);
   Result<std::string> ExecCheckpoint();
   Result<std::string> ExecTxn(const TxnStatement& stmt);
+  Result<std::string> ExecExplain(const ExplainStatement& stmt);
 
   /// Resolves a parsed condition tree against `schema` into a Predicate.
   Result<Predicate> ResolveCondition(const ConditionNode& node,
                                      const Schema& schema) const;
 
   Database* db_;
+  /// Non-null only while a PROFILE'd statement runs: the exec functions
+  /// open TraceSpans into it (no-ops otherwise).
+  Trace* trace_ = nullptr;
 };
 
 }  // namespace nf2

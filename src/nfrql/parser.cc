@@ -231,6 +231,19 @@ class Parser {
   }
 
   Result<Statement> ParseTop() {
+    if (Current().IsKeyword("EXPLAIN") || Current().IsKeyword("PROFILE")) {
+      ExplainStatement stmt;
+      stmt.profile = Current().IsKeyword("PROFILE");
+      Advance();
+      if (Current().IsKeyword("EXPLAIN") || Current().IsKeyword("PROFILE")) {
+        return Status::InvalidArgument(
+            "EXPLAIN/PROFILE cannot be nested");
+      }
+      NF2_ASSIGN_OR_RETURN(Statement inner, ParseTop());
+      stmt.inner = std::make_unique<StatementBox>();
+      stmt.inner->stmt = std::move(inner);
+      return Statement{std::move(stmt)};
+    }
     if (Current().IsKeyword("CREATE")) return ParseCreate();
     if (Current().IsKeyword("DROP")) return ParseDrop();
     if (Current().IsKeyword("INSERT")) return ParseInsert();

@@ -5,8 +5,15 @@
 
 namespace nf2 {
 
-BufferPool::BufferPool(HeapFile* file, size_t capacity)
-    : file_(file), capacity_(capacity) {
+namespace {
+void Bump(Counter* counter) {
+  if (counter != nullptr) counter->Increment();
+}
+}  // namespace
+
+BufferPool::BufferPool(HeapFile* file, size_t capacity,
+                       BufferPoolMetrics metrics)
+    : file_(file), capacity_(capacity), metrics_(metrics) {
   NF2_CHECK(file_ != nullptr);
   NF2_CHECK(capacity_ >= 1) << "buffer pool needs at least one frame";
 }
@@ -15,10 +22,12 @@ Result<Page*> BufferPool::Fetch(PageId id) {
   auto it = index_.find(id);
   if (it != index_.end()) {
     ++stats_.hits;
+    Bump(metrics_.hits);
     frames_.splice(frames_.begin(), frames_, it->second);
     return &frames_.front().page;
   }
   ++stats_.misses;
+  Bump(metrics_.misses);
   if (frames_.size() >= capacity_) {
     NF2_RETURN_IF_ERROR(EvictOne());
   }
@@ -60,8 +69,10 @@ Status BufferPool::EvictOne() {
   if (victim.dirty) {
     NF2_RETURN_IF_ERROR(file_->WritePage(victim.id, victim.page));
     ++stats_.writebacks;
+    Bump(metrics_.writebacks);
   }
   ++stats_.evictions;
+  Bump(metrics_.evictions);
   index_.erase(victim.id);
   frames_.pop_back();
   return Status::OK();
@@ -73,6 +84,7 @@ Status BufferPool::FlushAll() {
       NF2_RETURN_IF_ERROR(file_->WritePage(frame.id, frame.page));
       frame.dirty = false;
       ++stats_.writebacks;
+      Bump(metrics_.writebacks);
     }
   }
   return file_->Sync();

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
 #include "util/result.h"
@@ -25,7 +26,12 @@ class BufferPool {
   };
 
   /// `capacity` is the maximum number of cached pages (>= 1).
-  BufferPool(HeapFile* file, size_t capacity);
+  /// `metrics` handles (any of which may be null) receive the same
+  /// hit/miss/eviction/writeback events as the local Stats — the local
+  /// struct stays per-pool, the registry counters aggregate across all
+  /// pools of a database.
+  BufferPool(HeapFile* file, size_t capacity,
+             BufferPoolMetrics metrics = {});
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -62,6 +68,7 @@ class BufferPool {
   std::list<Frame> frames_;  // Front = most recently used.
   std::unordered_map<PageId, std::list<Frame>::iterator> index_;
   Stats stats_;
+  BufferPoolMetrics metrics_;
 };
 
 }  // namespace nf2

@@ -47,7 +47,8 @@ Result<std::unique_ptr<Table>> Table::Create(Env* env,
                                              const std::string& path,
                                              Schema schema,
                                              Permutation nest_order,
-                                             size_t pool_pages) {
+                                             size_t pool_pages,
+                                             BufferPoolMetrics pool_metrics) {
   if (!IsValidPermutation(nest_order, schema.degree())) {
     return Status::InvalidArgument("nest order is not a permutation");
   }
@@ -55,24 +56,27 @@ Result<std::unique_ptr<Table>> Table::Create(Env* env,
   table->env_ = env;
   table->schema_ = std::move(schema);
   table->nest_order_ = std::move(nest_order);
+  table->pool_metrics_ = pool_metrics;
   NF2_ASSIGN_OR_RETURN(table->file_, HeapFile::Create(env, path));
-  table->pool_ =
-      std::make_unique<BufferPool>(table->file_.get(), pool_pages);
+  table->pool_ = std::make_unique<BufferPool>(table->file_.get(),
+                                              pool_pages, pool_metrics);
   NF2_RETURN_IF_ERROR(table->WriteMetadata());
   return table;
 }
 
 Result<std::unique_ptr<Table>> Table::Open(Env* env,
                                            const std::string& path,
-                                           size_t pool_pages) {
+                                           size_t pool_pages,
+                                           BufferPoolMetrics pool_metrics) {
   std::unique_ptr<Table> table(new Table());
   table->env_ = env;
+  table->pool_metrics_ = pool_metrics;
   NF2_ASSIGN_OR_RETURN(table->file_, HeapFile::Open(env, path));
   if (table->file_->page_count() == 0) {
     return Status::Corruption("table file has no metadata page");
   }
-  table->pool_ =
-      std::make_unique<BufferPool>(table->file_.get(), pool_pages);
+  table->pool_ = std::make_unique<BufferPool>(table->file_.get(),
+                                              pool_pages, pool_metrics);
   NF2_ASSIGN_OR_RETURN(Page * meta_page, table->pool_->Fetch(0));
   NF2_ASSIGN_OR_RETURN(std::string meta, meta_page->Read(0));
   NF2_ASSIGN_OR_RETURN(auto decoded, DecodeMetadata(meta));
@@ -168,7 +172,7 @@ Status Table::Rewrite(const NfrRelation& relation) {
   pool_.reset();
   file_.reset();
   NF2_ASSIGN_OR_RETURN(file_, HeapFile::Create(env_, path));
-  pool_ = std::make_unique<BufferPool>(file_.get(), 64);
+  pool_ = std::make_unique<BufferPool>(file_.get(), 64, pool_metrics_);
   append_cursor_ = 0;
   NF2_RETURN_IF_ERROR(WriteMetadata());
   for (const NfrTuple& t : relation.tuples()) {
@@ -188,11 +192,14 @@ Status Table::Flush() { return pool_->FlushAll(); }
 
 Status WriteTableAtomic(Env* env, const std::string& path,
                         const Schema& schema, const Permutation& nest_order,
-                        const NfrRelation& relation) {
+                        const NfrRelation& relation,
+                        BufferPoolMetrics pool_metrics) {
   const std::string tmp = path + ".tmp";
   {
-    NF2_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
-                         Table::Create(env, tmp, schema, nest_order));
+    NF2_ASSIGN_OR_RETURN(
+        std::unique_ptr<Table> table,
+        Table::Create(env, tmp, schema, nest_order, /*pool_pages=*/64,
+                      pool_metrics));
     for (const NfrTuple& t : relation.tuples()) {
       NF2_RETURN_IF_ERROR(table->Append(t).status());
     }

@@ -21,12 +21,13 @@ namespace nf2 {
 /// the 1NF expansion.
 class Table {
  public:
-  /// Creates an empty table file.
-  static Result<std::unique_ptr<Table>> Create(Env* env,
-                                               const std::string& path,
-                                               Schema schema,
-                                               Permutation nest_order,
-                                               size_t pool_pages = 64);
+  /// Creates an empty table file. `pool_metrics` handles (optional)
+  /// receive this table's buffer-pool events in addition to the local
+  /// pool_stats().
+  static Result<std::unique_ptr<Table>> Create(
+      Env* env, const std::string& path, Schema schema,
+      Permutation nest_order, size_t pool_pages = 64,
+      BufferPoolMetrics pool_metrics = {});
   static Result<std::unique_ptr<Table>> Create(const std::string& path,
                                                Schema schema,
                                                Permutation nest_order,
@@ -36,9 +37,9 @@ class Table {
   }
 
   /// Opens an existing table file and reads its metadata.
-  static Result<std::unique_ptr<Table>> Open(Env* env,
-                                             const std::string& path,
-                                             size_t pool_pages = 64);
+  static Result<std::unique_ptr<Table>> Open(
+      Env* env, const std::string& path, size_t pool_pages = 64,
+      BufferPoolMetrics pool_metrics = {});
   static Result<std::unique_ptr<Table>> Open(const std::string& path,
                                              size_t pool_pages = 64) {
     return Open(Env::Default(), path, pool_pages);
@@ -83,6 +84,7 @@ class Table {
   Permutation nest_order_;
   std::unique_ptr<HeapFile> file_;
   std::unique_ptr<BufferPool> pool_;
+  BufferPoolMetrics pool_metrics_;
   PageId append_cursor_ = 0;  // Page most likely to have free space.
 };
 
@@ -93,7 +95,8 @@ class Table {
 /// of the checkpoint protocol.
 Status WriteTableAtomic(Env* env, const std::string& path,
                         const Schema& schema, const Permutation& nest_order,
-                        const NfrRelation& relation);
+                        const NfrRelation& relation,
+                        BufferPoolMetrics pool_metrics = {});
 
 }  // namespace nf2
 

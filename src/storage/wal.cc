@@ -95,6 +95,20 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   wal->env_ = env;
   wal->options_ = options;
   wal->path_ = path;
+  if (options.metrics != nullptr) {
+    wal->metric_appends_ = options.metrics->GetCounter(
+        "nf2_wal_appends_total", "records appended to the WAL");
+    wal->metric_fsyncs_ = options.metrics->GetCounter(
+        "nf2_wal_fsyncs_total", "fdatasyncs issued at commit points");
+    wal->metric_bytes_ = options.metrics->GetCounter(
+        "nf2_wal_append_bytes_total", "bytes appended to the WAL");
+    wal->metric_torn_repairs_ = options.metrics->GetCounter(
+        "nf2_wal_torn_tail_repairs_total",
+        "torn/corrupt WAL tails truncated at open");
+    wal->metric_group_batch_ = options.metrics->GetHistogram(
+        "nf2_wal_group_commit_batch",
+        "records made durable per fsync (group-commit batch size)");
+  }
   // One scan serves both LSN discovery and recovery (the records are
   // cached for the caller), and finds where the intact prefix ends.
   NF2_ASSIGN_OR_RETURN(WalReadResult scan, ScanLog(env, path));
@@ -110,6 +124,9 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
                      << "to " << scan.valid_bytes << " intact bytes";
     NF2_RETURN_IF_ERROR(env->TruncateFile(path, scan.valid_bytes));
     wal->truncated_on_open_ = true;
+    if (wal->metric_torn_repairs_ != nullptr) {
+      wal->metric_torn_repairs_->Increment();
+    }
   }
   wal->recovered_ = std::move(scan.records);
   NF2_ASSIGN_OR_RETURN(wal->out_,
@@ -133,6 +150,11 @@ Result<uint64_t> WriteAheadLog::Append(WalRecord record) {
   frame.PutU32(static_cast<uint32_t>(body.size()));
   frame.PutRaw(body.data());
   NF2_RETURN_IF_ERROR(out_->Append(frame.data()));
+  ++records_since_sync_;
+  if (metric_appends_ != nullptr) {
+    metric_appends_->Increment();
+    metric_bytes_->Increment(frame.size());
+  }
   // Commit-critical records must be on stable storage before the
   // operation is acknowledged. Data records inside an open transaction
   // defer to the commit/abort marker (group commit); everything else —
@@ -155,6 +177,11 @@ Result<uint64_t> WriteAheadLog::Append(WalRecord record) {
   if (commit_critical && options_.sync_on_commit) {
     NF2_RETURN_IF_ERROR(out_->Sync());
     ++sync_count_;
+    if (metric_fsyncs_ != nullptr) {
+      metric_fsyncs_->Increment();
+      metric_group_batch_->Observe(records_since_sync_);
+    }
+    records_since_sync_ = 0;
   }
   return next_lsn_++;
 }
@@ -176,6 +203,7 @@ Status WriteAheadLog::Reset() {
   recovered_.clear();
   next_lsn_ = 1;
   in_txn_ = false;
+  records_since_sync_ = 0;
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/tuple.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "util/result.h"
 
@@ -82,6 +83,10 @@ class WriteAheadLog {
     /// deliberate durability/throughput trade — a crash can lose
     /// acknowledged tail records, but never tear the log).
     bool sync_on_commit = true;
+    /// When set, the log reports nf2_wal_* metrics here (appends,
+    /// fsyncs, appended bytes, torn-tail repairs, group-commit batch
+    /// sizes). Null keeps the log un-instrumented.
+    MetricsRegistry* metrics = nullptr;
   };
 
   WriteAheadLog() = default;
@@ -148,6 +153,15 @@ class WriteAheadLog {
   bool in_txn_ = false;
   uint64_t next_lsn_ = 1;
   uint64_t sync_count_ = 0;
+  /// Records appended since the last fsync — the group-commit batch
+  /// size observed at each sync.
+  uint64_t records_since_sync_ = 0;
+  // Registry handles (null when Options::metrics was null).
+  Counter* metric_appends_ = nullptr;
+  Counter* metric_fsyncs_ = nullptr;
+  Counter* metric_bytes_ = nullptr;
+  Counter* metric_torn_repairs_ = nullptr;
+  Histogram* metric_group_batch_ = nullptr;
 };
 
 }  // namespace nf2

@@ -12,6 +12,7 @@
 #include "core/update.h"
 #include "engine/statistics.h"
 #include "storage/buffer_pool.h"
+#include "storage/serde.h"
 #include "storage/wal.h"
 #include "tests/test_util.h"
 #include "util/logging.h"
@@ -34,6 +35,27 @@ TEST(StatisticsTest, ComputeRelationStats) {
   stats.name = "r";
   std::string text = stats.ToString();
   EXPECT_NE(text.find("r: 1 NFR tuples"), std::string::npos);
+}
+
+// The analytic flat_bytes (derived from component cardinalities,
+// Theorem 1) must equal what actually serializing R* would produce —
+// pinned here against the materializing computation it replaced.
+TEST(StatisticsTest, AnalyticFlatBytesMatchesMaterialized) {
+  Rng rng(11);
+  for (int round = 0; round < 5; ++round) {
+    FlatRelation flat = RandomFlatRelation(&rng, 3, 3, 20);
+    NfrRelation nested = CanonicalForm(flat, {1, 2, 0});
+    RelationStats stats = ComputeRelationStats(nested);
+
+    BufferWriter materialized;
+    EncodeSchema(nested.schema(), &materialized);
+    const FlatRelation expanded = nested.Expand();
+    for (const FlatTuple& t : expanded.tuples()) {
+      EncodeFlatTuple(t, &materialized);
+    }
+    EXPECT_EQ(stats.flat_bytes, materialized.size());
+    EXPECT_EQ(stats.flat_tuples, nested.ExpandedSize());
+  }
 }
 
 TEST(StatisticsTest, EmptyRelation) {

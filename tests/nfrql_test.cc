@@ -5,6 +5,7 @@
 #include "nfrql/executor.h"
 #include "nfrql/lexer.h"
 #include "nfrql/parser.h"
+#include "util/string_util.h"
 
 namespace nf2 {
 namespace {
@@ -141,6 +142,28 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseStatement("CREATE RELATION r").ok());
   EXPECT_FALSE(ParseStatement("INSERT INTO r VALUES ()").ok());
   EXPECT_FALSE(ParseStatement("SELECT * FROM r extra junk").ok());
+}
+
+TEST(ParserTest, ExplainAndProfile) {
+  Result<Statement> explain = ParseStatement("EXPLAIN SELECT * FROM r");
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  const auto& ex = std::get<ExplainStatement>(*explain);
+  EXPECT_FALSE(ex.profile);
+  ASSERT_NE(ex.inner, nullptr);
+  EXPECT_TRUE(std::holds_alternative<SelectStatement>(ex.inner->stmt));
+
+  Result<Statement> profile =
+      ParseStatement("PROFILE INSERT INTO r VALUES (a)");
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  const auto& pr = std::get<ExplainStatement>(*profile);
+  EXPECT_TRUE(pr.profile);
+  ASSERT_NE(pr.inner, nullptr);
+  EXPECT_TRUE(std::holds_alternative<InsertStatement>(pr.inner->stmt));
+
+  // The prefix applies to exactly one statement; stacking is an error.
+  EXPECT_FALSE(ParseStatement("EXPLAIN PROFILE SELECT * FROM r").ok());
+  EXPECT_FALSE(ParseStatement("PROFILE EXPLAIN LIST").ok());
+  EXPECT_FALSE(ParseStatement("EXPLAIN").ok());
 }
 
 class ExecutorTest : public ::testing::Test {
@@ -335,6 +358,110 @@ TEST_F(ExecutorTest, TypedColumns) {
   std::string young = Must("SELECT Name FROM t WHERE Age < 30");
   EXPECT_NE(young.find("bob"), std::string::npos);
   EXPECT_EQ(young.find("ann"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ExplainGoldenPlans) {
+  Must("CREATE RELATION r (A STRING, B STRING) NEST A, B");
+  // EXPLAIN renders the static plan with kPlanOnly (no wall times), so
+  // these are exact goldens.
+  EXPECT_EQ(Must("EXPLAIN INSERT INTO r VALUES (a1, b1)"),
+            "EXPLAIN\n"
+            "insert(r) rows_in=1\n"
+            "└─ recons\n");
+  EXPECT_EQ(Must("EXPLAIN SELECT A FROM r WHERE A = a1"),
+            "EXPLAIN\n"
+            "select(r)\n"
+            "├─ filter(r)\n"
+            "└─ project\n");
+  EXPECT_EQ(Must("EXPLAIN DELETE FROM r WHERE A = a1"),
+            "EXPLAIN\n"
+            "delete(r)\n"
+            "├─ filter(r)\n"
+            "└─ recons\n");
+  EXPECT_EQ(Must("EXPLAIN SELECT * FROM r"),
+            "EXPLAIN\n"
+            "select(r)\n"
+            "└─ scan(r)\n");
+  // EXPLAIN never executes the statement: r stays empty.
+  EXPECT_NE(Must("SELECT * FROM r").find("0 row(s)"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ProfileRendersSpansWithTimes) {
+  Must("CREATE RELATION r (A STRING, B STRING) NEST A, B");
+  Must("INSERT INTO r VALUES (a1, b1), (a2, b1)");
+  std::string out = Must("PROFILE SELECT * FROM r WHERE A = a1");
+  // Result first, then the span tree with bracketed durations and
+  // per-operator row counts.
+  EXPECT_NE(out.find("1 row(s)"), std::string::npos);
+  EXPECT_NE(out.find("\n\nPROFILE\n"), std::string::npos);
+  EXPECT_NE(out.find("select(r) ["), std::string::npos);
+  EXPECT_NE(out.find("filter(r) ["), std::string::npos);
+  EXPECT_NE(out.find("rows_out=1"), std::string::npos);
+  // Statements without dedicated instrumentation still profile as a
+  // single labeled span.
+  EXPECT_NE(Must("PROFILE LIST").find("PROFILE\nlist"), std::string::npos);
+}
+
+// Acceptance pin: the §4 deltas PROFILE reports on the recons span are
+// bit-identical to the relation's UpdateStats movement AND to the
+// registry counters' movement — three views of one count.
+TEST_F(ExecutorTest, ProfileCountsMatchUpdateStatsAndRegistry) {
+  Must("CREATE RELATION sc (Student STRING, Course STRING) "
+       "NEST Course, Student");
+  Result<UpdateStats> before_stats = db_->RelationUpdateStats("sc");
+  ASSERT_TRUE(before_stats.ok());
+  MetricsSnapshot before = db_->MetricsSnapshot();
+
+  std::string out =
+      Must("PROFILE INSERT INTO sc VALUES (s1, c1), (s1, c2), (s2, c1)");
+  EXPECT_NE(out.find("insert(sc) ["), std::string::npos);
+  EXPECT_NE(out.find("rows_in=3"), std::string::npos);
+
+  Result<UpdateStats> after_stats = db_->RelationUpdateStats("sc");
+  ASSERT_TRUE(after_stats.ok());
+  UpdateStats delta = *after_stats - *before_stats;
+  EXPECT_GT(delta.recons_calls, 0u);
+  EXPECT_GT(delta.compositions, 0u);
+  EXPECT_NE(out.find(StrCat("compositions=", delta.compositions)),
+            std::string::npos);
+  EXPECT_NE(out.find(StrCat("decompositions=", delta.decompositions)),
+            std::string::npos);
+  EXPECT_NE(out.find(StrCat("recons_calls=", delta.recons_calls)),
+            std::string::npos);
+  EXPECT_NE(out.find(StrCat("candidate_scans=", delta.candidate_scans)),
+            std::string::npos);
+
+  MetricsSnapshot after = db_->MetricsSnapshot();
+  EXPECT_EQ(after.counter("nf2_compo_total") -
+                before.counter("nf2_compo_total"),
+            delta.compositions);
+  EXPECT_EQ(after.counter("nf2_unnest_total") -
+                before.counter("nf2_unnest_total"),
+            delta.decompositions);
+  EXPECT_EQ(after.counter("nf2_recons_total") -
+                before.counter("nf2_recons_total"),
+            delta.recons_calls);
+  EXPECT_EQ(after.counter("nf2_candt_scans_total") -
+                before.counter("nf2_candt_scans_total"),
+            delta.candidate_scans);
+  // One engine-level insert per row.
+  EXPECT_EQ(after.counter("nf2_inserts_total") -
+                before.counter("nf2_inserts_total"),
+            3u);
+}
+
+TEST_F(ExecutorTest, MetricsTextSurfacesEngineCounters) {
+  Must("CREATE RELATION r (A STRING, B STRING) NEST A, B");
+  Must("INSERT INTO r VALUES (a1, b1)");
+  std::string human = db_->MetricsText(/*prometheus=*/false);
+  EXPECT_NE(human.find("nf2_wal_appends_total"), std::string::npos);
+  EXPECT_NE(human.find("nf2_inserts_total 1"), std::string::npos);
+  EXPECT_NE(human.find("nf2_relations 1"), std::string::npos);
+  std::string prom = db_->MetricsText(/*prometheus=*/true);
+  EXPECT_NE(prom.find("# TYPE nf2_inserts_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nf2_insert_duration_ns histogram"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a bench_perf_trajectory JSON against a checked-in baseline.
+
+Usage: bench_check.py NEW_JSON BASELINE_JSON [--threshold FRAC]
+
+Sections are matched by name; for each match the optimized (interned /
+durable) throughput must not regress by more than --threshold (default
+0.25, i.e. 25%) relative to the baseline. Sections present on only one
+side are reported but do not fail the check, so the harness can grow new
+sections without breaking older baselines. A section in the new run with
+counters_identical == false always fails: that means the optimization
+changed the paper's algebra, not just its speed.
+
+Exit code 0 = OK, 1 = regression (or broken counters), 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_sections(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, {s["name"]: s for s in doc.get("sections", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional regression (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    try:
+        new_doc, new_sections = load_sections(args.new_json)
+        base_doc, base_sections = load_sections(args.baseline_json)
+    except (OSError, json.JSONDecodeError, KeyError) as err:
+        print(f"bench_check: cannot load inputs: {err}", file=sys.stderr)
+        return 2
+
+    print(
+        f"bench_check: PR{new_doc.get('pr', '?')} "
+        f"({args.new_json}) vs PR{base_doc.get('pr', '?')} "
+        f"({args.baseline_json}), threshold {args.threshold:.0%}"
+    )
+
+    failed = False
+    for name, new in sorted(new_sections.items()):
+        if not new.get("counters_identical", True):
+            print(f"  FAIL {name}: counters_identical is false")
+            failed = True
+            continue
+        base = base_sections.get(name)
+        if base is None:
+            print(f"  skip {name}: not in baseline")
+            continue
+        old_rate = float(base["optimized_ops_per_sec"])
+        new_rate = float(new["optimized_ops_per_sec"])
+        if old_rate <= 0:
+            print(f"  skip {name}: baseline rate is zero")
+            continue
+        change = new_rate / old_rate - 1.0
+        verdict = "FAIL" if change < -args.threshold else "ok"
+        print(
+            f"  {verdict:4s} {name}: {old_rate:,.0f} -> {new_rate:,.0f} "
+            f"ops/s ({change:+.1%})"
+        )
+        if verdict == "FAIL":
+            failed = True
+    for name in sorted(set(base_sections) - set(new_sections)):
+        print(f"  warn {name}: in baseline but missing from new run")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,8 +30,11 @@ constexpr char kHelp[] = R"(NFRQL statements:
   DESCRIBE name        schema, nest order, dependencies, sizes
   NEST name ON a[,b]   print a re-nested view
   UNNEST name ON a     print an unnested view
+  EXPLAIN stmt         the operator plan tree, without executing
+  PROFILE stmt         execute stmt, report spans with times + counts
   LIST | STATS name | CHECKPOINT
   BEGIN | COMMIT | ROLLBACK
+  \metrics [prom]      engine metrics (human or Prometheus text format)
   help | quit)";
 
 }  // namespace
@@ -61,6 +64,12 @@ int main(int argc, char** argv) {
     if (lower == "quit" || lower == "exit") break;
     if (lower == "help") {
       std::printf("%s\n", kHelp);
+      continue;
+    }
+    if (lower == "\\metrics" || lower == "\\metrics prom") {
+      std::printf("%s\n",
+                  (*db)->MetricsText(/*prometheus=*/lower.ends_with("prom"))
+                      .c_str());
       continue;
     }
     nf2::Result<std::string> out = executor.Execute(trimmed);
