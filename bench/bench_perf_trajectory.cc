@@ -1,6 +1,6 @@
 // Perf-trajectory harness: times the dictionary-encoded hot paths
 // against the retained Value-keyed legacy paths on the same workloads
-// and emits a machine-readable JSON file (default BENCH_PR3.json, or
+// and emits a machine-readable JSON file (default BENCH_PR4.json, or
 // argv[1]) so successive PRs leave a comparable throughput record.
 // argv[2] overrides the workload row count (CI runs a small smoke
 // workload; section names and per-op rates stay comparable).
@@ -22,22 +22,30 @@
 //                    batched in transactions so group commit amortizes
 //                    the sync. Reports the durability overhead, which
 //                    must stay under 10%.
+//   server_read_scaling — SELECT COUNT(*) round-trips through a live
+//                    nf2d server from 1 vs 4 concurrent clients (2 also
+//                    recorded); Speedup() is the 1->4 read-scaling
+//                    factor of the shared-reader gate.
 
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/workload.h"
 #include "core/nest.h"
 #include "core/update.h"
 #include "engine/database.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -73,6 +81,9 @@ struct Section {
   uint64_t optimized_decompositions = 0;
   uint64_t baseline_syncs = 0;   // wal_durability only.
   uint64_t optimized_syncs = 0;  // wal_durability only.
+  int baseline_clients = 0;   // server_read_scaling only.
+  int optimized_clients = 0;  // server_read_scaling only.
+  double mid_sec = 0.0;       // server_read_scaling only: 2-client run.
   bool counters_identical = true;
 
   double BaselineOps() const { return operations / baseline_sec; }
@@ -259,14 +270,96 @@ Section BenchWalDurability(const FlatRelation& flat, const Permutation& perm,
   return out;
 }
 
+/// Multi-client read throughput through the full nf2d stack: TCP frame
+/// protocol -> worker pool -> shared-reader gate -> executor. The same
+/// total query count is issued by 1, 2, and 4 concurrent clients
+/// (baseline = 1 client, optimized = 4), so Speedup() is directly the
+/// 1->4 read-scaling factor. On a multi-core host the shared gate
+/// should scale reads near-linearly until workers saturate cores;
+/// bench_check.py enforces the floor only when host_cores >= 4, since
+/// concurrency cannot beat 1x on a single core.
+Section BenchServerReadScaling(const FlatRelation& flat,
+                               const Permutation& perm,
+                               size_t total_queries) {
+  Section out;
+  out.name = "server_read_scaling";
+  out.operations = total_queries;
+  out.baseline_clients = 1;
+  out.optimized_clients = 4;
+
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           "nf2_bench_server_scaling")
+                              .string();
+  std::filesystem::remove_all(dir);
+  Result<std::unique_ptr<Database>> db = Database::Open(dir);
+  NF2_CHECK(db.ok()) << db.status().ToString();
+  NF2_CHECK((*db)->CreateRelation("bench", flat.schema(), perm, {}).ok());
+  for (const FlatTuple& t : flat.tuples()) {
+    NF2_CHECK((*db)->Insert("bench", t).ok());
+  }
+  const std::string expected = StrCat(flat.size());
+
+  server::ServerOptions options;
+  options.port = 0;
+  options.workers = 4;
+  server::Server srv(db->get(), options);
+  NF2_CHECK(srv.Start().ok());
+
+  std::atomic<bool> all_correct{true};
+  auto run_clients = [&](int clients) -> double {
+    std::vector<server::Client> conns;
+    conns.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      auto conn = server::Client::Connect("127.0.0.1", srv.port());
+      NF2_CHECK(conn.ok()) << conn.status().ToString();
+      conns.push_back(*std::move(conn));
+    }
+    const size_t per_client = total_queries / clients;
+    double sec = SecondsOf([&] {
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (size_t q = 0; q < per_client; ++q) {
+            auto r = conns[c].Execute("SELECT COUNT(*) FROM bench");
+            if (!r.ok() || *r != expected) all_correct = false;
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    });
+    for (server::Client& conn : conns) NF2_CHECK(conn.Quit().ok());
+    return sec;
+  };
+
+  // Warm-up, then one timed run per client count (each run already
+  // aggregates thousands of round-trips, so per-run noise is small).
+  (void)run_clients(1);
+  out.baseline_sec = run_clients(1);
+  out.mid_sec = run_clients(2);
+  out.optimized_sec = run_clients(4);
+  out.counters_identical = all_correct.load();
+  NF2_CHECK(out.counters_identical)
+      << "a concurrent read returned the wrong count";
+
+  srv.Stop();
+  db->reset();
+  std::filesystem::remove_all(dir);
+  return out;
+}
+
 void WriteJson(const std::string& path, const KeyedConfig& config,
                const std::vector<Section>& sections,
                const MetricsSnapshot& metrics) {
   std::ofstream file(path, std::ios::trunc);
   NF2_CHECK(file.is_open()) << "cannot write " << path;
   file << "{\n";
-  file << "  \"pr\": 3,\n";
-  file << "  \"title\": \"observability layer\",\n";
+  file << "  \"pr\": 4,\n";
+  file << "  \"title\": \"networked server subsystem\",\n";
+  // Scaling sections are only meaningful relative to the host's core
+  // count; the checker reads this to decide whether to enforce floors.
+  file << "  \"host_cores\": " << std::thread::hardware_concurrency()
+       << ",\n";
   file << "  \"workload\": {\"generator\": \"keyed\", \"rows\": "
        << config.rows << ", \"degree\": " << config.degree
        << ", \"value_pool\": " << config.value_pool
@@ -323,6 +416,14 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
       file << "      \"durability_overhead_frac\": "
            << Fmt(s.OverheadFrac(), 4) << ",\n";
     }
+    if (s.name == "server_read_scaling") {
+      file << "      \"baseline_clients\": " << s.baseline_clients << ",\n";
+      file << "      \"optimized_clients\": " << s.optimized_clients << ",\n";
+      file << "      \"mid_clients_ops_per_sec\": "
+           << Fmt(s.operations / s.mid_sec, 1) << ",\n";
+      file << "      \"read_scaling_1_to_4\": " << Fmt(s.Speedup(), 3)
+           << ",\n";
+    }
     file << "      \"counters_identical\": "
          << (s.counters_identical ? "true" : "false") << "\n";
     file << "    }" << (i + 1 < sections.size() ? "," : "") << "\n";
@@ -332,7 +433,7 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR3.json";
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR4.json";
   const size_t workload_rows =
       argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : 10000;
   NF2_CHECK(workload_rows >= 100) << "workload needs at least 100 rows";
@@ -361,6 +462,13 @@ int Main(int argc, char** argv) {
       flat, perm, /*stream_rows=*/flat_rows,
       /*batch=*/std::max<size_t>(1, flat_rows / 2), /*cycles=*/3,
       wal_reps, &durable_metrics));
+  // Server scaling uses a smaller relation (cheap per-query render) and
+  // a query count that keeps each timed run in the seconds range.
+  KeyedConfig server_config = config;
+  server_config.rows = std::min<size_t>(flat_rows, 1000);
+  FlatRelation server_flat = GenerateKeyed(server_config);
+  sections.push_back(BenchServerReadScaling(
+      server_flat, perm, /*total_queries=*/flat_rows >= 10000 ? 8000 : 2000));
   WriteJson(out_path, config, sections, durable_metrics);
 
   std::vector<std::vector<std::string>> rows;
@@ -375,11 +483,16 @@ int Main(int argc, char** argv) {
       {"section", "ops", "baseline/s", "interned/s", "speedup",
        "counts equal"},
       rows);
-  const Section& wal = sections.back();
+  const Section& wal = sections[sections.size() - 2];
   NF2_LOG(Info) << "wal_durability: fsync'd commit path is "
                 << Fmt(100.0 * wal.OverheadFrac(), 1)
                 << "% slower than unsynced (" << wal.optimized_syncs
                 << " syncs over " << wal.operations << " ops; bound: 10%)";
+  const Section& scaling = sections.back();
+  NF2_LOG(Info) << "server_read_scaling: 1->4 clients scaled read "
+                << "throughput x" << Fmt(scaling.Speedup(), 2) << " on "
+                << std::thread::hardware_concurrency()
+                << " core(s) (floor of x2 enforced at >= 4 cores)";
   return 0;
 }
 

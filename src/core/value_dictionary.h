@@ -58,6 +58,14 @@ class ValueDictionary {
   /// All ids in ascending value order (materializes ranks).
   std::vector<ValueId> IdsInValueOrder() const;
 
+  /// Forces the lazy rank table into its clean state now (idempotent,
+  /// O(1) when already clean). Concurrency contract: Rank/CompareIds
+  /// mutate the mutable rank cache when it is dirty, and interning is
+  /// what dirties it — so the engine's writers call this before
+  /// releasing the exclusive gate (engine/concurrency.h), leaving
+  /// shared readers a genuinely read-only dictionary.
+  void MaterializeRanks() const { EnsureRanks(); }
+
   static constexpr ValueId kMaxValues =
       std::numeric_limits<ValueId>::max() - 1;
 

@@ -1,0 +1,69 @@
+#include "engine/concurrency.h"
+
+#include <type_traits>
+#include <variant>
+
+namespace nf2 {
+
+void EngineGate::AcquireShared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Writer preference: a waiting writer bars new readers, so a steady
+  // read stream cannot starve writes.
+  reader_cv_.wait(lock,
+                  [this] { return !writer_active_ && waiting_writers_ == 0; });
+  ++active_readers_;
+}
+
+void EngineGate::ReleaseShared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--active_readers_ == 0 && waiting_writers_ > 0) {
+    lock.unlock();
+    writer_cv_.notify_one();
+  }
+}
+
+void EngineGate::AcquireExclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_writers_;
+  writer_cv_.wait(lock,
+                  [this] { return !writer_active_ && active_readers_ == 0; });
+  --waiting_writers_;
+  writer_active_ = true;
+}
+
+void EngineGate::ReleaseExclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  writer_active_ = false;
+  const bool writers_waiting = waiting_writers_ > 0;
+  lock.unlock();
+  if (writers_waiting) {
+    writer_cv_.notify_one();
+  } else {
+    reader_cv_.notify_all();
+  }
+}
+
+bool IsReadOnlyStatement(const Statement& stmt) {
+  return std::visit(
+      [](const auto& s) -> bool {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, SelectStatement> ||
+                      std::is_same_v<T, ShowStatement> ||
+                      std::is_same_v<T, DescribeStatement> ||
+                      std::is_same_v<T, NestStatement> ||
+                      std::is_same_v<T, ListStatement> ||
+                      std::is_same_v<T, StatsStatement>) {
+          return true;
+        } else if constexpr (std::is_same_v<T, ExplainStatement>) {
+          // EXPLAIN renders a plan without executing; PROFILE runs the
+          // inner statement and inherits its classification.
+          if (!s.profile) return true;
+          return s.inner != nullptr && IsReadOnlyStatement(s.inner->stmt);
+        } else {
+          return false;
+        }
+      },
+      stmt);
+}
+
+}  // namespace nf2

@@ -1,0 +1,117 @@
+#ifndef NF2_ENGINE_CONCURRENCY_H_
+#define NF2_ENGINE_CONCURRENCY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "nfrql/ast.h"
+
+namespace nf2 {
+
+/// Reader/writer gate over one Database — the concurrency layer the
+/// server (src/server/) drives, usable on its own by any embedder that
+/// wants shared readers.
+///
+/// Locking discipline (DESIGN.md §8): statements classified read-only
+/// by IsReadOnlyStatement run concurrently under shared locks; every
+/// mutating statement — including BEGIN/COMMIT/ROLLBACK and CHECKPOINT
+/// — serializes under the exclusive lock for the duration of that one
+/// statement. Theorem A-4 is what makes the single writer lock viable:
+/// the §4 composition count per insert/delete is bounded by a function
+/// of the degree alone, independent of |R|, so writer critical sections
+/// stay short no matter how large the relation grows.
+///
+/// The gate is writer-preferring, implemented by hand rather than on
+/// std::shared_mutex: glibc's rwlock prefers readers by default, and a
+/// steady stream of short reads then starves writers indefinitely —
+/// exactly the torture-test workload. Here a waiting writer blocks new
+/// readers from entering, so writes are admitted after at most the
+/// readers already in flight.
+///
+/// Writer-side obligation: any lazily materialized, logically-const
+/// cache a reader could touch must be forced while the exclusive lock
+/// is still held. The dictionary rank table is the one such cache today
+/// (ValueDictionary::MaterializeRanks); server::Session honors this
+/// after every mutating statement, and Database::Recover() after
+/// replay.
+class EngineGate {
+ public:
+  EngineGate() = default;
+  EngineGate(const EngineGate&) = delete;
+  EngineGate& operator=(const EngineGate&) = delete;
+
+  /// RAII guard for one reader; unlocks on destruction.
+  class SharedLock {
+   public:
+    explicit SharedLock(EngineGate* gate) : gate_(gate) {
+      gate_->AcquireShared();
+    }
+    ~SharedLock() {
+      if (gate_ != nullptr) gate_->ReleaseShared();
+    }
+    SharedLock(SharedLock&& other) noexcept : gate_(other.gate_) {
+      other.gate_ = nullptr;
+    }
+    SharedLock(const SharedLock&) = delete;
+    SharedLock& operator=(const SharedLock&) = delete;
+    SharedLock& operator=(SharedLock&&) = delete;
+
+   private:
+    EngineGate* gate_;
+  };
+
+  /// RAII guard for the writer; unlocks on destruction.
+  class ExclusiveLock {
+   public:
+    explicit ExclusiveLock(EngineGate* gate) : gate_(gate) {
+      gate_->AcquireExclusive();
+    }
+    ~ExclusiveLock() {
+      if (gate_ != nullptr) gate_->ReleaseExclusive();
+    }
+    ExclusiveLock(ExclusiveLock&& other) noexcept : gate_(other.gate_) {
+      other.gate_ = nullptr;
+    }
+    ExclusiveLock(const ExclusiveLock&) = delete;
+    ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+    ExclusiveLock& operator=(ExclusiveLock&&) = delete;
+
+   private:
+    EngineGate* gate_;
+  };
+
+  /// Shared (reader) lock — held for the duration of one read-only
+  /// statement.
+  SharedLock LockShared() { return SharedLock(this); }
+
+  /// Exclusive (writer) lock — held for the duration of one mutating
+  /// statement.
+  ExclusiveLock LockExclusive() { return ExclusiveLock(this); }
+
+ private:
+  void AcquireShared();
+  void ReleaseShared();
+  void AcquireExclusive();
+  void ReleaseExclusive();
+
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  // All guarded by mu_.
+  uint64_t active_readers_ = 0;
+  uint64_t waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+/// True when executing `stmt` cannot mutate engine state, so it may run
+/// under a shared lock: SELECT, SHOW, DESCRIBE, NEST/UNNEST views,
+/// LIST, STATS, and EXPLAIN of anything (EXPLAIN never executes).
+/// PROFILE executes its inner statement and classifies as that
+/// statement does. Everything else — INSERT/DELETE/UPDATE, DDL,
+/// CHECKPOINT, BEGIN/COMMIT/ROLLBACK — requires the exclusive lock.
+bool IsReadOnlyStatement(const Statement& stmt);
+
+}  // namespace nf2
+
+#endif  // NF2_ENGINE_CONCURRENCY_H_

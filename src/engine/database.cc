@@ -283,6 +283,11 @@ Status Database::Recover() {
     }
   }
   // A transaction cut off by a crash is implicitly aborted.
+  //
+  // Leave the dictionary's rank table materialized: concurrent read
+  // sessions (engine/concurrency.h) require that only writers — who
+  // hold the exclusive gate — ever trigger the mutable re-sort.
+  dict_->MaterializeRanks();
   recovered_ = true;
   return Status::OK();
 }

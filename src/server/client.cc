@@ -1,0 +1,113 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace server {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(StrCat("not an IPv4 address: ", host));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrCat("socket: ", std::strerror(errno)));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status s = Status::IOError(
+        StrCat("connect ", host, ":", port, ": ", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Frame> Client::RoundTrip(FrameType type, std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  NF2_RETURN_IF_ERROR(WriteFrame(fd_, type, payload));
+  NF2_ASSIGN_OR_RETURN(std::optional<Frame> frame, ReadFrame(fd_));
+  if (!frame.has_value()) {
+    return Status::IOError("server closed the connection");
+  }
+  return *std::move(frame);
+}
+
+Result<std::string> Client::Execute(std::string_view statement) {
+  NF2_ASSIGN_OR_RETURN(Frame resp, RoundTrip(FrameType::kQuery, statement));
+  switch (resp.type) {
+    case FrameType::kOk:
+      return std::move(resp.payload);
+    case FrameType::kError: {
+      Status decoded = DecodeStatusPayload(resp.payload);
+      if (decoded.ok()) {
+        return Status::Internal("error frame carried an OK status");
+      }
+      return decoded;
+    }
+    case FrameType::kBusy:
+      return Status::Unavailable(resp.payload.empty() ? "server busy"
+                                                      : resp.payload);
+    default:
+      return Status::Internal(StrCat("unexpected response frame type ",
+                                     static_cast<int>(resp.type)));
+  }
+}
+
+Status Client::Ping() {
+  NF2_ASSIGN_OR_RETURN(Frame resp, RoundTrip(FrameType::kPing, ""));
+  if (resp.type != FrameType::kPong) {
+    return Status::Internal(StrCat("expected kPong, got frame type ",
+                                   static_cast<int>(resp.type)));
+  }
+  return Status::OK();
+}
+
+Status Client::Quit() {
+  NF2_ASSIGN_OR_RETURN(Frame resp, RoundTrip(FrameType::kQuit, ""));
+  ::close(fd_);
+  fd_ = -1;
+  if (resp.type != FrameType::kBye) {
+    return Status::Internal(StrCat("expected kBye, got frame type ",
+                                   static_cast<int>(resp.type)));
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace nf2

@@ -1,0 +1,55 @@
+#ifndef NF2_SERVER_CLIENT_H_
+#define NF2_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+#include "util/result.h"
+
+namespace nf2 {
+namespace server {
+
+/// A blocking client for the nf2d wire protocol. One connection, strict
+/// request→response lockstep — exactly the server's model. Move-only;
+/// the destructor closes the socket. Not thread-safe: one Client per
+/// thread (the bench and torture tests each give every client thread
+/// its own connection).
+class Client {
+ public:
+  /// Connects to host:port (IPv4 dotted quad) with TCP_NODELAY set.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one statement; returns the rendered result text. A kError
+  /// response decodes back into the server's typed Status; a kBusy
+  /// response becomes kUnavailable (retryable).
+  Result<std::string> Execute(std::string_view statement);
+
+  /// Round-trips a kPing frame.
+  Status Ping();
+
+  /// Sends kQuit and waits for kBye; the connection is then unusable.
+  Status Quit();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Writes a request frame and reads the matching response frame.
+  Result<Frame> RoundTrip(FrameType type, std::string_view payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace nf2
+
+#endif  // NF2_SERVER_CLIENT_H_

@@ -1,0 +1,115 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace server {
+
+namespace {
+
+Status SendAll(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t sent = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrCat("send: ", std::strerror(errno)));
+    }
+    done += static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `n` bytes; `*eof_before_any` reports a clean EOF with
+/// zero bytes read (only meaningful on error return).
+Status RecvAll(int fd, char* out, size_t n, bool* eof_before_any) {
+  *eof_before_any = false;
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::recv(fd, out + done, n - done, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrCat("recv: ", std::strerror(errno)));
+    }
+    if (got == 0) {
+      *eof_before_any = done == 0;
+      return Status::IOError("connection closed mid-frame");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrCat("frame payload of ", payload.size(), " bytes exceeds limit"));
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(5 + payload.size());
+  buf.push_back(static_cast<char>(len & 0xff));
+  buf.push_back(static_cast<char>((len >> 8) & 0xff));
+  buf.push_back(static_cast<char>((len >> 16) & 0xff));
+  buf.push_back(static_cast<char>((len >> 24) & 0xff));
+  buf.push_back(static_cast<char>(type));
+  buf.append(payload);
+  return SendAll(fd, buf.data(), buf.size());
+}
+
+Result<std::optional<Frame>> ReadFrame(int fd) {
+  char header[5];
+  bool eof = false;
+  Status s = RecvAll(fd, header, sizeof(header), &eof);
+  if (!s.ok()) {
+    if (eof) return std::optional<Frame>(std::nullopt);
+    return s;
+  }
+  const uint32_t len = static_cast<uint32_t>(
+      static_cast<uint8_t>(header[0]) |
+      (static_cast<uint8_t>(header[1]) << 8) |
+      (static_cast<uint8_t>(header[2]) << 16) |
+      (static_cast<uint8_t>(header[3]) << 24));
+  if (len > kMaxFramePayload) {
+    return Status::IOError(
+        StrCat("frame announces ", len, " payload bytes (limit ",
+               kMaxFramePayload, ")"));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(header[4]));
+  frame.payload.resize(len);
+  if (len > 0) {
+    NF2_RETURN_IF_ERROR(RecvAll(fd, frame.payload.data(), len, &eof));
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::string EncodeStatusPayload(const Status& status) {
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  out.append(status.message());
+  return out;
+}
+
+Status DecodeStatusPayload(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::Internal("malformed error frame (empty payload)");
+  }
+  const uint8_t raw = static_cast<uint8_t>(payload[0]);
+  std::string message(payload.substr(1));
+  if (raw > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::Internal(
+        StrCat("unknown status code ", raw, " in error frame: ", message));
+  }
+  return Status(static_cast<StatusCode>(raw), std::move(message));
+}
+
+}  // namespace server
+}  // namespace nf2

@@ -1,0 +1,68 @@
+#ifndef NF2_SERVER_PROTOCOL_H_
+#define NF2_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace nf2 {
+namespace server {
+
+/// The nf2d wire protocol, v0: length-prefixed frames over TCP, one
+/// statement per request, strict request→response lockstep per
+/// connection (no auth, no multiplexing — see DESIGN.md §8).
+///
+/// Frame layout, all bytes on the wire:
+///
+///   [u32 payload length, little-endian][u8 frame type][payload bytes]
+///
+/// Requests carry NFRQL statement text (or a `\metrics [prom]` /
+/// `\sleep N` meta command) in kQuery; responses echo exactly one frame
+/// per request. kError payloads start with one byte of StatusCode
+/// followed by the message, so clients recover the full typed Status.
+/// kBusy is the backpressure response: the request was NOT executed
+/// (queue full, or another session's transaction holds the database)
+/// and may be retried.
+enum class FrameType : uint8_t {
+  // Requests.
+  kQuery = 1,
+  kPing = 2,
+  kQuit = 3,
+  // Responses.
+  kOk = 0x80,
+  kError = 0x81,
+  kBusy = 0x82,
+  kPong = 0x83,
+  kBye = 0x84,
+};
+
+/// Upper bound on one frame's payload; a frame announcing more is a
+/// protocol error (protects the server from hostile length prefixes).
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kQuery;
+  std::string payload;
+};
+
+/// Writes one frame to `fd` as a single buffer (header + payload — one
+/// send keeps Nagle/delayed-ACK out of the request path). EINTR-safe;
+/// uses MSG_NOSIGNAL so a dead peer surfaces as IOError, not SIGPIPE.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame from `fd`. Returns nullopt on clean EOF (peer closed
+/// between frames); IOError on a mid-frame EOF, oversized length
+/// prefix, or any read failure.
+Result<std::optional<Frame>> ReadFrame(int fd);
+
+/// kError payload codec: one byte of StatusCode, then the message.
+std::string EncodeStatusPayload(const Status& status);
+Status DecodeStatusPayload(std::string_view payload);
+
+}  // namespace server
+}  // namespace nf2
+
+#endif  // NF2_SERVER_PROTOCOL_H_

@@ -1,0 +1,308 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace server {
+
+namespace {
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)), sessions_(db) {
+  MetricsRegistry* reg = db_->metrics();
+  metric_connections_total_ = reg->GetCounter("nf2_server_connections_total",
+                                              "Connections ever accepted");
+  metric_connections_active_ = reg->GetGauge("nf2_server_connections_active",
+                                             "Connections currently open");
+  metric_requests_total_ =
+      reg->GetCounter("nf2_server_requests_total", "Query frames received");
+  metric_busy_total_ = reg->GetCounter(
+      "nf2_server_busy_total", "Requests rejected with kBusy (queue full "
+                               "or transaction conflict)");
+  metric_errors_total_ =
+      reg->GetCounter("nf2_server_errors_total", "Requests answered kError");
+  metric_request_ns_ = reg->GetHistogram(
+      "nf2_server_request_ns",
+      "End-to-end request latency: dequeue wait + execution (ns)");
+  metric_queue_depth_ =
+      reg->GetGauge("nf2_server_queue_depth", "Requests waiting for a worker");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (options_.workers < 1) {
+    return Status::InvalidArgument("workers must be >= 1");
+  }
+  if (options_.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StrCat("socket: ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        StrCat("not an IPv4 address: ", options_.host));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError(StrCat("bind ", options_.host, ":",
+                                      options_.port, ": ",
+                                      std::strerror(errno)));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status s = Status::IOError(StrCat("listen: ", std::strerror(errno)));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    Status s = Status::IOError(StrCat("getsockname: ", std::strerror(errno)));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  NF2_LOG(Info) << "nf2d listening on " << options_.host << ":" << port_
+                << " (" << options_.workers << " workers, queue "
+                << options_.queue_capacity << ")";
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+
+  // 1. Stop accepting. shutdown() — not just close() — is what actually
+  //    wakes a thread blocked in accept() on Linux (accept returns
+  //    EINVAL); close() alone would leave it blocked forever.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Half-close every connection. Readers see EOF after finishing
+  //    their in-flight request (workers are still running, so the
+  //    future they may be blocked on will resolve), roll back their
+  //    session's transaction, and exit.
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conns_cv_.wait(lock, [this] { return active_readers_ == 0; });
+  }
+
+  // 3. Retire the workers: by now no reader can enqueue, so draining
+  //    then exiting loses nothing.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  // 4. Persist every acknowledged statement. Exclusive lock is pro
+  //    forma — all request threads are gone — but keeps the invariant
+  //    that Checkpoint never runs concurrently with readers.
+  {
+    auto lock = sessions_.gate()->LockExclusive();
+    if (!db_->in_transaction()) {
+      Status s = db_->Checkpoint();
+      if (!s.ok()) {
+        NF2_LOG(Warning) << "checkpoint on shutdown failed: " << s;
+      }
+    }
+  }
+  NF2_LOG(Info) << "nf2d stopped";
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // ECONNABORTED and friends are transient; a closed listen fd
+      // (EBADF/EINVAL during Stop) ends the loop.
+      if (stopping_.load()) return;
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) {
+        continue;
+      }
+      NF2_LOG(Warning) << "accept: " << std::strerror(errno);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (stopping_.load()) {
+        // Lost the race with Stop(): it already swept conn_fds_.
+        CloseFd(fd);
+        continue;
+      }
+      conn_fds_.push_back(fd);
+      ++active_readers_;
+    }
+    metric_connections_total_->Increment();
+    metric_connections_active_->Add(1);
+    std::thread([this, fd] { ServeConnection(fd); }).detach();
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::unique_ptr<Session> session = sessions_.NewSession();
+  for (;;) {
+    Result<std::optional<Frame>> read = ReadFrame(fd);
+    if (!read.ok()) {
+      NF2_LOG(Debug) << "session " << session->id() << ": " << read.status();
+      break;
+    }
+    if (!read->has_value()) break;  // Clean EOF.
+    Frame& frame = **read;
+
+    if (frame.type == FrameType::kPing) {
+      if (!WriteFrame(fd, FrameType::kPong, "").ok()) break;
+      continue;
+    }
+    if (frame.type == FrameType::kQuit) {
+      (void)WriteFrame(fd, FrameType::kBye, "");
+      break;
+    }
+    if (frame.type != FrameType::kQuery) {
+      Status bad = Status::InvalidArgument(
+          StrCat("unexpected frame type ", static_cast<int>(frame.type)));
+      if (!WriteFrame(fd, FrameType::kError, EncodeStatusPayload(bad)).ok()) {
+        break;
+      }
+      continue;
+    }
+
+    metric_requests_total_->Increment();
+    const auto start = std::chrono::steady_clock::now();
+    Request req;
+    req.session = session.get();
+    req.statement = std::move(frame.payload);
+    std::future<Result<std::string>> done = req.done.get_future();
+    if (!TryEnqueue(std::move(req))) {
+      metric_busy_total_->Increment();
+      if (!WriteFrame(fd, FrameType::kBusy, "request queue full").ok()) break;
+      continue;
+    }
+    // Lockstep: this connection has exactly one request in flight.
+    Result<std::string> result = done.get();
+    metric_request_ns_->Observe(ElapsedNs(start));
+
+    Status write;
+    if (result.ok()) {
+      write = WriteFrame(fd, FrameType::kOk, *result);
+    } else if (result.status().code() == StatusCode::kUnavailable) {
+      metric_busy_total_->Increment();
+      write = WriteFrame(fd, FrameType::kBusy, result.status().message());
+    } else {
+      metric_errors_total_->Increment();
+      write =
+          WriteFrame(fd, FrameType::kError, EncodeStatusPayload(result.status()));
+    }
+    if (!write.ok()) break;
+  }
+
+  // Roll back before the peer could observe the connection as gone.
+  session->Abort();
+  session.reset();
+  CloseFd(fd);
+  metric_connections_active_->Add(-1);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+    --active_readers_;
+    // Notify under the lock: this detached thread may be the last thing
+    // keeping Stop() (and so ~Server) from returning, so the cv must not
+    // be touched after the mutex is released.
+    conns_cv_.notify_all();
+  }
+}
+
+bool Server::TryEnqueue(Request&& req) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_shutdown_ || queue_.size() >= options_.queue_capacity) {
+      return false;
+    }
+    queue_.push_back(std::move(req));
+    metric_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return queue_shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      metric_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    req.done.set_value(req.session->Execute(req.statement));
+  }
+}
+
+}  // namespace server
+}  // namespace nf2

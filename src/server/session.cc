@@ -1,0 +1,143 @@
+#include "server/session.h"
+
+#include <chrono>
+#include <thread>
+
+#include "nfrql/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace server {
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void Observe(Histogram* h, uint64_t ns) {
+  if (h != nullptr) h->Observe(ns);
+}
+
+}  // namespace
+
+SessionManager::SessionManager(Database* db) : db_(db) {
+  MetricsRegistry* reg = db_->metrics();
+  metric_sessions_total_ =
+      reg->GetCounter("nf2_server_sessions_total", "Sessions ever opened");
+  metric_sessions_active_ =
+      reg->GetGauge("nf2_server_sessions_active", "Sessions currently open");
+  metric_txn_conflicts_ = reg->GetCounter(
+      "nf2_server_txn_conflicts_total",
+      "Mutating statements rejected because another session's "
+      "transaction was open");
+  metric_read_stmt_ns_ = reg->GetHistogram(
+      "nf2_server_read_stmt_ns",
+      "Latency of read-only statements, including lock wait (ns)");
+  metric_write_stmt_ns_ = reg->GetHistogram(
+      "nf2_server_write_stmt_ns",
+      "Latency of mutating statements, including lock wait (ns)");
+}
+
+std::unique_ptr<Session> SessionManager::NewSession() {
+  uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  metric_sessions_total_->Increment();
+  metric_sessions_active_->Add(1);
+  return std::unique_ptr<Session>(new Session(id, this));
+}
+
+Session::Session(uint64_t id, SessionManager* manager)
+    : id_(id), manager_(manager), db_(manager->db_), executor_(db_) {}
+
+Session::~Session() {
+  Abort();
+  manager_->metric_sessions_active_->Add(-1);
+}
+
+Result<std::string> Session::Execute(std::string_view statement) {
+  const std::string trimmed = Trim(std::string(statement));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty statement");
+  }
+  if (trimmed[0] == '\\') {
+    return ExecuteMeta(trimmed);
+  }
+  NF2_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(trimmed));
+  const auto start = std::chrono::steady_clock::now();
+  if (IsReadOnlyStatement(stmt)) {
+    auto lock = manager_->gate_.LockShared();
+    Result<std::string> out = executor_.Execute(stmt);
+    Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
+    return out;
+  }
+  auto lock = manager_->gate_.LockExclusive();
+  if (manager_->txn_owner_ != 0 && manager_->txn_owner_ != id_) {
+    manager_->metric_txn_conflicts_->Increment();
+    return Status::Unavailable(
+        StrCat("session ", manager_->txn_owner_,
+               " holds the open transaction; retry after it commits"));
+  }
+  Result<std::string> out = executor_.Execute(stmt);
+  // Track the transaction slot from engine truth rather than from the
+  // statement kind: a failed op inside an open transaction leaves it
+  // open, COMMIT/ROLLBACK (and only they) release it.
+  if (db_->in_transaction()) {
+    if (manager_->txn_owner_ == 0) manager_->txn_owner_ = id_;
+  } else {
+    manager_->txn_owner_ = 0;
+  }
+  // Writer-side obligation of the gate (engine/concurrency.h): leave no
+  // dirty lazily-materialized cache behind for shared readers to race
+  // on. Cheap no-op when nothing was interned.
+  db_->dictionary()->MaterializeRanks();
+  Observe(manager_->metric_write_stmt_ns_, ElapsedNs(start));
+  return out;
+}
+
+Result<std::string> Session::ExecuteMeta(const std::string& command) {
+  const std::string lower = ToLower(command);
+  if (lower == "\\metrics" || lower == "\\metrics prom") {
+    const auto start = std::chrono::steady_clock::now();
+    auto lock = manager_->gate_.LockShared();
+    std::string text = db_->MetricsText(/*prometheus=*/lower.ends_with("prom"));
+    Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
+    return text;
+  }
+  if (lower.starts_with("\\sleep ")) {
+    // Testing aid: occupy a worker under the shared lock for N ms (the
+    // server tests use it to fill the request queue deterministically).
+    int ms = 0;
+    for (char c : lower.substr(7)) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("\\sleep takes milliseconds");
+      }
+      ms = ms * 10 + (c - '0');
+      if (ms > 10000) return Status::InvalidArgument("\\sleep capped at 10s");
+    }
+    auto lock = manager_->gate_.LockShared();
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return StrCat("slept ", ms, " ms");
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown meta command '", command, "'"));
+}
+
+void Session::Abort() {
+  auto lock = manager_->gate_.LockExclusive();
+  if (manager_->txn_owner_ != id_) return;
+  if (db_->in_transaction()) {
+    Status s = db_->Rollback();
+    if (!s.ok()) {
+      NF2_LOG(Warning) << "session " << id_
+                       << ": rollback on abort failed: " << s;
+    }
+  }
+  manager_->txn_owner_ = 0;
+}
+
+}  // namespace server
+}  // namespace nf2

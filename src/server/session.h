@@ -1,0 +1,106 @@
+#ifndef NF2_SERVER_SESSION_H_
+#define NF2_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "engine/concurrency.h"
+#include "engine/database.h"
+#include "nfrql/executor.h"
+#include "util/result.h"
+
+namespace nf2 {
+namespace server {
+
+class Session;
+
+/// Shared state of all sessions over one Database: the reader/writer
+/// gate and the transaction owner. Create one per Database; hand it to
+/// every Session (the TCP server owns one, tests can own their own and
+/// drive Sessions directly without sockets).
+class SessionManager {
+ public:
+  explicit SessionManager(Database* db);
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// A new session with a unique id. The session must not outlive the
+  /// manager. Thread-safe.
+  std::unique_ptr<Session> NewSession();
+
+  Database* db() const { return db_; }
+  EngineGate* gate() { return &gate_; }
+
+ private:
+  friend class Session;
+
+  Database* db_;
+  EngineGate gate_;
+  std::atomic<uint64_t> next_session_id_{1};
+  /// Id of the session holding the open transaction, 0 when none.
+  /// Guarded by gate_'s exclusive lock: every path that reads or writes
+  /// it (mutating statements, aborts) holds that lock.
+  uint64_t txn_owner_ = 0;
+
+  // Registered once; sessions share the handles.
+  Counter* metric_sessions_total_ = nullptr;
+  Gauge* metric_sessions_active_ = nullptr;
+  Counter* metric_txn_conflicts_ = nullptr;
+  Histogram* metric_read_stmt_ns_ = nullptr;
+  Histogram* metric_write_stmt_ns_ = nullptr;
+};
+
+/// One client's execution context: its own NFRQL Executor (parse and
+/// PROFILE state are per-session, which is what makes concurrent read
+/// sessions reentrant) and its claim, if any, on the database's single
+/// transaction slot.
+///
+/// Locking discipline per statement (see engine/concurrency.h):
+/// read-only statements execute under the manager's shared lock,
+/// everything else under the exclusive lock. While one session holds
+/// the open transaction, other sessions' mutating statements are
+/// rejected with kUnavailable — reads still proceed (v0 reads are
+/// read-uncommitted with respect to the open transaction). A second
+/// BEGIN on the owning session is rejected by the engine itself.
+///
+/// A Session instance is NOT internally synchronized: one statement at
+/// a time per session (the server's request→response lockstep enforces
+/// this for TCP clients).
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Parses, classifies, and executes one statement (or one of the
+  /// `\metrics [prom]` / `\sleep N` meta commands) under the
+  /// appropriate lock, returning the rendered result text.
+  Result<std::string> Execute(std::string_view statement);
+
+  /// Rolls back this session's open transaction, if it holds one.
+  /// Called on disconnect and on server shutdown; the destructor also
+  /// calls it, so an abandoned session can never leak the transaction
+  /// slot.
+  void Abort();
+
+ private:
+  friend class SessionManager;
+  Session(uint64_t id, SessionManager* manager);
+
+  Result<std::string> ExecuteMeta(const std::string& command);
+
+  uint64_t id_;
+  SessionManager* manager_;
+  Database* db_;
+  Executor executor_;
+};
+
+}  // namespace server
+}  // namespace nf2
+
+#endif  // NF2_SERVER_SESSION_H_

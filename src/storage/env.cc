@@ -19,6 +19,20 @@ Status ErrnoStatus(const std::string& context) {
   return Status::IOError(StrCat(context, ": ", std::strerror(errno)));
 }
 
+/// Restarts a syscall interrupted by a signal. open/fsync/fdatasync can
+/// all return EINTR when a signal lands mid-call — with nf2d's shutdown
+/// handler that is a real occurrence, not a theoretical one — and an
+/// interrupted fsync must be retried, never surfaced as an IOError the
+/// durability protocol would misread as a failed commit point.
+template <typename Fn>
+int RetryOnEintr(Fn fn) {
+  int rc;
+  do {
+    rc = fn();
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
 class PosixWritableFile : public WritableFile {
  public:
   PosixWritableFile(int fd, std::string path)
@@ -43,7 +57,7 @@ class PosixWritableFile : public WritableFile {
 
   Status Sync() override {
     if (fd_ < 0) return Status::IOError("sync on closed file");
-    if (::fdatasync(fd_) != 0) {
+    if (RetryOnEintr([&] { return ::fdatasync(fd_); }) != 0) {
       return ErrnoStatus(StrCat("fdatasync ", path_));
     }
     return Status::OK();
@@ -108,7 +122,7 @@ class PosixRandomRWFile : public RandomRWFile {
 
   Status Sync() override {
     if (fd_ < 0) return Status::IOError("sync on closed file");
-    if (::fdatasync(fd_) != 0) {
+    if (RetryOnEintr([&] { return ::fdatasync(fd_); }) != 0) {
       return ErrnoStatus(StrCat("fdatasync ", path_));
     }
     return Status::OK();
@@ -132,7 +146,7 @@ class PosixEnv : public Env {
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) override {
     int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
-    int fd = ::open(path.c_str(), flags, 0644);
+    int fd = RetryOnEintr([&] { return ::open(path.c_str(), flags, 0644); });
     if (fd < 0) return ErrnoStatus(StrCat("open ", path));
     return std::unique_ptr<WritableFile>(
         std::make_unique<PosixWritableFile>(fd, path));
@@ -141,14 +155,14 @@ class PosixEnv : public Env {
   Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
       const std::string& path, bool truncate) override {
     int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
-    int fd = ::open(path.c_str(), flags, 0644);
+    int fd = RetryOnEintr([&] { return ::open(path.c_str(), flags, 0644); });
     if (fd < 0) return ErrnoStatus(StrCat("open ", path));
     return std::unique_ptr<RandomRWFile>(
         std::make_unique<PosixRandomRWFile>(fd, path));
   }
 
   Result<std::string> ReadFileToString(const std::string& path) override {
-    int fd = ::open(path.c_str(), O_RDONLY);
+    int fd = RetryOnEintr([&] { return ::open(path.c_str(), O_RDONLY); });
     if (fd < 0) {
       if (errno == ENOENT) {
         return Status::NotFound(StrCat(path, " not found"));
@@ -202,14 +216,16 @@ class PosixEnv : public Env {
   }
 
   Status TruncateFile(const std::string& path, uint64_t size) override {
-    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    if (RetryOnEintr([&] {
+          return ::truncate(path.c_str(), static_cast<off_t>(size));
+        }) != 0) {
       return ErrnoStatus(StrCat("truncate ", path));
     }
     // Make the new length durable, not just the data: a torn tail that
     // reappears after a crash would undo the truncation.
-    int fd = ::open(path.c_str(), O_RDONLY);
+    int fd = RetryOnEintr([&] { return ::open(path.c_str(), O_RDONLY); });
     if (fd < 0) return ErrnoStatus(StrCat("open ", path));
-    int rc = ::fsync(fd);
+    int rc = RetryOnEintr([&] { return ::fsync(fd); });
     ::close(fd);
     if (rc != 0) return ErrnoStatus(StrCat("fsync ", path));
     return Status::OK();
@@ -223,9 +239,10 @@ class PosixEnv : public Env {
   }
 
   Status SyncDir(const std::string& path) override {
-    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    int fd = RetryOnEintr(
+        [&] { return ::open(path.c_str(), O_RDONLY | O_DIRECTORY); });
     if (fd < 0) return ErrnoStatus(StrCat("open dir ", path));
-    int rc = ::fsync(fd);
+    int rc = RetryOnEintr([&] { return ::fsync(fd); });
     ::close(fd);
     if (rc != 0) return ErrnoStatus(StrCat("fsync dir ", path));
     return Status::OK();

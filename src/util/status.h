@@ -21,6 +21,10 @@ enum class StatusCode {
   kIOError = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  /// The operation cannot run right now but may succeed if retried —
+  /// the server maps queue-full backpressure and another session's open
+  /// transaction to this code.
+  kUnavailable = 10,
 };
 
 /// Returns a human-readable name for `code`, e.g. "InvalidArgument".
@@ -71,6 +75,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -11,6 +11,12 @@ sections without breaking older baselines. A section in the new run with
 counters_identical == false always fails: that means the optimization
 changed the paper's algebra, not just its speed.
 
+A server_read_scaling section additionally gates the 1->4-client read
+scaling factor: it must reach --scaling-floor (default 2.0), but only
+when the run's host_cores is at least 4 — a 1-core runner physically
+cannot scale concurrent reads, so there the factor is reported without
+being enforced.
+
 Exit code 0 = OK, 1 = regression (or broken counters), 2 = usage error.
 """
 
@@ -35,6 +41,13 @@ def main():
         default=0.25,
         help="maximum tolerated fractional regression (default 0.25)",
     )
+    parser.add_argument(
+        "--scaling-floor",
+        type=float,
+        default=2.0,
+        help="minimum 1->4-client read scaling, enforced only when the "
+        "run reports host_cores >= 4 (default 2.0)",
+    )
     args = parser.parse_args()
 
     try:
@@ -51,11 +64,33 @@ def main():
     )
 
     failed = False
+    host_cores = int(new_doc.get("host_cores", 0))
     for name, new in sorted(new_sections.items()):
         if not new.get("counters_identical", True):
             print(f"  FAIL {name}: counters_identical is false")
             failed = True
             continue
+        if name == "server_read_scaling":
+            scaling = float(new.get("read_scaling_1_to_4", 0.0))
+            if host_cores >= 4:
+                if scaling < args.scaling_floor:
+                    print(
+                        f"  FAIL {name}: 1->4 scaling x{scaling:.2f} below "
+                        f"floor x{args.scaling_floor:.2f} "
+                        f"({host_cores} cores)"
+                    )
+                    failed = True
+                else:
+                    print(
+                        f"  ok   {name}: 1->4 scaling x{scaling:.2f} "
+                        f"(floor x{args.scaling_floor:.2f}, "
+                        f"{host_cores} cores)"
+                    )
+            else:
+                print(
+                    f"  info {name}: 1->4 scaling x{scaling:.2f} on "
+                    f"{host_cores} core(s) — floor not enforced below 4"
+                )
         base = base_sections.get(name)
         if base is None:
             print(f"  skip {name}: not in baseline")

@@ -1,0 +1,95 @@
+// nf2_client — command-line client for nf2d.
+//
+//   $ nf2_client --host A.B.C.D --port N [-e STMT]... [--ping]
+//
+// With -e flags, executes each statement in order and prints the
+// results; otherwise reads one statement per line from stdin. Exits
+// non-zero if any statement fails (kBusy counts as failure — retry
+// loops belong in the caller). --ping round-trips a ping frame first.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "util/string_util.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host A.B.C.D] [--port N] [-e STMT]... [--ping]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long port = 4234;
+  bool ping = false;
+  std::vector<std::string> statements;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--ping") {
+      ping = true;
+    } else if (flag == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (flag == "--port" && i + 1 < argc) {
+      port = std::atol(argv[++i]);
+      if (port < 1 || port > 65535) return Usage(argv[0]);
+    } else if (flag == "-e" && i + 1 < argc) {
+      statements.emplace_back(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto client =
+      nf2::server::Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (ping) {
+    nf2::Status s = client->Ping();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+  }
+
+  int failures = 0;
+  auto run = [&](const std::string& stmt) {
+    nf2::Result<std::string> out = client->Execute(stmt);
+    if (out.ok()) {
+      std::printf("%s\n", out->c_str());
+    } else {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+      ++failures;
+    }
+  };
+
+  if (!statements.empty()) {
+    for (const std::string& stmt : statements) run(stmt);
+  } else if (!ping) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::string trimmed = nf2::Trim(line);
+      if (trimmed.empty()) continue;
+      run(trimmed);
+    }
+  }
+
+  nf2::Status quit = client->Quit();
+  if (!quit.ok()) {
+    std::fprintf(stderr, "quit failed: %s\n", quit.ToString().c_str());
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 // the result. `help` lists commands; `quit`/EOF exits (checkpointing
 // on the way out).
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -35,6 +36,7 @@ constexpr char kHelp[] = R"(NFRQL statements:
   LIST | STATS name | CHECKPOINT
   BEGIN | COMMIT | ROLLBACK
   \metrics [prom]      engine metrics (human or Prometheus text format)
+  \timing              toggle per-statement wall-clock reporting
   help | quit)";
 
 }  // namespace
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
   std::printf("nf2db shell — database at %s (type 'help')\n", argv[1]);
 
   std::string line;
+  bool timing = false;
   while (true) {
     std::printf("nfrql> ");
     std::fflush(stdout);
@@ -66,17 +69,32 @@ int main(int argc, char** argv) {
       std::printf("%s\n", kHelp);
       continue;
     }
-    if (lower == "\\metrics" || lower == "\\metrics prom") {
-      std::printf("%s\n",
-                  (*db)->MetricsText(/*prometheus=*/lower.ends_with("prom"))
-                      .c_str());
+    if (lower == "\\timing") {
+      timing = !timing;
+      std::printf("timing %s\n", timing ? "on" : "off");
       continue;
     }
+    if (lower == "\\metrics" || lower == "\\metrics prom") {
+      std::string text =
+          (*db)->MetricsText(/*prometheus=*/lower.ends_with("prom"));
+      // Prometheus exposition format requires the output to end with a
+      // newline; don't add a second one when the renderer already did.
+      if (text.empty() || text.back() != '\n') text.push_back('\n');
+      std::fputs(text.c_str(), stdout);
+      continue;
+    }
+    const auto start = std::chrono::steady_clock::now();
     nf2::Result<std::string> out = executor.Execute(trimmed);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
     if (out.ok()) {
       std::printf("%s\n", out->c_str());
     } else {
       std::printf("error: %s\n", out.status().ToString().c_str());
+    }
+    if (timing) {
+      std::printf("Time: %.3f ms\n",
+                  static_cast<double>(elapsed.count()) / 1000.0);
     }
   }
   std::printf("bye\n");

@@ -1,0 +1,121 @@
+// nf2d — the nf2db network daemon.
+//
+//   $ nf2d <db_dir> [--host A.B.C.D] [--port N] [--workers N] [--queue N]
+//
+// Serves the database in <db_dir> over the v0 frame protocol (see
+// server/protocol.h). Prints "listening on HOST:PORT" once ready —
+// with --port 0 (the default is 4234) the kernel picks the port, so
+// scripts should parse that line. SIGINT/SIGTERM trigger a graceful
+// shutdown: in-flight requests drain, open transactions roll back, and
+// a checkpoint runs before exit.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/database.h"
+#include "server/server.h"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; main blocks on read.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleSignal(int /*sig*/) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; the result is irrelevant (the pipe
+  // being full already means a wakeup is pending).
+  ssize_t ignored = ::write(g_shutdown_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <db_dir> [--host A.B.C.D] [--port N] "
+               "[--workers N] [--queue N]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseUint(const char* text, long max, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < 0 || v > max) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const char* db_dir = argv[1];
+  nf2::server::ServerOptions options;
+  options.port = 4234;
+  for (int i = 2; i < argc; i += 2) {
+    if (i + 1 >= argc) return Usage(argv[0]);
+    const std::string flag = argv[i];
+    long v = 0;
+    if (flag == "--host") {
+      options.host = argv[i + 1];
+    } else if (flag == "--port" && ParseUint(argv[i + 1], 65535, &v)) {
+      options.port = static_cast<uint16_t>(v);
+    } else if (flag == "--workers" && ParseUint(argv[i + 1], 256, &v) &&
+               v > 0) {
+      options.workers = static_cast<int>(v);
+    } else if (flag == "--queue" && ParseUint(argv[i + 1], 1 << 20, &v) &&
+               v > 0) {
+      options.queue_capacity = static_cast<size_t>(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto db = nf2::Database::Open(db_dir);
+  if (!db.ok()) {
+    std::fprintf(stderr, "cannot open database: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  nf2::server::Server server(db->get(), options);
+  nf2::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  char byte;
+  ssize_t got;
+  do {
+    got = ::read(g_shutdown_pipe[0], &byte, 1);
+  } while (got < 0 && errno == EINTR);
+
+  std::printf("shutting down\n");
+  std::fflush(stdout);
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Server smoke: start nf2d on an ephemeral port, drive it with
+# nf2_client (DDL, DML, reads, metrics), then SIGTERM it and assert a
+# clean graceful-shutdown exit — the CI job that proves the daemon
+# actually serves and stops outside the unit-test harness.
+#
+#   usage: tools/server_smoke.sh <build_dir>
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: $0 <build_dir>}"
+NF2D="$BUILD_DIR/tools/nf2d"
+CLIENT="$BUILD_DIR/tools/nf2_client"
+DB_DIR="$(mktemp -d)"
+LOG="$DB_DIR/nf2d.log"
+
+cleanup() {
+  [[ -n "${SERVER_PID:-}" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DB_DIR"
+}
+trap cleanup EXIT
+
+"$NF2D" "$DB_DIR/db" --port 0 --workers 2 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the "listening on HOST:PORT" line (the kernel picked the port).
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' "$LOG" | head -1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; echo "nf2d died"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$PORT" ]] || { cat "$LOG"; echo "nf2d never reported a port"; exit 1; }
+echo "nf2d up on port $PORT (pid $SERVER_PID)"
+
+"$CLIENT" --port "$PORT" --ping
+
+OUT=$("$CLIENT" --port "$PORT" \
+  -e "CREATE RELATION takes (Student STRING, Course STRING, Club STRING) MVD Student ->-> Course" \
+  -e "INSERT INTO takes VALUES (ada, algebra, chess), (ada, crypto, chess), (bob, algebra, go)" \
+  -e "SELECT COUNT(*) FROM takes" \
+  -e "SHOW takes" \
+  -e "\\metrics prom")
+echo "$OUT" | grep -q "^3$" || { echo "COUNT mismatch"; echo "$OUT"; exit 1; }
+echo "$OUT" | grep -q "nf2_server_requests_total" || {
+  echo "metrics missing"; echo "$OUT"; exit 1; }
+
+# Several statements through stdin mode, including an expected error.
+printf 'LIST\nSELECT * FROM nonesuch\n' | "$CLIENT" --port "$PORT" && {
+  echo "expected nonzero exit for failing statement"; exit 1; } || true
+
+# Graceful shutdown: SIGTERM must checkpoint and exit 0.
+kill -TERM "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 0 ]] || { cat "$LOG"; echo "nf2d exited $EXIT_CODE"; exit 1; }
+SERVER_PID=""
+grep -q "shutting down" "$LOG" || { cat "$LOG"; echo "no shutdown line"; exit 1; }
+
+# The shutdown checkpoint made the data durable: a fresh daemon serves it.
+"$NF2D" "$DB_DIR/db" --port 0 >"$LOG.2" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' "$LOG.2" | head -1)
+  [[ -n "$PORT" ]] && break
+  sleep 0.2
+done
+[[ -n "$PORT" ]] || { cat "$LOG.2"; echo "restarted nf2d never listened"; exit 1; }
+COUNT=$("$CLIENT" --port "$PORT" -e "SELECT COUNT(*) FROM takes")
+[[ "$COUNT" == "3" ]] || { echo "post-restart count '$COUNT' != 3"; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "server smoke OK"
