@@ -483,4 +483,25 @@ Result<Statement> ParseStatement(std::string_view source) {
   return parser.Parse();
 }
 
+std::string StatementCacheKey(std::string_view source) {
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+           c == '\v';
+  };
+  size_t begin = 0;
+  size_t end = source.size();
+  while (begin < end && is_space(source[begin])) ++begin;
+  while (end > begin && is_space(source[end - 1])) --end;
+  // The grammar allows one optional trailing `;`; strip it (and any
+  // whitespace it was padded with) so `X` and `X ;` share an entry. A
+  // run of semicolons is left alone — that spelling does not parse, and
+  // a cache key must never unify an invalid statement with a valid one.
+  if (end > begin && source[end - 1] == ';' &&
+      (end - 1 == begin || source[end - 2] != ';')) {
+    --end;
+    while (end > begin && is_space(source[end - 1])) --end;
+  }
+  return std::string(source.substr(begin, end - begin));
+}
+
 }  // namespace nf2

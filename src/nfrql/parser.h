@@ -1,6 +1,7 @@
 #ifndef NF2_NFRQL_PARSER_H_
 #define NF2_NFRQL_PARSER_H_
 
+#include <string>
 #include <string_view>
 
 #include "nfrql/ast.h"
@@ -28,6 +29,15 @@ namespace nf2 {
 /// where row = '(' literal (',' literal)* ')' and cond is the usual
 /// AND/OR/NOT tree over comparisons `attr op literal`.
 Result<Statement> ParseStatement(std::string_view source);
+
+/// Canonical key for a parsed-statement cache: `source` with leading
+/// and trailing whitespace and any trailing semicolons stripped. Two
+/// spellings that differ only in that decoration parse identically
+/// (the grammar allows one optional trailing `;`), so they must share a
+/// cache entry. Deliberately NOT case-folded: the lexer is
+/// case-sensitive inside quoted literals, so only byte-identical
+/// statement bodies are safe to unify.
+std::string StatementCacheKey(std::string_view source);
 
 }  // namespace nf2
 

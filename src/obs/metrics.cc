@@ -226,6 +226,25 @@ BufferPoolMetrics BufferPoolMetrics::ForRegistry(MetricsRegistry* registry) {
   return out;
 }
 
+StatementCacheMetrics StatementCacheMetrics::ForRegistry(
+    MetricsRegistry* registry) {
+  StatementCacheMetrics out;
+  if (registry == nullptr) return out;
+  out.hits = registry->GetCounter("nf2_stmtcache_hits_total",
+                                  "statement-cache hits (parse skipped)");
+  out.misses = registry->GetCounter("nf2_stmtcache_misses_total",
+                                    "statement-cache misses (full parse)");
+  out.evictions = registry->GetCounter(
+      "nf2_stmtcache_evictions_total",
+      "statement-cache entries evicted by the LRU capacity bound");
+  out.invalidations = registry->GetCounter(
+      "nf2_stmtcache_invalidations_total",
+      "whole-cache invalidations triggered by DDL");
+  out.entries = registry->GetGauge("nf2_stmtcache_entries",
+                                   "statements currently cached");
+  return out;
+}
+
 UpdatePathMetrics UpdatePathMetrics::ForRegistry(MetricsRegistry* registry) {
   UpdatePathMetrics out;
   if (registry == nullptr) return out;

@@ -176,6 +176,20 @@ struct BufferPoolMetrics {
   static BufferPoolMetrics ForRegistry(MetricsRegistry* registry);
 };
 
+/// Pre-resolved handles for the server's parsed-statement cache
+/// (server/session.h). Null pointers are skipped, so a cache built
+/// without a registry (unit tests) records nothing.
+struct StatementCacheMetrics {
+  Counter* hits = nullptr;           // nf2_stmtcache_hits_total
+  Counter* misses = nullptr;         // nf2_stmtcache_misses_total
+  Counter* evictions = nullptr;      // nf2_stmtcache_evictions_total
+  Counter* invalidations = nullptr;  // nf2_stmtcache_invalidations_total
+  Gauge* entries = nullptr;          // nf2_stmtcache_entries
+
+  /// Handles bound to the canonical nf2_stmtcache_* names in `registry`.
+  static StatementCacheMetrics ForRegistry(MetricsRegistry* registry);
+};
+
 /// Pre-resolved counter handles for the §4 update hot paths
 /// (CanonicalRelation). Null pointers are skipped, so a relation
 /// without a registry (unit tests, ad-hoc algebra) pays one branch.

@@ -68,7 +68,17 @@ Result<Frame> Client::RoundTrip(FrameType type, std::string_view payload) {
   return *std::move(frame);
 }
 
-Result<std::string> Client::Execute(std::string_view statement) {
+namespace {
+
+void SetRemote(bool* remote_error, bool value) {
+  if (remote_error != nullptr) *remote_error = value;
+}
+
+}  // namespace
+
+Result<std::string> Client::Execute(std::string_view statement,
+                                    bool* remote_error) {
+  SetRemote(remote_error, false);
   NF2_ASSIGN_OR_RETURN(Frame resp, RoundTrip(FrameType::kQuery, statement));
   switch (resp.type) {
     case FrameType::kOk:
@@ -78,9 +88,50 @@ Result<std::string> Client::Execute(std::string_view statement) {
       if (decoded.ok()) {
         return Status::Internal("error frame carried an OK status");
       }
+      SetRemote(remote_error, true);
       return decoded;
     }
     case FrameType::kBusy:
+      SetRemote(remote_error, true);
+      return Status::Unavailable(resp.payload.empty() ? "server busy"
+                                                      : resp.payload);
+    default:
+      return Status::Internal(StrCat("unexpected response frame type ",
+                                     static_cast<int>(resp.type)));
+  }
+}
+
+Result<std::vector<Result<std::string>>> Client::ExecuteBatch(
+    const std::vector<std::string>& statements, bool* remote_error) {
+  SetRemote(remote_error, false);
+  if (statements.size() > kMaxBatchStatements) {
+    return Status::InvalidArgument(
+        StrCat("batch of ", statements.size(), " statements exceeds limit ",
+               kMaxBatchStatements));
+  }
+  NF2_ASSIGN_OR_RETURN(
+      Frame resp, RoundTrip(FrameType::kBatch, EncodeBatchRequest(statements)));
+  switch (resp.type) {
+    case FrameType::kBatchReply: {
+      Result<std::vector<Result<std::string>>> decoded =
+          DecodeBatchReply(resp.payload);
+      if (decoded.ok() && decoded->size() != statements.size()) {
+        return Status::Internal(StrCat("batch reply carries ", decoded->size(),
+                                       " results for ", statements.size(),
+                                       " statements"));
+      }
+      return decoded;
+    }
+    case FrameType::kError: {
+      Status decoded = DecodeStatusPayload(resp.payload);
+      if (decoded.ok()) {
+        return Status::Internal("error frame carried an OK status");
+      }
+      SetRemote(remote_error, true);
+      return decoded;
+    }
+    case FrameType::kBusy:
+      SetRemote(remote_error, true);
       return Status::Unavailable(resp.payload.empty() ? "server busy"
                                                       : resp.payload);
     default:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "server/protocol.h"
 #include "util/result.h"
@@ -30,7 +31,26 @@ class Client {
   /// Sends one statement; returns the rendered result text. A kError
   /// response decodes back into the server's typed Status; a kBusy
   /// response becomes kUnavailable (retryable).
-  Result<std::string> Execute(std::string_view statement);
+  ///
+  /// `remote_error`, when non-null, distinguishes the two failure
+  /// classes an errored result can carry: true means the server
+  /// answered (kError/kBusy — the connection is still usable), false
+  /// means the transport itself failed (connect loss, protocol
+  /// corruption — give up on this connection). Callers that exit with
+  /// different codes per class (tools/nf2_client) need the bit; others
+  /// pass nothing.
+  Result<std::string> Execute(std::string_view statement,
+                              bool* remote_error = nullptr);
+
+  /// Sends `statements` as one kBatch frame (protocol v1) and returns
+  /// the per-statement outcomes, in order. The outer Result fails on
+  /// transport errors, a kError reply (e.g. a malformed batch payload),
+  /// or a whole-batch kBusy (kUnavailable, retryable — nothing was
+  /// executed); per-statement errors live in the inner Results.
+  /// `remote_error` as in Execute, describing the outer failure.
+  Result<std::vector<Result<std::string>>> ExecuteBatch(
+      const std::vector<std::string>& statements,
+      bool* remote_error = nullptr);
 
   /// Round-trips a kPing frame.
   Status Ping();

@@ -45,20 +45,52 @@ Status RecvAll(int fd, char* out, size_t n, bool* eof_before_any) {
   return Status::OK();
 }
 
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t ReadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0]) |
+                               (static_cast<uint8_t>(p[1]) << 8) |
+                               (static_cast<uint8_t>(p[2]) << 16) |
+                               (static_cast<uint8_t>(p[3]) << 24));
+}
+
+std::string HexByte(uint8_t b) {
+  constexpr char kDigits[] = "0123456789abcdef";
+  return std::string{'0', 'x', kDigits[b >> 4], kDigits[b & 0xf]};
+}
+
 }  // namespace
+
+bool IsKnownFrameType(uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kQuery:
+    case FrameType::kPing:
+    case FrameType::kQuit:
+    case FrameType::kBatch:
+    case FrameType::kOk:
+    case FrameType::kError:
+    case FrameType::kBusy:
+    case FrameType::kPong:
+    case FrameType::kBye:
+    case FrameType::kBatchReply:
+      return true;
+  }
+  return false;
+}
 
 Status WriteFrame(int fd, FrameType type, std::string_view payload) {
   if (payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument(
         StrCat("frame payload of ", payload.size(), " bytes exceeds limit"));
   }
-  const uint32_t len = static_cast<uint32_t>(payload.size());
   std::string buf;
   buf.reserve(5 + payload.size());
-  buf.push_back(static_cast<char>(len & 0xff));
-  buf.push_back(static_cast<char>((len >> 8) & 0xff));
-  buf.push_back(static_cast<char>((len >> 16) & 0xff));
-  buf.push_back(static_cast<char>((len >> 24) & 0xff));
+  AppendU32(&buf, static_cast<uint32_t>(payload.size()));
   buf.push_back(static_cast<char>(type));
   buf.append(payload);
   return SendAll(fd, buf.data(), buf.size());
@@ -72,18 +104,22 @@ Result<std::optional<Frame>> ReadFrame(int fd) {
     if (eof) return std::optional<Frame>(std::nullopt);
     return s;
   }
-  const uint32_t len = static_cast<uint32_t>(
-      static_cast<uint8_t>(header[0]) |
-      (static_cast<uint8_t>(header[1]) << 8) |
-      (static_cast<uint8_t>(header[2]) << 16) |
-      (static_cast<uint8_t>(header[3]) << 24));
+  const uint32_t len = ReadU32(header);
   if (len > kMaxFramePayload) {
     return Status::IOError(
         StrCat("frame announces ", len, " payload bytes (limit ",
                kMaxFramePayload, ")"));
   }
+  const uint8_t raw_type = static_cast<uint8_t>(header[4]);
+  if (!IsKnownFrameType(raw_type)) {
+    // Fail before trusting the length: a peer speaking a different (or
+    // corrupted) protocol must not make us read-and-discard its bytes.
+    return Status::Corruption(StrCat("unknown frame type byte ",
+                                     static_cast<int>(raw_type), " (",
+                                     HexByte(raw_type), ")"));
+  }
   Frame frame;
-  frame.type = static_cast<FrameType>(static_cast<uint8_t>(header[4]));
+  frame.type = static_cast<FrameType>(raw_type);
   frame.payload.resize(len);
   if (len > 0) {
     NF2_RETURN_IF_ERROR(RecvAll(fd, frame.payload.data(), len, &eof));
@@ -109,6 +145,168 @@ Status DecodeStatusPayload(std::string_view payload) {
         StrCat("unknown status code ", raw, " in error frame: ", message));
   }
   return Status(static_cast<StatusCode>(raw), std::move(message));
+}
+
+std::string EncodeBatchRequest(const std::vector<std::string>& statements) {
+  std::string out;
+  size_t total = 4;
+  for (const std::string& s : statements) total += 4 + s.size();
+  out.reserve(total);
+  AppendU32(&out, static_cast<uint32_t>(statements.size()));
+  for (const std::string& s : statements) {
+    AppendU32(&out, static_cast<uint32_t>(s.size()));
+    out.append(s);
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared cursor discipline of the two batch decoders: every read is
+/// checked against the remaining payload, and the payload must be
+/// consumed exactly.
+class BatchCursor {
+ public:
+  explicit BatchCursor(std::string_view payload) : rest_(payload) {}
+
+  Result<uint32_t> TakeU32(const char* what) {
+    if (rest_.size() < 4) {
+      return Status::Corruption(StrCat("batch payload truncated reading ",
+                                       what, " (", rest_.size(),
+                                       " bytes left)"));
+    }
+    uint32_t v = ReadU32(rest_.data());
+    rest_.remove_prefix(4);
+    return v;
+  }
+
+  Result<uint8_t> TakeU8(const char* what) {
+    if (rest_.empty()) {
+      return Status::Corruption(
+          StrCat("batch payload truncated reading ", what));
+    }
+    uint8_t v = static_cast<uint8_t>(rest_.front());
+    rest_.remove_prefix(1);
+    return v;
+  }
+
+  Result<std::string_view> TakeBytes(uint32_t n, const char* what) {
+    if (rest_.size() < n) {
+      return Status::Corruption(StrCat("batch payload announces ", n,
+                                       " bytes for ", what, " but only ",
+                                       rest_.size(), " remain"));
+    }
+    std::string_view out = rest_.substr(0, n);
+    rest_.remove_prefix(n);
+    return out;
+  }
+
+  Status ExpectDone() const {
+    if (!rest_.empty()) {
+      return Status::Corruption(
+          StrCat(rest_.size(), " trailing bytes after the last batch entry"));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string_view rest_;
+};
+
+Result<uint32_t> TakeBatchCount(BatchCursor* cursor) {
+  NF2_ASSIGN_OR_RETURN(uint32_t count, cursor->TakeU32("entry count"));
+  if (count > kMaxBatchStatements) {
+    return Status::Corruption(StrCat("batch announces ", count,
+                                     " entries (limit ", kMaxBatchStatements,
+                                     ")"));
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> DecodeBatchRequest(std::string_view payload) {
+  BatchCursor cursor(payload);
+  NF2_ASSIGN_OR_RETURN(uint32_t count, TakeBatchCount(&cursor));
+  std::vector<std::string> statements;
+  statements.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NF2_ASSIGN_OR_RETURN(uint32_t len, cursor.TakeU32("statement length"));
+    NF2_ASSIGN_OR_RETURN(std::string_view bytes,
+                         cursor.TakeBytes(len, "statement"));
+    statements.emplace_back(bytes);
+  }
+  NF2_RETURN_IF_ERROR(cursor.ExpectDone());
+  return statements;
+}
+
+namespace {
+
+// kBatchReply entry tags.
+constexpr uint8_t kReplyOk = 0;
+constexpr uint8_t kReplyError = 1;
+constexpr uint8_t kReplyBusy = 2;
+
+}  // namespace
+
+std::string EncodeBatchReply(const std::vector<Result<std::string>>& results) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(results.size()));
+  for (const Result<std::string>& r : results) {
+    if (r.ok()) {
+      out.push_back(static_cast<char>(kReplyOk));
+      AppendU32(&out, static_cast<uint32_t>(r->size()));
+      out.append(*r);
+    } else if (r.status().code() == StatusCode::kUnavailable) {
+      out.push_back(static_cast<char>(kReplyBusy));
+      AppendU32(&out, static_cast<uint32_t>(r.status().message().size()));
+      out.append(r.status().message());
+    } else {
+      out.push_back(static_cast<char>(kReplyError));
+      std::string status = EncodeStatusPayload(r.status());
+      AppendU32(&out, static_cast<uint32_t>(status.size()));
+      out.append(status);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Result<std::string>>> DecodeBatchReply(
+    std::string_view payload) {
+  BatchCursor cursor(payload);
+  NF2_ASSIGN_OR_RETURN(uint32_t count, TakeBatchCount(&cursor));
+  std::vector<Result<std::string>> results;
+  results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NF2_ASSIGN_OR_RETURN(uint8_t tag, cursor.TakeU8("entry tag"));
+    NF2_ASSIGN_OR_RETURN(uint32_t len, cursor.TakeU32("entry length"));
+    NF2_ASSIGN_OR_RETURN(std::string_view bytes,
+                         cursor.TakeBytes(len, "entry body"));
+    switch (tag) {
+      case kReplyOk:
+        results.emplace_back(std::string(bytes));
+        break;
+      case kReplyError: {
+        Status decoded = DecodeStatusPayload(bytes);
+        if (decoded.ok()) {
+          return Status::Corruption(
+              "batch error entry carried an OK status");
+        }
+        results.emplace_back(std::move(decoded));
+        break;
+      }
+      case kReplyBusy:
+        results.emplace_back(Status::Unavailable(
+            bytes.empty() ? "server busy" : std::string(bytes)));
+        break;
+      default:
+        return Status::Corruption(StrCat("unknown batch entry tag ",
+                                         static_cast<int>(tag), " (",
+                                         HexByte(tag), ")"));
+    }
+  }
+  NF2_RETURN_IF_ERROR(cursor.ExpectDone());
+  return results;
 }
 
 }  // namespace server

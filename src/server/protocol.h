@@ -5,15 +5,18 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/result.h"
 
 namespace nf2 {
 namespace server {
 
-/// The nf2d wire protocol, v0: length-prefixed frames over TCP, one
-/// statement per request, strict request→response lockstep per
-/// connection (no auth, no multiplexing — see DESIGN.md §8).
+/// The nf2d wire protocol: length-prefixed frames over TCP with strict
+/// request→response lockstep per connection (no auth, no multiplexing —
+/// see DESIGN.md §8). v0 speaks one statement per request; v1 adds
+/// pipelined batches (kBatch/kBatchReply) while every v0 frame keeps
+/// its meaning, so v0 clients interoperate with a v1 server unchanged.
 ///
 /// Frame layout, all bytes on the wire:
 ///
@@ -25,23 +28,38 @@ namespace server {
 /// followed by the message, so clients recover the full typed Status.
 /// kBusy is the backpressure response: the request was NOT executed
 /// (queue full, or another session's transaction holds the database)
-/// and may be retried.
+/// and may be retried. kBatch carries N length-prefixed statements
+/// executed in order on one worker; the matching kBatchReply carries N
+/// per-statement outcomes (see EncodeBatchRequest/EncodeBatchReply for
+/// the payload layouts).
 enum class FrameType : uint8_t {
   // Requests.
   kQuery = 1,
   kPing = 2,
   kQuit = 3,
+  kBatch = 4,
   // Responses.
   kOk = 0x80,
   kError = 0x81,
   kBusy = 0x82,
   kPong = 0x83,
   kBye = 0x84,
+  kBatchReply = 0x85,
 };
+
+/// True for the type bytes the protocol defines (request or response).
+/// ReadFrame rejects anything else before it reaches dispatch, so an
+/// out-of-range enum value can never flow through a FrameType switch.
+bool IsKnownFrameType(uint8_t raw);
 
 /// Upper bound on one frame's payload; a frame announcing more is a
 /// protocol error (protects the server from hostile length prefixes).
 constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Upper bound on statements per kBatch frame; a batch announcing more
+/// is a protocol error (protects the server from hostile counts long
+/// before any per-statement length is trusted).
+constexpr uint32_t kMaxBatchStatements = 4096;
 
 struct Frame {
   FrameType type = FrameType::kQuery;
@@ -55,12 +73,36 @@ Status WriteFrame(int fd, FrameType type, std::string_view payload);
 
 /// Reads one frame from `fd`. Returns nullopt on clean EOF (peer closed
 /// between frames); IOError on a mid-frame EOF, oversized length
-/// prefix, or any read failure.
+/// prefix, or any read failure; Corruption (naming the byte) on a type
+/// byte that is not a known frame type.
 Result<std::optional<Frame>> ReadFrame(int fd);
 
 /// kError payload codec: one byte of StatusCode, then the message.
 std::string EncodeStatusPayload(const Status& status);
 Status DecodeStatusPayload(std::string_view payload);
+
+/// kBatch payload codec:
+///
+///   [u32 count][count × ([u32 statement length][statement bytes])]
+///
+/// all integers little-endian. Decode validates the count against
+/// kMaxBatchStatements, every inner length against the remaining
+/// payload, and rejects trailing bytes, so a hostile payload cannot
+/// announce more than it ships.
+std::string EncodeBatchRequest(const std::vector<std::string>& statements);
+Result<std::vector<std::string>> DecodeBatchRequest(std::string_view payload);
+
+/// kBatchReply payload codec — one outcome per statement, in order:
+///
+///   [u32 count][count × ([u8 tag][u32 length][bytes])]
+///
+/// tag 0 = ok (bytes are the rendered result text), 1 = error (bytes
+/// are a kError status payload), 2 = busy (bytes are the retryable
+/// message, decoded as kUnavailable). Same bounds discipline as the
+/// request codec.
+std::string EncodeBatchReply(const std::vector<Result<std::string>>& results);
+Result<std::vector<Result<std::string>>> DecodeBatchReply(
+    std::string_view payload);
 
 }  // namespace server
 }  // namespace nf2

@@ -34,14 +34,21 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 Server::Server(Database* db, ServerOptions options)
-    : db_(db), options_(std::move(options)), sessions_(db) {
+    : db_(db),
+      options_(std::move(options)),
+      sessions_(db, options_.statement_cache_capacity) {
   MetricsRegistry* reg = db_->metrics();
   metric_connections_total_ = reg->GetCounter("nf2_server_connections_total",
                                               "Connections ever accepted");
   metric_connections_active_ = reg->GetGauge("nf2_server_connections_active",
                                              "Connections currently open");
-  metric_requests_total_ =
-      reg->GetCounter("nf2_server_requests_total", "Query frames received");
+  metric_requests_total_ = reg->GetCounter("nf2_server_requests_total",
+                                           "Query and batch frames received");
+  metric_batches_total_ =
+      reg->GetCounter("nf2_server_batches_total", "Batch frames received");
+  metric_batch_statements_total_ =
+      reg->GetCounter("nf2_server_batch_statements_total",
+                      "Statements received inside batch frames");
   metric_busy_total_ = reg->GetCounter(
       "nf2_server_busy_total", "Requests rejected with kBusy (queue full "
                                "or transaction conflict)");
@@ -220,7 +227,7 @@ void Server::ServeConnection(int fd) {
       (void)WriteFrame(fd, FrameType::kBye, "");
       break;
     }
-    if (frame.type != FrameType::kQuery) {
+    if (frame.type != FrameType::kQuery && frame.type != FrameType::kBatch) {
       Status bad = Status::InvalidArgument(
           StrCat("unexpected frame type ", static_cast<int>(frame.type)));
       if (!WriteFrame(fd, FrameType::kError, EncodeStatusPayload(bad)).ok()) {
@@ -233,27 +240,59 @@ void Server::ServeConnection(int fd) {
     const auto start = std::chrono::steady_clock::now();
     Request req;
     req.session = session.get();
-    req.statement = std::move(frame.payload);
-    std::future<Result<std::string>> done = req.done.get_future();
+    if (frame.type == FrameType::kBatch) {
+      Result<std::vector<std::string>> decoded =
+          DecodeBatchRequest(frame.payload);
+      if (!decoded.ok()) {
+        metric_errors_total_->Increment();
+        if (!WriteFrame(fd, FrameType::kError,
+                        EncodeStatusPayload(decoded.status()))
+                 .ok()) {
+          break;
+        }
+        continue;
+      }
+      req.batch = true;
+      req.statements = *std::move(decoded);
+      metric_batches_total_->Increment();
+      metric_batch_statements_total_->Increment(req.statements.size());
+    } else {
+      req.statements.push_back(std::move(frame.payload));
+    }
+    const bool batch = req.batch;
+    std::future<std::vector<Result<std::string>>> done = req.done.get_future();
     if (!TryEnqueue(std::move(req))) {
       metric_busy_total_->Increment();
       if (!WriteFrame(fd, FrameType::kBusy, "request queue full").ok()) break;
       continue;
     }
     // Lockstep: this connection has exactly one request in flight.
-    Result<std::string> result = done.get();
+    std::vector<Result<std::string>> results = done.get();
     metric_request_ns_->Observe(ElapsedNs(start));
 
     Status write;
-    if (result.ok()) {
-      write = WriteFrame(fd, FrameType::kOk, *result);
-    } else if (result.status().code() == StatusCode::kUnavailable) {
-      metric_busy_total_->Increment();
-      write = WriteFrame(fd, FrameType::kBusy, result.status().message());
+    if (batch) {
+      for (const Result<std::string>& r : results) {
+        if (r.ok()) continue;
+        if (r.status().code() == StatusCode::kUnavailable) {
+          metric_busy_total_->Increment();
+        } else {
+          metric_errors_total_->Increment();
+        }
+      }
+      write = WriteFrame(fd, FrameType::kBatchReply, EncodeBatchReply(results));
     } else {
-      metric_errors_total_->Increment();
-      write =
-          WriteFrame(fd, FrameType::kError, EncodeStatusPayload(result.status()));
+      const Result<std::string>& result = results.front();
+      if (result.ok()) {
+        write = WriteFrame(fd, FrameType::kOk, *result);
+      } else if (result.status().code() == StatusCode::kUnavailable) {
+        metric_busy_total_->Increment();
+        write = WriteFrame(fd, FrameType::kBusy, result.status().message());
+      } else {
+        metric_errors_total_->Increment();
+        write = WriteFrame(fd, FrameType::kError,
+                           EncodeStatusPayload(result.status()));
+      }
     }
     if (!write.ok()) break;
   }
@@ -300,7 +339,13 @@ void Server::WorkerLoop() {
       queue_.pop_front();
       metric_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
-    req.done.set_value(req.session->Execute(req.statement));
+    if (req.batch) {
+      req.done.set_value(req.session->ExecuteBatch(req.statements));
+    } else {
+      std::vector<Result<std::string>> results;
+      results.push_back(req.session->Execute(req.statements.front()));
+      req.done.set_value(std::move(results));
+    }
   }
 }
 

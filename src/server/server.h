@@ -27,9 +27,12 @@ struct ServerOptions {
   uint16_t port = 0;
   /// Fixed worker pool size executing statements.
   int workers = 4;
-  /// Bound on queued-but-not-executing requests. A kQuery arriving with
-  /// the queue full is answered kBusy without executing.
+  /// Bound on queued-but-not-executing requests. A kQuery (or kBatch)
+  /// arriving with the queue full is answered kBusy without executing.
   size_t queue_capacity = 64;
+  /// Capacity of the shared parsed-statement cache (session.h); 0
+  /// disables caching.
+  size_t statement_cache_capacity = kDefaultStatementCacheCapacity;
 };
 
 /// The nf2d TCP server: one accept thread, one reader thread per
@@ -38,10 +41,12 @@ struct ServerOptions {
 ///
 /// Threading model (see DESIGN.md §8):
 ///   - Each connection runs strict request→response lockstep: its
-///     reader parses one frame, hands kQuery payloads to the worker
-///     pool, and blocks on that request's future before reading the
-///     next frame. A connection therefore has at most one statement in
-///     flight, which is what lets Session skip internal locking.
+///     reader parses one frame, hands kQuery/kBatch payloads to the
+///     worker pool, and blocks on that request's future before reading
+///     the next frame. A connection therefore has at most one request
+///     in flight (a kBatch counts as one request, executed start to
+///     finish on one worker), which is what lets Session skip internal
+///     locking.
 ///   - Workers execute statements through Session::Execute, which takes
 ///     the engine gate (shared for read-only statements, exclusive for
 ///     mutations) — concurrency control lives there, not here.
@@ -75,10 +80,14 @@ class Server {
   SessionManager* session_manager() { return &sessions_; }
 
  private:
+  /// One unit of worker-pool work: a single kQuery statement
+  /// (batch == false, statements.size() == 1) or a whole kBatch
+  /// (executed in order on one worker, one result per statement).
   struct Request {
     Session* session = nullptr;
-    std::string statement;
-    std::promise<Result<std::string>> done;
+    bool batch = false;
+    std::vector<std::string> statements;
+    std::promise<std::vector<Result<std::string>>> done;
   };
 
   void AcceptLoop();
@@ -112,6 +121,8 @@ class Server {
   Counter* metric_connections_total_ = nullptr;
   Gauge* metric_connections_active_ = nullptr;
   Counter* metric_requests_total_ = nullptr;
+  Counter* metric_batches_total_ = nullptr;
+  Counter* metric_batch_statements_total_ = nullptr;
   Counter* metric_busy_total_ = nullptr;
   Counter* metric_errors_total_ = nullptr;
   Histogram* metric_request_ns_ = nullptr;

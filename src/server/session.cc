@@ -23,9 +23,93 @@ void Observe(Histogram* h, uint64_t ns) {
   if (h != nullptr) h->Observe(ns);
 }
 
+void Increment(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Increment(n);
+}
+
+/// True when successfully executing `stmt` may change what statement
+/// text means (DDL), so the shared statement cache must be dropped.
+/// PROFILE'd DDL executes its inner statement and counts as that
+/// statement does.
+bool InvalidatesStatementCache(const Statement& stmt) {
+  if (std::holds_alternative<CreateStatement>(stmt) ||
+      std::holds_alternative<DropStatement>(stmt)) {
+    return true;
+  }
+  if (const auto* explain = std::get_if<ExplainStatement>(&stmt)) {
+    return explain->profile && explain->inner != nullptr &&
+           InvalidatesStatementCache(explain->inner->stmt);
+  }
+  return false;
+}
+
+/// PROFILE output grows one trailer line reporting whether the parse
+/// was served from the statement cache — the per-request view of the
+/// nf2_stmtcache_* counters.
+Result<std::string> WithCacheNote(Result<std::string> out,
+                                  const Statement& stmt, bool cache_hit) {
+  if (!out.ok()) return out;
+  const auto* explain = std::get_if<ExplainStatement>(&stmt);
+  if (explain == nullptr || !explain->profile) return out;
+  return StrCat(*out, "\nstatement cache: ", cache_hit ? "hit" : "miss");
+}
+
 }  // namespace
 
-SessionManager::SessionManager(Database* db) : db_(db) {
+std::shared_ptr<const Statement> StatementCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    Increment(metrics_.misses);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  Increment(metrics_.hits);
+  return it->second->second;
+}
+
+void StatementCache::Insert(const std::string& key,
+                            std::shared_ptr<const Statement> stmt) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(stmt);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(stmt));
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    Increment(metrics_.evictions);
+  }
+  if (metrics_.entries != nullptr) {
+    metrics_.entries->Set(static_cast<int64_t>(lru_.size()));
+  }
+}
+
+void StatementCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!lru_.empty()) {
+    lru_.clear();
+    index_.clear();
+  }
+  Increment(metrics_.invalidations);
+  if (metrics_.entries != nullptr) metrics_.entries->Set(0);
+}
+
+size_t StatementCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+SessionManager::SessionManager(Database* db, size_t statement_cache_capacity)
+    : db_(db),
+      stmt_cache_(statement_cache_capacity,
+                  StatementCacheMetrics::ForRegistry(db->metrics())) {
   MetricsRegistry* reg = db_->metrics();
   metric_sessions_total_ =
       reg->GetCounter("nf2_server_sessions_total", "Sessions ever opened");
@@ -58,6 +142,22 @@ Session::~Session() {
   manager_->metric_sessions_active_->Add(-1);
 }
 
+Result<Session::ParsedStatement> Session::ParseCached(
+    const std::string& trimmed) {
+  const std::string key = StatementCacheKey(trimmed);
+  StatementCache* cache = &manager_->stmt_cache_;
+  const bool cacheable = key.size() <= kMaxCachedStatementBytes;
+  if (cacheable) {
+    if (std::shared_ptr<const Statement> cached = cache->Lookup(key)) {
+      return ParsedStatement{std::move(cached), /*cache_hit=*/true};
+    }
+  }
+  NF2_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(trimmed));
+  auto shared = std::make_shared<const Statement>(std::move(stmt));
+  if (cacheable) cache->Insert(key, shared);
+  return ParsedStatement{std::move(shared), /*cache_hit=*/false};
+}
+
 Result<std::string> Session::Execute(std::string_view statement) {
   const std::string trimmed = Trim(std::string(statement));
   if (trimmed.empty()) {
@@ -66,14 +166,20 @@ Result<std::string> Session::Execute(std::string_view statement) {
   if (trimmed[0] == '\\') {
     return ExecuteMeta(trimmed);
   }
-  NF2_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(trimmed));
-  const auto start = std::chrono::steady_clock::now();
-  if (IsReadOnlyStatement(stmt)) {
+  NF2_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseCached(trimmed));
+  if (IsReadOnlyStatement(*parsed.stmt)) {
+    const auto start = std::chrono::steady_clock::now();
     auto lock = manager_->gate_.LockShared();
-    Result<std::string> out = executor_.Execute(stmt);
+    Result<std::string> out = executor_.Execute(*parsed.stmt);
     Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
-    return out;
+    return WithCacheNote(std::move(out), *parsed.stmt, parsed.cache_hit);
   }
+  return ExecuteWrite(parsed);
+}
+
+Result<std::string> Session::ExecuteWrite(const ParsedStatement& parsed) {
+  const Statement& stmt = *parsed.stmt;
+  const auto start = std::chrono::steady_clock::now();
   auto lock = manager_->gate_.LockExclusive();
   if (manager_->txn_owner_ != 0 && manager_->txn_owner_ != id_) {
     manager_->metric_txn_conflicts_->Increment();
@@ -94,8 +200,67 @@ Result<std::string> Session::Execute(std::string_view statement) {
   // dirty lazily-materialized cache behind for shared readers to race
   // on. Cheap no-op when nothing was interned.
   db_->dictionary()->MaterializeRanks();
+  // DDL that took effect makes cached parses suspect (DESIGN.md §8);
+  // failed DDL changed nothing, so the cache stays warm.
+  if (out.ok() && InvalidatesStatementCache(stmt)) {
+    manager_->stmt_cache_.Invalidate();
+  }
   Observe(manager_->metric_write_stmt_ns_, ElapsedNs(start));
-  return out;
+  return WithCacheNote(std::move(out), stmt, parsed.cache_hit);
+}
+
+std::vector<Result<std::string>> Session::ExecuteBatch(
+    const std::vector<std::string>& statements) {
+  std::vector<Result<std::string>> results(
+      statements.size(), Status::Internal("statement not executed"));
+
+  // The pending run of consecutive read-only statements, flushed under
+  // one shared-gate acquisition — the single-acquisition-per-read-run
+  // contract that makes large read batches cheap.
+  std::vector<ParsedStatement> run;
+  std::vector<size_t> run_slots;
+  auto flush_reads = [&] {
+    if (run.empty()) return;
+    auto lock = manager_->gate_.LockShared();
+    for (size_t k = 0; k < run.size(); ++k) {
+      const auto start = std::chrono::steady_clock::now();
+      Result<std::string> out = executor_.Execute(*run[k].stmt);
+      Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
+      results[run_slots[k]] =
+          WithCacheNote(std::move(out), *run[k].stmt, run[k].cache_hit);
+    }
+    run.clear();
+    run_slots.clear();
+  };
+
+  for (size_t i = 0; i < statements.size(); ++i) {
+    const std::string trimmed = Trim(statements[i]);
+    if (trimmed.empty()) {
+      results[i] = Status::InvalidArgument("empty statement");
+      continue;
+    }
+    if (trimmed[0] == '\\') {
+      // Meta commands do their own locking; the read run must be done
+      // first so in-order execution is preserved.
+      flush_reads();
+      results[i] = ExecuteMeta(trimmed);
+      continue;
+    }
+    Result<ParsedStatement> parsed = ParseCached(trimmed);
+    if (!parsed.ok()) {
+      results[i] = parsed.status();
+      continue;
+    }
+    if (IsReadOnlyStatement(*parsed->stmt)) {
+      run.push_back(*std::move(parsed));
+      run_slots.push_back(i);
+      continue;
+    }
+    flush_reads();
+    results[i] = ExecuteWrite(*parsed);
+  }
+  flush_reads();
+  return results;
 }
 
 Result<std::string> Session::ExecuteMeta(const std::string& command) {
@@ -107,11 +272,19 @@ Result<std::string> Session::ExecuteMeta(const std::string& command) {
     Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
     return text;
   }
-  if (lower.starts_with("\\sleep ")) {
+  if (lower.starts_with("\\sleep ") || lower == "\\sleep") {
     // Testing aid: occupy a worker under the shared lock for N ms (the
     // server tests use it to fill the request queue deterministically).
+    const std::string arg =
+        lower.size() > 7 ? Trim(lower.substr(7)) : std::string();
+    if (arg.empty()) {
+      // An absent argument must not silently mean "sleep 0" — reject it
+      // so a typo'd test never reports a sleep that did not happen.
+      return Status::InvalidArgument(
+          "\\sleep takes milliseconds, e.g. \\sleep 50");
+    }
     int ms = 0;
-    for (char c : lower.substr(7)) {
+    for (char c : arg) {
       if (c < '0' || c > '9') {
         return Status::InvalidArgument("\\sleep takes milliseconds");
       }

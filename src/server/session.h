@@ -3,13 +3,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "engine/concurrency.h"
 #include "engine/database.h"
 #include "nfrql/executor.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace nf2 {
@@ -17,13 +23,66 @@ namespace server {
 
 class Session;
 
+/// Default capacity of the shared parsed-statement cache.
+constexpr size_t kDefaultStatementCacheCapacity = 512;
+
+/// Statements longer than this bypass the cache entirely (neither
+/// looked up nor inserted): bulk INSERTs are one-shot, and caching them
+/// would evict the short, hot statements the cache exists for.
+constexpr size_t kMaxCachedStatementBytes = 4096;
+
+/// A bounded, thread-safe LRU cache of parsed statements, keyed on the
+/// canonical statement text (StatementCacheKey) and shared by every
+/// session of one SessionManager. Entries are immutable parse trees
+/// behind shared_ptr, so a hit handed to one worker stays valid even if
+/// the entry is evicted or the cache invalidated mid-execution.
+///
+/// Invalidation is whole-cache and triggered by successful DDL: today's
+/// parser binds no names, so cached ASTs cannot go stale — the contract
+/// exists so the cache stays correct the day parsing starts resolving
+/// against the catalog.
+class StatementCache {
+ public:
+  StatementCache(size_t capacity, StatementCacheMetrics metrics)
+      : capacity_(capacity), metrics_(metrics) {}
+  StatementCache(const StatementCache&) = delete;
+  StatementCache& operator=(const StatementCache&) = delete;
+
+  /// The cached parse for `key`, refreshing its LRU position; nullptr
+  /// on miss. Counts a hit or miss.
+  std::shared_ptr<const Statement> Lookup(const std::string& key);
+
+  /// Caches `stmt` under `key`, evicting the least-recently-used entry
+  /// beyond capacity. A key already present is refreshed, not
+  /// duplicated.
+  void Insert(const std::string& key, std::shared_ptr<const Statement> stmt);
+
+  /// Drops every entry (the DDL contract). Counts one invalidation.
+  void Invalidate();
+
+  size_t size() const;
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const Statement>>>;
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  LruList lru_;  // Most recently used first. Guarded by mu_.
+  std::unordered_map<std::string, LruList::iterator> index_;  // Guarded by mu_.
+  StatementCacheMetrics metrics_;
+};
+
 /// Shared state of all sessions over one Database: the reader/writer
-/// gate and the transaction owner. Create one per Database; hand it to
-/// every Session (the TCP server owns one, tests can own their own and
-/// drive Sessions directly without sockets).
+/// gate, the transaction owner, and the parsed-statement cache. Create
+/// one per Database; hand it to every Session (the TCP server owns one,
+/// tests can own their own and drive Sessions directly without
+/// sockets).
 class SessionManager {
  public:
-  explicit SessionManager(Database* db);
+  explicit SessionManager(
+      Database* db,
+      size_t statement_cache_capacity = kDefaultStatementCacheCapacity);
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
@@ -33,12 +92,14 @@ class SessionManager {
 
   Database* db() const { return db_; }
   EngineGate* gate() { return &gate_; }
+  StatementCache* statement_cache() { return &stmt_cache_; }
 
  private:
   friend class Session;
 
   Database* db_;
   EngineGate gate_;
+  StatementCache stmt_cache_;
   std::atomic<uint64_t> next_session_id_{1};
   /// Id of the session holding the open transaction, 0 when none.
   /// Guarded by gate_'s exclusive lock: every path that reads or writes
@@ -66,9 +127,9 @@ class SessionManager {
 /// read-uncommitted with respect to the open transaction). A second
 /// BEGIN on the owning session is rejected by the engine itself.
 ///
-/// A Session instance is NOT internally synchronized: one statement at
-/// a time per session (the server's request→response lockstep enforces
-/// this for TCP clients).
+/// A Session instance is NOT internally synchronized: one statement (or
+/// one batch) at a time per session (the server's request→response
+/// lockstep enforces this for TCP clients).
 class Session {
  public:
   ~Session();
@@ -77,10 +138,20 @@ class Session {
 
   uint64_t id() const { return id_; }
 
-  /// Parses, classifies, and executes one statement (or one of the
-  /// `\metrics [prom]` / `\sleep N` meta commands) under the
-  /// appropriate lock, returning the rendered result text.
+  /// Parses (through the shared statement cache), classifies, and
+  /// executes one statement (or one of the `\metrics [prom]` /
+  /// `\sleep N` meta commands) under the appropriate lock, returning
+  /// the rendered result text.
   Result<std::string> Execute(std::string_view statement);
+
+  /// Executes `statements` in order, returning one result per
+  /// statement (the kBatch contract, DESIGN.md §8). A failing
+  /// statement reports its error in place and execution continues with
+  /// the next one. Consecutive read-only statements share a single
+  /// shared-gate acquisition; mutating statements and meta commands
+  /// each lock individually, exactly as in Execute.
+  std::vector<Result<std::string>> ExecuteBatch(
+      const std::vector<std::string>& statements);
 
   /// Rolls back this session's open transaction, if it holds one.
   /// Called on disconnect and on server shutdown; the destructor also
@@ -91,6 +162,22 @@ class Session {
  private:
   friend class SessionManager;
   Session(uint64_t id, SessionManager* manager);
+
+  /// A statement with its provenance: parsed fresh or served from the
+  /// shared cache.
+  struct ParsedStatement {
+    std::shared_ptr<const Statement> stmt;
+    bool cache_hit = false;
+  };
+
+  /// Cache lookup, falling back to a full parse (which populates the
+  /// cache). Oversized statements bypass the cache in both directions.
+  Result<ParsedStatement> ParseCached(const std::string& trimmed);
+
+  /// The exclusive-lock path shared by Execute and ExecuteBatch:
+  /// transaction-slot arbitration, execution, writer-side cache
+  /// obligations, and DDL invalidation of the statement cache.
+  Result<std::string> ExecuteWrite(const ParsedStatement& parsed);
 
   Result<std::string> ExecuteMeta(const std::string& command);
 

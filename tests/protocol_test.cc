@@ -1,0 +1,261 @@
+// Frame-level tests of the nf2d wire protocol: codec round-trips, the
+// batch payload codecs, and decoder robustness against garbage type
+// bytes, truncated headers, and hostile length announcements — all over
+// real socketpairs, no server needed.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace {
+
+using server::DecodeBatchReply;
+using server::DecodeBatchRequest;
+using server::EncodeBatchReply;
+using server::EncodeBatchRequest;
+using server::Frame;
+using server::FrameType;
+using server::IsKnownFrameType;
+using server::ReadFrame;
+using server::WriteFrame;
+
+/// A connected AF_UNIX socket pair; fd(0) writes, fd(1) reads.
+class SocketPair {
+ public:
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+  ~SocketPair() {
+    CloseWrite();
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int writer() const { return fds_[0]; }
+  int reader() const { return fds_[1]; }
+  /// Closes the write side so the reader observes EOF.
+  void CloseWrite() {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  void SendRaw(const std::string& bytes) {
+    ASSERT_EQ(::send(fds_[0], bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+std::string RawHeader(uint32_t len, uint8_t type) {
+  std::string h;
+  h.push_back(static_cast<char>(len & 0xff));
+  h.push_back(static_cast<char>((len >> 8) & 0xff));
+  h.push_back(static_cast<char>((len >> 16) & 0xff));
+  h.push_back(static_cast<char>((len >> 24) & 0xff));
+  h.push_back(static_cast<char>(type));
+  return h;
+}
+
+TEST(ProtocolTest, FrameRoundTripEveryKnownType) {
+  const FrameType kTypes[] = {
+      FrameType::kQuery, FrameType::kPing,  FrameType::kQuit,
+      FrameType::kBatch, FrameType::kOk,    FrameType::kError,
+      FrameType::kBusy,  FrameType::kPong,  FrameType::kBye,
+      FrameType::kBatchReply};
+  for (FrameType type : kTypes) {
+    SocketPair pair;
+    const std::string payload = StrCat("payload for type ",
+                                       static_cast<int>(type));
+    ASSERT_TRUE(WriteFrame(pair.writer(), type, payload).ok());
+    auto frame = ReadFrame(pair.reader());
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_TRUE(frame->has_value());
+    EXPECT_EQ((*frame)->type, type);
+    EXPECT_EQ((*frame)->payload, payload);
+  }
+}
+
+TEST(ProtocolTest, CleanEofBetweenFramesIsNullopt) {
+  SocketPair pair;
+  pair.CloseWrite();
+  auto frame = ReadFrame(pair.reader());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(frame->has_value());
+}
+
+TEST(ProtocolTest, UnknownTypeByteIsCorruptionNamingTheByte) {
+  SocketPair pair;
+  pair.SendRaw(RawHeader(0, 0x2a));
+  auto frame = ReadFrame(pair.reader());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+  // The error names the offending byte, decimal and hex.
+  EXPECT_NE(frame.status().message().find("42"), std::string::npos)
+      << frame.status().ToString();
+  EXPECT_NE(frame.status().message().find("0x2a"), std::string::npos)
+      << frame.status().ToString();
+}
+
+TEST(ProtocolTest, EveryUnknownTypeByteIsRejected) {
+  for (int b = 0; b <= 0xff; ++b) {
+    SocketPair pair;
+    pair.SendRaw(RawHeader(0, static_cast<uint8_t>(b)));
+    auto frame = ReadFrame(pair.reader());
+    if (IsKnownFrameType(static_cast<uint8_t>(b))) {
+      ASSERT_TRUE(frame.ok()) << "byte " << b << ": "
+                              << frame.status().ToString();
+      ASSERT_TRUE(frame->has_value());
+    } else {
+      ASSERT_FALSE(frame.ok()) << "byte " << b << " decoded as a frame";
+      EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(ProtocolTest, TruncatedHeaderIsIoError) {
+  for (size_t cut = 1; cut < 5; ++cut) {
+    SocketPair pair;
+    pair.SendRaw(RawHeader(3, static_cast<uint8_t>(FrameType::kQuery))
+                     .substr(0, cut));
+    pair.CloseWrite();
+    auto frame = ReadFrame(pair.reader());
+    ASSERT_FALSE(frame.ok()) << "cut at " << cut;
+    EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST(ProtocolTest, TruncatedPayloadIsIoError) {
+  SocketPair pair;
+  pair.SendRaw(RawHeader(10, static_cast<uint8_t>(FrameType::kQuery)));
+  pair.SendRaw("four");
+  pair.CloseWrite();
+  auto frame = ReadFrame(pair.reader());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+}
+
+TEST(ProtocolTest, MaximumLengthAnnouncementIsRejectedWithoutReading) {
+  // One over the cap — and also the all-ones prefix a fuzzer would find.
+  for (uint32_t len : {server::kMaxFramePayload + 1, 0xffffffffu}) {
+    SocketPair pair;
+    pair.SendRaw(RawHeader(len, static_cast<uint8_t>(FrameType::kQuery)));
+    // No payload follows; the reader must fail on the announcement
+    // alone rather than blocking for 4 GiB that will never arrive.
+    auto frame = ReadFrame(pair.reader());
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+    EXPECT_NE(frame.status().message().find("limit"), std::string::npos);
+  }
+}
+
+TEST(ProtocolTest, RandomHeaderFuzzNeverCrashesOrOverreads) {
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> extra(0, 32);
+  for (int i = 0; i < 2000; ++i) {
+    std::string bytes;
+    for (int b = 0; b < 5; ++b) {
+      bytes.push_back(static_cast<char>(byte(rng)));
+    }
+    const int tail = extra(rng);
+    for (int b = 0; b < tail; ++b) {
+      bytes.push_back(static_cast<char>(byte(rng)));
+    }
+    SocketPair pair;
+    pair.SendRaw(bytes);
+    pair.CloseWrite();
+    // Must terminate with a frame or a typed error — never hang, crash,
+    // or read out of bounds (ASan watches the latter).
+    auto frame = ReadFrame(pair.reader());
+    if (frame.ok() && frame->has_value()) {
+      EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>((*frame)->type)));
+      EXPECT_LE((*frame)->payload.size(), static_cast<size_t>(tail));
+    }
+  }
+}
+
+TEST(ProtocolTest, BatchRequestRoundTrip) {
+  const std::vector<std::string> statements = {
+      "SELECT COUNT(*) FROM r", "", "INSERT INTO r VALUES (x)",
+      std::string(1000, 'q')};
+  auto decoded = DecodeBatchRequest(EncodeBatchRequest(statements));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, statements);
+
+  auto empty = DecodeBatchRequest(EncodeBatchRequest({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ProtocolTest, BatchRequestDecodeRejectsHostilePayloads) {
+  // Truncated count.
+  EXPECT_EQ(DecodeBatchRequest("ab").status().code(), StatusCode::kCorruption);
+  // Count over the limit.
+  std::string huge_count;
+  for (char c : {'\xff', '\xff', '\xff', '\x7f'}) huge_count.push_back(c);
+  EXPECT_EQ(DecodeBatchRequest(huge_count).status().code(),
+            StatusCode::kCorruption);
+  // Inner length announcing more than the payload ships.
+  std::string lying = EncodeBatchRequest({"hello"});
+  lying[4] = '\x7f';  // Statement length low byte: 5 -> 127.
+  EXPECT_EQ(DecodeBatchRequest(lying).status().code(),
+            StatusCode::kCorruption);
+  // Trailing garbage after the last statement.
+  std::string trailing = EncodeBatchRequest({"hello"});
+  trailing.push_back('!');
+  EXPECT_EQ(DecodeBatchRequest(trailing).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, BatchReplyRoundTripPreservesOutcomeKinds) {
+  std::vector<Result<std::string>> results;
+  results.emplace_back(std::string("ok text"));
+  results.emplace_back(Status::NotFound("no relation r"));
+  results.emplace_back(Status::Unavailable("txn held"));
+  results.emplace_back(std::string(""));
+  auto decoded = DecodeBatchReply(EncodeBatchReply(results));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 4u);
+  ASSERT_TRUE((*decoded)[0].ok());
+  EXPECT_EQ(*(*decoded)[0], "ok text");
+  ASSERT_FALSE((*decoded)[1].ok());
+  EXPECT_EQ((*decoded)[1].status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*decoded)[1].status().message(), "no relation r");
+  ASSERT_FALSE((*decoded)[2].ok());
+  EXPECT_EQ((*decoded)[2].status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*decoded)[2].status().message(), "txn held");
+  ASSERT_TRUE((*decoded)[3].ok());
+  EXPECT_EQ(*(*decoded)[3], "");
+}
+
+TEST(ProtocolTest, BatchReplyDecodeRejectsUnknownTagAndTruncation) {
+  std::vector<Result<std::string>> one;
+  one.emplace_back(std::string("x"));
+  std::string bad_tag = EncodeBatchReply(one);
+  bad_tag[4] = '\x09';  // Entry tag 0 -> 9.
+  EXPECT_EQ(DecodeBatchReply(bad_tag).status().code(),
+            StatusCode::kCorruption);
+
+  std::string truncated = EncodeBatchReply(one);
+  truncated.pop_back();
+  EXPECT_EQ(DecodeBatchReply(truncated).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, StatusPayloadRoundTripsEveryCode) {
+  for (int code = 1; code <= static_cast<int>(StatusCode::kUnavailable);
+       ++code) {
+    Status in(static_cast<StatusCode>(code), "message text");
+    Status out = server::DecodeStatusPayload(server::EncodeStatusPayload(in));
+    EXPECT_EQ(out, in);
+  }
+}
+
+}  // namespace
+}  // namespace nf2

@@ -251,5 +251,250 @@ TEST_F(ServerTest, OversizedFrameIsRejected) {
   EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
 
+// ---- Protocol v1: pipelined batches + parsed-statement cache. ----
+
+TEST_F(ServerTest, BatchMixedReadWriteExecutesInOrder) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+
+  auto results = client.ExecuteBatch({
+      "CREATE RELATION r (a STRING, b STRING)",
+      "INSERT INTO r VALUES (x, y), (u, v)",
+      "SELECT COUNT(*) FROM r",
+      "INSERT INTO r VALUES (p, q)",
+      "SELECT COUNT(*) FROM r",
+  });
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 5u);
+  for (const auto& r : *results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // In-order execution is observable through the two counts straddling
+  // the second insert.
+  EXPECT_EQ(*(*results)[2], "2");
+  EXPECT_EQ(*(*results)[4], "3");
+}
+
+TEST_F(ServerTest, BatchMidStatementErrorReportsInPlaceAndContinues) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Execute("CREATE RELATION r (x STRING)").ok());
+
+  auto results = client.ExecuteBatch({
+      "INSERT INTO r VALUES (one)",
+      "SELECT * FROM nonesuch",
+      "this does not parse",
+      "SELECT COUNT(*) FROM r",
+  });
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 4u);
+  EXPECT_TRUE((*results)[0].ok());
+  ASSERT_FALSE((*results)[1].ok());
+  EXPECT_EQ((*results)[1].status().code(), StatusCode::kNotFound);
+  EXPECT_NE((*results)[1].status().message().find("nonesuch"),
+            std::string::npos);
+  ASSERT_FALSE((*results)[2].ok());
+  EXPECT_EQ((*results)[2].status().code(), StatusCode::kInvalidArgument);
+  // The batch kept going after both failures.
+  ASSERT_TRUE((*results)[3].ok());
+  EXPECT_EQ(*(*results)[3], "1");
+}
+
+TEST_F(ServerTest, EmptyBatchIsAnsweredWithEmptyReply) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+  auto results = client.ExecuteBatch({});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_TRUE(results->empty());
+}
+
+TEST_F(ServerTest, BatchTransactionConflictSurfacesBusyEntries) {
+  auto server = StartServer();
+  Client owner = MustConnect(*server);
+  Client other = MustConnect(*server);
+
+  ASSERT_TRUE(owner.Execute("CREATE RELATION r (x STRING)").ok());
+  ASSERT_TRUE(owner.Execute("BEGIN").ok());
+  ASSERT_TRUE(owner.Execute("INSERT INTO r VALUES (mine)").ok());
+
+  // The other session's batch: its write bounces kUnavailable (the
+  // per-entry busy tag), but its reads still run.
+  auto results = other.ExecuteBatch(
+      {"SELECT COUNT(*) FROM r", "INSERT INTO r VALUES (theirs)", "LIST"});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_TRUE((*results)[0].ok());
+  ASSERT_FALSE((*results)[1].ok());
+  EXPECT_EQ((*results)[1].status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE((*results)[2].ok());
+
+  ASSERT_TRUE(owner.Execute("COMMIT").ok());
+}
+
+TEST_F(ServerTest, V0ClientInteroperatesWithV1Server) {
+  auto server = StartServer();
+  // A pure-v0 peer: only kQuery/kPing/kQuit frames, driven at the frame
+  // level exactly as a PR-4 binary would speak them.
+  Client v0 = MustConnect(*server);
+  ASSERT_TRUE(v0.Ping().ok());
+  ASSERT_TRUE(v0.Execute("CREATE RELATION r (x STRING)").ok());
+
+  // A v1 peer batches against the same server between the v0 frames.
+  Client v1 = MustConnect(*server);
+  auto batched = v1.ExecuteBatch(
+      {"INSERT INTO r VALUES (a)", "SELECT COUNT(*) FROM r"});
+  ASSERT_TRUE(batched.ok());
+  ASSERT_TRUE((*batched)[1].ok());
+  EXPECT_EQ(*(*batched)[1], "1");
+
+  // The v0 peer still sees one response frame per request, in order.
+  auto count = v0.Execute("SELECT COUNT(*) FROM r");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, "1");
+  ASSERT_TRUE(v0.Quit().ok());
+}
+
+TEST_F(ServerTest, StatementCacheCountsHitsAndServesRepeats) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Execute("CREATE RELATION r (x STRING)").ok());
+  ASSERT_TRUE(client.Execute("INSERT INTO r VALUES (v)").ok());
+
+  Counter* hits = db_->metrics()->GetCounter("nf2_stmtcache_hits_total");
+  Counter* misses = db_->metrics()->GetCounter("nf2_stmtcache_misses_total");
+  const uint64_t hits_before = hits->value();
+  const uint64_t misses_before = misses->value();
+
+  // Same text, three spellings that share one canonical key.
+  ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM r").ok());
+  ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM r;").ok());
+  ASSERT_TRUE(client.Execute("  SELECT COUNT(*) FROM r ; ").ok());
+  EXPECT_EQ(misses->value() - misses_before, 1u);
+  EXPECT_GE(hits->value() - hits_before, 2u);
+
+  // The counters are visible over the wire through \metrics.
+  auto metrics = client.Execute("\\metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("nf2_stmtcache_hits_total"), std::string::npos);
+  EXPECT_NE(metrics->find("nf2_stmtcache_misses_total"), std::string::npos);
+}
+
+TEST_F(ServerTest, ProfileReportsStatementCacheHit) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Execute("CREATE RELATION r (x STRING)").ok());
+
+  auto first = client.Execute("PROFILE SELECT COUNT(*) FROM r");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_NE(first->find("statement cache: miss"), std::string::npos)
+      << *first;
+  auto second = client.Execute("PROFILE SELECT COUNT(*) FROM r");
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->find("statement cache: hit"), std::string::npos)
+      << *second;
+}
+
+TEST_F(ServerTest, DdlInvalidatesStatementCache) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Execute("CREATE RELATION r (x STRING)").ok());
+
+  Counter* misses = db_->metrics()->GetCounter("nf2_stmtcache_misses_total");
+  Counter* invalidations =
+      db_->metrics()->GetCounter("nf2_stmtcache_invalidations_total");
+
+  // Warm the cache, then drop a relation: the whole cache must empty.
+  ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM r").ok());
+  ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM r").ok());
+  const uint64_t invalidations_before = invalidations->value();
+  ASSERT_TRUE(client.Execute("DROP RELATION r").ok());
+  EXPECT_EQ(invalidations->value(), invalidations_before + 1);
+  EXPECT_EQ(server->session_manager()->statement_cache()->size(), 0u);
+
+  // The same text parses fresh afterwards — a miss, not a stale hit.
+  ASSERT_TRUE(client.Execute("CREATE RELATION r (x STRING)").ok());
+  const uint64_t misses_before = misses->value();
+  ASSERT_TRUE(client.Execute("SELECT COUNT(*) FROM r").ok());
+  EXPECT_EQ(misses->value(), misses_before + 1);
+}
+
+TEST_F(ServerTest, BatchWithDdlInvalidatesCacheMidBatch) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+
+  Counter* invalidations =
+      db_->metrics()->GetCounter("nf2_stmtcache_invalidations_total");
+  const uint64_t before = invalidations->value();
+  auto results = client.ExecuteBatch({
+      "CREATE RELATION s (x STRING)",
+      "SELECT COUNT(*) FROM s",
+      "DROP RELATION s",
+  });
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // CREATE and DROP each invalidated.
+  EXPECT_EQ(invalidations->value(), before + 2);
+  EXPECT_EQ(server->session_manager()->statement_cache()->size(), 0u);
+}
+
+TEST_F(ServerTest, SleepWithoutMillisecondsIsRejected) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+  for (const char* bad : {"\\sleep", "\\sleep ", "\\sleep   "}) {
+    auto out = client.Execute(bad);
+    ASSERT_FALSE(out.ok()) << "'" << bad << "' was accepted: " << *out;
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(out.status().message().find("milliseconds"), std::string::npos);
+  }
+  auto ok = client.Execute("\\sleep 1");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, "slept 1 ms");
+}
+
+// Session-level batch semantics without sockets: the read-run gate
+// sharing must not deadlock against meta commands or writes that take
+// their own locks, and results stay positional.
+TEST_F(ServerTest, SessionExecuteBatchDirect) {
+  server::SessionManager manager(db_.get());
+  auto session = manager.NewSession();
+  auto results = session->ExecuteBatch({
+      "CREATE RELATION t (x STRING)",
+      "INSERT INTO t VALUES (a)",
+      "SELECT COUNT(*) FROM t",
+      "LIST",
+      "\\metrics",
+      "SELECT COUNT(*) FROM t",
+      "",
+      "DROP RELATION t",
+  });
+  ASSERT_EQ(results.size(), 8u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_EQ(*results[2], "1");
+  EXPECT_TRUE(results[3].ok());
+  EXPECT_TRUE(results[4].ok());
+  EXPECT_EQ(*results[5], "1");
+  ASSERT_FALSE(results[6].ok());
+  EXPECT_EQ(results[6].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[7].ok());
+}
+
+TEST_F(ServerTest, LargeReadOnlyBatchOverOneConnection) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Execute("CREATE RELATION r (x STRING)").ok());
+  ASSERT_TRUE(client.Execute("INSERT INTO r VALUES (a), (b), (c)").ok());
+
+  std::vector<std::string> batch(64, "SELECT COUNT(*) FROM r");
+  auto results = client.ExecuteBatch(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 64u);
+  for (const auto& r : *results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, "3");
+  }
+  // 63 of the 64 identical statements were cache hits.
+  EXPECT_GE(db_->metrics()->GetCounter("nf2_stmtcache_hits_total")->value(),
+            63u);
+}
+
 }  // namespace
 }  // namespace nf2

@@ -17,6 +17,13 @@ when the run's host_cores is at least 4 — a 1-core runner physically
 cannot scale concurrent reads, so there the factor is reported without
 being enforced.
 
+A pipelining section gates the protocol-v1 batch speedup: one kBatch
+frame of N statements must beat N individual kQuery round-trips by at
+least --pipelining-floor (default 2.0). Unlike read scaling this does
+not depend on core count — batching removes frame turnarounds and gate
+acquisitions on a single connection — so it is always enforced. The
+statement-cache hit rate embedded in the section is reported alongside.
+
 Exit code 0 = OK, 1 = regression (or broken counters), 2 = usage error.
 """
 
@@ -47,6 +54,13 @@ def main():
         default=2.0,
         help="minimum 1->4-client read scaling, enforced only when the "
         "run reports host_cores >= 4 (default 2.0)",
+    )
+    parser.add_argument(
+        "--pipelining-floor",
+        type=float,
+        default=2.0,
+        help="minimum kBatch-over-kQuery speedup for the pipelining "
+        "section, always enforced (default 2.0)",
     )
     args = parser.parse_args()
 
@@ -90,6 +104,21 @@ def main():
                 print(
                     f"  info {name}: 1->4 scaling x{scaling:.2f} on "
                     f"{host_cores} core(s) — floor not enforced below 4"
+                )
+        if name == "pipelining":
+            speedup = float(new.get("batch_speedup", 0.0))
+            hit_rate = float(new.get("stmtcache_hit_rate", 0.0))
+            if speedup < args.pipelining_floor:
+                print(
+                    f"  FAIL {name}: batch speedup x{speedup:.2f} below "
+                    f"floor x{args.pipelining_floor:.2f}"
+                )
+                failed = True
+            else:
+                print(
+                    f"  ok   {name}: batch speedup x{speedup:.2f} "
+                    f"(floor x{args.pipelining_floor:.2f}), statement "
+                    f"cache hit rate {hit_rate:.1%}"
                 )
         base = base_sections.get(name)
         if base is None:

@@ -1,15 +1,28 @@
 // nf2_client — command-line client for nf2d.
 //
-//   $ nf2_client --host A.B.C.D --port N [-e STMT]... [--ping]
+//   $ nf2_client --host A.B.C.D --port N [-e STMT]... [--ping] [--batch]
 //
 // With -e flags, executes each statement in order and prints the
-// results; otherwise reads one statement per line from stdin. Exits
-// non-zero if any statement fails (kBusy counts as failure — retry
-// loops belong in the caller). --ping round-trips a ping frame first.
+// results; otherwise reads one statement per line from stdin. --batch
+// ships all statements in one kBatch frame (protocol v1) instead of one
+// round-trip each. --ping round-trips a ping frame first.
+//
+// A kBusy response is retried with bounded jittered backoff (the server
+// did not execute the request, so a retry is always safe); a statement
+// still failing after that counts as a statement error.
+//
+// Exit codes: 0 = every statement succeeded, 1 = at least one statement
+// failed (server answered with an error), 2 = usage or connect/transport
+// failure (no server answer to report).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "server/client.h"
@@ -17,11 +30,41 @@
 
 namespace {
 
+constexpr int kExitStatementError = 1;
+constexpr int kExitTransportError = 2;
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host A.B.C.D] [--port N] [-e STMT]... [--ping]\n",
+               "usage: %s [--host A.B.C.D] [--port N] [-e STMT]... [--ping] "
+               "[--batch]\n",
                argv0);
-  return 2;
+  return kExitTransportError;
+}
+
+/// Retries `attempt` while it reports kUnavailable from the server
+/// (kBusy: the request was not executed, so retrying is safe) with
+/// bounded jittered exponential backoff. Any other outcome — success,
+/// statement error, transport failure — is returned as-is.
+template <typename T>
+nf2::Result<T> RetryBusy(
+    const std::function<nf2::Result<T>(bool* remote_error)>& attempt,
+    bool* remote_error) {
+  constexpr int kMaxAttempts = 6;
+  constexpr auto kBaseDelay = std::chrono::milliseconds(20);
+  static std::mt19937 rng{std::random_device{}()};
+  auto delay = kBaseDelay;
+  for (int tries = 1;; ++tries) {
+    nf2::Result<T> out = attempt(remote_error);
+    if (out.ok() || out.status().code() != nf2::StatusCode::kUnavailable ||
+        !*remote_error || tries >= kMaxAttempts) {
+      return out;
+    }
+    // Full jitter: sleeping a uniform slice of the doubling window keeps
+    // retrying clients from re-colliding in lockstep.
+    std::uniform_int_distribution<long> jitter(1, delay.count());
+    std::this_thread::sleep_for(std::chrono::milliseconds(jitter(rng)));
+    delay *= 2;
+  }
 }
 
 }  // namespace
@@ -30,11 +73,14 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   long port = 4234;
   bool ping = false;
+  bool batch = false;
   std::vector<std::string> statements;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--ping") {
       ping = true;
+    } else if (flag == "--batch") {
+      batch = true;
     } else if (flag == "--host" && i + 1 < argc) {
       host = argv[++i];
     } else if (flag == "--port" && i + 1 < argc) {
@@ -52,21 +98,29 @@ int main(int argc, char** argv) {
   if (!client.ok()) {
     std::fprintf(stderr, "cannot connect: %s\n",
                  client.status().ToString().c_str());
-    return 1;
+    return kExitTransportError;
   }
 
   if (ping) {
     nf2::Status s = client->Ping();
     if (!s.ok()) {
       std::fprintf(stderr, "ping failed: %s\n", s.ToString().c_str());
-      return 1;
+      return kExitTransportError;
     }
     std::printf("pong\n");
   }
 
+  if (statements.empty() && !ping) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::string trimmed = nf2::Trim(line);
+      if (!trimmed.empty()) statements.push_back(std::move(trimmed));
+    }
+  }
+
   int failures = 0;
-  auto run = [&](const std::string& stmt) {
-    nf2::Result<std::string> out = client->Execute(stmt);
+  bool transport_failed = false;
+  auto report = [&](const nf2::Result<std::string>& out) {
     if (out.ok()) {
       std::printf("%s\n", out->c_str());
     } else {
@@ -75,21 +129,57 @@ int main(int argc, char** argv) {
     }
   };
 
-  if (!statements.empty()) {
-    for (const std::string& stmt : statements) run(stmt);
-  } else if (!ping) {
-    std::string line;
-    while (std::getline(std::cin, line)) {
-      std::string trimmed = nf2::Trim(line);
-      if (trimmed.empty()) continue;
-      run(trimmed);
+  if (batch) {
+    // Ship in protocol-limit-sized chunks; almost always exactly one.
+    for (size_t begin = 0;
+         begin < statements.size() && !transport_failed;
+         begin += nf2::server::kMaxBatchStatements) {
+      const size_t end = std::min(
+          statements.size(), begin + nf2::server::kMaxBatchStatements);
+      std::vector<std::string> chunk(statements.begin() + begin,
+                                     statements.begin() + end);
+      bool remote = false;
+      auto results = RetryBusy<std::vector<nf2::Result<std::string>>>(
+          [&](bool* remote_error) {
+            return client->ExecuteBatch(chunk, remote_error);
+          },
+          &remote);
+      if (!results.ok()) {
+        std::fprintf(stderr, "batch failed: %s\n",
+                     results.status().ToString().c_str());
+        if (remote) {
+          failures += static_cast<int>(chunk.size());
+        } else {
+          transport_failed = true;
+        }
+        continue;
+      }
+      for (const auto& out : *results) report(out);
+    }
+  } else {
+    for (const std::string& stmt : statements) {
+      bool remote = false;
+      auto out = RetryBusy<std::string>(
+          [&](bool* remote_error) {
+            return client->Execute(stmt, remote_error);
+          },
+          &remote);
+      if (!out.ok() && !remote) {
+        std::fprintf(stderr, "transport failure: %s\n",
+                     out.status().ToString().c_str());
+        transport_failed = true;
+        break;
+      }
+      report(out);
     }
   }
+
+  if (transport_failed) return kExitTransportError;
 
   nf2::Status quit = client->Quit();
   if (!quit.ok()) {
     std::fprintf(stderr, "quit failed: %s\n", quit.ToString().c_str());
-    return 1;
+    return kExitTransportError;
   }
-  return failures == 0 ? 0 : 1;
+  return failures == 0 ? 0 : kExitStatementError;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "engine/database.h"
 #include "nfrql/executor.h"
@@ -37,6 +38,8 @@ constexpr char kHelp[] = R"(NFRQL statements:
   BEGIN | COMMIT | ROLLBACK
   \metrics [prom]      engine metrics (human or Prometheus text format)
   \timing              toggle per-statement wall-clock reporting
+  \batch               start collecting statements instead of executing
+                       (\go runs them all in order, \batch again discards)
   help | quit)";
 
 }  // namespace
@@ -57,8 +60,10 @@ int main(int argc, char** argv) {
 
   std::string line;
   bool timing = false;
+  bool batching = false;
+  std::vector<std::string> batch;
   while (true) {
-    std::printf("nfrql> ");
+    std::printf(batching ? "batch> " : "nfrql> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     std::string trimmed = nf2::Trim(line);
@@ -72,6 +77,53 @@ int main(int argc, char** argv) {
     if (lower == "\\timing") {
       timing = !timing;
       std::printf("timing %s\n", timing ? "on" : "off");
+      continue;
+    }
+    if (lower == "\\batch") {
+      if (batching) {
+        std::printf("batch discarded (%zu statements)\n", batch.size());
+        batch.clear();
+      } else {
+        std::printf("batch mode — statements queue until \\go\n");
+      }
+      batching = !batching;
+      continue;
+    }
+    if (lower == "\\go") {
+      if (!batching) {
+        std::printf("error: \\go outside batch mode (start with \\batch)\n");
+        continue;
+      }
+      // Same semantics as a kBatch frame against nf2d: in-order
+      // execution, per-statement results, errors don't stop the batch.
+      const auto batch_start = std::chrono::steady_clock::now();
+      size_t failed = 0;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        nf2::Result<std::string> out = executor.Execute(batch[i]);
+        std::printf("[%zu] ", i + 1);
+        if (out.ok()) {
+          std::printf("%s\n", out->c_str());
+        } else {
+          std::printf("error: %s\n", out.status().ToString().c_str());
+          ++failed;
+        }
+      }
+      const auto batch_elapsed =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - batch_start);
+      std::printf("batch: %zu statements, %zu failed", batch.size(), failed);
+      if (timing) {
+        std::printf(", %.3f ms",
+                    static_cast<double>(batch_elapsed.count()) / 1000.0);
+      }
+      std::printf("\n");
+      batch.clear();
+      batching = false;
+      continue;
+    }
+    if (batching) {
+      batch.push_back(trimmed);
+      std::printf("queued [%zu]\n", batch.size());
       continue;
     }
     if (lower == "\\metrics" || lower == "\\metrics prom") {

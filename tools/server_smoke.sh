@@ -46,8 +46,43 @@ echo "$OUT" | grep -q "nf2_server_requests_total" || {
   echo "metrics missing"; echo "$OUT"; exit 1; }
 
 # Several statements through stdin mode, including an expected error.
-printf 'LIST\nSELECT * FROM nonesuch\n' | "$CLIENT" --port "$PORT" && {
-  echo "expected nonzero exit for failing statement"; exit 1; } || true
+# A statement the server answers with an error must exit exactly 1.
+EXIT_CODE=0
+printf 'LIST\nSELECT * FROM nonesuch\n' | "$CLIENT" --port "$PORT" || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 1 ]] || {
+  echo "statement error exited $EXIT_CODE, want 1"; exit 1; }
+
+# A connect failure (nothing listens on port 1) must exit exactly 2.
+EXIT_CODE=0
+"$CLIENT" --port 1 -e "LIST" 2>/dev/null || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 2 ]] || {
+  echo "connect failure exited $EXIT_CODE, want 2"; exit 1; }
+
+# Protocol v1: the same workload through one kBatch frame, mixed
+# reads/writes, plus a mid-batch error that must not stop the batch
+# (exit 1, but the trailing statements still ran and printed).
+BATCH_OUT=$("$CLIENT" --port "$PORT" --batch \
+  -e "INSERT INTO takes VALUES (eve, logic, chess)" \
+  -e "SELECT COUNT(*) FROM takes" \
+  -e "SELECT COUNT(*) FROM takes") || {
+    echo "batch failed"; echo "$BATCH_OUT"; exit 1; }
+echo "$BATCH_OUT" | grep -q "^4$" || {
+  echo "batch COUNT mismatch"; echo "$BATCH_OUT"; exit 1; }
+EXIT_CODE=0
+BATCH_OUT=$("$CLIENT" --port "$PORT" --batch \
+  -e "SELECT * FROM nonesuch" \
+  -e "SELECT COUNT(*) FROM takes") || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 1 ]] || {
+  echo "mid-batch error exited $EXIT_CODE, want 1"; exit 1; }
+echo "$BATCH_OUT" | grep -q "^4$" || {
+  echo "batch did not continue past the error"; echo "$BATCH_OUT"; exit 1; }
+
+# The statement cache saw those repeated COUNTs: counters are live.
+# (Capture, then grep: grep -q quitting early would SIGPIPE the client
+# and fail the pipeline under pipefail even on a match.)
+METRICS=$("$CLIENT" --port "$PORT" -e "\\metrics prom")
+echo "$METRICS" | grep -q "^nf2_stmtcache_hits_total [1-9]" || {
+  echo "statement cache hits missing from metrics"; exit 1; }
 
 # Graceful shutdown: SIGTERM must checkpoint and exit 0.
 kill -TERM "$SERVER_PID"
@@ -67,8 +102,9 @@ for _ in $(seq 1 50); do
   sleep 0.2
 done
 [[ -n "$PORT" ]] || { cat "$LOG.2"; echo "restarted nf2d never listened"; exit 1; }
+# 3 rows from the first leg + eve from the batch leg.
 COUNT=$("$CLIENT" --port "$PORT" -e "SELECT COUNT(*) FROM takes")
-[[ "$COUNT" == "3" ]] || { echo "post-restart count '$COUNT' != 3"; exit 1; }
+[[ "$COUNT" == "4" ]] || { echo "post-restart count '$COUNT' != 4"; exit 1; }
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
