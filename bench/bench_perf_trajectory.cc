@@ -1,6 +1,6 @@
 // Perf-trajectory harness: times the dictionary-encoded hot paths
 // against the retained Value-keyed legacy paths on the same workloads
-// and emits a machine-readable JSON file (default BENCH_PR4.json, or
+// and emits a machine-readable JSON file (default BENCH_PR6.json, or
 // argv[1]) so successive PRs leave a comparable throughput record.
 // argv[2] overrides the workload row count (CI runs a small smoke
 // workload; section names and per-op rates stay comparable).
@@ -285,13 +285,17 @@ Section BenchWalDurability(const FlatRelation& flat, const Permutation& perm,
 }
 
 /// Multi-client read throughput through the full nf2d stack: TCP frame
-/// protocol -> worker pool -> shared-reader gate -> executor. The same
+/// protocol -> worker pool -> snapshot read path -> executor. The same
 /// total query count is issued by 1, 2, and 4 concurrent clients
 /// (baseline = 1 client, optimized = 4), so Speedup() is directly the
-/// 1->4 read-scaling factor. On a multi-core host the shared gate
-/// should scale reads near-linearly until workers saturate cores;
-/// bench_check.py enforces the floor only when host_cores >= 4, since
-/// concurrency cannot beat 1x on a single core.
+/// 1->4 read-scaling factor. Every run races a write trickle: a
+/// background client committing autocommit inserts into a separate
+/// "trickle" relation, so readers contend with real publishes while
+/// the benched COUNT stays constant. Under the old shared gate the
+/// trickle would serialize against every read; under MVCC snapshots
+/// readers never block on it. bench_check.py enforces the floor only
+/// when host_cores >= 4, since concurrency cannot beat 1x on a single
+/// core.
 Section BenchServerReadScaling(const FlatRelation& flat,
                                const Permutation& perm,
                                size_t total_queries) {
@@ -311,15 +315,23 @@ Section BenchServerReadScaling(const FlatRelation& flat,
   for (const FlatTuple& t : flat.tuples()) {
     NF2_CHECK((*db)->Insert("bench", t).ok());
   }
+  NF2_CHECK((*db)
+                ->CreateRelation("trickle", Schema::OfStrings({"K", "V"}),
+                                 {0, 1}, {})
+                .ok())
+      << "trickle relation";
   const std::string expected = StrCat(flat.size());
 
   server::ServerOptions options;
   options.port = 0;
-  options.workers = 4;
+  options.workers = 5;  // 4 read clients + the write trickle.
   server::Server srv(db->get(), options);
   NF2_CHECK(srv.Start().ok());
 
   std::atomic<bool> all_correct{true};
+  // Monotone across runs so the trickle never re-inserts a tuple it
+  // already committed in an earlier run (kAlreadyExists).
+  uint64_t trickle_seq = 0;
   auto run_clients = [&](int clients) -> double {
     std::vector<server::Client> conns;
     conns.reserve(clients);
@@ -328,8 +340,24 @@ Section BenchServerReadScaling(const FlatRelation& flat,
       NF2_CHECK(conn.ok()) << conn.status().ToString();
       conns.push_back(*std::move(conn));
     }
+    auto trickler = server::Client::Connect("127.0.0.1", srv.port());
+    NF2_CHECK(trickler.ok()) << trickler.status().ToString();
+    std::atomic<bool> stop_trickle{false};
     const size_t per_client = total_queries / clients;
     double sec = SecondsOf([&] {
+      // The trickle: steady autocommit writes (each one a WAL append,
+      // a §4 insert, and a snapshot publish) into a relation the
+      // readers never touch, paced so it contends without dominating a
+      // small host.
+      std::thread trickle([&] {
+        while (!stop_trickle.load(std::memory_order_acquire)) {
+          const uint64_t i = trickle_seq++;
+          auto r = trickler->Execute(
+              StrCat("INSERT INTO trickle VALUES (k", i % 97, ", v", i, ")"));
+          if (!r.ok()) all_correct = false;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
       std::vector<std::thread> threads;
       threads.reserve(clients);
       for (int c = 0; c < clients; ++c) {
@@ -341,8 +369,11 @@ Section BenchServerReadScaling(const FlatRelation& flat,
         });
       }
       for (std::thread& t : threads) t.join();
+      stop_trickle.store(true, std::memory_order_release);
+      trickle.join();
     });
     for (server::Client& conn : conns) NF2_CHECK(conn.Quit().ok());
+    NF2_CHECK(trickler->Quit().ok());
     return sec;
   };
 
@@ -354,7 +385,8 @@ Section BenchServerReadScaling(const FlatRelation& flat,
   out.optimized_sec = run_clients(4);
   out.counters_identical = all_correct.load();
   NF2_CHECK(out.counters_identical)
-      << "a concurrent read returned the wrong count";
+      << "a concurrent read returned the wrong count (or a trickle "
+         "write failed)";
 
   srv.Stop();
   db->reset();
@@ -452,9 +484,8 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
   std::ofstream file(path, std::ios::trunc);
   NF2_CHECK(file.is_open()) << "cannot write " << path;
   file << "{\n";
-  file << "  \"pr\": 5,\n";
-  file << "  \"title\": \"protocol v1: pipelined batches + statement cache\","
-          "\n";
+  file << "  \"pr\": 6,\n";
+  file << "  \"title\": \"MVCC snapshot reads: lock-free read path\",\n";
   // Scaling sections are only meaningful relative to the host's core
   // count; the checker reads this to decide whether to enforce floors.
   file << "  \"host_cores\": " << std::thread::hardware_concurrency()
@@ -540,7 +571,7 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR5.json";
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR6.json";
   const size_t workload_rows =
       argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : 10000;
   NF2_CHECK(workload_rows >= 100) << "workload needs at least 100 rows";

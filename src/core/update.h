@@ -99,6 +99,15 @@ class CanonicalRelation {
   /// select for `attr = value` returns.
   NfrRelation TuplesContaining(size_t attr, const Value& value) const;
 
+  /// Id-space twin of TuplesContaining for kInterned relations: the
+  /// caller resolves `value` to its ValueId against a dictionary of its
+  /// choosing, and the lookup then never touches dict_ — which is what
+  /// lets a snapshot reader (engine/snapshot.h) answer point queries
+  /// against a frozen dictionary while writers intern into the live
+  /// one. Answered from the inverted index when available, falling
+  /// back to a scan of the encoded mirror.
+  NfrRelation TuplesContainingId(size_t attr, ValueId id) const;
+
   /// §4.2: inserts simple tuple `t`, restoring canonical form via the
   /// candidate-tuple / recons procedure. AlreadyExists if present.
   Status Insert(const FlatTuple& t);

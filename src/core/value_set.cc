@@ -7,14 +7,30 @@
 
 namespace nf2 {
 
-ValueSet::ValueSet(Value v) { values_.push_back(std::move(v)); }
+const std::vector<Value>& ValueSet::EmptyRep() {
+  static const std::vector<Value> kEmpty;
+  return kEmpty;
+}
+
+void ValueSet::Adopt(std::vector<Value> values) {
+  if (values.empty()) {
+    rep_.reset();
+  } else {
+    rep_ = std::make_shared<const std::vector<Value>>(std::move(values));
+  }
+}
+
+ValueSet::ValueSet(Value v) {
+  Adopt(std::vector<Value>{std::move(v)});
+}
 
 ValueSet::ValueSet(std::initializer_list<Value> values)
     : ValueSet(std::vector<Value>(values)) {}
 
-ValueSet::ValueSet(std::vector<Value> values) : values_(std::move(values)) {
-  std::sort(values_.begin(), values_.end());
-  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+ValueSet::ValueSet(std::vector<Value> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Adopt(std::move(values));
 }
 
 ValueSet ValueSet::FromSortedUnique(std::vector<Value> values) {
@@ -22,70 +38,98 @@ ValueSet ValueSet::FromSortedUnique(std::vector<Value> values) {
              std::adjacent_find(values.begin(), values.end()) == values.end())
       << "FromSortedUnique input not sorted-unique";
   ValueSet out;
-  out.values_ = std::move(values);
+  out.Adopt(std::move(values));
   return out;
 }
 
 const Value& ValueSet::single() const {
-  NF2_CHECK(IsSingleton()) << "ValueSet::single() on set of size "
-                           << values_.size();
-  return values_[0];
+  NF2_CHECK(IsSingleton()) << "ValueSet::single() on set of size " << size();
+  return values()[0];
 }
 
 bool ValueSet::Contains(const Value& v) const {
-  return std::binary_search(values_.begin(), values_.end(), v);
+  const std::vector<Value>& elems = values();
+  return std::binary_search(elems.begin(), elems.end(), v);
 }
 
 bool ValueSet::Insert(const Value& v) {
-  auto it = std::lower_bound(values_.begin(), values_.end(), v);
-  if (it != values_.end() && *it == v) {
+  const std::vector<Value>& elems = values();
+  auto it = std::lower_bound(elems.begin(), elems.end(), v);
+  if (it != elems.end() && *it == v) {
     return false;
   }
-  values_.insert(it, v);
+  // Copy-on-write: build the new vector rather than touching the old
+  // rep — a snapshot sharing it may be mid-read on another thread.
+  std::vector<Value> next;
+  next.reserve(elems.size() + 1);
+  next.insert(next.end(), elems.begin(), it);
+  next.push_back(v);
+  next.insert(next.end(), it, elems.end());
+  Adopt(std::move(next));
   return true;
 }
 
 bool ValueSet::Erase(const Value& v) {
-  auto it = std::lower_bound(values_.begin(), values_.end(), v);
-  if (it == values_.end() || *it != v) {
+  const std::vector<Value>& elems = values();
+  auto it = std::lower_bound(elems.begin(), elems.end(), v);
+  if (it == elems.end() || *it != v) {
     return false;
   }
-  values_.erase(it);
+  std::vector<Value> next;
+  next.reserve(elems.size() - 1);
+  next.insert(next.end(), elems.begin(), it);
+  next.insert(next.end(), it + 1, elems.end());
+  Adopt(std::move(next));
   return true;
 }
 
 ValueSet ValueSet::Union(const ValueSet& other) const {
+  std::vector<Value> merged;
+  merged.reserve(size() + other.size());
+  const std::vector<Value>& a = values();
+  const std::vector<Value>& b = other.values();
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(merged));
   ValueSet out;
-  out.values_.reserve(values_.size() + other.values_.size());
-  std::set_union(values_.begin(), values_.end(), other.values_.begin(),
-                 other.values_.end(), std::back_inserter(out.values_));
+  out.Adopt(std::move(merged));
   return out;
 }
 
 ValueSet ValueSet::Intersect(const ValueSet& other) const {
+  std::vector<Value> merged;
+  const std::vector<Value>& a = values();
+  const std::vector<Value>& b = other.values();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(merged));
   ValueSet out;
-  std::set_intersection(values_.begin(), values_.end(), other.values_.begin(),
-                        other.values_.end(),
-                        std::back_inserter(out.values_));
+  out.Adopt(std::move(merged));
   return out;
 }
 
 ValueSet ValueSet::Difference(const ValueSet& other) const {
+  std::vector<Value> merged;
+  const std::vector<Value>& a = values();
+  const std::vector<Value>& b = other.values();
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(merged));
   ValueSet out;
-  std::set_difference(values_.begin(), values_.end(), other.values_.begin(),
-                      other.values_.end(), std::back_inserter(out.values_));
+  out.Adopt(std::move(merged));
   return out;
 }
 
 bool ValueSet::IsSubsetOf(const ValueSet& other) const {
-  return std::includes(other.values_.begin(), other.values_.end(),
-                       values_.begin(), values_.end());
+  if (rep_ == other.rep_) return true;
+  const std::vector<Value>& a = values();
+  const std::vector<Value>& b = other.values();
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
 
 bool ValueSet::IsDisjointFrom(const ValueSet& other) const {
-  auto a = values_.begin();
-  auto b = other.values_.begin();
-  while (a != values_.end() && b != other.values_.end()) {
+  const std::vector<Value>& avec = values();
+  const std::vector<Value>& bvec = other.values();
+  auto a = avec.begin();
+  auto b = bvec.begin();
+  while (a != avec.end() && b != bvec.end()) {
     int cmp = a->Compare(*b);
     if (cmp == 0) return false;
     if (cmp < 0) {
@@ -98,20 +142,23 @@ bool ValueSet::IsDisjointFrom(const ValueSet& other) const {
 }
 
 bool ValueSet::operator<(const ValueSet& other) const {
-  return std::lexicographical_compare(values_.begin(), values_.end(),
-                                      other.values_.begin(),
-                                      other.values_.end());
+  if (rep_ == other.rep_) return false;
+  const std::vector<Value>& a = values();
+  const std::vector<Value>& b = other.values();
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
 }
 
 size_t ValueSet::Hash() const {
-  return HashRange(values_.begin(), values_.end());
+  const std::vector<Value>& elems = values();
+  return HashRange(elems.begin(), elems.end());
 }
 
 std::string ValueSet::ToString() const {
+  const std::vector<Value>& elems = values();
   std::string out;
-  for (size_t i = 0; i < values_.size(); ++i) {
+  for (size_t i = 0; i < elems.size(); ++i) {
     if (i > 0) out += ",";
-    out += values_[i].ToString();
+    out += elems[i].ToString();
   }
   return out;
 }

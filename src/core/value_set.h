@@ -2,6 +2,7 @@
 #define NF2_CORE_VALUE_SET_H_
 
 #include <initializer_list>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -13,13 +14,22 @@ namespace nf2 {
 /// A finite set of atomic values — one tuple component of an NFR tuple
 /// (the `Ei(ei1, ..., eiri)` pieces of the paper's notation, §3.1).
 ///
-/// Stored as a sorted, duplicate-free vector: NFR components are small
+/// Logically a sorted, duplicate-free vector: NFR components are small
 /// in practice, and the sorted representation makes set-equality (the
 /// precondition of composition, Def. 1) a linear scan and keeps the
 /// printed form canonical.
+///
+/// Physically copy-on-write: the element vector lives behind a
+/// shared_ptr-to-const, so copying a ValueSet is a refcount bump and
+/// copying an NFR tuple (or a whole relation, as the engine's snapshot
+/// publish does) shares every component instead of deep-copying it.
+/// A published rep is immutable forever — every mutating operation
+/// builds a fresh vector and swaps the pointer — so concurrently
+/// reading two ValueSets that share a rep is race-free by construction
+/// (engine/snapshot.h relies on exactly this).
 class ValueSet {
  public:
-  /// Constructs the empty set.
+  /// Constructs the empty set (no allocation: the null rep is empty).
   ValueSet() = default;
 
   /// Constructs the singleton {v}.
@@ -35,13 +45,18 @@ class ValueSet {
   static ValueSet FromSortedUnique(std::vector<Value> values);
 
   /// Number of elements.
-  size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
-  bool IsSingleton() const { return values_.size() == 1; }
+  size_t size() const { return rep_ == nullptr ? 0 : rep_->size(); }
+  bool empty() const { return rep_ == nullptr || rep_->empty(); }
+  bool IsSingleton() const { return size() == 1; }
 
-  /// Elements in ascending order.
-  const std::vector<Value>& values() const { return values_; }
-  const Value& operator[](size_t i) const { return values_[i]; }
+  /// Elements in ascending order. The reference is into the current
+  /// rep: like the reference a vector would hand out, it is invalidated
+  /// by the next mutation of THIS set (other sets sharing the rep keep
+  /// it alive).
+  const std::vector<Value>& values() const {
+    return rep_ == nullptr ? EmptyRep() : *rep_;
+  }
+  const Value& operator[](size_t i) const { return values()[i]; }
 
   /// The single element of a singleton set (fatal otherwise).
   const Value& single() const;
@@ -67,11 +82,10 @@ class ValueSet {
   bool IsDisjointFrom(const ValueSet& other) const;
 
   bool operator==(const ValueSet& other) const {
-    return values_ == other.values_;
+    // Shared-rep fast path: COW copies compare pointer-equal.
+    return rep_ == other.rep_ || values() == other.values();
   }
-  bool operator!=(const ValueSet& other) const {
-    return values_ != other.values_;
-  }
+  bool operator!=(const ValueSet& other) const { return !(*this == other); }
   /// Lexicographic order on the sorted element sequences.
   bool operator<(const ValueSet& other) const;
 
@@ -83,7 +97,15 @@ class ValueSet {
   std::string ToString() const;
 
  private:
-  std::vector<Value> values_;  // Sorted ascending, no duplicates.
+  static const std::vector<Value>& EmptyRep();
+
+  /// Adopts `values` (already sorted-unique) as the new rep; an empty
+  /// vector becomes the allocation-free null rep.
+  void Adopt(std::vector<Value> values);
+
+  /// Sorted ascending, no duplicates; null means empty. Immutable once
+  /// set — mutations Adopt() a fresh vector.
+  std::shared_ptr<const std::vector<Value>> rep_;
 };
 
 std::ostream& operator<<(std::ostream& os, const ValueSet& set);

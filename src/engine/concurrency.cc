@@ -1,5 +1,6 @@
 #include "engine/concurrency.h"
 
+#include <chrono>
 #include <type_traits>
 #include <variant>
 
@@ -12,6 +13,9 @@ void EngineGate::AcquireShared() {
   reader_cv_.wait(lock,
                   [this] { return !writer_active_ && waiting_writers_ == 0; });
   ++active_readers_;
+  if (metrics_.shared_acquires != nullptr) {
+    metrics_.shared_acquires->Increment();
+  }
 }
 
 void EngineGate::ReleaseShared() {
@@ -23,12 +27,22 @@ void EngineGate::ReleaseShared() {
 }
 
 void EngineGate::AcquireExclusive() {
+  const auto start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   ++waiting_writers_;
   writer_cv_.wait(lock,
                   [this] { return !writer_active_ && active_readers_ == 0; });
   --waiting_writers_;
   writer_active_ = true;
+  if (metrics_.write_acquires != nullptr) {
+    metrics_.write_acquires->Increment();
+  }
+  if (metrics_.write_wait_ns != nullptr) {
+    metrics_.write_wait_ns->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
 }
 
 void EngineGate::ReleaseExclusive() {

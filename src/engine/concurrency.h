@@ -6,35 +6,36 @@
 #include <mutex>
 
 #include "nfrql/ast.h"
+#include "obs/metrics.h"
 
 namespace nf2 {
 
-/// Reader/writer gate over one Database — the concurrency layer the
-/// server (src/server/) drives, usable on its own by any embedder that
-/// wants shared readers.
+/// Reader/writer gate over one Database — the writer-serialization
+/// layer the server (src/server/) drives, usable on its own by any
+/// embedder.
 ///
-/// Locking discipline (DESIGN.md §8): statements classified read-only
-/// by IsReadOnlyStatement run concurrently under shared locks; every
-/// mutating statement — including BEGIN/COMMIT/ROLLBACK and CHECKPOINT
-/// — serializes under the exclusive lock for the duration of that one
-/// statement. Theorem A-4 is what makes the single writer lock viable:
-/// the §4 composition count per insert/delete is bounded by a function
-/// of the degree alone, independent of |R|, so writer critical sections
-/// stay short no matter how large the relation grows.
+/// Locking discipline (DESIGN.md §8/§9): every mutating statement —
+/// including BEGIN/COMMIT/ROLLBACK and CHECKPOINT — serializes under
+/// the exclusive lock for the duration of that one statement. Theorem
+/// A-4 is what makes the single writer lock viable: the §4 composition
+/// count per insert/delete is bounded by a function of the degree
+/// alone, independent of |R|, so writer critical sections stay short
+/// no matter how large the relation grows.
 ///
-/// The gate is writer-preferring, implemented by hand rather than on
-/// std::shared_mutex: glibc's rwlock prefers readers by default, and a
-/// steady stream of short reads then starves writers indefinitely —
-/// exactly the torture-test workload. Here a waiting writer blocks new
-/// readers from entering, so writes are admitted after at most the
-/// readers already in flight.
+/// Statements classified read-only by IsReadOnlyStatement do NOT come
+/// here at all since the MVCC snapshot read path landed: they pin an
+/// immutable DatabaseSnapshot (engine/snapshot.h) and execute with
+/// zero gate traffic. The shared mode is retained for embedders that
+/// want to freeze the live engine state briefly (the server's shutdown
+/// sequence peeks at open transactions this way), so the gate keeps
+/// its writer preference: a waiting writer bars new shared entrants,
+/// bounding writer admission by the holders already in flight.
 ///
 /// Writer-side obligation: any lazily materialized, logically-const
-/// cache a reader could touch must be forced while the exclusive lock
-/// is still held. The dictionary rank table is the one such cache today
-/// (ValueDictionary::MaterializeRanks); server::Session honors this
-/// after every mutating statement, and Database::Recover() after
-/// replay.
+/// state a reader could observe must be forced before the new state is
+/// published. Database::PublishSnapshot() materializes the dictionary
+/// rank table and freezes the dictionary before the snapshot pointer
+/// swap, so snapshot readers see only genuinely immutable data.
 class EngineGate {
  public:
   EngineGate() = default;
@@ -89,6 +90,11 @@ class EngineGate {
   /// statement.
   ExclusiveLock LockExclusive() { return ExclusiveLock(this); }
 
+  /// Mirrors acquisitions (and writer wait time) into the given metric
+  /// handles. Call before the gate sees traffic; an all-null set (the
+  /// default) records nothing.
+  void set_metrics(const GateMetrics& metrics) { metrics_ = metrics; }
+
  private:
   void AcquireShared();
   void ReleaseShared();
@@ -102,6 +108,7 @@ class EngineGate {
   uint64_t active_readers_ = 0;
   uint64_t waiting_writers_ = 0;
   bool writer_active_ = false;
+  GateMetrics metrics_;  // Handles are themselves thread-safe.
 };
 
 /// True when executing `stmt` cannot mutate engine state, so it may run

@@ -151,6 +151,14 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
       "nf2_dict_values", "Distinct atoms in the shared dictionary");
   db->metric_relations_ = reg->GetGauge(
       "nf2_relations", "Relations in the catalog");
+  db->metric_snapshots_published_ = reg->GetCounter(
+      "nf2_snapshot_published_total", "Snapshots published at commits");
+  db->snapshot_tracker_ = std::make_shared<SnapshotTracker>();
+  db->snapshot_tracker_->BindGauges(
+      reg->GetGauge("nf2_snapshot_pinned",
+                    "Snapshot versions currently alive (pinned)"),
+      reg->GetGauge("nf2_snapshot_oldest_age_ms",
+                    "Age of the oldest live snapshot version (ms)"));
   WriteAheadLog::Options wal_options;
   wal_options.sync_on_commit = options.sync_wal;
   wal_options.metrics = reg;
@@ -282,14 +290,51 @@ Status Database::Recover() {
         break;
     }
   }
-  // A transaction cut off by a crash is implicitly aborted.
-  //
-  // Leave the dictionary's rank table materialized: concurrent read
-  // sessions (engine/concurrency.h) require that only writers — who
-  // hold the exclusive gate — ever trigger the mutable re-sort.
-  dict_->MaterializeRanks();
+  // A transaction cut off by a crash is implicitly aborted. Publishing
+  // here (which also materializes the dictionary rank table) makes the
+  // recovered state visible to snapshot readers before the database is
+  // served.
+  PublishSnapshot();
   recovered_ = true;
   return Status::OK();
+}
+
+void Database::PublishSnapshot() {
+  // Writer-side obligation (engine/concurrency.h): force every lazily
+  // materialized cache before the freeze, so the frozen copy — the
+  // only dictionary snapshot readers touch — is genuinely immutable.
+  dict_->MaterializeRanks();
+  if (frozen_dict_ == nullptr || frozen_dict_size_ != dict_->size()) {
+    frozen_dict_ = std::make_shared<const ValueDictionary>(*dict_);
+    frozen_dict_size_ = dict_->size();
+  }
+  std::shared_ptr<const DatabaseSnapshot> prev =
+      snapshot_.load(std::memory_order_relaxed);
+  DatabaseSnapshot::VersionMap versions;
+  for (const auto& [name, rel] : relations_) {
+    // COW at relation granularity: share the previous version unless
+    // this relation was mutated since the last publish.
+    if (prev != nullptr && dirty_relations_.count(name) == 0) {
+      if (auto reuse = prev->FindVersion(name)) {
+        versions.emplace(name, std::move(reuse));
+        continue;
+      }
+    }
+    Result<const RelationInfo*> info = catalog_.Get(name);
+    NF2_CHECK(info.ok()) << "relation '" << name << "' missing from catalog";
+    versions.emplace(
+        name, std::make_shared<const DatabaseSnapshot::RelationVersion>(
+                  DatabaseSnapshot::RelationVersion{
+                      **info, std::make_shared<const CanonicalRelation>(
+                                  rel)}));
+  }
+  dirty_relations_.clear();
+  ++published_version_;
+  snapshot_.store(std::make_shared<const DatabaseSnapshot>(
+                      published_version_, catalog_epoch(),
+                      std::move(versions), frozen_dict_, snapshot_tracker_),
+                  std::memory_order_release);
+  metric_snapshots_published_->Increment();
 }
 
 Status Database::Begin() {
@@ -311,6 +356,9 @@ Status Database::Commit() {
       wal_->Append({0, WalOpType::kTxnCommit, "", ""}).status());
   in_txn_ = false;
   undo_log_.clear();
+  // Commit is a publish boundary: the transaction's writes become
+  // visible to snapshot readers here, atomically, and not before.
+  PublishSnapshot();
   // The marker itself is not an operation; the transaction's data ops
   // were already counted as they ran.
   return MaybeAutoCheckpoint();
@@ -333,6 +381,10 @@ Status Database::Rollback() {
   in_txn_ = false;
   NF2_RETURN_IF_ERROR(
       wal_->Append({0, WalOpType::kTxnAbort, "", ""}).status());
+  // Publish the restored state: the aborted transaction's relations
+  // are in dirty_relations_ (marked as its ops ran), so their
+  // pre-transaction content is re-cloned for readers.
+  PublishSnapshot();
   return Status::OK();
 }
 
@@ -392,6 +444,10 @@ Status Database::CreateRelation(const std::string& name, Schema schema,
                                            &metrics_)));
   NF2_RETURN_IF_ERROR(catalog_.Add(std::move(info)));
   ++ops_since_checkpoint_;
+  // DDL invalidates cached plans (the statement-cache epoch key) and
+  // is itself a publish boundary.
+  catalog_epoch_.fetch_add(1, std::memory_order_release);
+  PublishSnapshot();
   return catalog_.SaveToFile(env_, CatalogPath());
 }
 
@@ -414,6 +470,8 @@ Status Database::DropRelation(const std::string& name) {
     }
   }
   ++ops_since_checkpoint_;
+  catalog_epoch_.fetch_add(1, std::memory_order_release);
+  PublishSnapshot();
   return catalog_.SaveToFile(env_, CatalogPath());
 }
 
@@ -516,6 +574,10 @@ Status Database::Insert(const std::string& name, const FlatTuple& tuple) {
     undo_log_.push_back(UndoEntry{true, name, tuple});
   }
   ++ops_since_checkpoint_;
+  dirty_relations_.insert(name);
+  // Autocommit is a publish boundary; inside a transaction the write
+  // stays invisible to snapshot readers until Commit.
+  if (!in_txn_) PublishSnapshot();
   return MaybeAutoCheckpoint();
 }
 
@@ -542,6 +604,8 @@ Status Database::Delete(const std::string& name, const FlatTuple& tuple) {
     undo_log_.push_back(UndoEntry{false, name, tuple});
   }
   ++ops_since_checkpoint_;
+  dirty_relations_.insert(name);
+  if (!in_txn_) PublishSnapshot();
   return MaybeAutoCheckpoint();
 }
 
@@ -640,13 +704,21 @@ Status Database::VerifyIntegrity() const {
 
 ::nf2::MetricsSnapshot Database::MetricsSnapshot() const {
   // Derived gauges are refreshed lazily, at observation time — keeping
-  // them current on every insert would put map lookups on the hot path.
-  if (metric_dict_values_ != nullptr && dict_ != nullptr) {
-    metric_dict_values_->Set(static_cast<int64_t>(dict_->size()));
+  // them current on every insert would put map lookups on the hot
+  // path. They read the PUBLISHED snapshot, not the live maps, so
+  // `\metrics` stays lock-free against concurrent writers (and reports
+  // committed state, consistent with what snapshot readers see).
+  std::shared_ptr<const DatabaseSnapshot> snap = PinSnapshot();
+  if (snap != nullptr) {
+    if (metric_dict_values_ != nullptr) {
+      metric_dict_values_->Set(
+          static_cast<int64_t>(snap->dictionary()->size()));
+    }
+    if (metric_relations_ != nullptr) {
+      metric_relations_->Set(static_cast<int64_t>(snap->relation_count()));
+    }
   }
-  if (metric_relations_ != nullptr) {
-    metric_relations_->Set(static_cast<int64_t>(relations_.size()));
-  }
+  if (snapshot_tracker_ != nullptr) snapshot_tracker_->RefreshGauges();
   return metrics_.Snapshot();
 }
 
@@ -660,12 +732,17 @@ Result<UpdateStats> Database::RelationUpdateStats(
 }
 
 std::string Database::MetricsText(bool prometheus) const {
-  if (metric_dict_values_ != nullptr && dict_ != nullptr) {
-    metric_dict_values_->Set(static_cast<int64_t>(dict_->size()));
+  std::shared_ptr<const DatabaseSnapshot> snap = PinSnapshot();
+  if (snap != nullptr) {
+    if (metric_dict_values_ != nullptr) {
+      metric_dict_values_->Set(
+          static_cast<int64_t>(snap->dictionary()->size()));
+    }
+    if (metric_relations_ != nullptr) {
+      metric_relations_->Set(static_cast<int64_t>(snap->relation_count()));
+    }
   }
-  if (metric_relations_ != nullptr) {
-    metric_relations_->Set(static_cast<int64_t>(relations_.size()));
-  }
+  if (snapshot_tracker_ != nullptr) snapshot_tracker_->RefreshGauges();
   return prometheus ? metrics_.ToPrometheusText() : metrics_.ToString();
 }
 

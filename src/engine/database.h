@@ -1,15 +1,18 @@
 #ifndef NF2_ENGINE_DATABASE_H_
 #define NF2_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "algebra/predicate.h"
 #include "catalog/catalog.h"
 #include "core/update.h"
+#include "engine/snapshot.h"
 #include "engine/statistics.h"
 #include "obs/metrics.h"
 #include "storage/table.h"
@@ -163,6 +166,25 @@ class Database {
     return dict_;
   }
 
+  /// Pins the current published snapshot: one atomic shared_ptr load,
+  /// no locks. The returned view is immutable and consistent — it
+  /// reflects exactly the state as of the last commit boundary
+  /// (autocommit op, COMMIT/ROLLBACK, DDL, or end of recovery) and is
+  /// never affected by later writes. Readers may hold it for as long
+  /// as they like (but not past the Database's destruction); dropping
+  /// the last reference frees the version. Thread-safe against
+  /// concurrent writers.
+  std::shared_ptr<const DatabaseSnapshot> PinSnapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Monotone epoch bumped by every successful CREATE/DROP — the
+  /// plan-reuse key for caches of parsed statements (a cached parse is
+  /// valid only for the epoch it was built under). Thread-safe.
+  uint64_t catalog_epoch() const {
+    return catalog_epoch_.load(std::memory_order_acquire);
+  }
+
   /// The engine-wide metrics registry — WAL, buffer pools, checkpoint /
   /// recovery timings, and §4 algebra counters all land here. Valid for
   /// the lifetime of the Database.
@@ -207,6 +229,14 @@ class Database {
                                  const Permutation& order) const;
   Status MaybeAutoCheckpoint();
 
+  /// Publishes the current state as a new immutable DatabaseSnapshot
+  /// (DESIGN.md §9): materializes the dictionary rank table, freezes
+  /// the dictionary if it grew, clones every dirty relation (clean
+  /// ones share their version with the previous snapshot), then swaps
+  /// the snapshot pointer — the single commit point readers observe.
+  /// Called at every commit boundary; writer context only.
+  void PublishSnapshot();
+
   /// Declared first so it is destroyed last: the WAL, tables, and
   /// relations all hold Counter*/Histogram* handles into it.
   mutable MetricsRegistry metrics_;
@@ -230,6 +260,24 @@ class Database {
   Histogram* metric_delete_ns_ = nullptr;
   Gauge* metric_dict_values_ = nullptr;
   Gauge* metric_relations_ = nullptr;
+  Counter* metric_snapshots_published_ = nullptr;
+
+  // --- MVCC snapshot state (DESIGN.md §9). Written only by writer
+  // paths; snapshot_ is the one reader-visible cell.
+  /// The published snapshot, swapped atomically by PublishSnapshot().
+  std::atomic<std::shared_ptr<const DatabaseSnapshot>> snapshot_;
+  /// Live-version bookkeeping behind nf2_snapshot_{pinned,oldest_age_ms}.
+  std::shared_ptr<SnapshotTracker> snapshot_tracker_;
+  /// Frozen dictionary shared by snapshots; re-copied only when dict_
+  /// grew since the last freeze (ids are append-only, so an equal size
+  /// means an identical dictionary).
+  std::shared_ptr<const ValueDictionary> frozen_dict_;
+  size_t frozen_dict_size_ = 0;
+  /// Relations mutated since the last publish — the ones the next
+  /// publish must clone instead of share.
+  std::set<std::string> dirty_relations_;
+  std::atomic<uint64_t> catalog_epoch_{0};
+  uint64_t published_version_ = 0;
 
   /// One undoable operation of the open transaction.
   struct UndoEntry {

@@ -1,0 +1,150 @@
+#ifndef NF2_ENGINE_SNAPSHOT_H_
+#define NF2_ENGINE_SNAPSHOT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "catalog/catalog.h"
+#include "core/update.h"
+#include "engine/statistics.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// Bookkeeping shared by a Database and every snapshot it has
+/// published: which snapshot versions are still alive (pinned by the
+/// database itself or by in-flight readers) and when each was
+/// published, surfaced as the nf2_snapshot_{pinned,oldest_age_ms}
+/// gauges. Registration happens in DatabaseSnapshot's constructor /
+/// destructor, so "alive" is exactly "some shared_ptr still holds it".
+///
+/// Thread-safe: publish runs on a writer while readers drop pins
+/// concurrently. The mutex guards only this small map — never the data
+/// path.
+class SnapshotTracker {
+ public:
+  SnapshotTracker() = default;
+  SnapshotTracker(const SnapshotTracker&) = delete;
+  SnapshotTracker& operator=(const SnapshotTracker&) = delete;
+
+  /// Binds the gauges the tracker refreshes; null handles are skipped.
+  void BindGauges(Gauge* pinned, Gauge* oldest_age_ms);
+
+  void Register(uint64_t version);
+  void Unregister(uint64_t version);
+
+  /// Recomputes both gauges from the live set — called at metrics
+  /// observation time, not on the pin/unpin hot path.
+  void RefreshGauges();
+
+  /// Number of snapshot versions currently alive.
+  size_t alive() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::chrono::steady_clock::time_point> live_;
+  Gauge* pinned_ = nullptr;
+  Gauge* oldest_age_ms_ = nullptr;
+};
+
+/// An immutable, consistent view of a whole Database at one publish
+/// point — what read-only statements execute against (DESIGN.md §9).
+///
+/// Structure: relation name → shared RelationVersion (catalog info +
+/// the canonical NFR as of the publish), plus the frozen dictionary
+/// those relations' interned ids resolve through. Publishing is
+/// copy-on-write at relation granularity: a relation untouched since
+/// the previous snapshot shares its RelationVersion pointer; a rebuilt
+/// one is cloned, and inside the clone every unmodified component set
+/// is shared, not deep-copied (ValueSet's COW rep).
+///
+/// Concurrency contract: everything reachable from a snapshot is
+/// immutable — the relations are clones the writer will never touch
+/// again, the dictionary is a frozen copy (so even its lazy rank table
+/// is private and pre-materialized), and point queries go through the
+/// id-space index path (TuplesContainingId) rather than any live
+/// structure. Pinning is one atomic shared_ptr load; dropping the last
+/// pin frees the version. A snapshot must not outlive its Database
+/// (it holds metric handles into the database's registry, like
+/// Database::Relation() pointers always have).
+class DatabaseSnapshot {
+ public:
+  /// One relation as of the publish point.
+  struct RelationVersion {
+    RelationInfo info;
+    std::shared_ptr<const CanonicalRelation> relation;
+  };
+  using VersionMap =
+      std::map<std::string, std::shared_ptr<const RelationVersion>>;
+
+  DatabaseSnapshot(uint64_t version, uint64_t catalog_epoch,
+                   VersionMap relations,
+                   std::shared_ptr<const ValueDictionary> dictionary,
+                   std::shared_ptr<SnapshotTracker> tracker);
+  ~DatabaseSnapshot();
+  DatabaseSnapshot(const DatabaseSnapshot&) = delete;
+  DatabaseSnapshot& operator=(const DatabaseSnapshot&) = delete;
+
+  /// Monotone publish sequence number (1 = the snapshot Recover()
+  /// publishes).
+  uint64_t version() const { return version_; }
+
+  /// The catalog epoch at publish — bumped by DDL, the statement
+  /// cache's plan-reuse key.
+  uint64_t catalog_epoch() const { return catalog_epoch_; }
+
+  /// The frozen dictionary (never null; may be empty).
+  const std::shared_ptr<const ValueDictionary>& dictionary() const {
+    return dictionary_;
+  }
+
+  // Read API mirroring Database, answered entirely from this snapshot.
+
+  /// Names of all relations, sorted (map order).
+  std::vector<std::string> ListRelations() const;
+
+  /// Catalog metadata for `name`.
+  Result<const RelationInfo*> Info(const std::string& name) const;
+
+  /// The stored canonical NFR (valid for the snapshot's lifetime).
+  Result<const NfrRelation*> Relation(const std::string& name) const;
+
+  /// R* of the stored relation.
+  Result<FlatRelation> Scan(const std::string& name) const;
+
+  /// sigma_pred(R*) with the same point-query fast path as
+  /// Database::Query, resolved against the frozen dictionary.
+  Result<FlatRelation> Query(const std::string& name,
+                             const Predicate& pred) const;
+
+  /// Size/maintenance statistics as of the publish point.
+  Result<RelationStats> Stats(const std::string& name) const;
+
+  size_t relation_count() const { return relations_.size(); }
+
+  /// The shared version entry for `name`, or null when absent — what
+  /// Database::PublishSnapshot() reuses for relations untouched since
+  /// this snapshot (the COW share).
+  std::shared_ptr<const RelationVersion> FindVersion(
+      const std::string& name) const;
+
+ private:
+  Result<const RelationVersion*> Find(const std::string& name) const;
+
+  const uint64_t version_;
+  const uint64_t catalog_epoch_;
+  const VersionMap relations_;
+  const std::shared_ptr<const ValueDictionary> dictionary_;
+  const std::shared_ptr<SnapshotTracker> tracker_;
+};
+
+}  // namespace nf2
+
+#endif  // NF2_ENGINE_SNAPSHOT_H_

@@ -334,12 +334,42 @@ Result<std::string> Executor::ExecUpdate(const UpdateStatement& stmt) {
   return StrCat("updated ", updated, " tuple(s) in ", stmt.name);
 }
 
+Result<const RelationInfo*> Executor::ViewInfo(
+    const std::string& name) const {
+  return snapshot_ != nullptr ? snapshot_->Info(name) : db_->Info(name);
+}
+
+Result<const NfrRelation*> Executor::ViewRelation(
+    const std::string& name) const {
+  return snapshot_ != nullptr ? snapshot_->Relation(name)
+                              : db_->Relation(name);
+}
+
+Result<FlatRelation> Executor::ViewScan(const std::string& name) const {
+  return snapshot_ != nullptr ? snapshot_->Scan(name) : db_->Scan(name);
+}
+
+Result<FlatRelation> Executor::ViewQuery(const std::string& name,
+                                         const Predicate& pred) const {
+  return snapshot_ != nullptr ? snapshot_->Query(name, pred)
+                              : db_->Query(name, pred);
+}
+
+Result<RelationStats> Executor::ViewStats(const std::string& name) const {
+  return snapshot_ != nullptr ? snapshot_->Stats(name) : db_->Stats(name);
+}
+
+std::vector<std::string> Executor::ViewList() const {
+  return snapshot_ != nullptr ? snapshot_->ListRelations()
+                              : db_->ListRelations();
+}
+
 Result<std::string> Executor::ExecSelect(const SelectStatement& stmt) {
   TraceSpan span(trace_, OpLabel("select", stmt.name));
   if (!stmt.group_attr.empty()) {
     // Aggregate form: counts come straight off the NFR components.
-    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
-    NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, db_->Relation(stmt.name));
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, ViewInfo(stmt.name));
+    NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, ViewRelation(stmt.name));
     NF2_ASSIGN_OR_RETURN(size_t group_idx,
                          info->schema.RequireIndex(stmt.group_attr));
     NF2_ASSIGN_OR_RETURN(size_t count_idx,
@@ -366,29 +396,29 @@ Result<std::string> Executor::ExecSelect(const SelectStatement& stmt) {
   }
   FlatRelation result(Schema{});
   if (stmt.joins.empty()) {
-    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
+    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, ViewInfo(stmt.name));
     if (stmt.where != nullptr) {
       // Single-relation selections evaluate against the NFR directly.
       TraceSpan filter(trace_, OpLabel("filter", stmt.name));
       NF2_ASSIGN_OR_RETURN(Predicate pred,
                            ResolveCondition(*stmt.where, info->schema));
-      NF2_ASSIGN_OR_RETURN(result, db_->Query(stmt.name, pred));
+      NF2_ASSIGN_OR_RETURN(result, ViewQuery(stmt.name, pred));
       filter.AddAttr("rows_out", static_cast<int64_t>(result.size()));
     } else {
       TraceSpan scan(trace_, OpLabel("scan", stmt.name));
-      NF2_ASSIGN_OR_RETURN(result, db_->Scan(stmt.name));
+      NF2_ASSIGN_OR_RETURN(result, ViewScan(stmt.name));
       scan.AddAttr("rows_out", static_cast<int64_t>(result.size()));
     }
   } else {
     // Natural-join the scans left to right, then filter.
     {
       TraceSpan scan(trace_, OpLabel("scan", stmt.name));
-      NF2_ASSIGN_OR_RETURN(result, db_->Scan(stmt.name));
+      NF2_ASSIGN_OR_RETURN(result, ViewScan(stmt.name));
       scan.AddAttr("rows_out", static_cast<int64_t>(result.size()));
     }
     for (const std::string& next : stmt.joins) {
       TraceSpan join(trace_, OpLabel("join", next));
-      NF2_ASSIGN_OR_RETURN(FlatRelation right, db_->Scan(next));
+      NF2_ASSIGN_OR_RETURN(FlatRelation right, ViewScan(next));
       result = NaturalJoin(result, right);
       join.AddAttr("rows_out", static_cast<int64_t>(result.size()));
     }
@@ -414,13 +444,13 @@ Result<std::string> Executor::ExecSelect(const SelectStatement& stmt) {
 }
 
 Result<std::string> Executor::ExecShow(const ShowStatement& stmt) {
-  NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, db_->Relation(stmt.name));
+  NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, ViewRelation(stmt.name));
   return RenderTable(*rel, stmt.name);
 }
 
 Result<std::string> Executor::ExecDescribe(const DescribeStatement& stmt) {
-  NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
-  NF2_ASSIGN_OR_RETURN(RelationStats stats, db_->Stats(stmt.name));
+  NF2_ASSIGN_OR_RETURN(const RelationInfo* info, ViewInfo(stmt.name));
+  NF2_ASSIGN_OR_RETURN(RelationStats stats, ViewStats(stmt.name));
   std::vector<std::string> order_names;
   for (size_t p : info->nest_order) {
     order_names.push_back(info->schema.attribute(p).name);
@@ -444,7 +474,7 @@ Result<std::string> Executor::ExecDescribe(const DescribeStatement& stmt) {
 }
 
 Result<std::string> Executor::ExecNest(const NestStatement& stmt) {
-  NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, db_->Relation(stmt.name));
+  NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, ViewRelation(stmt.name));
   NfrRelation view = *rel;
   for (const std::string& attr : stmt.attributes) {
     NF2_ASSIGN_OR_RETURN(size_t idx, view.schema().RequireIndex(attr));
@@ -456,13 +486,13 @@ Result<std::string> Executor::ExecNest(const NestStatement& stmt) {
 }
 
 Result<std::string> Executor::ExecList() {
-  std::vector<std::string> names = db_->ListRelations();
+  std::vector<std::string> names = ViewList();
   if (names.empty()) return std::string("no relations");
   return Join(names, "\n");
 }
 
 Result<std::string> Executor::ExecStats(const StatsStatement& stmt) {
-  NF2_ASSIGN_OR_RETURN(RelationStats stats, db_->Stats(stmt.name));
+  NF2_ASSIGN_OR_RETURN(RelationStats stats, ViewStats(stmt.name));
   return stats.ToString();
 }
 

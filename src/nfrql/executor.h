@@ -1,10 +1,13 @@
 #ifndef NF2_NFRQL_EXECUTOR_H_
 #define NF2_NFRQL_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "engine/database.h"
+#include "engine/snapshot.h"
 #include "nfrql/ast.h"
 #include "obs/trace.h"
 #include "util/result.h"
@@ -13,6 +16,14 @@ namespace nf2 {
 
 /// Executes NFRQL statements against a Database, returning the rendered
 /// result text (tables, acknowledgements, statistics).
+///
+/// Snapshot binding: callers running a read-only statement may bind a
+/// pinned DatabaseSnapshot first — every read the statement performs
+/// (Info/Relation/Scan/Query/Stats/List) is then answered from that
+/// immutable snapshot instead of the live database, with zero engine
+/// locks. Write/DDL/transaction statements always go to the live
+/// database regardless of binding; the server never binds a snapshot
+/// for them.
 class Executor {
  public:
   explicit Executor(Database* db) : db_(db) {}
@@ -22,6 +33,12 @@ class Executor {
 
   /// Executes an already-parsed statement.
   Result<std::string> Execute(const Statement& stmt);
+
+  /// Routes subsequent reads to `snapshot` until ClearSnapshot().
+  void BindSnapshot(std::shared_ptr<const DatabaseSnapshot> snapshot) {
+    snapshot_ = std::move(snapshot);
+  }
+  void ClearSnapshot() { snapshot_.reset(); }
 
  private:
   Result<std::string> ExecCreate(const CreateStatement& stmt);
@@ -43,7 +60,20 @@ class Executor {
   Result<Predicate> ResolveCondition(const ConditionNode& node,
                                      const Schema& schema) const;
 
+  // Read dispatch: the bound snapshot when one is pinned, else the
+  // live database. Only the read-only exec functions go through these.
+  Result<const RelationInfo*> ViewInfo(const std::string& name) const;
+  Result<const NfrRelation*> ViewRelation(const std::string& name) const;
+  Result<FlatRelation> ViewScan(const std::string& name) const;
+  Result<FlatRelation> ViewQuery(const std::string& name,
+                                 const Predicate& pred) const;
+  Result<RelationStats> ViewStats(const std::string& name) const;
+  std::vector<std::string> ViewList() const;
+
   Database* db_;
+  /// Non-null only while a read-only statement runs against a pinned
+  /// snapshot (BindSnapshot).
+  std::shared_ptr<const DatabaseSnapshot> snapshot_;
   /// Non-null only while a PROFILE'd statement runs: the exec functions
   /// open TraceSpans into it (no-ops otherwise).
   Trace* trace_ = nullptr;

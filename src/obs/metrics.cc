@@ -245,6 +245,21 @@ StatementCacheMetrics StatementCacheMetrics::ForRegistry(
   return out;
 }
 
+GateMetrics GateMetrics::ForRegistry(MetricsRegistry* registry) {
+  GateMetrics out;
+  if (registry == nullptr) return out;
+  out.shared_acquires = registry->GetCounter(
+      "nf2_gate_shared_acquires_total",
+      "shared (reader) acquisitions of the engine gate");
+  out.write_acquires = registry->GetCounter(
+      "nf2_gate_write_acquires_total",
+      "exclusive (writer) acquisitions of the engine gate");
+  out.write_wait_ns = registry->GetHistogram(
+      "nf2_gate_write_wait_ns",
+      "time a writer waited to acquire the exclusive gate (ns)");
+  return out;
+}
+
 UpdatePathMetrics UpdatePathMetrics::ForRegistry(MetricsRegistry* registry) {
   UpdatePathMetrics out;
   if (registry == nullptr) return out;

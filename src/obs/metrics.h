@@ -190,6 +190,21 @@ struct StatementCacheMetrics {
   static StatementCacheMetrics ForRegistry(MetricsRegistry* registry);
 };
 
+/// Pre-resolved handles for the EngineGate (engine/concurrency.h).
+/// Null pointers are skipped, so a gate built without a registry
+/// (tests, embedders) records nothing. Since the snapshot read path
+/// landed, read-only statements acquire NO gate mode at all — these
+/// counters are how tests assert that (a read-only batch leaves both
+/// acquire counters unchanged).
+struct GateMetrics {
+  Counter* shared_acquires = nullptr;  // nf2_gate_shared_acquires_total
+  Counter* write_acquires = nullptr;   // nf2_gate_write_acquires_total
+  Histogram* write_wait_ns = nullptr;  // nf2_gate_write_wait_ns
+
+  /// Handles bound to the canonical nf2_gate_* names in `registry`.
+  static GateMetrics ForRegistry(MetricsRegistry* registry);
+};
+
 /// Pre-resolved counter handles for the §4 update hot paths
 /// (CanonicalRelation). Null pointers are skipped, so a relation
 /// without a registry (unit tests, ad-hoc algebra) pays one branch.

@@ -27,22 +27,6 @@ void Increment(Counter* c, uint64_t n = 1) {
   if (c != nullptr) c->Increment(n);
 }
 
-/// True when successfully executing `stmt` may change what statement
-/// text means (DDL), so the shared statement cache must be dropped.
-/// PROFILE'd DDL executes its inner statement and counts as that
-/// statement does.
-bool InvalidatesStatementCache(const Statement& stmt) {
-  if (std::holds_alternative<CreateStatement>(stmt) ||
-      std::holds_alternative<DropStatement>(stmt)) {
-    return true;
-  }
-  if (const auto* explain = std::get_if<ExplainStatement>(&stmt)) {
-    return explain->profile && explain->inner != nullptr &&
-           InvalidatesStatementCache(explain->inner->stmt);
-  }
-  return false;
-}
-
 /// PROFILE output grows one trailer line reporting whether the parse
 /// was served from the statement cache — the per-request view of the
 /// nf2_stmtcache_* counters.
@@ -57,48 +41,53 @@ Result<std::string> WithCacheNote(Result<std::string> out,
 }  // namespace
 
 std::shared_ptr<const Statement> StatementCache::Lookup(
-    const std::string& key) {
+    const std::string& key, uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     Increment(metrics_.misses);
     return nullptr;
   }
+  if (it->second->epoch != epoch) {
+    // Parsed under an older catalog epoch: a DDL happened since. Drop
+    // the entry and report a miss — the caller re-parses and re-inserts
+    // under the current epoch.
+    lru_.erase(it->second);
+    index_.erase(it);
+    Increment(metrics_.invalidations);
+    Increment(metrics_.misses);
+    if (metrics_.entries != nullptr) {
+      metrics_.entries->Set(static_cast<int64_t>(lru_.size()));
+    }
+    return nullptr;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   Increment(metrics_.hits);
-  return it->second->second;
+  return it->second->stmt;
 }
 
 void StatementCache::Insert(const std::string& key,
-                            std::shared_ptr<const Statement> stmt) {
+                            std::shared_ptr<const Statement> stmt,
+                            uint64_t epoch) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(stmt);
+    it->second->stmt = std::move(stmt);
+    it->second->epoch = epoch;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(stmt));
+  lru_.emplace_front(Entry{key, std::move(stmt), epoch});
   index_.emplace(key, lru_.begin());
   if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     Increment(metrics_.evictions);
   }
   if (metrics_.entries != nullptr) {
     metrics_.entries->Set(static_cast<int64_t>(lru_.size()));
   }
-}
-
-void StatementCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!lru_.empty()) {
-    lru_.clear();
-    index_.clear();
-  }
-  Increment(metrics_.invalidations);
-  if (metrics_.entries != nullptr) metrics_.entries->Set(0);
 }
 
 size_t StatementCache::size() const {
@@ -111,6 +100,7 @@ SessionManager::SessionManager(Database* db, size_t statement_cache_capacity)
       stmt_cache_(statement_cache_capacity,
                   StatementCacheMetrics::ForRegistry(db->metrics())) {
   MetricsRegistry* reg = db_->metrics();
+  gate_.set_metrics(GateMetrics::ForRegistry(reg));
   metric_sessions_total_ =
       reg->GetCounter("nf2_server_sessions_total", "Sessions ever opened");
   metric_sessions_active_ =
@@ -146,15 +136,17 @@ Result<Session::ParsedStatement> Session::ParseCached(
     const std::string& trimmed) {
   const std::string key = StatementCacheKey(trimmed);
   StatementCache* cache = &manager_->stmt_cache_;
+  const uint64_t epoch = db_->catalog_epoch();
   const bool cacheable = key.size() <= kMaxCachedStatementBytes;
   if (cacheable) {
-    if (std::shared_ptr<const Statement> cached = cache->Lookup(key)) {
+    if (std::shared_ptr<const Statement> cached =
+            cache->Lookup(key, epoch)) {
       return ParsedStatement{std::move(cached), /*cache_hit=*/true};
     }
   }
   NF2_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(trimmed));
   auto shared = std::make_shared<const Statement>(std::move(stmt));
-  if (cacheable) cache->Insert(key, shared);
+  if (cacheable) cache->Insert(key, shared, epoch);
   return ParsedStatement{std::move(shared), /*cache_hit=*/false};
 }
 
@@ -168,43 +160,50 @@ Result<std::string> Session::Execute(std::string_view statement) {
   }
   NF2_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseCached(trimmed));
   if (IsReadOnlyStatement(*parsed.stmt)) {
-    const auto start = std::chrono::steady_clock::now();
-    auto lock = manager_->gate_.LockShared();
-    Result<std::string> out = executor_.Execute(*parsed.stmt);
-    Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
-    return WithCacheNote(std::move(out), *parsed.stmt, parsed.cache_hit);
+    return ExecuteRead(parsed, db_->PinSnapshot());
   }
   return ExecuteWrite(parsed);
+}
+
+Result<std::string> Session::ExecuteRead(
+    const ParsedStatement& parsed,
+    const std::shared_ptr<const DatabaseSnapshot>& snapshot) {
+  const auto start = std::chrono::steady_clock::now();
+  // Read-your-own-writes: the transaction owner's reads must see its
+  // uncommitted operations, which no snapshot contains, so they go to
+  // the live database. That is race-free without any lock because every
+  // other session's writes are rejected while this transaction is open.
+  // Everyone else executes against the pinned snapshot: zero gate
+  // acquisitions, read-committed.
+  const bool own_txn =
+      manager_->txn_owner_.load(std::memory_order_acquire) == id_;
+  if (!own_txn) executor_.BindSnapshot(snapshot);
+  Result<std::string> out = executor_.Execute(*parsed.stmt);
+  executor_.ClearSnapshot();
+  Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
+  return WithCacheNote(std::move(out), *parsed.stmt, parsed.cache_hit);
 }
 
 Result<std::string> Session::ExecuteWrite(const ParsedStatement& parsed) {
   const Statement& stmt = *parsed.stmt;
   const auto start = std::chrono::steady_clock::now();
   auto lock = manager_->gate_.LockExclusive();
-  if (manager_->txn_owner_ != 0 && manager_->txn_owner_ != id_) {
+  const uint64_t owner =
+      manager_->txn_owner_.load(std::memory_order_relaxed);
+  if (owner != 0 && owner != id_) {
     manager_->metric_txn_conflicts_->Increment();
     return Status::Unavailable(
-        StrCat("session ", manager_->txn_owner_,
+        StrCat("session ", owner,
                " holds the open transaction; retry after it commits"));
   }
   Result<std::string> out = executor_.Execute(stmt);
   // Track the transaction slot from engine truth rather than from the
   // statement kind: a failed op inside an open transaction leaves it
-  // open, COMMIT/ROLLBACK (and only they) release it.
-  if (db_->in_transaction()) {
-    if (manager_->txn_owner_ == 0) manager_->txn_owner_ = id_;
-  } else {
-    manager_->txn_owner_ = 0;
-  }
-  // Writer-side obligation of the gate (engine/concurrency.h): leave no
-  // dirty lazily-materialized cache behind for shared readers to race
-  // on. Cheap no-op when nothing was interned.
-  db_->dictionary()->MaterializeRanks();
-  // DDL that took effect makes cached parses suspect (DESIGN.md §8);
-  // failed DDL changed nothing, so the cache stays warm.
-  if (out.ok() && InvalidatesStatementCache(stmt)) {
-    manager_->stmt_cache_.Invalidate();
-  }
+  // open, COMMIT/ROLLBACK (and only they) release it. The release
+  // store pairs with the acquire load in ExecuteRead's
+  // read-your-own-writes check.
+  manager_->txn_owner_.store(db_->in_transaction() ? id_ : 0,
+                             std::memory_order_release);
   Observe(manager_->metric_write_stmt_ns_, ElapsedNs(start));
   return WithCacheNote(std::move(out), stmt, parsed.cache_hit);
 }
@@ -214,20 +213,18 @@ std::vector<Result<std::string>> Session::ExecuteBatch(
   std::vector<Result<std::string>> results(
       statements.size(), Status::Internal("statement not executed"));
 
-  // The pending run of consecutive read-only statements, flushed under
-  // one shared-gate acquisition — the single-acquisition-per-read-run
-  // contract that makes large read batches cheap.
+  // The pending run of consecutive read-only statements, flushed
+  // against one pinned snapshot — every statement of the run observes
+  // the same published version, so a whole-read batch is a consistent
+  // point-in-time view no concurrent writer can tear.
   std::vector<ParsedStatement> run;
   std::vector<size_t> run_slots;
   auto flush_reads = [&] {
     if (run.empty()) return;
-    auto lock = manager_->gate_.LockShared();
+    const std::shared_ptr<const DatabaseSnapshot> snapshot =
+        db_->PinSnapshot();
     for (size_t k = 0; k < run.size(); ++k) {
-      const auto start = std::chrono::steady_clock::now();
-      Result<std::string> out = executor_.Execute(*run[k].stmt);
-      Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
-      results[run_slots[k]] =
-          WithCacheNote(std::move(out), *run[k].stmt, run[k].cache_hit);
+      results[run_slots[k]] = ExecuteRead(run[k], snapshot);
     }
     run.clear();
     run_slots.clear();
@@ -266,15 +263,17 @@ std::vector<Result<std::string>> Session::ExecuteBatch(
 Result<std::string> Session::ExecuteMeta(const std::string& command) {
   const std::string lower = ToLower(command);
   if (lower == "\\metrics" || lower == "\\metrics prom") {
+    // Lock-free: MetricsText sources its derived gauges (dictionary
+    // size, relation count) from the published snapshot, so scraping
+    // never contends with writers.
     const auto start = std::chrono::steady_clock::now();
-    auto lock = manager_->gate_.LockShared();
     std::string text = db_->MetricsText(/*prometheus=*/lower.ends_with("prom"));
     Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
     return text;
   }
   if (lower.starts_with("\\sleep ") || lower == "\\sleep") {
-    // Testing aid: occupy a worker under the shared lock for N ms (the
-    // server tests use it to fill the request queue deterministically).
+    // Testing aid: occupy a worker for N ms (the server tests use it to
+    // fill the request queue deterministically).
     const std::string arg =
         lower.size() > 7 ? Trim(lower.substr(7)) : std::string();
     if (arg.empty()) {
@@ -291,7 +290,6 @@ Result<std::string> Session::ExecuteMeta(const std::string& command) {
       ms = ms * 10 + (c - '0');
       if (ms > 10000) return Status::InvalidArgument("\\sleep capped at 10s");
     }
-    auto lock = manager_->gate_.LockShared();
     std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     return StrCat("slept ", ms, " ms");
   }
@@ -301,7 +299,7 @@ Result<std::string> Session::ExecuteMeta(const std::string& command) {
 
 void Session::Abort() {
   auto lock = manager_->gate_.LockExclusive();
-  if (manager_->txn_owner_ != id_) return;
+  if (manager_->txn_owner_.load(std::memory_order_relaxed) != id_) return;
   if (db_->in_transaction()) {
     Status s = db_->Rollback();
     if (!s.ok()) {
@@ -309,7 +307,7 @@ void Session::Abort() {
                        << ": rollback on abort failed: " << s;
     }
   }
-  manager_->txn_owner_ = 0;
+  manager_->txn_owner_.store(0, std::memory_order_release);
 }
 
 }  // namespace server

@@ -35,12 +35,16 @@ constexpr size_t kMaxCachedStatementBytes = 4096;
 /// canonical statement text (StatementCacheKey) and shared by every
 /// session of one SessionManager. Entries are immutable parse trees
 /// behind shared_ptr, so a hit handed to one worker stays valid even if
-/// the entry is evicted or the cache invalidated mid-execution.
+/// the entry is evicted mid-execution.
 ///
-/// Invalidation is whole-cache and triggered by successful DDL: today's
-/// parser binds no names, so cached ASTs cannot go stale — the contract
-/// exists so the cache stays correct the day parsing starts resolving
-/// against the catalog.
+/// Staleness is handled per entry, not whole-cache: each entry records
+/// the Database catalog epoch it was parsed under, and Lookup treats an
+/// epoch mismatch as a miss (dropping the stale entry). DDL therefore
+/// never takes a cache-wide lock or cold-starts unrelated statements —
+/// it just bumps the epoch, and entries lazily re-validate on their
+/// next use. Today's parser binds no names, so cached ASTs cannot
+/// actually go stale; the epoch contract exists so the cache stays
+/// correct the day parsing starts resolving against the catalog.
 class StatementCache {
  public:
   StatementCache(size_t capacity, StatementCacheMetrics metrics)
@@ -48,23 +52,28 @@ class StatementCache {
   StatementCache(const StatementCache&) = delete;
   StatementCache& operator=(const StatementCache&) = delete;
 
-  /// The cached parse for `key`, refreshing its LRU position; nullptr
-  /// on miss. Counts a hit or miss.
-  std::shared_ptr<const Statement> Lookup(const std::string& key);
+  /// The cached parse for `key` if it was inserted under `epoch`,
+  /// refreshing its LRU position; nullptr on miss. An entry from an
+  /// older epoch is erased (counted as one invalidation) and reported
+  /// as a miss.
+  std::shared_ptr<const Statement> Lookup(const std::string& key,
+                                          uint64_t epoch);
 
-  /// Caches `stmt` under `key`, evicting the least-recently-used entry
-  /// beyond capacity. A key already present is refreshed, not
-  /// duplicated.
-  void Insert(const std::string& key, std::shared_ptr<const Statement> stmt);
-
-  /// Drops every entry (the DDL contract). Counts one invalidation.
-  void Invalidate();
+  /// Caches `stmt` under `key` for `epoch`, evicting the
+  /// least-recently-used entry beyond capacity. A key already present
+  /// is refreshed (and re-stamped), not duplicated.
+  void Insert(const std::string& key, std::shared_ptr<const Statement> stmt,
+              uint64_t epoch);
 
   size_t size() const;
 
  private:
-  using LruList =
-      std::list<std::pair<std::string, std::shared_ptr<const Statement>>>;
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Statement> stmt;
+    uint64_t epoch;
+  };
+  using LruList = std::list<Entry>;
 
   mutable std::mutex mu_;
   const size_t capacity_;
@@ -73,11 +82,15 @@ class StatementCache {
   StatementCacheMetrics metrics_;
 };
 
-/// Shared state of all sessions over one Database: the reader/writer
-/// gate, the transaction owner, and the parsed-statement cache. Create
-/// one per Database; hand it to every Session (the TCP server owns one,
+/// Shared state of all sessions over one Database: the writer gate,
+/// the transaction owner, and the parsed-statement cache. Create one
+/// per Database; hand it to every Session (the TCP server owns one,
 /// tests can own their own and drive Sessions directly without
 /// sockets).
+///
+/// Since the snapshot read path (DESIGN.md §9) the gate serializes
+/// writers only — read-only statements pin a published snapshot and
+/// never touch it.
 class SessionManager {
  public:
   explicit SessionManager(
@@ -102,9 +115,10 @@ class SessionManager {
   StatementCache stmt_cache_;
   std::atomic<uint64_t> next_session_id_{1};
   /// Id of the session holding the open transaction, 0 when none.
-  /// Guarded by gate_'s exclusive lock: every path that reads or writes
-  /// it (mutating statements, aborts) holds that lock.
-  uint64_t txn_owner_ = 0;
+  /// Written only under gate_'s exclusive lock (mutating statements,
+  /// aborts); atomic because the lock-free read path loads it to decide
+  /// between snapshot reads and read-your-own-writes live reads.
+  std::atomic<uint64_t> txn_owner_{0};
 
   // Registered once; sessions share the handles.
   Counter* metric_sessions_total_ = nullptr;
@@ -119,13 +133,19 @@ class SessionManager {
 /// sessions reentrant) and its claim, if any, on the database's single
 /// transaction slot.
 ///
-/// Locking discipline per statement (see engine/concurrency.h):
-/// read-only statements execute under the manager's shared lock,
-/// everything else under the exclusive lock. While one session holds
-/// the open transaction, other sessions' mutating statements are
-/// rejected with kUnavailable — reads still proceed (v0 reads are
-/// read-uncommitted with respect to the open transaction). A second
-/// BEGIN on the owning session is rejected by the engine itself.
+/// Concurrency discipline per statement (DESIGN.md §9): read-only
+/// statements pin the current published snapshot and execute against
+/// it with zero engine-gate acquisitions — reads are read-committed
+/// (they see exactly the last commit boundary, never another session's
+/// in-flight transaction) and never block on, or are blocked by,
+/// writers. Everything else runs under the gate's exclusive lock.
+/// While one session holds the open transaction, other sessions'
+/// mutating statements are rejected with kUnavailable; the owning
+/// session's own reads go to the live database instead of a snapshot
+/// (read-your-own-writes), which is race-free precisely because every
+/// other session's writes bounce while the transaction is open. A
+/// second BEGIN on the owning session is rejected by the engine
+/// itself.
 ///
 /// A Session instance is NOT internally synchronized: one statement (or
 /// one batch) at a time per session (the server's request→response
@@ -140,16 +160,17 @@ class Session {
 
   /// Parses (through the shared statement cache), classifies, and
   /// executes one statement (or one of the `\metrics [prom]` /
-  /// `\sleep N` meta commands) under the appropriate lock, returning
-  /// the rendered result text.
+  /// `\sleep N` meta commands) — reads against a pinned snapshot,
+  /// writes under the exclusive gate — returning the rendered result
+  /// text.
   Result<std::string> Execute(std::string_view statement);
 
   /// Executes `statements` in order, returning one result per
   /// statement (the kBatch contract, DESIGN.md §8). A failing
   /// statement reports its error in place and execution continues with
   /// the next one. Consecutive read-only statements share a single
-  /// shared-gate acquisition; mutating statements and meta commands
-  /// each lock individually, exactly as in Execute.
+  /// pinned snapshot (so they observe one consistent version);
+  /// mutating statements lock individually, exactly as in Execute.
   std::vector<Result<std::string>> ExecuteBatch(
       const std::vector<std::string>& statements);
 
@@ -175,9 +196,17 @@ class Session {
   Result<ParsedStatement> ParseCached(const std::string& trimmed);
 
   /// The exclusive-lock path shared by Execute and ExecuteBatch:
-  /// transaction-slot arbitration, execution, writer-side cache
-  /// obligations, and DDL invalidation of the statement cache.
+  /// transaction-slot arbitration and execution. Snapshot publication
+  /// (and with it rank materialization and epoch bumping) happens
+  /// inside the engine at each commit boundary.
   Result<std::string> ExecuteWrite(const ParsedStatement& parsed);
+
+  /// Executes one read-only statement: against the live database when
+  /// this session owns the open transaction (read-your-own-writes),
+  /// otherwise against `snapshot`. Times it into the read histogram.
+  Result<std::string> ExecuteRead(
+      const ParsedStatement& parsed,
+      const std::shared_ptr<const DatabaseSnapshot>& snapshot);
 
   Result<std::string> ExecuteMeta(const std::string& command);
 
