@@ -32,6 +32,17 @@
 //                    Speedup() is the batch-over-singles factor, and the
 //                    section embeds the parsed-statement-cache hit rate
 //                    observed during the runs.
+//   indexed_selection — point selection (attr = value) over the keyed
+//                    workload: full-scan-and-filter (baseline) vs the
+//                    planner's index-backed access path (optimized),
+//                    both through the exec/ operators; per-query row
+//                    sets asserted identical.
+//   factorized_aggregation — COUNT(*) by expand-then-scan over R*
+//                    (baseline) vs the factorized aggregate straight
+//                    over the NFR components (optimized), at nesting
+//                    depths 1..3; per-depth speedups are embedded and
+//                    must grow with depth (the expansion is
+//                    exponential in depth, the factorized cost linear).
 
 #include <unistd.h>
 
@@ -50,6 +61,7 @@
 #include "core/nest.h"
 #include "core/update.h"
 #include "engine/database.h"
+#include "exec/plan.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "util/logging.h"
@@ -93,6 +105,8 @@ struct Section {
   size_t batch_size = 0;           // pipelining only.
   uint64_t stmtcache_hits = 0;     // pipelining only.
   uint64_t stmtcache_misses = 0;   // pipelining only.
+  std::vector<size_t> depths;          // factorized_aggregation only.
+  std::vector<double> depth_speedups;  // factorized_aggregation only.
   bool counters_identical = true;
 
   double StmtCacheHitRate() const {
@@ -478,14 +492,144 @@ Section BenchPipelining(const FlatRelation& flat, const Permutation& perm,
   return out;
 }
 
+/// Drains `op` (Open -> Next* -> Close) and returns the emitted rows.
+std::vector<FlatTuple> DrainOp(PlanOp* op) {
+  std::vector<FlatTuple> rows;
+  op->Open();
+  FlatTuple row;
+  while (op->Next(&row)) rows.push_back(row);
+  op->Close();
+  return rows;
+}
+
+/// Point selection through the exec/ operators: for each probed key,
+/// the baseline expands the whole stored NFR and filters (seq scan +
+/// filter), the optimized path asks the inverted index for the
+/// containing tuples and expands only the restricted fragment
+/// (IndexScanOp). Both paths must return identical row sets per query.
+Section BenchIndexedSelection(const FlatRelation& flat,
+                              const Permutation& perm, size_t queries,
+                              int reps) {
+  Section out;
+  out.name = "indexed_selection";
+  out.operations = queries;
+
+  Result<CanonicalRelation> rel = CanonicalRelation::FromFlat(
+      flat, perm, CanonicalRelation::SearchMode::kIndexed,
+      CanonicalRelation::Encoding::kInterned);
+  NF2_CHECK(rel.ok()) << rel.status().ToString();
+
+  // Probe keys cycle over the key domain (attr 0 of the keyed
+  // workload), so every query selects exactly one underlying row.
+  std::vector<Value> keys;
+  keys.reserve(queries);
+  for (size_t q = 0; q < queries; ++q) {
+    keys.push_back(Value::String(StrCat("k", q % flat.size())));
+  }
+
+  bool rows_identical = true;
+  auto run_scan = [&] {
+    for (const Value& key : keys) {
+      auto scan = std::make_unique<SeqScanOp>("scan", &rel->relation());
+      FilterOp filter("filter", std::move(scan),
+                      Predicate::Compare(0, CompareOp::kEq, key));
+      if (DrainOp(&filter).size() != 1) rows_identical = false;
+    }
+  };
+  auto run_index = [&] {
+    for (const Value& key : keys) {
+      IndexScanOp index_scan("index_scan", &*rel, /*frozen_dict=*/nullptr,
+                             {EqRestriction{0, key}});
+      if (DrainOp(&index_scan).size() != 1) rows_identical = false;
+    }
+  };
+
+  out.baseline_sec = BestSeconds(reps, run_scan);
+  out.optimized_sec = BestSeconds(reps, run_index);
+  out.counters_identical = rows_identical;
+  NF2_CHECK(out.counters_identical)
+      << "a point selection returned the wrong row count";
+  return out;
+}
+
+/// Builds a depth-`d` nested relation: `groups` NFR tuples, each with a
+/// singleton group key and `d` independent set components of `fanout`
+/// values — so every tuple expands to fanout^d simple tuples.
+NfrRelation MakeDeepRelation(size_t groups, size_t depth, size_t fanout) {
+  std::vector<std::string> names;
+  names.push_back("G");
+  for (size_t j = 0; j < depth; ++j) names.push_back(StrCat("E", j + 1));
+  NfrRelation rel{Schema::OfStrings(names)};
+  for (size_t g = 0; g < groups; ++g) {
+    std::vector<ValueSet> components;
+    components.push_back(ValueSet(Value::String(StrCat("g", g))));
+    for (size_t j = 0; j < depth; ++j) {
+      std::vector<Value> values;
+      for (size_t v = 0; v < fanout; ++v) {
+        values.push_back(Value::String(StrCat("e", j, "_", v)));
+      }
+      components.push_back(ValueSet(std::move(values)));
+    }
+    rel.Add(NfrTuple(std::move(components)));
+  }
+  return rel;
+}
+
+/// COUNT(*) at nesting depths 1..3: expand-then-scan (AggregateOp over
+/// a SeqScanOp, which materializes every simple tuple) vs the
+/// factorized aggregate (component-cardinality products over the NFR,
+/// zero expansion). The per-depth speedups are recorded and must grow:
+/// the expansion is fanout^depth while the factorized cost is linear in
+/// depth.
+Section BenchFactorizedAggregation(size_t groups, size_t fanout, int reps) {
+  Section out;
+  out.name = "factorized_aggregation";
+
+  std::vector<AggCompute> count_star{AggCompute{}};  // COUNT(*).
+  Schema count_schema({{"COUNT(*)", ValueType::kInt}});
+
+  for (size_t depth = 1; depth <= 3; ++depth) {
+    NfrRelation rel = MakeDeepRelation(groups, depth, fanout);
+    size_t expanded = groups;
+    for (size_t j = 0; j < depth; ++j) expanded *= fanout;
+    out.operations += expanded;
+
+    int64_t scan_count = -1, factorized_count = -1;
+    double scan_sec = BestSeconds(reps, [&] {
+      auto scan = std::make_unique<SeqScanOp>("scan", &rel);
+      AggregateOp agg("aggregate", std::move(scan), std::nullopt,
+                      count_star, count_schema);
+      scan_count = DrainOp(&agg).at(0).at(0).AsInt();
+    });
+    double fact_sec = BestSeconds(reps, [&] {
+      auto source = std::make_unique<NfrSourceOp>("nfr_scan", &rel);
+      FactorizedAggregateOp agg("nfr_aggregate", std::move(source),
+                                std::nullopt, count_star, count_schema);
+      factorized_count = DrainOp(&agg).at(0).at(0).AsInt();
+    });
+    NF2_CHECK(scan_count == factorized_count &&
+              scan_count == static_cast<int64_t>(expanded))
+        << "COUNT(*) diverged at depth " << depth << ": scan="
+        << scan_count << " factorized=" << factorized_count
+        << " expected=" << expanded;
+    out.baseline_sec += scan_sec;
+    out.optimized_sec += fact_sec;
+    out.depths.push_back(depth);
+    out.depth_speedups.push_back(scan_sec / fact_sec);
+  }
+  out.counters_identical = true;
+  return out;
+}
+
 void WriteJson(const std::string& path, const KeyedConfig& config,
                const std::vector<Section>& sections,
                const MetricsSnapshot& metrics) {
   std::ofstream file(path, std::ios::trunc);
   NF2_CHECK(file.is_open()) << "cannot write " << path;
   file << "{\n";
-  file << "  \"pr\": 6,\n";
-  file << "  \"title\": \"MVCC snapshot reads: lock-free read path\",\n";
+  file << "  \"pr\": 7,\n";
+  file << "  \"title\": \"Volcano query pipeline with index-backed "
+          "selection\",\n";
   // Scaling sections are only meaningful relative to the host's core
   // count; the checker reads this to decide whether to enforce floors.
   file << "  \"host_cores\": " << std::thread::hardware_concurrency()
@@ -562,6 +706,22 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
       file << "      \"stmtcache_hit_rate\": "
            << Fmt(s.StmtCacheHitRate(), 4) << ",\n";
     }
+    if (s.name == "indexed_selection") {
+      file << "      \"indexed_selection_speedup\": " << Fmt(s.Speedup(), 3)
+           << ",\n";
+    }
+    if (s.name == "factorized_aggregation") {
+      file << "      \"depths\": [";
+      for (size_t d = 0; d < s.depths.size(); ++d) {
+        file << (d > 0 ? ", " : "") << s.depths[d];
+      }
+      file << "],\n";
+      file << "      \"depth_speedups\": [";
+      for (size_t d = 0; d < s.depth_speedups.size(); ++d) {
+        file << (d > 0 ? ", " : "") << Fmt(s.depth_speedups[d], 3);
+      }
+      file << "],\n";
+    }
     file << "      \"counters_identical\": "
          << (s.counters_identical ? "true" : "false") << "\n";
     file << "    }" << (i + 1 < sections.size() ? "," : "") << "\n";
@@ -571,7 +731,7 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR6.json";
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR7.json";
   const size_t workload_rows =
       argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : 10000;
   NF2_CHECK(workload_rows >= 100) << "workload needs at least 100 rows";
@@ -618,6 +778,15 @@ int Main(int argc, char** argv) {
   sections.push_back(BenchPipelining(pipe_flat, perm, /*batch_size=*/64,
                                      /*rounds=*/flat_rows >= 10000 ? 20 : 5,
                                      /*reps=*/3));
+  // Point selections over the full keyed workload: each query touches
+  // one row, so the full-scan baseline pays the whole expansion per
+  // query and the index path only the matching fragment.
+  sections.push_back(BenchIndexedSelection(
+      flat, perm, /*queries=*/flat_rows >= 10000 ? 200 : 50, /*reps=*/3));
+  // Depth sweep: enough groups that even depth 1 takes measurable time,
+  // scaled down for the smoke run.
+  sections.push_back(BenchFactorizedAggregation(
+      /*groups=*/flat_rows >= 10000 ? 400 : 50, /*fanout=*/6, /*reps=*/3));
   WriteJson(out_path, config, sections, durable_metrics);
 
   std::vector<std::vector<std::string>> rows;
@@ -632,22 +801,42 @@ int Main(int argc, char** argv) {
       {"section", "ops", "baseline/s", "interned/s", "speedup",
        "counts equal"},
       rows);
-  const Section& wal = sections[sections.size() - 3];
+  auto by_name = [&](const char* name) -> const Section& {
+    for (const Section& s : sections) {
+      if (s.name == name) return s;
+    }
+    NF2_CHECK(false) << "missing section " << name;
+    return sections.front();
+  };
+  const Section& wal = by_name("wal_durability");
   NF2_LOG(Info) << "wal_durability: fsync'd commit path is "
                 << Fmt(100.0 * wal.OverheadFrac(), 1)
                 << "% slower than unsynced (" << wal.optimized_syncs
                 << " syncs over " << wal.operations << " ops; bound: 10%)";
-  const Section& scaling = sections[sections.size() - 2];
+  const Section& scaling = by_name("server_read_scaling");
   NF2_LOG(Info) << "server_read_scaling: 1->4 clients scaled read "
                 << "throughput x" << Fmt(scaling.Speedup(), 2) << " on "
                 << std::thread::hardware_concurrency()
                 << " core(s) (floor of x2 enforced at >= 4 cores)";
-  const Section& pipelining = sections.back();
+  const Section& pipelining = by_name("pipelining");
   NF2_LOG(Info) << "pipelining: one kBatch of " << pipelining.batch_size
                 << " beat " << pipelining.batch_size
                 << " kQuery round-trips x" << Fmt(pipelining.Speedup(), 2)
                 << " (floor: x2); statement cache hit rate "
                 << Fmt(100.0 * pipelining.StmtCacheHitRate(), 1) << "%";
+  const Section& indexed = by_name("indexed_selection");
+  NF2_LOG(Info) << "indexed_selection: index-backed point selection beat "
+                << "scan-and-filter x" << Fmt(indexed.Speedup(), 2)
+                << " over " << indexed.operations << " queries";
+  const Section& fact = by_name("factorized_aggregation");
+  std::string per_depth;
+  for (size_t d = 0; d < fact.depths.size(); ++d) {
+    per_depth += StrCat(d > 0 ? ", " : "", "d", fact.depths[d], "=x",
+                        Fmt(fact.depth_speedups[d], 1));
+  }
+  NF2_LOG(Info) << "factorized_aggregation: COUNT(*) over components vs "
+                << "expand-then-scan: " << per_depth
+                << " (speedup must grow with depth)";
   return 0;
 }
 

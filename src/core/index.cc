@@ -80,6 +80,17 @@ void NfrIndex::RemoveEncoded(size_t tuple_id, const EncodedTuple& t) {
       NF2_CHECK(it != ids.end() && *it == tuple_id)
           << "index missing id for value id " << v;
       ids.erase(it);
+      // An emptied posting list keeps its heap buffer otherwise —
+      // churn-heavy workloads would hold peak capacity forever.
+      if (ids.empty()) {
+        std::vector<size_t>().swap(ids);
+      }
+    }
+    // Reclaim trailing empty slots. Interior empties must stay (their
+    // ValueIds may return), but the tail can always shrink — the
+    // value-keyed path erases empty map entries for the same reason.
+    while (!slots.empty() && slots.back().empty()) {
+      slots.pop_back();
     }
   }
 }
@@ -164,6 +175,14 @@ std::vector<size_t> NfrIndex::ContainingEncoded(const EncodedTuple& t) const {
     out = IntersectSorted(out, ContainingAllIds(attr, t[attr]));
   }
   return out;
+}
+
+size_t NfrIndex::slot_count() const {
+  size_t total = 0;
+  for (const auto& per_attr : postings_by_id_) {
+    total += per_attr.size();
+  }
+  return total;
 }
 
 size_t NfrIndex::entry_count() const {

@@ -88,6 +88,14 @@ class NfrIndex {
   /// Total number of (value -> id) entries, for stats/tests.
   size_t entry_count() const;
 
+  /// Id-keyed capacity: total posting slots held across all attributes
+  /// (including empty interior ones). RemoveEncoded reclaims trailing
+  /// empty slots, so after deleting the tuples that carried the highest
+  /// ValueIds this shrinks back — churn-heavy workloads must not grow
+  /// postings_by_id_ forever. Always 0 in Value-keyed mode (that path
+  /// erases empty map entries instead).
+  size_t slot_count() const;
+
  private:
   size_t degree_;
 

@@ -488,6 +488,15 @@ Result<const NfrRelation*> Database::Relation(
   return &it->second.relation();
 }
 
+Result<const CanonicalRelation*> Database::Canonical(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not found"));
+  }
+  return &it->second;
+}
+
 Result<const RelationInfo*> Database::Info(const std::string& name) const {
   return catalog_.Get(name);
 }

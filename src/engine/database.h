@@ -94,6 +94,10 @@ class Database {
   /// mutation of that relation).
   Result<const NfrRelation*> Relation(const std::string& name) const;
 
+  /// The canonical-form container itself — what the query planner binds
+  /// to reach the inverted index (same lifetime as Relation()).
+  Result<const CanonicalRelation*> Canonical(const std::string& name) const;
+
   /// Catalog metadata for `name`.
   Result<const RelationInfo*> Info(const std::string& name) const;
 

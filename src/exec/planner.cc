@@ -1,0 +1,296 @@
+#include "exec/planner.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+
+namespace {
+
+/// Flattens the top-level AND chain of a WHERE tree — the conjuncts the
+/// planner may independently route through the index.
+void CollectConjuncts(const ConditionNode& node,
+                      std::vector<const ConditionNode*>* out) {
+  if (node.kind == ConditionNode::Kind::kAnd) {
+    CollectConjuncts(*node.left, out);
+    CollectConjuncts(*node.right, out);
+    return;
+  }
+  out->push_back(&node);
+}
+
+std::string EqListLabel(const Schema& schema,
+                        const std::vector<EqRestriction>& eqs) {
+  std::vector<std::string> parts;
+  parts.reserve(eqs.size());
+  for (const EqRestriction& eq : eqs) {
+    parts.push_back(StrCat(schema.attribute(eq.attr).name, " = ",
+                           eq.value.ToString()));
+  }
+  return Join(parts, ", ");
+}
+
+std::string AggListLabel(const SelectStatement& stmt) {
+  std::vector<std::string> parts;
+  parts.reserve(stmt.aggregates.size());
+  for (const AggSpec& spec : stmt.aggregates) {
+    parts.push_back(spec.Label());
+  }
+  std::string aggs = Join(parts, ", ");
+  return stmt.group_attr.empty() ? aggs
+                                 : StrCat(stmt.group_attr, ": ", aggs);
+}
+
+/// Resolves the aggregate list against the schema its input rows (or
+/// NFR tuples) carry; SUM is type-checked here so execution stays
+/// infallible.
+Result<std::vector<AggCompute>> ResolveAggregates(
+    const std::vector<AggSpec>& specs, const Schema& schema) {
+  std::vector<AggCompute> out;
+  out.reserve(specs.size());
+  for (const AggSpec& spec : specs) {
+    AggCompute agg;
+    agg.spec = spec;
+    if (spec.func != AggSpec::Func::kCountStar) {
+      NF2_ASSIGN_OR_RETURN(agg.attr, schema.RequireIndex(spec.attr));
+      agg.type = schema.attribute(agg.attr).type;
+      if (spec.func == AggSpec::Func::kSum &&
+          agg.type != ValueType::kInt && agg.type != ValueType::kDouble) {
+        return Status::InvalidArgument(
+            StrCat("SUM requires a numeric attribute; ", spec.attr, " is ",
+                   ValueTypeToString(agg.type)));
+      }
+    }
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+/// Output schema of an aggregation: the group attribute (if any)
+/// followed by one column per aggregate, named by its canonical label.
+Schema AggregateOutputSchema(const Schema& input,
+                             const std::optional<size_t>& group,
+                             const std::vector<AggCompute>& aggs) {
+  std::vector<Attribute> attrs;
+  attrs.reserve((group.has_value() ? 1 : 0) + aggs.size());
+  if (group.has_value()) attrs.push_back(input.attribute(*group));
+  for (const AggCompute& agg : aggs) {
+    ValueType type = ValueType::kInt;  // COUNT(*)/COUNT(a).
+    if (agg.spec.func == AggSpec::Func::kSum ||
+        agg.spec.func == AggSpec::Func::kMin ||
+        agg.spec.func == AggSpec::Func::kMax) {
+      type = agg.type;
+    }
+    attrs.push_back({agg.spec.Label(), type});
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace
+
+Result<Predicate> ResolveCondition(const ConditionNode& node,
+                                   const Schema& schema) {
+  switch (node.kind) {
+    case ConditionNode::Kind::kCompare: {
+      NF2_ASSIGN_OR_RETURN(size_t attr, schema.RequireIndex(node.attribute));
+      CompareOp op;
+      if (node.op == "=") {
+        op = CompareOp::kEq;
+      } else if (node.op == "!=") {
+        op = CompareOp::kNe;
+      } else if (node.op == "<") {
+        op = CompareOp::kLt;
+      } else if (node.op == "<=") {
+        op = CompareOp::kLe;
+      } else if (node.op == ">") {
+        op = CompareOp::kGt;
+      } else if (node.op == ">=") {
+        op = CompareOp::kGe;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("unknown comparison '", node.op, "'"));
+      }
+      return Predicate::Compare(attr, op, node.literal);
+    }
+    case ConditionNode::Kind::kAnd: {
+      NF2_ASSIGN_OR_RETURN(Predicate left,
+                           ResolveCondition(*node.left, schema));
+      NF2_ASSIGN_OR_RETURN(Predicate right,
+                           ResolveCondition(*node.right, schema));
+      return Predicate::And(std::move(left), std::move(right));
+    }
+    case ConditionNode::Kind::kOr: {
+      NF2_ASSIGN_OR_RETURN(Predicate left,
+                           ResolveCondition(*node.left, schema));
+      NF2_ASSIGN_OR_RETURN(Predicate right,
+                           ResolveCondition(*node.right, schema));
+      return Predicate::Or(std::move(left), std::move(right));
+    }
+    case ConditionNode::Kind::kNot: {
+      NF2_ASSIGN_OR_RETURN(Predicate inner,
+                           ResolveCondition(*node.left, schema));
+      return Predicate::Not(std::move(inner));
+    }
+  }
+  return Status::Internal("unhandled condition kind");
+}
+
+Result<SelectPlan> PlanSelect(const SelectStatement& stmt,
+                              const CatalogView& catalog) {
+  NF2_ASSIGN_OR_RETURN(BoundRelation base, catalog.Bind(stmt.name));
+  const Schema& schema = base.info->schema;
+  const ValueDictionary* frozen = catalog.frozen_dictionary();
+
+  // Split the WHERE clause (single-relation case): top-level AND-ed
+  // `attr = value` conjuncts become index restrictions, the rest a
+  // residual filter. Joined queries resolve the whole clause against
+  // the joined schema instead.
+  std::vector<EqRestriction> eqs;
+  std::optional<Predicate> residual;
+  if (stmt.where != nullptr && stmt.joins.empty()) {
+    std::vector<const ConditionNode*> conjuncts;
+    CollectConjuncts(*stmt.where, &conjuncts);
+    for (const ConditionNode* c : conjuncts) {
+      if (c->kind == ConditionNode::Kind::kCompare && c->op == "=") {
+        NF2_ASSIGN_OR_RETURN(size_t attr,
+                             schema.RequireIndex(c->attribute));
+        eqs.push_back({attr, c->literal});
+      } else {
+        NF2_ASSIGN_OR_RETURN(Predicate p, ResolveCondition(*c, schema));
+        residual = residual.has_value() ? Predicate::And(*residual, p) : p;
+      }
+    }
+  }
+
+  // Base access path + joins + filter, as a row pipeline.
+  auto make_row_source = [&]() -> Result<std::unique_ptr<PlanOp>> {
+    std::unique_ptr<PlanOp> op;
+    if (!eqs.empty()) {
+      op = std::make_unique<IndexScanOp>(
+          StrCat("index_scan(", stmt.name, ": ", EqListLabel(schema, eqs),
+                 ")"),
+          base.relation, frozen, eqs);
+    } else {
+      op = std::make_unique<SeqScanOp>(StrCat("scan(", stmt.name, ")"),
+                                       &base.relation->relation());
+    }
+    if (residual.has_value()) {
+      op = std::make_unique<FilterOp>(StrCat("filter(", stmt.name, ")"),
+                                      std::move(op), *residual);
+    }
+    for (const std::string& join_name : stmt.joins) {
+      NF2_ASSIGN_OR_RETURN(BoundRelation right, catalog.Bind(join_name));
+      auto right_scan = std::make_unique<SeqScanOp>(
+          StrCat("scan(", join_name, ")"), &right.relation->relation());
+      op = std::make_unique<JoinOp>(StrCat("join(", join_name, ")"),
+                                    std::move(op), std::move(right_scan));
+    }
+    if (stmt.where != nullptr && !stmt.joins.empty()) {
+      NF2_ASSIGN_OR_RETURN(Predicate pred,
+                           ResolveCondition(*stmt.where, op->schema()));
+      op = std::make_unique<FilterOp>("filter", std::move(op), pred);
+    }
+    return op;
+  };
+
+  SelectPlan plan;
+  std::unique_ptr<PlanOp> op;
+  if (!stmt.aggregates.empty()) {
+    // Factorized when nothing forces row-at-a-time evaluation: the
+    // aggregate then runs straight over the NFR components and R* is
+    // never expanded.
+    const bool factorized = stmt.joins.empty() && !residual.has_value();
+    if (factorized) {
+      std::optional<size_t> group;
+      if (!stmt.group_attr.empty()) {
+        NF2_ASSIGN_OR_RETURN(size_t g, schema.RequireIndex(stmt.group_attr));
+        group = g;
+      }
+      NF2_ASSIGN_OR_RETURN(std::vector<AggCompute> aggs,
+                           ResolveAggregates(stmt.aggregates, schema));
+      std::unique_ptr<NfrSourceOp> source;
+      if (!eqs.empty()) {
+        source = std::make_unique<NfrSourceOp>(
+            StrCat("nfr_index_scan(", stmt.name, ": ",
+                   EqListLabel(schema, eqs), ")"),
+            base.relation, frozen, eqs);
+      } else {
+        source = std::make_unique<NfrSourceOp>(
+            StrCat("nfr_scan(", stmt.name, ")"), &base.relation->relation());
+      }
+      Schema out_schema = AggregateOutputSchema(schema, group, aggs);
+      op = std::make_unique<FactorizedAggregateOp>(
+          StrCat("nfr_aggregate(", AggListLabel(stmt), ")"),
+          std::move(source), group, std::move(aggs), std::move(out_schema));
+      plan.grouped = group.has_value();
+    } else {
+      NF2_ASSIGN_OR_RETURN(std::unique_ptr<PlanOp> input, make_row_source());
+      const Schema& in_schema = input->schema();
+      std::optional<size_t> group;
+      if (!stmt.group_attr.empty()) {
+        NF2_ASSIGN_OR_RETURN(size_t g,
+                             in_schema.RequireIndex(stmt.group_attr));
+        group = g;
+      }
+      NF2_ASSIGN_OR_RETURN(std::vector<AggCompute> aggs,
+                           ResolveAggregates(stmt.aggregates, in_schema));
+      Schema out_schema = AggregateOutputSchema(in_schema, group, aggs);
+      op = std::make_unique<AggregateOp>(
+          StrCat("aggregate(", AggListLabel(stmt), ")"), std::move(input),
+          group, std::move(aggs), std::move(out_schema));
+      plan.grouped = group.has_value();
+    }
+    plan.aggregate = !plan.grouped;
+  } else {
+    NF2_ASSIGN_OR_RETURN(op, make_row_source());
+    // ORDER BY may name a column the projection drops; sort below the
+    // project in that case, while the key is still present. Projection
+    // dedup streams in arrival order, so the sort survives it (the
+    // first-seen row wins among projected duplicates).
+    if (!stmt.order_attr.empty() && !stmt.columns.empty() &&
+        std::find(stmt.columns.begin(), stmt.columns.end(),
+                  stmt.order_attr) == stmt.columns.end()) {
+      NF2_ASSIGN_OR_RETURN(size_t col,
+                           op->schema().RequireIndex(stmt.order_attr));
+      op = std::make_unique<SortOp>(
+          StrCat("sort(", stmt.order_attr, stmt.order_desc ? " desc" : "",
+                 ")"),
+          std::move(op), col, stmt.order_desc);
+      plan.ordered = true;
+    }
+    if (!stmt.columns.empty()) {
+      std::vector<size_t> indices;
+      indices.reserve(stmt.columns.size());
+      for (const std::string& col : stmt.columns) {
+        NF2_ASSIGN_OR_RETURN(size_t idx, op->schema().RequireIndex(col));
+        indices.push_back(idx);
+      }
+      op = std::make_unique<ProjectOp>(
+          StrCat("project(", Join(stmt.columns, ", "), ")"), std::move(op),
+          std::move(indices));
+    }
+  }
+
+  if (!stmt.order_attr.empty() && !plan.ordered) {
+    // Aggregate output columns are named by their canonical labels, so
+    // `ORDER BY COUNT(*)` resolves like any other column.
+    NF2_ASSIGN_OR_RETURN(size_t col,
+                         op->schema().RequireIndex(stmt.order_attr));
+    op = std::make_unique<SortOp>(
+        StrCat("sort(", stmt.order_attr, stmt.order_desc ? " desc" : "",
+               ")"),
+        std::move(op), col, stmt.order_desc);
+    plan.ordered = true;
+  }
+  if (stmt.limit.has_value()) {
+    op = std::make_unique<LimitOp>(StrCat("limit(", *stmt.limit, ")"),
+                                   std::move(op), *stmt.limit);
+  }
+  plan.root = std::move(op);
+  return plan;
+}
+
+}  // namespace nf2

@@ -1,0 +1,60 @@
+#ifndef NF2_EXEC_PLANNER_H_
+#define NF2_EXEC_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/update.h"
+#include "exec/plan.h"
+#include "nfrql/ast.h"
+#include "util/result.h"
+
+namespace nf2 {
+
+/// One relation resolved against a catalog: its metadata plus the
+/// canonical-form container whose inverted index the planner consults.
+struct BoundRelation {
+  const RelationInfo* info = nullptr;
+  const CanonicalRelation* relation = nullptr;
+};
+
+/// The planner's window onto a catalog — the live database or a pinned
+/// snapshot. Pointers returned by Bind must stay valid for the plan's
+/// lifetime (live: the engine's relation map is node-stable; snapshot:
+/// the caller pins the snapshot while executing).
+class CatalogView {
+ public:
+  virtual ~CatalogView() = default;
+
+  virtual Result<BoundRelation> Bind(const std::string& name) const = 0;
+
+  /// Non-null when point lookups must resolve literals against a
+  /// frozen dictionary (snapshot reads) instead of the live one.
+  virtual const ValueDictionary* frozen_dictionary() const = 0;
+};
+
+/// A compiled SELECT: the operator tree plus how its rows render.
+struct SelectPlan {
+  std::unique_ptr<PlanOp> root;
+  bool grouped = false;    // GROUP BY: "g\tv..." lines + "N group(s)".
+  bool aggregate = false;  // Ungrouped aggregates: one bare row.
+  bool ordered = false;    // ORDER BY: keep pipeline row order.
+};
+
+/// Rule-based planning of a SELECT against `catalog` (DESIGN.md §10):
+///  - top-level AND-ed `attr = value` conjuncts become an IndexScan
+///    (posting lookup + component narrowing), the residual a Filter;
+///  - aggregates with no joins and no residual run factorized over the
+///    NFR (never expanding R*), otherwise over the row stream;
+///  - joins hash-build their right side; ORDER BY/LIMIT cap the tree.
+Result<SelectPlan> PlanSelect(const SelectStatement& stmt,
+                              const CatalogView& catalog);
+
+/// Resolves a parsed WHERE tree against `schema` into a Predicate.
+Result<Predicate> ResolveCondition(const ConditionNode& node,
+                                   const Schema& schema);
+
+}  // namespace nf2
+
+#endif  // NF2_EXEC_PLANNER_H_

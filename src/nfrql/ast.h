@@ -68,15 +68,47 @@ struct UpdateStatement {
   std::unique_ptr<ConditionNode> where;  // Null: update every tuple.
 };
 
-/// SELECT [COUNT(*) | cols | *] FROM name [JOIN name]... [WHERE cond]
+/// One aggregate call in a SELECT list: COUNT(*), COUNT(a), SUM(a),
+/// MIN(a), MAX(a). COUNT(a) counts DISTINCT values of `a` (set
+/// semantics — the only COUNT an NFR component can answer directly).
+struct AggSpec {
+  enum class Func { kCountStar, kCount, kSum, kMin, kMax };
+  Func func = Func::kCountStar;
+  std::string attr;  // Empty for COUNT(*).
+
+  /// Canonical output-column name: "COUNT(*)", "SUM(Sal)", ... — also
+  /// the spelling ORDER BY uses to reference an aggregate.
+  std::string Label() const {
+    switch (func) {
+      case Func::kCountStar:
+        return "COUNT(*)";
+      case Func::kCount:
+        return "COUNT(" + attr + ")";
+      case Func::kSum:
+        return "SUM(" + attr + ")";
+      case Func::kMin:
+        return "MIN(" + attr + ")";
+      case Func::kMax:
+        return "MAX(" + attr + ")";
+    }
+    return "";
+  }
+
+  bool operator==(const AggSpec&) const = default;
+};
+
+/// SELECT [* | cols | [g,] aggs] FROM name [JOIN name]... [WHERE cond]
+///   [GROUP BY g] [ORDER BY col [ASC|DESC]] [LIMIT n]
 struct SelectStatement {
   std::string name;                       // First FROM relation.
   std::vector<std::string> joins;         // Further relations, natural-joined.
-  std::vector<std::string> columns;       // Empty means '*'.
-  bool count_only = false;                // SELECT COUNT(*).
-  // Aggregate form: SELECT g, COUNT(c) FROM r GROUP BY g.
-  std::string group_attr;
-  std::string count_attr;
+  std::vector<std::string> columns;       // Plain columns; empty means '*'
+                                          // when `aggregates` is empty too.
+  std::vector<AggSpec> aggregates;        // Aggregate calls, in list order.
+  std::string group_attr;                 // GROUP BY attribute (or empty).
+  std::string order_attr;                 // ORDER BY column/agg label.
+  bool order_desc = false;
+  std::optional<uint64_t> limit;
   std::unique_ptr<ConditionNode> where;
 };
 

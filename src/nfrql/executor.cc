@@ -1,8 +1,10 @@
 #include "nfrql/executor.h"
 
-#include "algebra/operators.h"
+#include <algorithm>
+
 #include "core/format.h"
 #include "core/nest.h"
+#include "exec/plan.h"
 #include "nfrql/parser.h"
 #include "util/string_util.h"
 
@@ -132,32 +134,124 @@ void BuildPlan(const Statement& stmt, SpanNode* parent) {
     n->AddChild("recons");
     return;
   }
-  if (const auto* sel = std::get_if<SelectStatement>(&stmt)) {
-    SpanNode* n = parent->AddChild(OpLabel("select", sel->name));
-    if (!sel->group_attr.empty()) {
-      if (sel->where != nullptr) {
-        n->AddChild(OpLabel("filter", sel->name));
-      }
-      n->AddChild(StrCat("group_count(", sel->group_attr, ",",
-                         sel->count_attr, ")"));
-      return;
-    }
-    if (sel->joins.empty()) {
-      n->AddChild(sel->where != nullptr ? OpLabel("filter", sel->name)
-                                        : OpLabel("scan", sel->name));
-    } else {
-      n->AddChild(OpLabel("scan", sel->name));
-      for (const std::string& j : sel->joins) {
-        n->AddChild(OpLabel("join", j));
-      }
-      if (sel->where != nullptr) n->AddChild("filter");
-    }
-    if (sel->count_only) n->AddChild("count");
-    if (!sel->columns.empty()) n->AddChild("project");
-    return;
-  }
+  // SELECT is handled by ExecExplain via the query planner — the plan
+  // tree IS the operator tree the executor runs.
   parent->AddChild(StatementLabel(stmt));
 }
+
+/// Mirrors a compiled operator tree into span nodes under `parent`.
+/// EXPLAIN passes with_stats=false (deterministic, labels only);
+/// PROFILE passes true after execution so per-operator wall time,
+/// rows_out, and operator stats become span attributes.
+void AttachPlan(const PlanOp& op, SpanNode* parent, bool with_stats) {
+  SpanNode* n = parent->AddChild(op.label());
+  if (with_stats) {
+    n->duration_ns = op.elapsed_ns();
+    n->AddAttr("rows_out", static_cast<int64_t>(op.rows_out()));
+    for (const auto& [key, value] : op.stats()) {
+      n->AddAttr(key, value);
+    }
+  }
+  for (const auto& child : op.children()) {
+    AttachPlan(*child, n, with_stats);
+  }
+}
+
+/// Box table like RenderTable, but preserving the given row order —
+/// ORDER BY output must not be re-sorted by the renderer.
+std::string RenderRowsInOrder(const Schema& schema,
+                              const std::vector<FlatTuple>& rows) {
+  const size_t cols = schema.degree();
+  std::vector<size_t> width(cols, 0);
+  for (size_t c = 0; c < cols; ++c) {
+    width[c] = schema.attribute(c).name.size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const FlatTuple& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      line.push_back(row.at(c).ToString());
+      width[c] = std::max(width[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto rule = [&]() {
+    std::string out = "+";
+    for (size_t c = 0; c < cols; ++c) {
+      out += std::string(width[c] + 2, '-');
+      out += "+";
+    }
+    out += "\n";
+    return out;
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < cols; ++c) {
+      out += " " + row[c] + std::string(width[c] - row[c].size(), ' ') +
+             " |";
+    }
+    out += "\n";
+    return out;
+  };
+  std::vector<std::string> header;
+  header.reserve(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    header.push_back(schema.attribute(c).name);
+  }
+  std::string out = rule();
+  out += line(header);
+  out += rule();
+  for (const auto& row : cells) out += line(row);
+  out += rule();
+  return out;
+}
+
+/// CatalogView over the live database.
+class LiveCatalog : public CatalogView {
+ public:
+  explicit LiveCatalog(const Database* db) : db_(db) {}
+
+  Result<BoundRelation> Bind(const std::string& name) const override {
+    BoundRelation out;
+    NF2_ASSIGN_OR_RETURN(out.info, db_->Info(name));
+    NF2_ASSIGN_OR_RETURN(out.relation, db_->Canonical(name));
+    return out;
+  }
+
+  const ValueDictionary* frozen_dictionary() const override {
+    return nullptr;
+  }
+
+ private:
+  const Database* db_;
+};
+
+/// CatalogView over a pinned snapshot: lookups resolve against the
+/// frozen dictionary and never touch live engine structures. The
+/// executor holds the snapshot shared_ptr for the statement's
+/// duration, which keeps every bound RelationVersion alive.
+class SnapshotCatalog : public CatalogView {
+ public:
+  explicit SnapshotCatalog(const DatabaseSnapshot* snap) : snap_(snap) {}
+
+  Result<BoundRelation> Bind(const std::string& name) const override {
+    std::shared_ptr<const DatabaseSnapshot::RelationVersion> version =
+        snap_->FindVersion(name);
+    if (version == nullptr) {
+      return Status::NotFound(StrCat("relation '", name, "' not found"));
+    }
+    return BoundRelation{&version->info, version->relation.get()};
+  }
+
+  const ValueDictionary* frozen_dictionary() const override {
+    return snap_->dictionary().get();
+  }
+
+ private:
+  const DatabaseSnapshot* snap_;
+};
 
 }  // namespace
 
@@ -271,7 +365,13 @@ Result<std::string> Executor::ExecDelete(const DeleteStatement& stmt) {
     }
   } else {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, db_->Info(stmt.name));
-    NF2_CHECK(stmt.where != nullptr);
+    if (stmt.where == nullptr) {
+      // Reachable through the server protocol (hand-built statements);
+      // the parser also rejects this form. Refusing beats a crash and
+      // beats silently deleting everything.
+      return Status::InvalidArgument(
+          "DELETE needs a VALUES list or a WHERE clause");
+    }
     FlatRelation matching(info->schema);
     {
       TraceSpan filter(trace_, OpLabel("filter", stmt.name));
@@ -327,6 +427,16 @@ Result<std::string> Executor::ExecUpdate(const UpdateStatement& stmt) {
     Status inserted = db_->Insert(stmt.name, new_tuple);
     if (!inserted.ok() &&
         inserted.code() != StatusCode::kAlreadyExists) {
+      // The old tuple is already deleted; re-insert it before
+      // surfacing the error so a rejected rewrite (FD violation, type
+      // mismatch) never silently loses the original row.
+      Status restored = db_->Insert(stmt.name, old_tuple);
+      if (!restored.ok()) {
+        return Status::Internal(StrCat(
+            "update failed (", inserted.message(),
+            ") and restoring the original tuple also failed: ",
+            restored.message()));
+      }
       return inserted;
     }
     ++updated;
@@ -345,16 +455,6 @@ Result<const NfrRelation*> Executor::ViewRelation(
                               : db_->Relation(name);
 }
 
-Result<FlatRelation> Executor::ViewScan(const std::string& name) const {
-  return snapshot_ != nullptr ? snapshot_->Scan(name) : db_->Scan(name);
-}
-
-Result<FlatRelation> Executor::ViewQuery(const std::string& name,
-                                         const Predicate& pred) const {
-  return snapshot_ != nullptr ? snapshot_->Query(name, pred)
-                              : db_->Query(name, pred);
-}
-
 Result<RelationStats> Executor::ViewStats(const std::string& name) const {
   return snapshot_ != nullptr ? snapshot_->Stats(name) : db_->Stats(name);
 }
@@ -364,82 +464,58 @@ std::vector<std::string> Executor::ViewList() const {
                               : db_->ListRelations();
 }
 
+Result<SelectPlan> Executor::PlanSelectStatement(
+    const SelectStatement& stmt) const {
+  if (snapshot_ != nullptr) {
+    SnapshotCatalog catalog(snapshot_.get());
+    return PlanSelect(stmt, catalog);
+  }
+  LiveCatalog catalog(db_);
+  return PlanSelect(stmt, catalog);
+}
+
 Result<std::string> Executor::ExecSelect(const SelectStatement& stmt) {
   TraceSpan span(trace_, OpLabel("select", stmt.name));
-  if (!stmt.group_attr.empty()) {
-    // Aggregate form: counts come straight off the NFR components.
-    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, ViewInfo(stmt.name));
-    NF2_ASSIGN_OR_RETURN(const NfrRelation* rel, ViewRelation(stmt.name));
-    NF2_ASSIGN_OR_RETURN(size_t group_idx,
-                         info->schema.RequireIndex(stmt.group_attr));
-    NF2_ASSIGN_OR_RETURN(size_t count_idx,
-                         info->schema.RequireIndex(stmt.count_attr));
-    NfrRelation view = *rel;
-    if (stmt.where != nullptr) {
-      TraceSpan filter(trace_, OpLabel("filter", stmt.name));
-      NF2_ASSIGN_OR_RETURN(Predicate pred,
-                           ResolveCondition(*stmt.where, info->schema));
-      view = SelectNfrExact(*rel, pred);
-      filter.AddAttr("rows_out", static_cast<int64_t>(view.size()));
-    }
-    TraceSpan group(trace_, StrCat("group_count(", stmt.group_attr, ",",
-                                   stmt.count_attr, ")"));
-    NF2_ASSIGN_OR_RETURN(std::vector<GroupCount> counts,
-                         GroupedDistinctCounts(view, group_idx, count_idx));
-    group.AddAttr("groups", static_cast<int64_t>(counts.size()));
+  NF2_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelectStatement(stmt));
+  if (trace_ != nullptr) plan.root->EnableTiming();
+  plan.root->Open();
+  std::vector<FlatTuple> rows;
+  FlatTuple row;
+  while (plan.root->Next(&row)) {
+    rows.push_back(std::move(row));
+  }
+  plan.root->Close();
+  if (span.node() != nullptr) {
+    AttachPlan(*plan.root, span.node(), /*with_stats=*/true);
+  }
+  if (plan.grouped) {
+    // "group\tvalue..." lines, one per group, in pipeline order.
     std::string out;
-    for (const GroupCount& gc : counts) {
-      out += StrCat(gc.group.ToString(), "\t", gc.count, "\n");
+    for (const FlatTuple& r : rows) {
+      std::vector<std::string> cells;
+      cells.reserve(r.degree());
+      for (const Value& v : r.values()) cells.push_back(v.ToString());
+      out += StrCat(Join(cells, "\t"), "\n");
     }
-    out += StrCat(counts.size(), " group(s)");
+    out += StrCat(rows.size(), " group(s)");
     return out;
   }
-  FlatRelation result(Schema{});
-  if (stmt.joins.empty()) {
-    NF2_ASSIGN_OR_RETURN(const RelationInfo* info, ViewInfo(stmt.name));
-    if (stmt.where != nullptr) {
-      // Single-relation selections evaluate against the NFR directly.
-      TraceSpan filter(trace_, OpLabel("filter", stmt.name));
-      NF2_ASSIGN_OR_RETURN(Predicate pred,
-                           ResolveCondition(*stmt.where, info->schema));
-      NF2_ASSIGN_OR_RETURN(result, ViewQuery(stmt.name, pred));
-      filter.AddAttr("rows_out", static_cast<int64_t>(result.size()));
-    } else {
-      TraceSpan scan(trace_, OpLabel("scan", stmt.name));
-      NF2_ASSIGN_OR_RETURN(result, ViewScan(stmt.name));
-      scan.AddAttr("rows_out", static_cast<int64_t>(result.size()));
+  if (plan.aggregate) {
+    // Ungrouped aggregates produce exactly one row, rendered bare so
+    // `SELECT COUNT(*) ...` answers are machine-friendly ("2").
+    if (rows.empty()) return std::string();
+    std::vector<std::string> cells;
+    cells.reserve(rows.front().degree());
+    for (const Value& v : rows.front().values()) {
+      cells.push_back(v.ToString());
     }
-  } else {
-    // Natural-join the scans left to right, then filter.
-    {
-      TraceSpan scan(trace_, OpLabel("scan", stmt.name));
-      NF2_ASSIGN_OR_RETURN(result, ViewScan(stmt.name));
-      scan.AddAttr("rows_out", static_cast<int64_t>(result.size()));
-    }
-    for (const std::string& next : stmt.joins) {
-      TraceSpan join(trace_, OpLabel("join", next));
-      NF2_ASSIGN_OR_RETURN(FlatRelation right, ViewScan(next));
-      result = NaturalJoin(result, right);
-      join.AddAttr("rows_out", static_cast<int64_t>(result.size()));
-    }
-    if (stmt.where != nullptr) {
-      TraceSpan filter(trace_, "filter");
-      NF2_ASSIGN_OR_RETURN(Predicate pred,
-                           ResolveCondition(*stmt.where, result.schema()));
-      result = Select(result, pred);
-      filter.AddAttr("rows_out", static_cast<int64_t>(result.size()));
-    }
+    return Join(cells, "\t");
   }
-  if (stmt.count_only) {
-    TraceSpan count(trace_, "count");
-    count.AddAttr("rows_in", static_cast<int64_t>(result.size()));
-    return StrCat(result.size());
+  if (plan.ordered) {
+    return StrCat(RenderRowsInOrder(plan.root->schema(), rows), rows.size(),
+                  " row(s)");
   }
-  if (!stmt.columns.empty()) {
-    TraceSpan project(trace_, "project");
-    NF2_ASSIGN_OR_RETURN(result, ProjectByName(result, stmt.columns));
-    project.AddAttr("rows_out", static_cast<int64_t>(result.size()));
-  }
+  FlatRelation result(plan.root->schema(), std::move(rows));
   return StrCat(RenderTable(result), result.size(), " row(s)");
 }
 
@@ -506,9 +582,18 @@ Result<std::string> Executor::ExecExplain(const ExplainStatement& stmt) {
   NF2_CHECK(stmt.inner != nullptr);
   const Statement& inner = stmt.inner->stmt;
   if (!stmt.profile) {
-    Trace plan;
-    BuildPlan(inner, plan.mutable_root());
-    return StrCat("EXPLAIN\n", plan.Render(TraceRender::kPlanOnly));
+    Trace plan_tree;
+    if (const auto* sel = std::get_if<SelectStatement>(&inner)) {
+      // SELECT: run the real planner so EXPLAIN shows exactly the
+      // operator tree execution would use (index_scan vs scan, ...).
+      NF2_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelectStatement(*sel));
+      SpanNode* root =
+          plan_tree.mutable_root()->AddChild(OpLabel("select", sel->name));
+      AttachPlan(*plan.root, root, /*with_stats=*/false);
+    } else {
+      BuildPlan(inner, plan_tree.mutable_root());
+    }
+    return StrCat("EXPLAIN\n", plan_tree.Render(TraceRender::kPlanOnly));
   }
   Trace trace;
   trace_ = &trace;
@@ -537,54 +622,6 @@ Result<std::string> Executor::ExecTxn(const TxnStatement& stmt) {
       return std::string("transaction rolled back");
   }
   return Status::Internal("unhandled txn kind");
-}
-
-Result<Predicate> Executor::ResolveCondition(const ConditionNode& node,
-                                             const Schema& schema) const {
-  switch (node.kind) {
-    case ConditionNode::Kind::kCompare: {
-      NF2_ASSIGN_OR_RETURN(size_t attr,
-                           schema.RequireIndex(node.attribute));
-      CompareOp op;
-      if (node.op == "=") {
-        op = CompareOp::kEq;
-      } else if (node.op == "!=") {
-        op = CompareOp::kNe;
-      } else if (node.op == "<") {
-        op = CompareOp::kLt;
-      } else if (node.op == "<=") {
-        op = CompareOp::kLe;
-      } else if (node.op == ">") {
-        op = CompareOp::kGt;
-      } else if (node.op == ">=") {
-        op = CompareOp::kGe;
-      } else {
-        return Status::InvalidArgument(
-            StrCat("unknown comparison '", node.op, "'"));
-      }
-      return Predicate::Compare(attr, op, node.literal);
-    }
-    case ConditionNode::Kind::kAnd: {
-      NF2_ASSIGN_OR_RETURN(Predicate left,
-                           ResolveCondition(*node.left, schema));
-      NF2_ASSIGN_OR_RETURN(Predicate right,
-                           ResolveCondition(*node.right, schema));
-      return Predicate::And(std::move(left), std::move(right));
-    }
-    case ConditionNode::Kind::kOr: {
-      NF2_ASSIGN_OR_RETURN(Predicate left,
-                           ResolveCondition(*node.left, schema));
-      NF2_ASSIGN_OR_RETURN(Predicate right,
-                           ResolveCondition(*node.right, schema));
-      return Predicate::Or(std::move(left), std::move(right));
-    }
-    case ConditionNode::Kind::kNot: {
-      NF2_ASSIGN_OR_RETURN(Predicate inner,
-                           ResolveCondition(*node.left, schema));
-      return Predicate::Not(std::move(inner));
-    }
-  }
-  return Status::Internal("unhandled condition kind");
 }
 
 }  // namespace nf2

@@ -8,6 +8,7 @@
 
 #include "engine/database.h"
 #include "engine/snapshot.h"
+#include "exec/planner.h"
 #include "nfrql/ast.h"
 #include "obs/trace.h"
 #include "util/result.h"
@@ -56,17 +57,15 @@ class Executor {
   Result<std::string> ExecTxn(const TxnStatement& stmt);
   Result<std::string> ExecExplain(const ExplainStatement& stmt);
 
-  /// Resolves a parsed condition tree against `schema` into a Predicate.
-  Result<Predicate> ResolveCondition(const ConditionNode& node,
-                                     const Schema& schema) const;
+  /// Compiles `stmt` into an operator tree against the bound view
+  /// (snapshot when pinned, live database otherwise) — shared by
+  /// ExecSelect and EXPLAIN.
+  Result<SelectPlan> PlanSelectStatement(const SelectStatement& stmt) const;
 
   // Read dispatch: the bound snapshot when one is pinned, else the
   // live database. Only the read-only exec functions go through these.
   Result<const RelationInfo*> ViewInfo(const std::string& name) const;
   Result<const NfrRelation*> ViewRelation(const std::string& name) const;
-  Result<FlatRelation> ViewScan(const std::string& name) const;
-  Result<FlatRelation> ViewQuery(const std::string& name,
-                                 const Predicate& pred) const;
   Result<RelationStats> ViewStats(const std::string& name) const;
   std::vector<std::string> ViewList() const;
 

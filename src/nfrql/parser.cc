@@ -396,32 +396,66 @@ class Parser {
     return Statement{std::move(stmt)};
   }
 
+  /// True when the current token starts an aggregate call like
+  /// COUNT( / SUM( / MIN( / MAX(.
+  bool AtAggregate() const {
+    return (Current().IsKeyword("COUNT") || Current().IsKeyword("SUM") ||
+            Current().IsKeyword("MIN") || Current().IsKeyword("MAX")) &&
+           Peek(1).type == TokenType::kLParen;
+  }
+
+  // agg := COUNT '(' '*' ')' | (COUNT|SUM|MIN|MAX) '(' attr ')'
+  Result<AggSpec> ParseAggregate() {
+    AggSpec spec;
+    if (Current().IsKeyword("COUNT")) {
+      spec.func = AggSpec::Func::kCount;
+    } else if (Current().IsKeyword("SUM")) {
+      spec.func = AggSpec::Func::kSum;
+    } else if (Current().IsKeyword("MIN")) {
+      spec.func = AggSpec::Func::kMin;
+    } else {
+      spec.func = AggSpec::Func::kMax;
+    }
+    Advance();  // The function keyword.
+    NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen));
+    if (Current().type == TokenType::kStar) {
+      if (spec.func != AggSpec::Func::kCount) {
+        return UnexpectedToken("an attribute name");
+      }
+      spec.func = AggSpec::Func::kCountStar;
+      Advance();
+    } else {
+      NF2_ASSIGN_OR_RETURN(spec.attr,
+                           ExpectIdentifier("an attribute name"));
+    }
+    NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen));
+    return spec;
+  }
+
   Result<Statement> ParseSelect() {
     Advance();  // SELECT
     SelectStatement stmt;
     if (Current().type == TokenType::kStar) {
       Advance();
-    } else if (Current().IsKeyword("COUNT")) {
-      Advance();
-      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen));
-      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kStar));
-      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen));
-      stmt.count_only = true;
-    } else if (Current().type == TokenType::kIdentifier &&
-               Peek(1).type == TokenType::kComma &&
-               Peek(2).IsKeyword("COUNT") &&
-               Peek(3).type == TokenType::kLParen) {
-      // Aggregate form: SELECT g, COUNT(c) FROM r GROUP BY g.
-      NF2_ASSIGN_OR_RETURN(stmt.group_attr,
-                           ExpectIdentifier("a grouping attribute"));
-      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kComma));
-      Advance();  // COUNT
-      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kLParen));
-      NF2_ASSIGN_OR_RETURN(stmt.count_attr,
-                           ExpectIdentifier("a counted attribute"));
-      NF2_RETURN_IF_ERROR(ExpectToken(TokenType::kRParen));
     } else {
-      NF2_ASSIGN_OR_RETURN(stmt.columns, ParseNameList());
+      // Comma-separated list of plain columns and aggregate calls.
+      while (true) {
+        if (AtAggregate()) {
+          NF2_ASSIGN_OR_RETURN(AggSpec spec, ParseAggregate());
+          stmt.aggregates.push_back(std::move(spec));
+        } else {
+          NF2_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("a column or aggregate"));
+          stmt.columns.push_back(std::move(col));
+        }
+        if (Current().type != TokenType::kComma) break;
+        Advance();
+      }
+      if (!stmt.aggregates.empty() && stmt.columns.size() > 1) {
+        return Status::InvalidArgument(
+            "at most one plain column may accompany aggregates (and it "
+            "must be the GROUP BY attribute)");
+      }
     }
     NF2_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     NF2_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("a relation name"));
@@ -435,21 +469,57 @@ class Parser {
       Advance();
       NF2_ASSIGN_OR_RETURN(stmt.where, ParseCondition());
     }
-    if (!stmt.group_attr.empty()) {
-      NF2_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+    if (Current().IsKeyword("GROUP")) {
+      Advance();
       NF2_RETURN_IF_ERROR(ExpectKeyword("BY"));
-      NF2_ASSIGN_OR_RETURN(std::string by,
+      NF2_ASSIGN_OR_RETURN(stmt.group_attr,
                            ExpectIdentifier("the grouping attribute"));
-      if (by != stmt.group_attr) {
+      if (stmt.aggregates.empty()) {
         return Status::InvalidArgument(
-            StrCat("GROUP BY attribute '", by,
+            "GROUP BY requires at least one aggregate in the SELECT list");
+      }
+      if (!stmt.columns.empty() && stmt.columns[0] != stmt.group_attr) {
+        return Status::InvalidArgument(
+            StrCat("GROUP BY attribute '", stmt.group_attr,
                    "' must match the selected attribute '",
-                   stmt.group_attr, "'"));
+                   stmt.columns[0], "'"));
       }
       if (!stmt.joins.empty()) {
         return Status::Unimplemented(
             "GROUP BY over joins is not supported");
       }
+    }
+    if (!stmt.aggregates.empty() && !stmt.columns.empty() &&
+        stmt.group_attr.empty()) {
+      return Status::InvalidArgument(
+          StrCat("selected attribute '", stmt.columns[0],
+                 "' requires GROUP BY ", stmt.columns[0]));
+    }
+    if (Current().IsKeyword("ORDER")) {
+      Advance();
+      NF2_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      if (AtAggregate()) {
+        NF2_ASSIGN_OR_RETURN(AggSpec spec, ParseAggregate());
+        stmt.order_attr = spec.Label();
+      } else {
+        NF2_ASSIGN_OR_RETURN(stmt.order_attr,
+                             ExpectIdentifier("an ORDER BY column"));
+      }
+      if (Current().IsKeyword("ASC")) {
+        Advance();
+      } else if (Current().IsKeyword("DESC")) {
+        stmt.order_desc = true;
+        Advance();
+      }
+    }
+    if (Current().IsKeyword("LIMIT")) {
+      Advance();
+      if (Current().type != TokenType::kInteger ||
+          Current().int_value < 0) {
+        return UnexpectedToken("a non-negative LIMIT count");
+      }
+      stmt.limit = static_cast<uint64_t>(Current().int_value);
+      Advance();
     }
     return Statement{std::move(stmt)};
   }

@@ -75,6 +75,11 @@ class TraceSpan {
   /// Attaches an attribute to the open span (ignored when untraced).
   void AddAttr(std::string key, int64_t value);
 
+  /// The underlying span node (null when untraced) — lets callers that
+  /// build subtree structure out of band (the query pipeline attaches
+  /// per-operator nodes after execution) hang children off this span.
+  SpanNode* node() const { return node_; }
+
   /// Nanoseconds elapsed since construction.
   uint64_t ElapsedNs() const;
 

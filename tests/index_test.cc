@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "algebra/predicate.h"
 #include "core/index.h"
 #include "core/update.h"
@@ -70,6 +72,33 @@ TEST(NfrIndexTest, ContainingTuple) {
   EXPECT_EQ(index.ContainingTuple(T({"a3"}, {"b2"})),
             (std::vector<size_t>{1}));
   EXPECT_TRUE(index.ContainingTuple(T({"a2"}, {"b2"})).empty());
+}
+
+// Regression: RemoveEncoded used to leave emptied posting slots
+// allocated forever, so a churn workload (intern fresh values, insert,
+// delete) grew postings_by_id_ monotonically. Emptied lists must
+// release their buffers and trailing empty slots must be popped.
+TEST(NfrIndexTest, RemoveEncodedReclaimsSlots) {
+  auto dict = std::make_shared<ValueDictionary>();
+  NfrIndex index(2, dict);
+  NfrTuple low = T({"a1"}, {"b1"});
+  NfrTuple high = T({"a2", "a3"}, {"b2"});
+  EncodedTuple low_enc = InternTuple(dict.get(), low);
+  EncodedTuple high_enc = InternTuple(dict.get(), high);
+  index.AddEncoded(0, low_enc);
+  index.AddEncoded(1, high_enc);
+  const size_t full = index.slot_count();
+  // Deleting the tuple that carries the highest ValueIds shrinks the
+  // slot arrays back down.
+  index.RemoveEncoded(1, high_enc);
+  EXPECT_LT(index.slot_count(), full);
+  // An emptied index holds no slots at all.
+  index.RemoveEncoded(0, low_enc);
+  EXPECT_EQ(index.slot_count(), 0u);
+  EXPECT_EQ(index.entry_count(), 0u);
+  // Slots regrow on demand after the shrink.
+  index.AddEncoded(2, high_enc);
+  EXPECT_EQ(index.ContainingEncoded(high_enc), (std::vector<size_t>{2}));
 }
 
 TEST(IntersectSortedTest, Basics) {

@@ -371,8 +371,8 @@ TEST_F(ExecutorTest, ExplainGoldenPlans) {
   EXPECT_EQ(Must("EXPLAIN SELECT A FROM r WHERE A = a1"),
             "EXPLAIN\n"
             "select(r)\n"
-            "├─ filter(r)\n"
-            "└─ project\n");
+            "└─ project(A)\n"
+            "   └─ index_scan(r: A = a1)\n");
   EXPECT_EQ(Must("EXPLAIN DELETE FROM r WHERE A = a1"),
             "EXPLAIN\n"
             "delete(r)\n"
@@ -395,11 +395,183 @@ TEST_F(ExecutorTest, ProfileRendersSpansWithTimes) {
   EXPECT_NE(out.find("1 row(s)"), std::string::npos);
   EXPECT_NE(out.find("\n\nPROFILE\n"), std::string::npos);
   EXPECT_NE(out.find("select(r) ["), std::string::npos);
-  EXPECT_NE(out.find("filter(r) ["), std::string::npos);
+  EXPECT_NE(out.find("index_scan(r: A = a1) ["), std::string::npos);
   EXPECT_NE(out.find("rows_out=1"), std::string::npos);
   // Statements without dedicated instrumentation still profile as a
   // single labeled span.
   EXPECT_NE(Must("PROFILE LIST").find("PROFILE\nlist"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ExplainGoldenPipelineOperators) {
+  Must("CREATE RELATION r (A STRING, B STRING) NEST A, B");
+  Must("CREATE RELATION ct (B STRING, C STRING) NEST B, C");
+  // Equality conjuncts route through one index scan; the non-eq
+  // residue becomes a filter above it.
+  EXPECT_EQ(Must("EXPLAIN SELECT * FROM r WHERE A = a1 AND B != b9"),
+            "EXPLAIN\n"
+            "select(r)\n"
+            "└─ filter(r)\n"
+            "   └─ index_scan(r: A = a1)\n");
+  // Factorized aggregation never expands R*: the aggregate reads the
+  // NFR source directly.
+  EXPECT_EQ(Must("EXPLAIN SELECT COUNT(*) FROM r"),
+            "EXPLAIN\n"
+            "select(r)\n"
+            "└─ nfr_aggregate(COUNT(*))\n"
+            "   └─ nfr_scan(r)\n");
+  EXPECT_EQ(Must("EXPLAIN SELECT COUNT(*) FROM r WHERE A = a1"),
+            "EXPLAIN\n"
+            "select(r)\n"
+            "└─ nfr_aggregate(COUNT(*))\n"
+            "   └─ nfr_index_scan(r: A = a1)\n");
+  // GROUP BY with ORDER BY an aggregate label, capped by LIMIT.
+  EXPECT_EQ(Must("EXPLAIN SELECT A, COUNT(B) FROM r GROUP BY A "
+                 "ORDER BY COUNT(B) DESC LIMIT 2"),
+            "EXPLAIN\n"
+            "select(r)\n"
+            "└─ limit(2)\n"
+            "   └─ sort(COUNT(B) desc)\n"
+            "      └─ nfr_aggregate(A: COUNT(B))\n"
+            "         └─ nfr_scan(r)\n");
+  // Joins hash-build the right side; the WHERE resolves on top of the
+  // joined schema.
+  EXPECT_EQ(Must("EXPLAIN SELECT * FROM r JOIN ct WHERE C = c1"),
+            "EXPLAIN\n"
+            "select(r)\n"
+            "└─ filter\n"
+            "   └─ join(ct)\n"
+            "      ├─ scan(r)\n"
+            "      └─ scan(ct)\n");
+  // A residual (non-equality) predicate forces aggregation onto the
+  // row pipeline.
+  EXPECT_EQ(Must("EXPLAIN SELECT COUNT(*) FROM r WHERE A != a1"),
+            "EXPLAIN\n"
+            "select(r)\n"
+            "└─ aggregate(COUNT(*))\n"
+            "   └─ filter(r)\n"
+            "      └─ scan(r)\n");
+}
+
+TEST_F(ExecutorTest, AggregateFunctions) {
+  Must("CREATE RELATION emp (Name STRING, Dept STRING, Sal INT)");
+  Must("INSERT INTO emp VALUES (ada, cs, 120), (bob, cs, 80), "
+       "(eve, math, 100)");
+  EXPECT_EQ(Must("SELECT SUM(Sal) FROM emp"), "300");
+  EXPECT_EQ(Must("SELECT MIN(Sal) FROM emp"), "80");
+  EXPECT_EQ(Must("SELECT MAX(Sal) FROM emp"), "120");
+  // COUNT(attr) counts distinct values (set semantics).
+  EXPECT_EQ(Must("SELECT COUNT(Dept) FROM emp"), "2");
+  EXPECT_EQ(Must("SELECT COUNT(*), SUM(Sal), MIN(Name) FROM emp"),
+            "3\t300\tada");
+  // Grouped, multiple aggregates.
+  std::string grouped =
+      Must("SELECT Dept, COUNT(*), SUM(Sal) FROM emp GROUP BY Dept");
+  EXPECT_NE(grouped.find("cs\t2\t200"), std::string::npos);
+  EXPECT_NE(grouped.find("math\t1\t100"), std::string::npos);
+  EXPECT_NE(grouped.find("2 group(s)"), std::string::npos);
+  // Index-backed restriction under an aggregate.
+  EXPECT_EQ(Must("SELECT SUM(Sal) FROM emp WHERE Dept = cs"), "200");
+  // SUM requires a numeric attribute (caught at plan time).
+  EXPECT_FALSE(executor_->Execute("SELECT SUM(Name) FROM emp").ok());
+}
+
+TEST_F(ExecutorTest, OrderByAndLimit) {
+  Must("CREATE RELATION t (Name STRING, Age INT)");
+  Must("INSERT INTO t VALUES (ada, 36), (bob, 25), (eve, 31)");
+  // Rows render in sort order, not the relation's canonical order.
+  std::string out = Must("SELECT * FROM t ORDER BY Age DESC");
+  EXPECT_NE(out.find("3 row(s)"), std::string::npos);
+  EXPECT_LT(out.find("ada"), out.find("eve"));
+  EXPECT_LT(out.find("eve"), out.find("bob"));
+  std::string top = Must("SELECT Name FROM t ORDER BY Age LIMIT 1");
+  EXPECT_NE(top.find("bob"), std::string::npos);
+  EXPECT_EQ(top.find("ada"), std::string::npos);
+  EXPECT_NE(top.find("1 row(s)"), std::string::npos);
+  // LIMIT without ORDER BY caps the pipeline.
+  EXPECT_NE(Must("SELECT * FROM t LIMIT 2").find("2 row(s)"),
+            std::string::npos);
+  // ORDER BY an aggregate orders the group rows.
+  std::string grouped = Must("SELECT Name, COUNT(Age) FROM t "
+                             "GROUP BY Name ORDER BY Name DESC");
+  EXPECT_LT(grouped.find("eve"), grouped.find("bob"));
+  EXPECT_FALSE(executor_->Execute("SELECT * FROM t ORDER BY Nope").ok());
+}
+
+TEST_F(ExecutorTest, FactorizedAggregationMatchesRowPipeline) {
+  Must("CREATE RELATION sc (Student STRING, Course STRING) "
+       "NEST Course, Student");
+  Must("INSERT INTO sc VALUES (s1, c1), (s1, c2), (s2, c1), (s2, c2), "
+       "(s3, c3)");
+  // Factorized (no residual) and row-based (the != residual forces the
+  // row pipeline) answers must agree.
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM sc"), "5");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM sc WHERE Student != zzz"), "5");
+  std::string factorized =
+      Must("SELECT Student, COUNT(Course) FROM sc GROUP BY Student");
+  std::string row_based = Must(
+      "SELECT Student, COUNT(Course) FROM sc WHERE Course != zzz "
+      "GROUP BY Student");
+  EXPECT_EQ(factorized, row_based);
+  // The factorized source borrows the stored NFR by reference: PROFILE
+  // pins that no copy was materialized for the unrestricted aggregate.
+  std::string profiled = Must("PROFILE SELECT COUNT(*) FROM sc");
+  EXPECT_NE(profiled.find("nfr_scan(sc)"), std::string::npos);
+  EXPECT_NE(profiled.find("materialized=0"), std::string::npos);
+}
+
+// Regression: a rewrite whose re-insert is rejected (here an FD
+// violation) used to delete the original tuple and surface only the
+// error — the row silently vanished. The executor must restore it.
+TEST_F(ExecutorTest, UpdateFailureRestoresOriginalTuple) {
+  Must("CREATE RELATION emp (Name STRING, Dept STRING) FD Name -> Dept");
+  Must("INSERT INTO emp VALUES (ada, cs), (bob, math)");
+  Result<std::string> out =
+      executor_->Execute("UPDATE emp SET Name = ada WHERE Dept = math");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+  // The original tuple survived the failed rewrite.
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp"), "2");
+  EXPECT_NE(Must("SELECT * FROM emp WHERE Dept = math").find("bob"),
+            std::string::npos);
+}
+
+// Regression: a DELETE with neither VALUES nor WHERE used to hit an
+// NF2_CHECK and abort the process. The parser refuses the form, and a
+// hand-built statement (the server protocol path) gets a clean error.
+TEST_F(ExecutorTest, DeleteWithoutWhereOrValuesIsRejected) {
+  Must("CREATE RELATION r (A STRING)");
+  Must("INSERT INTO r VALUES (x)");
+  EXPECT_FALSE(executor_->Execute("DELETE FROM r").ok());
+  DeleteStatement del;
+  del.name = "r";
+  Statement stmt = std::move(del);
+  Result<std::string> out = executor_->Execute(stmt);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(Must("SELECT * FROM r").find("1 row(s)"), std::string::npos);
+}
+
+// A SELECT planned against a pinned snapshot must not observe writes
+// committed after the pin — including on the index-backed path, where
+// literals resolve against the snapshot's frozen dictionary.
+TEST_F(ExecutorTest, SnapshotBoundSelectIsStable) {
+  Must("CREATE RELATION r (A STRING, B STRING) NEST A, B");
+  Must("INSERT INTO r VALUES (a1, b1), (a2, b2)");
+  std::shared_ptr<const DatabaseSnapshot> snap = db_->PinSnapshot();
+  executor_->BindSnapshot(snap);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM r WHERE A = a1"), "1");
+  // Concurrently committed write: a new match for A = a1 carrying a
+  // value the frozen dictionary has never interned.
+  ASSERT_TRUE(
+      db_->Insert("r", FlatTuple{Value::String("a1"), Value::String("zz")})
+          .ok());
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM r WHERE A = a1"), "1");
+  EXPECT_EQ(Must("SELECT * FROM r WHERE A = a1").find("zz"),
+            std::string::npos);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM r WHERE B = zz"), "0");
+  executor_->ClearSnapshot();
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM r WHERE A = a1"), "2");
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM r WHERE B = zz"), "1");
 }
 
 // Acceptance pin: the §4 deltas PROFILE reports on the recons span are

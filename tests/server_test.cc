@@ -644,5 +644,64 @@ TEST_F(ServerTest, WriteCommittedMidBatchInvisibleToPinnedRun) {
   EXPECT_EQ(*after, "21");
 }
 
+// The index-backed read path (SELECT ... WHERE attr = value plans as an
+// index scan) must honor the same pinned-run rule: every statement of a
+// batch read-run sees one version, even while a writer commits matching
+// tuples mid-run.
+TEST_F(ServerTest, IndexedSelectInPinnedRunIsSnapshotConsistent) {
+  auto server = StartServer();
+  Client reader = MustConnect(*server);
+  Client writer = MustConnect(*server);
+  ASSERT_TRUE(
+      reader.Execute("CREATE RELATION r (A STRING, B STRING)").ok());
+  ASSERT_TRUE(reader.Execute("INSERT INTO r VALUES (a1, b0)").ok());
+
+  // Index-backed point counts: the planner answers these from the
+  // snapshot's inverted index and frozen dictionary.
+  std::vector<std::string> batch(200, "SELECT COUNT(*) FROM r WHERE A = a1");
+  std::atomic<bool> start{false};
+  std::thread writing([&] {
+    while (!start.load(std::memory_order_acquire)) {
+    }
+    for (int i = 0; i < 20; ++i) {
+      auto out =
+          writer.Execute(StrCat("INSERT INTO r VALUES (a1, w", i, ")"));
+      EXPECT_TRUE(out.ok()) << out.status().ToString();
+    }
+  });
+
+  start.store(true, std::memory_order_release);
+  auto results = reader.ExecuteBatch(batch);
+  writing.join();
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), batch.size());
+  const std::string& first = *(*results)[0];
+  for (const auto& r : *results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, first);
+  }
+  // The next statement pins a fresh snapshot and sees all commits.
+  auto after = reader.Execute("SELECT COUNT(*) FROM r WHERE A = a1");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, "21");
+}
+
+// Regression: a DELETE with neither VALUES nor WHERE reaching the
+// executor used to abort the server process on an internal check. Over
+// the wire it must come back as a clean statement error, and the
+// session must stay usable.
+TEST_F(ServerTest, MalformedDeleteReturnsErrorNotCrash) {
+  auto server = StartServer();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Execute("CREATE RELATION r (x STRING)").ok());
+  ASSERT_TRUE(client.Execute("INSERT INTO r VALUES (a)").ok());
+  auto bad = client.Execute("DELETE FROM r");
+  EXPECT_FALSE(bad.ok());
+  // The connection survived and the data is intact.
+  auto count = client.Execute("SELECT COUNT(*) FROM r");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, "1");
+}
+
 }  // namespace
 }  // namespace nf2

@@ -24,6 +24,16 @@ not depend on core count — batching removes frame turnarounds and gate
 acquisitions on a single connection — so it is always enforced. The
 statement-cache hit rate embedded in the section is reported alongside.
 
+An indexed_selection section gates the planner's index-backed access
+path: point selection through the inverted index must beat
+scan-and-filter by at least --indexed-floor (default 2.0), always
+enforced (the advantage is algorithmic, not a concurrency effect).
+
+A factorized_aggregation section must show strictly growing per-depth
+speedups (depth_speedups): the expansion the baseline scans is
+exponential in nesting depth while the factorized cost is linear, so a
+non-growing profile means the factorized path is secretly expanding.
+
 Exit code 0 = OK, 1 = regression (or broken counters), 2 = usage error.
 """
 
@@ -60,6 +70,13 @@ def main():
         type=float,
         default=2.0,
         help="minimum kBatch-over-kQuery speedup for the pipelining "
+        "section, always enforced (default 2.0)",
+    )
+    parser.add_argument(
+        "--indexed-floor",
+        type=float,
+        default=2.0,
+        help="minimum index-over-scan speedup for the indexed_selection "
         "section, always enforced (default 2.0)",
     )
     args = parser.parse_args()
@@ -120,6 +137,36 @@ def main():
                     f"(floor x{args.pipelining_floor:.2f}), statement "
                     f"cache hit rate {hit_rate:.1%}"
                 )
+        if name == "indexed_selection":
+            speedup = float(new.get("indexed_selection_speedup", 0.0))
+            if speedup < args.indexed_floor:
+                print(
+                    f"  FAIL {name}: index speedup x{speedup:.2f} below "
+                    f"floor x{args.indexed_floor:.2f}"
+                )
+                failed = True
+            else:
+                print(
+                    f"  ok   {name}: index beat full scan x{speedup:.2f} "
+                    f"(floor x{args.indexed_floor:.2f})"
+                )
+        if name == "factorized_aggregation":
+            speedups = [float(s) for s in new.get("depth_speedups", [])]
+            depths = new.get("depths", [])
+            profile = ", ".join(
+                f"d{d}=x{s:.1f}" for d, s in zip(depths, speedups)
+            )
+            grows = len(speedups) >= 2 and all(
+                a < b for a, b in zip(speedups, speedups[1:])
+            )
+            if not grows:
+                print(
+                    f"  FAIL {name}: per-depth speedups must grow with "
+                    f"depth, got [{profile}]"
+                )
+                failed = True
+            else:
+                print(f"  ok   {name}: speedup grows with depth [{profile}]")
         base = base_sections.get(name)
         if base is None:
             print(f"  skip {name}: not in baseline")
