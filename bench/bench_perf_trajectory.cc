@@ -107,6 +107,12 @@ struct Section {
   uint64_t stmtcache_misses = 0;   // pipelining only.
   std::vector<size_t> depths;          // factorized_aggregation only.
   std::vector<double> depth_speedups;  // factorized_aggregation only.
+  size_t ckpt_small_rows = 0;          // checkpoint_latency only.
+  size_t ckpt_large_rows = 0;          // checkpoint_latency only.
+  double ckpt_full_small_sec = 0.0;    // checkpoint_latency only.
+  double ckpt_full_large_sec = 0.0;    // checkpoint_latency only.
+  uint64_t ckpt_pages_written = 0;     // checkpoint_latency only.
+  uint64_t ckpt_pages_skipped = 0;     // checkpoint_latency only.
   bool counters_identical = true;
 
   double StmtCacheHitRate() const {
@@ -621,15 +627,95 @@ Section BenchFactorizedAggregation(size_t groups, size_t fanout, int reps) {
   return out;
 }
 
+/// Incremental checkpoint latency vs database size: load `rows` rows
+/// (distinct payloads, so the canonical form cannot collapse them and
+/// the table file genuinely grows with `rows`), pay the first (full)
+/// checkpoint, then repeatedly dirty ONE row and time the incremental
+/// checkpoint. Run at a small and a large size: with page-level deltas
+/// the incremental latency is dominated by the fixed fsync cost of the
+/// few changed pages + manifest, so it must stay nearly flat while the
+/// database grows 8x — the old full-rewrite checkpoint scaled linearly.
+/// baseline_sec = incremental checkpoint at the small size,
+/// optimized_sec = at the large size; bench_check.py --checkpoint-flat
+/// bounds optimized_sec / baseline_sec.
+Section BenchCheckpointLatency(size_t small_rows, size_t large_rows,
+                               int reps) {
+  Section out;
+  out.name = "checkpoint_latency";
+  out.operations = 1;  // One-row write-set per timed checkpoint.
+  out.ckpt_small_rows = small_rows;
+  out.ckpt_large_rows = large_rows;
+
+  Schema schema = Schema::OfStrings({"K", "P"});
+  bool ok = true;
+  auto run = [&](size_t rows, double* full_sec, double* incr_sec,
+                 uint64_t* written, uint64_t* skipped) {
+    const std::string dir = (std::filesystem::temp_directory_path() /
+                             "nf2_bench_ckpt_latency")
+                                .string();
+    std::filesystem::remove_all(dir);
+    Database::Options options;
+    options.sync_wal = false;  // The load phase is not what's timed.
+    Result<std::unique_ptr<Database>> db = Database::Open(dir, options);
+    NF2_CHECK(db.ok()) << db.status().ToString();
+    NF2_CHECK((*db)->CreateRelation("bench", schema, {0, 1}, {}).ok());
+    for (size_t i = 0; i < rows; ++i) {
+      Status s = (*db)->Insert(
+          "bench", FlatTuple{Value::String(StrCat("k", i)),
+                             Value::String(StrCat("p", i, "_",
+                                                  std::string(96, 'x')))});
+      NF2_CHECK(s.ok()) << s.ToString();
+    }
+    *full_sec = SecondsOf([&] { NF2_CHECK((*db)->Checkpoint().ok()); });
+    const MetricsSnapshot before = (*db)->MetricsSnapshot();
+    double best = -1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      // Dirty exactly one row, then pay an incremental checkpoint.
+      Status s = (*db)->Insert(
+          "bench", FlatTuple{Value::String(StrCat("extra", rep)),
+                             Value::String(StrCat("q", rep, "_",
+                                                  std::string(96, 'x')))});
+      NF2_CHECK(s.ok()) << s.ToString();
+      double sec = SecondsOf([&] { NF2_CHECK((*db)->Checkpoint().ok()); });
+      best = best < 0 ? sec : std::min(best, sec);
+    }
+    *incr_sec = best;
+    const MetricsSnapshot after = (*db)->MetricsSnapshot();
+    *written = after.counter("nf2_checkpoint_pages_written_total") -
+               before.counter("nf2_checkpoint_pages_written_total");
+    *skipped = after.counter("nf2_checkpoint_pages_skipped_total") -
+               before.counter("nf2_checkpoint_pages_skipped_total");
+    auto scan = (*db)->Scan("bench");
+    if (!scan.ok() || scan->size() != rows + reps) ok = false;
+    db->reset();
+    std::filesystem::remove_all(dir);
+  };
+
+  uint64_t small_written = 0, small_skipped = 0;
+  run(small_rows, &out.ckpt_full_small_sec, &out.baseline_sec,
+      &small_written, &small_skipped);
+  run(large_rows, &out.ckpt_full_large_sec, &out.optimized_sec,
+      &out.ckpt_pages_written, &out.ckpt_pages_skipped);
+  // The incremental checkpoints must actually have skipped pages (else
+  // they are silently full rewrites and "flat" means nothing).
+  out.counters_identical = ok && small_skipped > 0 &&
+                           out.ckpt_pages_skipped > out.ckpt_pages_written;
+  NF2_CHECK(out.counters_identical)
+      << "incremental checkpoints rewrote the world: small skipped="
+      << small_skipped << " large written=" << out.ckpt_pages_written
+      << " skipped=" << out.ckpt_pages_skipped;
+  return out;
+}
+
 void WriteJson(const std::string& path, const KeyedConfig& config,
                const std::vector<Section>& sections,
                const MetricsSnapshot& metrics) {
   std::ofstream file(path, std::ios::trunc);
   NF2_CHECK(file.is_open()) << "cannot write " << path;
   file << "{\n";
-  file << "  \"pr\": 7,\n";
-  file << "  \"title\": \"Volcano query pipeline with index-backed "
-          "selection\",\n";
+  file << "  \"pr\": 8,\n";
+  file << "  \"title\": \"Incremental page-level checkpoints with a "
+          "versioned manifest\",\n";
   // Scaling sections are only meaningful relative to the host's core
   // count; the checker reads this to decide whether to enforce floors.
   file << "  \"host_cores\": " << std::thread::hardware_concurrency()
@@ -710,6 +796,28 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
       file << "      \"indexed_selection_speedup\": " << Fmt(s.Speedup(), 3)
            << ",\n";
     }
+    if (s.name == "checkpoint_latency") {
+      file << "      \"small_rows\": " << s.ckpt_small_rows << ",\n";
+      file << "      \"large_rows\": " << s.ckpt_large_rows << ",\n";
+      file << "      \"size_ratio\": "
+           << Fmt(static_cast<double>(s.ckpt_large_rows) /
+                      s.ckpt_small_rows, 2)
+           << ",\n";
+      file << "      \"full_checkpoint_small_sec\": "
+           << Fmt(s.ckpt_full_small_sec, 6) << ",\n";
+      file << "      \"full_checkpoint_large_sec\": "
+           << Fmt(s.ckpt_full_large_sec, 6) << ",\n";
+      file << "      \"incremental_checkpoint_small_sec\": "
+           << Fmt(s.baseline_sec, 6) << ",\n";
+      file << "      \"incremental_checkpoint_large_sec\": "
+           << Fmt(s.optimized_sec, 6) << ",\n";
+      file << "      \"latency_ratio_large_over_small\": "
+           << Fmt(s.optimized_sec / s.baseline_sec, 3) << ",\n";
+      file << "      \"incremental_pages_written\": " << s.ckpt_pages_written
+           << ",\n";
+      file << "      \"incremental_pages_skipped\": " << s.ckpt_pages_skipped
+           << ",\n";
+    }
     if (s.name == "factorized_aggregation") {
       file << "      \"depths\": [";
       for (size_t d = 0; d < s.depths.size(); ++d) {
@@ -731,7 +839,7 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR7.json";
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR8.json";
   const size_t workload_rows =
       argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : 10000;
   NF2_CHECK(workload_rows >= 100) << "workload needs at least 100 rows";
@@ -787,6 +895,12 @@ int Main(int argc, char** argv) {
   // scaled down for the smoke run.
   sections.push_back(BenchFactorizedAggregation(
       /*groups=*/flat_rows >= 10000 ? 400 : 50, /*fanout=*/6, /*reps=*/3));
+  // Checkpoint latency at an 8x size spread with a fixed one-row
+  // write-set per timed checkpoint; the incremental latency must stay
+  // nearly flat across the spread.
+  sections.push_back(BenchCheckpointLatency(
+      /*small_rows=*/std::max<size_t>(200, flat_rows / 8),
+      /*large_rows=*/std::max<size_t>(1600, flat_rows), /*reps=*/5));
   WriteJson(out_path, config, sections, durable_metrics);
 
   std::vector<std::vector<std::string>> rows;
@@ -837,6 +951,19 @@ int Main(int argc, char** argv) {
   NF2_LOG(Info) << "factorized_aggregation: COUNT(*) over components vs "
                 << "expand-then-scan: " << per_depth
                 << " (speedup must grow with depth)";
+  const Section& ckpt = by_name("checkpoint_latency");
+  NF2_LOG(Info) << "checkpoint_latency: one-row incremental checkpoint "
+                << Fmt(ckpt.baseline_sec * 1e3, 2) << "ms at "
+                << ckpt.ckpt_small_rows << " rows vs "
+                << Fmt(ckpt.optimized_sec * 1e3, 2) << "ms at "
+                << ckpt.ckpt_large_rows << " rows (ratio x"
+                << Fmt(ckpt.optimized_sec / ckpt.baseline_sec, 2)
+                << " over a x"
+                << Fmt(static_cast<double>(ckpt.ckpt_large_rows) /
+                           ckpt.ckpt_small_rows, 1)
+                << " size spread; " << ckpt.ckpt_pages_written
+                << " pages written, " << ckpt.ckpt_pages_skipped
+                << " skipped)";
   return 0;
 }
 

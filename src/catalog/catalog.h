@@ -49,6 +49,11 @@ class Catalog {
   /// are database-global so encoded tuples compare across relations.
   const std::string& dictionary_file() const { return dictionary_file_; }
 
+  /// File name of the checkpoint manifest (storage/checkpoint.h): the
+  /// logical-page → physical-page mapping every table file is read
+  /// through after an incremental checkpoint.
+  const std::string& manifest_file() const { return manifest_file_; }
+
   bool Has(const std::string& name) const;
   Result<const RelationInfo*> Get(const std::string& name) const;
   Status Add(RelationInfo info);
@@ -74,6 +79,7 @@ class Catalog {
  private:
   std::map<std::string, RelationInfo> relations_;
   std::string dictionary_file_ = "dict.nf2";
+  std::string manifest_file_ = "MANIFEST.nf2";
 };
 
 }  // namespace nf2

@@ -58,6 +58,10 @@ std::string Database::DictionaryPath() const {
   return (std::filesystem::path(dir_) / catalog_.dictionary_file()).string();
 }
 
+std::string Database::ManifestPath() const {
+  return (std::filesystem::path(dir_) / catalog_.manifest_file()).string();
+}
+
 Status Database::SaveDictionary() const {
   BufferWriter out;
   out.PutU32(kDictionaryMagic);
@@ -153,6 +157,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
       "nf2_relations", "Relations in the catalog");
   db->metric_snapshots_published_ = reg->GetCounter(
       "nf2_snapshot_published_total", "Snapshots published at commits");
+  db->ckpt_metrics_ = CheckpointMetrics::ForRegistry(reg);
   db->snapshot_tracker_ = std::make_shared<SnapshotTracker>();
   db->snapshot_tracker_->BindGauges(
       reg->GetGauge("nf2_snapshot_pinned",
@@ -184,16 +189,47 @@ Status Database::Recover() {
   }
   if (env_->FileExists(DictionaryPath())) {
     NF2_RETURN_IF_ERROR(LoadDictionary());
+    saved_dict_size_ = dict_->size();
+  }
+  // The page-version manifest (DESIGN.md §12). Missing is fine (fresh
+  // or pre-manifest database: all files are flat); corrupt fails
+  // closed — guessing a page mapping could silently mix page versions.
+  {
+    Result<Manifest> loaded = LoadManifest(env_, ManifestPath());
+    if (loaded.ok()) {
+      manifest_ = std::move(*loaded);
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
   }
   for (const std::string& name : catalog_.Names()) {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
     CanonicalRelation rel = MakeRelation(info->schema, info->nest_order);
     if (env_->FileExists(TablePath(*info))) {
-      NF2_ASSIGN_OR_RETURN(
-          auto table,
-          Table::Open(env_, TablePath(*info), /*pool_pages=*/64,
-                      BufferPoolMetrics::ForRegistry(&metrics_)));
-      NF2_ASSIGN_OR_RETURN(NfrRelation stored, table->ReadAll());
+      // Prefer the manifest's logical->physical mapping (CRC-verified);
+      // fall back to a flat read when the file's identity stamp says it
+      // was wholesale-replaced after the manifest was written (a
+      // post-manifest CREATE/DROP — the flat file is then authoritative).
+      NfrRelation stored(info->schema);
+      bool mapped = false;
+      auto mit = manifest_.tables.find(info->table_file);
+      if (mit != manifest_.tables.end() && !mit->second.pages.empty()) {
+        uint64_t on_disk = ProbeTableFileId(env_, TablePath(*info));
+        if (on_disk != 0 && on_disk == mit->second.file_id) {
+          NF2_ASSIGN_OR_RETURN(
+              MappedTable mt,
+              ReadTableMapped(env_, TablePath(*info), mit->second));
+          stored = std::move(mt.relation);
+          mapped = true;
+        }
+      }
+      if (!mapped) {
+        NF2_ASSIGN_OR_RETURN(
+            auto table,
+            Table::Open(env_, TablePath(*info), /*pool_pages=*/64,
+                        BufferPoolMetrics::ForRegistry(&metrics_)));
+        NF2_ASSIGN_OR_RETURN(stored, table->ReadAll());
+      }
       // Trust but verify: the stored form must be the canonical form of
       // its own expansion (cheap for the usual sizes; guards against
       // partial writes).
@@ -443,6 +479,9 @@ Status Database::CreateRelation(const std::string& name, Schema schema,
                                        BufferPoolMetrics::ForRegistry(
                                            &metrics_)));
   NF2_RETURN_IF_ERROR(catalog_.Add(std::move(info)));
+  // The next checkpoint must build a manifest entry for the new file
+  // (adopt-identity over the fresh flat file: a cheap read-only pass).
+  ckpt_dirty_.insert(name);
   ++ops_since_checkpoint_;
   // DDL invalidates cached plans (the statement-cache epoch key) and
   // is itself a publish boundary.
@@ -458,10 +497,15 @@ Status Database::DropRelation(const std::string& name) {
   }
   NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
   std::string table_path = TablePath(*info);
+  std::string table_file = info->table_file;
   NF2_RETURN_IF_ERROR(
       wal_->Append({0, WalOpType::kDropRelation, name, ""}).status());
   NF2_RETURN_IF_ERROR(catalog_.Remove(name));
   relations_.erase(name);
+  ckpt_dirty_.erase(name);
+  // The in-memory manifest must not keep a mapping for the removed
+  // file: a same-named CREATE would otherwise diff against it.
+  manifest_.tables.erase(table_file);
   if (env_->FileExists(table_path)) {
     Status removed = env_->RemoveFile(table_path);  // Best effort.
     if (!removed.ok()) {
@@ -507,7 +551,9 @@ Status Database::ApplyInsert(const std::string& name,
   if (it == relations_.end()) {
     return Status::NotFound(StrCat("relation '", name, "' not found"));
   }
-  return it->second.Insert(tuple);
+  Status s = it->second.Insert(tuple);
+  if (s.ok()) ckpt_dirty_.insert(name);
+  return s;
 }
 
 Status Database::ApplyDelete(const std::string& name,
@@ -516,7 +562,9 @@ Status Database::ApplyDelete(const std::string& name,
   if (it == relations_.end()) {
     return Status::NotFound(StrCat("relation '", name, "' not found"));
   }
-  return it->second.Delete(tuple);
+  Status s = it->second.Delete(tuple);
+  if (s.ok()) ckpt_dirty_.insert(name);
+  return s;
 }
 
 Status Database::CheckFdsForInsert(const RelationInfo& info,
@@ -584,6 +632,7 @@ Status Database::Insert(const std::string& name, const FlatTuple& tuple) {
   }
   ++ops_since_checkpoint_;
   dirty_relations_.insert(name);
+  ckpt_dirty_.insert(name);
   // Autocommit is a publish boundary; inside a transaction the write
   // stays invisible to snapshot readers until Commit.
   if (!in_txn_) PublishSnapshot();
@@ -614,6 +663,7 @@ Status Database::Delete(const std::string& name, const FlatTuple& tuple) {
   }
   ++ops_since_checkpoint_;
   dirty_relations_.insert(name);
+  ckpt_dirty_.insert(name);
   if (!in_txn_) PublishSnapshot();
   return MaybeAutoCheckpoint();
 }
@@ -655,32 +705,82 @@ Status Database::Checkpoint() {
     return Status::FailedPrecondition(
         "cannot checkpoint with an open transaction");
   }
-  // Every file is replaced atomically (write temp → sync → rename →
-  // sync dir); the WAL truncation at the end is the commit point. A
-  // crash anywhere before it leaves some mix of old and new files plus
-  // the full WAL — and because replay is idempotent (inserts ignore
-  // AlreadyExists, deletes ignore NotFound), recovery converges to the
-  // same state from any such mix.
-  //
-  // Order matters for the dictionary: tables encode against it, so the
-  // dictionary on disk must always be a superset of what any table
-  // file references. It is append-only between checkpoints — writing
-  // it first keeps that invariant through a crash.
+  // Incremental, page-level checkpoint (DESIGN.md §12). Only relations
+  // mutated since the last checkpoint are serialized, and of those only
+  // the pages whose CRC changed are written — into physical slots the
+  // DURABLE manifest does not reference (shadow paging), so every page
+  // the old manifest maps stays intact until the new manifest lands.
+  // The commit sequence is:
+  //   1. dictionary (only if it grew — it is append-only, so tables on
+  //      disk always encode against a superset),
+  //   2. per-table page deltas, each fdatasync'd,
+  //   3. catalog,
+  //   4. SaveManifestAtomic — the rename that flips all page mappings
+  //      at once,
+  //   5. WAL truncate — the commit point.
+  // A crash before 4 recovers from the old manifest plus a full
+  // (idempotent) replay; a crash between 4 and 5 from the new manifest
+  // plus the same replay, which converges because inserts ignore
+  // AlreadyExists and deletes ignore NotFound.
   TraceSpan span(nullptr, "checkpoint", metric_checkpoint_ns_);
-  NF2_RETURN_IF_ERROR(SaveDictionary());
+  Manifest next = manifest_;
+  ++next.checkpoint_seq;
+  if (dict_->size() != saved_dict_size_) {
+    NF2_RETURN_IF_ERROR(SaveDictionary());
+    saved_dict_size_ = dict_->size();
+  }
+  next.dict_size = dict_->size();
+  CheckpointDeltaStats total;
+  uint64_t tables_skipped = 0;
+  std::set<std::string> live_files;
   for (const std::string& name : catalog_.Names()) {
     NF2_ASSIGN_OR_RETURN(const RelationInfo* info, catalog_.Get(name));
     auto it = relations_.find(name);
     NF2_CHECK(it != relations_.end());
-    NF2_RETURN_IF_ERROR(
-        WriteTableAtomic(env_, TablePath(*info), info->schema,
-                         info->nest_order, it->second.relation(),
-                         BufferPoolMetrics::ForRegistry(&metrics_)));
+    live_files.insert(info->table_file);
+    TableManifest& entry = next.tables[info->table_file];
+    if (ckpt_dirty_.count(name) == 0 && !entry.pages.empty()) {
+      // Clean since the last checkpoint and already mapped: nothing to
+      // diff, nothing to write.
+      total.pages_skipped += entry.pages.size();
+      ++tables_skipped;
+      continue;
+    }
+    NF2_ASSIGN_OR_RETURN(
+        CheckpointDeltaStats stats,
+        CheckpointTableDelta(env_, TablePath(*info), info->schema,
+                             info->nest_order, it->second.relation(),
+                             &entry, next.checkpoint_seq));
+    total += stats;
+  }
+  // Mappings for files no longer in the catalog (dropped relations)
+  // must not survive into the durable manifest.
+  for (auto mit = next.tables.begin(); mit != next.tables.end();) {
+    if (live_files.count(mit->first) == 0) {
+      mit = next.tables.erase(mit);
+    } else {
+      ++mit;
+    }
   }
   NF2_RETURN_IF_ERROR(catalog_.SaveToFile(env_, CatalogPath()));
+  NF2_RETURN_IF_ERROR(SaveManifestAtomic(env_, ManifestPath(), next));
   NF2_RETURN_IF_ERROR(wal_->Reset());
+  manifest_ = std::move(next);
+  ckpt_dirty_.clear();
   ops_since_checkpoint_ = 0;
   metric_checkpoints_->Increment();
+  if (ckpt_metrics_.pages_written != nullptr && total.pages_written > 0) {
+    ckpt_metrics_.pages_written->Increment(total.pages_written);
+  }
+  if (ckpt_metrics_.pages_skipped != nullptr && total.pages_skipped > 0) {
+    ckpt_metrics_.pages_skipped->Increment(total.pages_skipped);
+  }
+  if (ckpt_metrics_.bytes_written != nullptr && total.bytes_written > 0) {
+    ckpt_metrics_.bytes_written->Increment(total.bytes_written);
+  }
+  if (ckpt_metrics_.tables_skipped != nullptr && tables_skipped > 0) {
+    ckpt_metrics_.tables_skipped->Increment(tables_skipped);
+  }
   return Status::OK();
 }
 

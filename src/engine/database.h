@@ -2,6 +2,7 @@
 #define NF2_ENGINE_DATABASE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -15,6 +16,7 @@
 #include "engine/snapshot.h"
 #include "engine/statistics.h"
 #include "obs/metrics.h"
+#include "storage/checkpoint.h"
 #include "storage/table.h"
 #include "storage/wal.h"
 #include "util/result.h"
@@ -32,15 +34,19 @@ namespace nf2 {
 ///    point: every autocommit op, every Commit), then applied in
 ///    memory via the §4 algorithms. Table files are only rewritten at
 ///    Checkpoint, which then truncates the WAL.
-///  - Checkpoint replaces every file via write-temp → sync → rename →
-///    sync-dir and truncates the WAL only after all renames landed. A
-///    crash at any point leaves a state WAL replay converges from:
-///    either the old checkpoint plus the full log, or the new one plus
-///    an idempotent replay.
-///  - Open removes stray temp files, loads the catalog and table
-///    files, then replays the WAL through the same §4 algorithms —
-///    recovery reconstructs exactly the canonical form (Theorem 2
-///    uniqueness makes this well-defined).
+///  - Checkpoint is incremental (DESIGN.md §12): it shadow-writes only
+///    the changed pages of mutated relations, publishes the new
+///    logical→physical page mapping by atomically replacing
+///    MANIFEST.nf2, and truncates the WAL only after that — the
+///    truncate is the commit point. A crash at any point leaves a
+///    state WAL replay converges from: either the old manifest's page
+///    versions plus the full log, or the new ones plus an idempotent
+///    replay.
+///  - Open removes stray temp files, loads the catalog and the
+///    manifest, reads each table through its page mapping (flat when
+///    no mapping applies), then replays the WAL through the same §4
+///    algorithms — recovery reconstructs exactly the canonical form
+///    (Theorem 2 uniqueness makes this well-defined).
 class Database {
  public:
   struct Options {
@@ -134,8 +140,11 @@ class Database {
   /// True between Begin and Commit/Rollback.
   bool in_transaction() const { return in_txn_; }
 
-  /// Writes all tables and the catalog, then truncates the WAL.
-  /// FailedPrecondition while a transaction is open.
+  /// Incremental checkpoint (DESIGN.md §12): writes only the pages of
+  /// relations mutated since the last checkpoint (shadow-paged, diffed
+  /// by CRC against the manifest), publishes the new manifest
+  /// atomically, then truncates the WAL. FailedPrecondition while a
+  /// transaction is open.
   Status Checkpoint();
 
   /// Size/maintenance statistics for one relation.
@@ -226,6 +235,7 @@ class Database {
   std::string TablePath(const RelationInfo& info) const;
   std::string CatalogPath() const;
   std::string DictionaryPath() const;
+  std::string ManifestPath() const;
   Status SaveDictionary() const;
   Status LoadDictionary();
   /// A fresh interned CanonicalRelation wired to the shared dictionary.
@@ -253,6 +263,19 @@ class Database {
   std::map<std::string, CanonicalRelation> relations_;
   uint64_t ops_since_checkpoint_ = 0;
 
+  // --- Incremental checkpoint state (DESIGN.md §12).
+  /// In-memory copy of the durable MANIFEST.nf2; swapped only after
+  /// SaveManifestAtomic + WAL truncate succeed.
+  Manifest manifest_;
+  /// Relations mutated since the last CHECKPOINT (distinct from
+  /// dirty_relations_, which clears at every snapshot publish). A clean
+  /// relation with a live manifest entry is skipped wholesale.
+  std::set<std::string> ckpt_dirty_;
+  /// Dictionary size covered by the on-disk dict.nf2; the dictionary is
+  /// append-only, so an equal size means identical content and the
+  /// save is skipped. SIZE_MAX forces the first save.
+  size_t saved_dict_size_ = SIZE_MAX;
+
   // Registry handles cached at Open (stable for the Database lifetime).
   Counter* metric_checkpoints_ = nullptr;
   Counter* metric_recoveries_ = nullptr;
@@ -265,6 +288,7 @@ class Database {
   Gauge* metric_dict_values_ = nullptr;
   Gauge* metric_relations_ = nullptr;
   Counter* metric_snapshots_published_ = nullptr;
+  CheckpointMetrics ckpt_metrics_;
 
   // --- MVCC snapshot state (DESIGN.md §9). Written only by writer
   // paths; snapshot_ is the one reader-visible cell.

@@ -226,6 +226,24 @@ BufferPoolMetrics BufferPoolMetrics::ForRegistry(MetricsRegistry* registry) {
   return out;
 }
 
+CheckpointMetrics CheckpointMetrics::ForRegistry(MetricsRegistry* registry) {
+  CheckpointMetrics out;
+  if (registry == nullptr) return out;
+  out.pages_written = registry->GetCounter(
+      "nf2_checkpoint_pages_written_total",
+      "pages written by incremental checkpoints");
+  out.pages_skipped = registry->GetCounter(
+      "nf2_checkpoint_pages_skipped_total",
+      "pages skipped by incremental checkpoints (CRC unchanged)");
+  out.bytes_written = registry->GetCounter(
+      "nf2_checkpoint_bytes_total",
+      "bytes written to table files by incremental checkpoints");
+  out.tables_skipped = registry->GetCounter(
+      "nf2_checkpoint_tables_skipped_total",
+      "clean tables skipped wholesale by incremental checkpoints");
+  return out;
+}
+
 StatementCacheMetrics StatementCacheMetrics::ForRegistry(
     MetricsRegistry* registry) {
   StatementCacheMetrics out;

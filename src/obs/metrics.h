@@ -176,6 +176,19 @@ struct BufferPoolMetrics {
   static BufferPoolMetrics ForRegistry(MetricsRegistry* registry);
 };
 
+/// Pre-resolved counter handles for the incremental checkpoint path
+/// (storage/checkpoint.h). Null pointers are skipped, so the delta
+/// writer can run without a registry (unit tests).
+struct CheckpointMetrics {
+  Counter* pages_written = nullptr;   // nf2_checkpoint_pages_written_total
+  Counter* pages_skipped = nullptr;   // nf2_checkpoint_pages_skipped_total
+  Counter* bytes_written = nullptr;   // nf2_checkpoint_bytes_total
+  Counter* tables_skipped = nullptr;  // nf2_checkpoint_tables_skipped_total
+
+  /// Handles bound to the canonical nf2_checkpoint_* names in `registry`.
+  static CheckpointMetrics ForRegistry(MetricsRegistry* registry);
+};
+
 /// Pre-resolved handles for the server's parsed-statement cache
 /// (server/session.h). Null pointers are skipped, so a cache built
 /// without a registry (unit tests) records nothing.

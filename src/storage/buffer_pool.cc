@@ -1,5 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -69,6 +72,7 @@ Status BufferPool::EvictOne() {
   if (victim.dirty) {
     NF2_RETURN_IF_ERROR(file_->WritePage(victim.id, victim.page));
     ++stats_.writebacks;
+    stats_.writeback_bytes += kPageSize;
     Bump(metrics_.writebacks);
   }
   ++stats_.evictions;
@@ -79,13 +83,18 @@ Status BufferPool::EvictOne() {
 }
 
 Status BufferPool::FlushAll() {
+  std::vector<Frame*> dirty;
   for (Frame& frame : frames_) {
-    if (frame.dirty) {
-      NF2_RETURN_IF_ERROR(file_->WritePage(frame.id, frame.page));
-      frame.dirty = false;
-      ++stats_.writebacks;
-      Bump(metrics_.writebacks);
-    }
+    if (frame.dirty) dirty.push_back(&frame);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const Frame* a, const Frame* b) { return a->id < b->id; });
+  for (Frame* frame : dirty) {
+    NF2_RETURN_IF_ERROR(file_->WritePage(frame->id, frame->page));
+    frame->dirty = false;
+    ++stats_.writebacks;
+    stats_.writeback_bytes += kPageSize;
+    Bump(metrics_.writebacks);
   }
   return file_->Sync();
 }

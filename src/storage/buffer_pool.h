@@ -23,6 +23,7 @@ class BufferPool {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t writebacks = 0;
+    uint64_t writeback_bytes = 0;
   };
 
   /// `capacity` is the maximum number of cached pages (>= 1).
@@ -46,7 +47,8 @@ class BufferPool {
   /// Marks a cached page dirty; fatal when `id` is not resident.
   void MarkDirty(PageId id);
 
-  /// Writes back every dirty page and syncs the file.
+  /// Writes back every dirty page (in ascending PageId order, so the
+  /// write stream is sequential) and syncs the file.
   Status FlushAll();
 
   const Stats& stats() const { return stats_; }

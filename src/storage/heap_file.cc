@@ -30,12 +30,13 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Create(Env* env,
 }
 
 Result<std::unique_ptr<HeapFile>> HeapFile::Open(Env* env,
-                                                 const std::string& path) {
+                                                 const std::string& path,
+                                                 bool tolerate_torn_tail) {
   if (!env->FileExists(path)) {
     return Status::NotFound(StrCat("heap file ", path, " not found"));
   }
   NF2_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
-  if (size % kPageSize != 0) {
+  if (size % kPageSize != 0 && !tolerate_torn_tail) {
     return Status::Corruption(
         StrCat("heap file ", path, " size ", size,
                " is not a multiple of the page size"));
@@ -63,6 +64,17 @@ Status HeapFile::WritePage(PageId id, const Page& page) {
   }
   return file_->Write(static_cast<uint64_t>(id) * kPageSize,
                       std::string_view(page.data(), kPageSize));
+}
+
+Status HeapFile::WritePageAt(PageId id, const Page& page) {
+  if (id > page_count_) {
+    return Status::OutOfRange(StrCat("page ", id, " past end"));
+  }
+  NF2_RETURN_IF_ERROR(
+      file_->Write(static_cast<uint64_t>(id) * kPageSize,
+                   std::string_view(page.data(), kPageSize)));
+  if (id == page_count_) ++page_count_;
+  return Status::OK();
 }
 
 Result<PageId> HeapFile::AllocatePage() {

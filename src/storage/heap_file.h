@@ -44,8 +44,13 @@ class HeapFile {
   }
 
   /// Opens an existing file; errors if missing or not page-aligned.
+  /// With `tolerate_torn_tail`, a trailing partial page (a crash mid
+  /// shadow-page append) is floored away instead of rejected: the torn
+  /// region is never referenced by any manifest and is overwritten by
+  /// the next extension.
   static Result<std::unique_ptr<HeapFile>> Open(Env* env,
-                                                const std::string& path);
+                                                const std::string& path,
+                                                bool tolerate_torn_tail = false);
   static Result<std::unique_ptr<HeapFile>> Open(const std::string& path) {
     return Open(Env::Default(), path);
   }
@@ -58,6 +63,11 @@ class HeapFile {
 
   /// Writes `page` at `id` (must be < page_count()).
   Status WritePage(PageId id, const Page& page);
+
+  /// Writes `page` at `id`, extending the file by exactly one page when
+  /// `id == page_count()` — the shadow-page writer's append path, which
+  /// places a full image rather than a fresh empty page.
+  Status WritePageAt(PageId id, const Page& page);
 
   /// Appends a freshly formatted page; returns its id.
   Result<PageId> AllocatePage();

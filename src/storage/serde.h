@@ -24,6 +24,10 @@ class BufferWriter {
   const std::string& data() const { return buf_; }
   size_t size() const { return buf_.size(); }
 
+  /// Drops the content but keeps the capacity — reusing one writer
+  /// across a loop of encodes avoids a heap allocation per record.
+  void Clear() { buf_.clear(); }
+
   void PutU8(uint8_t v);
   void PutU16(uint16_t v);
   void PutU32(uint32_t v);

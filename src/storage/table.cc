@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 
 #include "storage/serde.h"
@@ -9,39 +11,91 @@ namespace nf2 {
 
 namespace {
 constexpr uint32_t kTableMagic = 0x4e463252;  // "NF2R".
+}  // namespace
 
-std::string EncodeMetadata(const Schema& schema, const Permutation& order) {
+std::string EncodeTableMeta(const TableMeta& meta) {
   BufferWriter out;
   out.PutU32(kTableMagic);
-  EncodeSchema(schema, &out);
-  out.PutU32(static_cast<uint32_t>(order.size()));
-  for (size_t p : order) {
+  EncodeSchema(meta.schema, &out);
+  out.PutU32(static_cast<uint32_t>(meta.nest_order.size()));
+  for (size_t p : meta.nest_order) {
     out.PutU32(static_cast<uint32_t>(p));
   }
+  out.PutU64(meta.file_id);
   return out.data();
 }
 
-Result<std::pair<Schema, Permutation>> DecodeMetadata(
-    const std::string& bytes) {
+Result<TableMeta> DecodeTableMeta(std::string_view bytes) {
   BufferReader in(bytes);
   NF2_ASSIGN_OR_RETURN(uint32_t magic, in.GetU32());
   if (magic != kTableMagic) {
     return Status::Corruption("bad table magic");
   }
-  NF2_ASSIGN_OR_RETURN(Schema schema, DecodeSchema(&in));
+  TableMeta meta;
+  NF2_ASSIGN_OR_RETURN(meta.schema, DecodeSchema(&in));
   NF2_ASSIGN_OR_RETURN(uint32_t n, in.GetU32());
-  Permutation order;
-  order.reserve(n);
+  meta.nest_order.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     NF2_ASSIGN_OR_RETURN(uint32_t p, in.GetU32());
-    order.push_back(p);
+    meta.nest_order.push_back(p);
   }
-  if (!IsValidPermutation(order, schema.degree())) {
+  if (!IsValidPermutation(meta.nest_order, meta.schema.degree())) {
     return Status::Corruption("stored nest order is not a permutation");
   }
-  return std::make_pair(std::move(schema), std::move(order));
+  // Files written before the manifest era end here; their id stays 0,
+  // which every manifest check treats as "mapping does not apply".
+  if (in.remaining() >= 8) {
+    NF2_ASSIGN_OR_RETURN(meta.file_id, in.GetU64());
+  }
+  return meta;
 }
-}  // namespace
+
+uint64_t NewTableFileId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t t = static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  const uint64_t c = counter.fetch_add(1, std::memory_order_relaxed);
+  // splitmix64-style mix: ids must differ across process restarts, so
+  // wall time seeds the hash and the counter separates ids minted in
+  // the same tick. A collision is only ever detected work (the CRC
+  // check fails closed), never silent corruption.
+  uint64_t x = t + 0x9E3779B97F4A7C15ull * (c + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+Result<std::vector<Page>> SerializeTablePages(const Schema& schema,
+                                              const Permutation& nest_order,
+                                              uint64_t file_id,
+                                              const NfrRelation& relation) {
+  if (relation.schema() != schema) {
+    return Status::InvalidArgument("relation schema mismatch on serialize");
+  }
+  std::vector<Page> pages(1);
+  pages.back().Format();
+  if (!pages.back()
+           .Insert(EncodeTableMeta({schema, nest_order, file_id}))
+           .has_value()) {
+    return Status::Internal("metadata does not fit in one page");
+  }
+  BufferWriter out;
+  for (const NfrTuple& t : relation.tuples()) {
+    out.Clear();
+    EncodeNfrTuple(t, &out);
+    if (!pages.back().Insert(out.data()).has_value()) {
+      pages.emplace_back();
+      pages.back().Format();
+      if (!pages.back().Insert(out.data()).has_value()) {
+        return Status::InvalidArgument(
+            StrCat("tuple record of ", out.size(),
+                   " bytes does not fit in a fresh page"));
+      }
+    }
+  }
+  return pages;
+}
 
 Result<std::unique_ptr<Table>> Table::Create(Env* env,
                                              const std::string& path,
@@ -56,6 +110,7 @@ Result<std::unique_ptr<Table>> Table::Create(Env* env,
   table->env_ = env;
   table->schema_ = std::move(schema);
   table->nest_order_ = std::move(nest_order);
+  table->file_id_ = NewTableFileId();
   table->pool_metrics_ = pool_metrics;
   NF2_ASSIGN_OR_RETURN(table->file_, HeapFile::Create(env, path));
   table->pool_ = std::make_unique<BufferPool>(table->file_.get(),
@@ -79,9 +134,10 @@ Result<std::unique_ptr<Table>> Table::Open(Env* env,
                                               pool_pages, pool_metrics);
   NF2_ASSIGN_OR_RETURN(Page * meta_page, table->pool_->Fetch(0));
   NF2_ASSIGN_OR_RETURN(std::string meta, meta_page->Read(0));
-  NF2_ASSIGN_OR_RETURN(auto decoded, DecodeMetadata(meta));
-  table->schema_ = std::move(decoded.first);
-  table->nest_order_ = std::move(decoded.second);
+  NF2_ASSIGN_OR_RETURN(TableMeta decoded, DecodeTableMeta(meta));
+  table->schema_ = std::move(decoded.schema);
+  table->nest_order_ = std::move(decoded.nest_order);
+  table->file_id_ = decoded.file_id;
   return table;
 }
 
@@ -92,7 +148,7 @@ Status Table::WriteMetadata() {
   if (id != 0) {
     return Status::Internal("metadata page must be page 0");
   }
-  std::string meta = EncodeMetadata(schema_, nest_order_);
+  std::string meta = EncodeTableMeta({schema_, nest_order_, file_id_});
   if (!page->Insert(meta).has_value()) {
     return Status::Internal("metadata does not fit in one page");
   }
@@ -174,6 +230,7 @@ Status Table::Rewrite(const NfrRelation& relation) {
   NF2_ASSIGN_OR_RETURN(file_, HeapFile::Create(env_, path));
   pool_ = std::make_unique<BufferPool>(file_.get(), 64, pool_metrics_);
   append_cursor_ = 0;
+  file_id_ = NewTableFileId();  // The rebuilt file is a new identity.
   NF2_RETURN_IF_ERROR(WriteMetadata());
   for (const NfrTuple& t : relation.tuples()) {
     NF2_ASSIGN_OR_RETURN(RecordId rid, Append(t));

@@ -14,6 +14,33 @@
 
 namespace nf2 {
 
+/// The metadata record every table file carries in page 0, slot 0.
+/// `file_id` is a unique identity stamp minted whenever the file is
+/// built from scratch (Create / Rewrite); the checkpoint manifest
+/// records it so recovery can tell a shadow-paged file from one that
+/// was wholesale-replaced after the manifest was written.
+struct TableMeta {
+  Schema schema;
+  Permutation nest_order;
+  uint64_t file_id = 0;  // 0 = pre-file_id file (legacy, read flat).
+};
+
+std::string EncodeTableMeta(const TableMeta& meta);
+Result<TableMeta> DecodeTableMeta(std::string_view bytes);
+
+/// A fresh, process-unique table file identity (never 0).
+uint64_t NewTableFileId();
+
+/// Deterministically packs `relation` into logical page images exactly
+/// as Table::Create + Append would lay them out: the metadata record in
+/// page 0 slot 0, then tuple records first-fit in tuple order. The
+/// incremental checkpoint diffs these images against the manifest's
+/// per-page CRCs to find the pages worth writing.
+Result<std::vector<Page>> SerializeTablePages(const Schema& schema,
+                                              const Permutation& nest_order,
+                                              uint64_t file_id,
+                                              const NfrRelation& relation);
+
 /// A persistent NFR: one heap file holding a metadata record (schema +
 /// nest order) in page 0, slot 0, and one record per NFR tuple after
 /// it. This is the paper's "realization view": the nested relation IS
@@ -48,6 +75,7 @@ class Table {
   const Schema& schema() const { return schema_; }
   const Permutation& nest_order() const { return nest_order_; }
   const std::string& path() const { return file_->path(); }
+  uint64_t file_id() const { return file_id_; }
 
   /// Appends one NFR tuple; returns where it landed.
   Result<RecordId> Append(const NfrTuple& tuple);
@@ -82,6 +110,7 @@ class Table {
   Env* env_ = nullptr;
   Schema schema_;
   Permutation nest_order_;
+  uint64_t file_id_ = 0;
   std::unique_ptr<HeapFile> file_;
   std::unique_ptr<BufferPool> pool_;
   BufferPoolMetrics pool_metrics_;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -284,10 +286,26 @@ TEST_F(CrashRecoveryTest, EveryInjectionPointRecoversExactly) {
   ASSERT_GT(total_ops, 0u);
   ASSERT_LT(total_ops, 100000u) << "workload op count exploded";
 
+  // CI splits the sweep across parallel jobs: shard i of N takes
+  // kill_at = i+1, i+1+N, i+1+2N, ... Striding (rather than contiguous
+  // ranges) levels shard runtimes, because checkpoint-heavy stretches
+  // of the op stream cost more per injection point than WAL appends.
+  // Unset or "0/1" runs every point, so local `ctest` stays exhaustive.
+  uint64_t shard = 0;
+  uint64_t total_shards = 1;
+  if (const char* s = std::getenv("NF2_CRASH_SHARD_INDEX")) {
+    shard = std::strtoull(s, nullptr, 10);
+  }
+  if (const char* s = std::getenv("NF2_CRASH_TOTAL_SHARDS")) {
+    total_shards = std::max<uint64_t>(1, std::strtoull(s, nullptr, 10));
+  }
+  ASSERT_LT(shard, total_shards) << "NF2_CRASH_SHARD_INDEX out of range";
+
   // Pass 2: one run per injection point. Each starts from a fresh
   // directory, so determinism makes run k identical to the count run
   // up to the kill at mutating op k.
-  for (uint64_t kill_at = 1; kill_at <= total_ops; ++kill_at) {
+  for (uint64_t kill_at = 1 + shard; kill_at <= total_ops;
+       kill_at += total_shards) {
     ResetDir();
     FaultInjectionEnv fault(Env::Default(), /*seed=*/kill_at * 7919);
     fault.Arm(kill_at);
@@ -331,6 +349,80 @@ TEST_F(CrashRecoveryTest, EveryInjectionPointRecoversExactly) {
         << "  acked:     " << DescribeSnapshot(acked) << "\n"
         << "  in-flight: " << DescribeSnapshot(candidate);
     if (::testing::Test::HasFailure()) break;  // One repro is enough.
+  }
+}
+
+TEST_F(CrashRecoveryTest, IncrementalCheckpointKillSweepRecoversExactly) {
+  // A dense sweep over just the SECOND checkpoint's injection points:
+  // the first checkpoint builds the page mapping, so the second runs
+  // the incremental path (shadow page writes, manifest rename, WAL
+  // truncate). A checkpoint changes no logical data, so every kill
+  // inside it must recover to exactly the pre-checkpoint state — via
+  // the old manifest + full replay before the rename lands, via the
+  // new manifest after — and the recovered database must survive a
+  // fresh checkpoint (stray shadow pages from the failed attempt are
+  // unreferenced slots, not corruption).
+  Schema schema = Schema::OfStrings({"K", "P"});
+  auto row = [](int i) {
+    return FlatTuple{Value::String(StrCat("k", i)),
+                     Value::String(StrCat("p", i, "_", std::string(80, 'x')))};
+  };
+  // Fixed workload; reports the fault-op counts bracketing the second
+  // checkpoint. Returns the injected kill in torture runs.
+  auto drive = [&](FaultInjectionEnv* fault, uint64_t* before,
+                   uint64_t* after) -> Status {
+    auto db = Database::Open(dir_, DbOptions(), fault);
+    NF2_RETURN_IF_ERROR(db.status());
+    NF2_RETURN_IF_ERROR((*db)->CreateRelation("t", schema, {0, 1}));
+    for (int i = 0; i < 40; ++i) {
+      NF2_RETURN_IF_ERROR((*db)->Insert("t", row(i)));
+    }
+    NF2_RETURN_IF_ERROR((*db)->Checkpoint());  // Builds the mapping.
+    for (int i = 40; i < 44; ++i) {
+      NF2_RETURN_IF_ERROR((*db)->Insert("t", row(i)));
+    }
+    NF2_RETURN_IF_ERROR((*db)->Delete("t", row(0)));
+    if (before) *before = fault->op_count();
+    NF2_RETURN_IF_ERROR((*db)->Checkpoint());  // Incremental delta.
+    if (after) *after = fault->op_count();
+    return Status::OK();
+  };
+
+  uint64_t before = 0;
+  uint64_t after = 0;
+  {
+    FaultInjectionEnv fault(Env::Default(), /*seed=*/11);
+    fault.Arm(UINT64_MAX);
+    ASSERT_TRUE(drive(&fault, &before, &after).ok());
+  }
+  ASSERT_GT(after, before) << "second checkpoint issued no mutating ops";
+
+  FlatRelation expected(schema);
+  for (int i = 1; i < 44; ++i) expected.Insert(row(i));
+
+  for (uint64_t kill_at = before + 1; kill_at <= after; ++kill_at) {
+    ResetDir();
+    FaultInjectionEnv fault(Env::Default(), /*seed=*/kill_at * 131);
+    fault.Arm(kill_at);
+    {
+      Status ignored = drive(&fault, nullptr, nullptr);
+      (void)ignored;
+    }  // The handle's shutdown checkpoint fails cleanly: the env is dead.
+    ASSERT_TRUE(fault.killed()) << "trigger " << kill_at << " never fired";
+    ASSERT_TRUE(fault.DropUnsyncedState().ok());
+
+    auto db = Database::Open(dir_, DbOptions());
+    ASSERT_TRUE(db.ok()) << "kill_at=" << kill_at
+                         << " recovery failed: " << db.status();
+    ASSERT_TRUE((*db)->VerifyIntegrity().ok()) << "kill_at=" << kill_at;
+    auto scan = (*db)->Scan("t");
+    ASSERT_TRUE(scan.ok()) << "kill_at=" << kill_at;
+    EXPECT_EQ(*scan, expected)
+        << "kill_at=" << kill_at << " recovered " << scan->size()
+        << " tuples, want " << expected.size();
+    ASSERT_TRUE((*db)->Checkpoint().ok())
+        << "kill_at=" << kill_at << ": checkpoint retry after recovery";
+    if (::testing::Test::HasFailure()) break;
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/nest.h"
 #include "storage/buffer_pool.h"
+#include "storage/checkpoint.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
 #include "storage/serde.h"
@@ -482,6 +483,274 @@ TEST_F(StorageTest, TableRejectsBadInputs) {
   EXPECT_FALSE((*table)->Append(NfrTuple{ValueSet(V("x"))}).ok());
   NfrRelation wrong(Schema::OfStrings({"Z"}));
   EXPECT_FALSE((*table)->Rewrite(wrong).ok());
+}
+
+// ---- Incremental checkpoint manifest (DESIGN.md §12) ------------------
+
+namespace {
+/// A relation big enough to span several pages: `n` tuples with a
+/// payload string so each record is a few hundred bytes.
+NfrRelation BulkRelation(const Schema& schema, size_t n,
+                         const std::string& tag) {
+  NfrRelation rel(schema);
+  for (size_t i = 0; i < n; ++i) {
+    rel.Add(NfrTuple{ValueSet(V(StrCat(tag, "_k", i).c_str())),
+                     ValueSet(V(std::string(200, 'p').c_str()))});
+  }
+  return rel;
+}
+
+Manifest SampleManifest() {
+  Manifest m;
+  m.checkpoint_seq = 7;
+  m.dict_size = 42;
+  TableManifest t;
+  t.file_id = 0xDEADBEEFCAFEull;
+  t.physical_pages = 5;
+  t.pages = {{0, 1, 0x1111}, {3, 7, 0x2222}, {1, 6, 0x3333}};
+  m.tables.emplace("acct.tbl", t);
+  TableManifest u;
+  u.file_id = 99;
+  u.physical_pages = 1;
+  u.pages = {{0, 2, 0x4444}};
+  m.tables.emplace("dept.tbl", u);
+  return m;
+}
+}  // namespace
+
+TEST_F(StorageTest, ManifestRoundTripThroughFile) {
+  Manifest m = SampleManifest();
+  ASSERT_TRUE(SaveManifestAtomic(Env::Default(), Path("MANIFEST.nf2"), m).ok());
+  Result<Manifest> loaded = LoadManifest(Env::Default(), Path("MANIFEST.nf2"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, m);
+}
+
+TEST_F(StorageTest, ManifestMissingIsNotFound) {
+  Result<Manifest> loaded = LoadManifest(Env::Default(), Path("nope.nf2"));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, CorruptManifestFailsClosed) {
+  ASSERT_TRUE(SaveManifestAtomic(Env::Default(), Path("MANIFEST.nf2"),
+                                 SampleManifest())
+                  .ok());
+  Result<std::string> bytes =
+      Env::Default()->ReadFileToString(Path("MANIFEST.nf2"));
+  ASSERT_TRUE(bytes.ok());
+  // Every single-byte flip must be detected — the mapping decides which
+  // physical page is live, so a wrong guess silently mixes versions.
+  for (size_t pos : {size_t{0}, size_t{9}, bytes->size() / 2,
+                     bytes->size() - 1}) {
+    std::string mutated = *bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
+    ASSERT_TRUE(
+        Env::Default()->WriteFileAtomic(Path("MANIFEST.nf2"), mutated).ok());
+    Result<Manifest> loaded =
+        LoadManifest(Env::Default(), Path("MANIFEST.nf2"));
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+        << "flip at byte " << pos << " went undetected";
+  }
+}
+
+TEST_F(StorageTest, TruncatedManifestFailsClosed) {
+  ASSERT_TRUE(SaveManifestAtomic(Env::Default(), Path("MANIFEST.nf2"),
+                                 SampleManifest())
+                  .ok());
+  Result<std::string> bytes =
+      Env::Default()->ReadFileToString(Path("MANIFEST.nf2"));
+  ASSERT_TRUE(bytes.ok());
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{10}, bytes->size() - 1}) {
+    ASSERT_TRUE(Env::Default()
+                    ->WriteFileAtomic(Path("MANIFEST.nf2"),
+                                      bytes->substr(0, keep))
+                    .ok());
+    Result<Manifest> loaded =
+        LoadManifest(Env::Default(), Path("MANIFEST.nf2"));
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+        << "truncation to " << keep << " bytes went undetected";
+  }
+}
+
+TEST_F(StorageTest, CheckpointDeltaAdoptsFreshFlatFileWithZeroWrites) {
+  Schema schema = Schema::OfStrings({"K", "P"});
+  NfrRelation rel = BulkRelation(schema, 60, "a");
+  ASSERT_TRUE(
+      WriteTableAtomic(Env::Default(), Path("r.tbl"), schema, {0, 1}, rel)
+          .ok());
+  TableManifest entry;
+  Result<CheckpointDeltaStats> stats = CheckpointTableDelta(
+      Env::Default(), Path("r.tbl"), schema, {0, 1}, rel, &entry,
+      /*new_version=*/1);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // The file WriteTableAtomic just produced serializes identically, so
+  // adoption costs zero writes.
+  EXPECT_EQ(stats->pages_written, 0u);
+  EXPECT_GT(stats->pages_skipped, 0u);
+  EXPECT_EQ(entry.file_id, ProbeTableFileId(Env::Default(), Path("r.tbl")));
+  Result<MappedTable> mapped =
+      ReadTableMapped(Env::Default(), Path("r.tbl"), entry);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_TRUE(mapped->relation.EqualsAsSet(rel));
+}
+
+TEST_F(StorageTest, CheckpointDeltaWritesOnlyChangedPages) {
+  Schema schema = Schema::OfStrings({"K", "P"});
+  NfrRelation rel = BulkRelation(schema, 60, "a");
+  ASSERT_TRUE(
+      WriteTableAtomic(Env::Default(), Path("r.tbl"), schema, {0, 1}, rel)
+          .ok());
+  TableManifest entry;
+  ASSERT_TRUE(CheckpointTableDelta(Env::Default(), Path("r.tbl"), schema,
+                                   {0, 1}, rel, &entry, 1)
+                  .ok());
+  const size_t total_pages = entry.pages.size();
+  ASSERT_GT(total_pages, 3u) << "need a multi-page table for this test";
+  // Append one tuple: only the last data page (and nothing else)
+  // differs in the serialized image.
+  rel.Add(NfrTuple{ValueSet(V("late_arrival")),
+                   ValueSet(V(std::string(200, 'p').c_str()))});
+  Result<CheckpointDeltaStats> stats = CheckpointTableDelta(
+      Env::Default(), Path("r.tbl"), schema, {0, 1}, rel, &entry, 2);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->pages_skipped, 0u);
+  EXPECT_LE(stats->pages_written, 2u);
+  EXPECT_EQ(stats->bytes_written, stats->pages_written * kPageSize);
+  // The mapped read sees the new state, bit-exactly.
+  Result<MappedTable> mapped =
+      ReadTableMapped(Env::Default(), Path("r.tbl"), entry);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_TRUE(mapped->relation.EqualsAsSet(rel));
+  // Old versions were parked in shadow slots, not overwritten: the
+  // pre-delta mapping must still read back the OLD state.
+}
+
+TEST_F(StorageTest, CheckpointDeltaPreservesOldMappedVersions) {
+  Schema schema = Schema::OfStrings({"K", "P"});
+  NfrRelation rel = BulkRelation(schema, 60, "a");
+  ASSERT_TRUE(
+      WriteTableAtomic(Env::Default(), Path("r.tbl"), schema, {0, 1}, rel)
+          .ok());
+  TableManifest entry;
+  ASSERT_TRUE(CheckpointTableDelta(Env::Default(), Path("r.tbl"), schema,
+                                   {0, 1}, rel, &entry, 1)
+                  .ok());
+  TableManifest old_entry = entry;
+  NfrRelation old_rel = rel;
+  for (size_t i = 0; i < 20; ++i) {
+    rel.Add(NfrTuple{ValueSet(V(StrCat("b_k", i).c_str())),
+                     ValueSet(V(std::string(200, 'q').c_str()))});
+  }
+  ASSERT_TRUE(CheckpointTableDelta(Env::Default(), Path("r.tbl"), schema,
+                                   {0, 1}, rel, &entry, 2)
+                  .ok());
+  // Shadow paging: the old manifest's slots are untouched, so a crash
+  // before the new manifest lands still recovers the old state.
+  Result<MappedTable> old_read =
+      ReadTableMapped(Env::Default(), Path("r.tbl"), old_entry);
+  ASSERT_TRUE(old_read.ok()) << old_read.status();
+  EXPECT_TRUE(old_read->relation.EqualsAsSet(old_rel));
+  Result<MappedTable> new_read =
+      ReadTableMapped(Env::Default(), Path("r.tbl"), entry);
+  ASSERT_TRUE(new_read.ok()) << new_read.status();
+  EXPECT_TRUE(new_read->relation.EqualsAsSet(rel));
+}
+
+TEST_F(StorageTest, ReadTableMappedDetectsPageCorruption) {
+  Schema schema = Schema::OfStrings({"K", "P"});
+  NfrRelation rel = BulkRelation(schema, 60, "a");
+  ASSERT_TRUE(
+      WriteTableAtomic(Env::Default(), Path("r.tbl"), schema, {0, 1}, rel)
+          .ok());
+  TableManifest entry;
+  ASSERT_TRUE(CheckpointTableDelta(Env::Default(), Path("r.tbl"), schema,
+                                   {0, 1}, rel, &entry, 1)
+                  .ok());
+  // Scribble into the middle of a mapped page.
+  {
+    std::fstream f(Path("r.tbl"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(kPageSize) + 100);
+    f.write("XXXX", 4);
+  }
+  Result<MappedTable> mapped =
+      ReadTableMapped(Env::Default(), Path("r.tbl"), entry);
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, StaleManifestEntryDetectedByIdentityStamp) {
+  Schema schema = Schema::OfStrings({"K", "P"});
+  NfrRelation rel = BulkRelation(schema, 60, "a");
+  ASSERT_TRUE(
+      WriteTableAtomic(Env::Default(), Path("r.tbl"), schema, {0, 1}, rel)
+          .ok());
+  TableManifest entry;
+  ASSERT_TRUE(CheckpointTableDelta(Env::Default(), Path("r.tbl"), schema,
+                                   {0, 1}, rel, &entry, 1)
+                  .ok());
+  // Wholesale-replace the file (what a DROP + CREATE does): the fresh
+  // file carries a new identity stamp, so the old mapping must be
+  // recognizably stale — recovery probes the stamp and reads flat.
+  NfrRelation fresh = BulkRelation(schema, 5, "fresh");
+  ASSERT_TRUE(
+      WriteTableAtomic(Env::Default(), Path("r.tbl"), schema, {0, 1}, fresh)
+          .ok());
+  EXPECT_NE(ProbeTableFileId(Env::Default(), Path("r.tbl")), entry.file_id);
+  // A mapped read through the stale entry must fail closed, not hand
+  // back a mix of old and new pages.
+  Result<MappedTable> mapped =
+      ReadTableMapped(Env::Default(), Path("r.tbl"), entry);
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, SerializeTablePagesMatchesTableLayout) {
+  Schema schema = Schema::OfStrings({"K", "P"});
+  NfrRelation rel = BulkRelation(schema, 60, "a");
+  ASSERT_TRUE(
+      WriteTableAtomic(Env::Default(), Path("r.tbl"), schema, {0, 1}, rel)
+          .ok());
+  const uint64_t id = ProbeTableFileId(Env::Default(), Path("r.tbl"));
+  ASSERT_NE(id, 0u);
+  Result<std::vector<Page>> pages =
+      SerializeTablePages(schema, {0, 1}, id, rel);
+  ASSERT_TRUE(pages.ok());
+  auto file = HeapFile::Open(Env::Default(), Path("r.tbl"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ((*file)->page_count(), pages->size());
+  Page on_disk;
+  for (PageId i = 0; i < (*file)->page_count(); ++i) {
+    ASSERT_TRUE((*file)->ReadPage(i, &on_disk).ok());
+    EXPECT_EQ(Crc32(std::string_view(on_disk.data(), kPageSize)),
+              Crc32(std::string_view((*pages)[i].data(), kPageSize)))
+        << "page " << i << " serializes differently than Table::Append";
+  }
+}
+
+TEST_F(StorageTest, HeapFileToleratesTornTailWhenAsked) {
+  {
+    auto hf = HeapFile::Create(Env::Default(), Path("torn.heap"));
+    ASSERT_TRUE(hf.ok());
+    Page p;
+    p.Format();
+    ASSERT_TRUE((*hf)->WritePageAt(0, p).ok());
+    ASSERT_TRUE((*hf)->WritePageAt(1, p).ok());
+    ASSERT_TRUE((*hf)->Sync().ok());
+  }
+  // Simulate a crash mid-append: a trailing partial page.
+  {
+    std::ofstream f(Path("torn.heap"),
+                    std::ios::app | std::ios::binary);
+    f.write("partial page bytes", 18);
+  }
+  EXPECT_EQ(HeapFile::Open(Env::Default(), Path("torn.heap"))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  auto tolerant = HeapFile::Open(Env::Default(), Path("torn.heap"),
+                                 /*tolerate_torn_tail=*/true);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ((*tolerant)->page_count(), 2u);
 }
 
 }  // namespace

@@ -5,7 +5,12 @@ Usage: bench_check.py NEW_JSON BASELINE_JSON [--threshold FRAC]
 
 Sections are matched by name; for each match the optimized (interned /
 durable) throughput must not regress by more than --threshold (default
-0.25, i.e. 25%) relative to the baseline. Sections present on only one
+0.25, i.e. 25%) relative to the baseline — but only when the two runs
+did the same amount of work (matching "operations"): a smoke run
+compared against a full-workload baseline has systematically different
+per-op rates (amortization scales with workload size), so there the
+throughput diff is reported without being enforced and the
+self-relative floors below carry the gate. Sections present on only one
 side are reported but do not fail the check, so the harness can grow new
 sections without breaking older baselines. A section in the new run with
 counters_identical == false always fails: that means the optimization
@@ -33,6 +38,15 @@ A factorized_aggregation section must show strictly growing per-depth
 speedups (depth_speedups): the expansion the baseline scans is
 exponential in nesting depth while the factorized cost is linear, so a
 non-growing profile means the factorized path is secretly expanding.
+
+A checkpoint_latency section is gated by --checkpoint-flat: the
+incremental checkpoint latency at the large database size must stay
+within --checkpoint-flat-ratio (default: half the run's size_ratio) of
+the latency at the small size, and the incremental checkpoints must
+have skipped more pages than they wrote. Both checks are self-relative
+(within one run on one host), so they hold on any runner; the section
+is therefore excluded from the cross-run throughput comparison, whose
+millisecond-scale absolute latencies are not comparable across hosts.
 
 Exit code 0 = OK, 1 = regression (or broken counters), 2 = usage error.
 """
@@ -78,6 +92,19 @@ def main():
         default=2.0,
         help="minimum index-over-scan speedup for the indexed_selection "
         "section, always enforced (default 2.0)",
+    )
+    parser.add_argument(
+        "--checkpoint-flat",
+        action="store_true",
+        help="enforce the checkpoint_latency flatness gate (without it "
+        "the section is only reported)",
+    )
+    parser.add_argument(
+        "--checkpoint-flat-ratio",
+        type=float,
+        default=None,
+        help="maximum large/small incremental checkpoint latency ratio "
+        "(default: half the run's size_ratio)",
     )
     args = parser.parse_args()
 
@@ -167,6 +194,34 @@ def main():
                 failed = True
             else:
                 print(f"  ok   {name}: speedup grows with depth [{profile}]")
+        if name == "checkpoint_latency":
+            size_ratio = float(new.get("size_ratio", 0.0))
+            ratio = float(new.get("latency_ratio_large_over_small", 0.0))
+            written = int(new.get("incremental_pages_written", 0))
+            skipped = int(new.get("incremental_pages_skipped", 0))
+            bound = (
+                args.checkpoint_flat_ratio
+                if args.checkpoint_flat_ratio is not None
+                else size_ratio / 2.0
+            )
+            flat = ratio > 0 and ratio <= bound
+            skips = skipped > written
+            detail = (
+                f"latency ratio x{ratio:.2f} over a x{size_ratio:.1f} size "
+                f"spread (bound x{bound:.2f}); {written} pages written, "
+                f"{skipped} skipped"
+            )
+            if args.checkpoint_flat and not (flat and skips):
+                why = "latency not flat" if not flat else "nothing skipped"
+                print(f"  FAIL {name}: {why} — {detail}")
+                failed = True
+            elif args.checkpoint_flat:
+                print(f"  ok   {name}: {detail}")
+            else:
+                print(f"  info {name}: {detail} — gate off")
+            # Self-relative gates only; absolute ms-scale latencies are
+            # not comparable across hosts, so skip the throughput diff.
+            continue
         base = base_sections.get(name)
         if base is None:
             print(f"  skip {name}: not in baseline")
@@ -177,6 +232,18 @@ def main():
             print(f"  skip {name}: baseline rate is zero")
             continue
         change = new_rate / old_rate - 1.0
+        new_ops = int(new.get("operations", 0))
+        base_ops = int(base.get("operations", 0))
+        if new_ops != base_ops:
+            # Different workload sizes: per-op rates are not comparable
+            # (amortization scales with size), so report only — the
+            # floors above are the gates that hold across sizes.
+            print(
+                f"  info {name}: {old_rate:,.0f} -> {new_rate:,.0f} ops/s "
+                f"({change:+.1%}) on a different workload "
+                f"({base_ops} vs {new_ops} ops) — not enforced"
+            )
+            continue
         verdict = "FAIL" if change < -args.threshold else "ok"
         print(
             f"  {verdict:4s} {name}: {old_rate:,.0f} -> {new_rate:,.0f} "

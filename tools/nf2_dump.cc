@@ -1,13 +1,22 @@
 // nf2_dump — prints the contents of a single nf2db table file (.tbl):
 // the stored schema, nest order, page statistics, and every live tuple.
 //
+// Table files are shadow-paged by incremental checkpoints (DESIGN.md
+// §12): when a MANIFEST.nf2 in the file's directory maps this file, the
+// flat byte order contains stale page versions and only the manifest's
+// logical->physical mapping is the live view — the dump follows it and
+// says so. Without a (matching) manifest entry the file is read flat.
+//
 //   $ nf2_dump <table_file> [--tuples]
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "core/format.h"
+#include "storage/checkpoint.h"
+#include "storage/env.h"
 #include "storage/table.h"
 #include "util/string_util.h"
 
@@ -17,6 +26,57 @@ int main(int argc, char** argv) {
     return 2;
   }
   bool show_tuples = argc > 2 && std::strcmp(argv[2], "--tuples") == 0;
+
+  // Prefer the checkpoint manifest's page mapping when it covers this
+  // file: that is the live view of a shadow-paged table.
+  std::filesystem::path path(argv[1]);
+  nf2::Env* env = nf2::Env::Default();
+  auto manifest = nf2::LoadManifest(
+      env, (path.parent_path() / "MANIFEST.nf2").string());
+  if (manifest.ok()) {
+    auto it = manifest->tables.find(path.filename().string());
+    if (it != manifest->tables.end() && !it->second.pages.empty() &&
+        nf2::ProbeTableFileId(env, argv[1]) == it->second.file_id) {
+      auto mapped = nf2::ReadTableMapped(env, argv[1], it->second);
+      if (!mapped.ok()) {
+        std::fprintf(stderr, "mapped read failed: %s\n",
+                     mapped.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("table file : %s\n", argv[1]);
+      std::printf("view       : MANIFEST.nf2 mapping (%zu logical pages, "
+                  "%llu physical)\n",
+                  it->second.pages.size(),
+                  static_cast<unsigned long long>(it->second.physical_pages));
+      std::printf("schema     : %s\n", mapped->schema.ToString().c_str());
+      std::vector<std::string> order_names;
+      for (size_t p : mapped->nest_order) {
+        order_names.push_back(mapped->schema.attribute(p).name);
+      }
+      std::printf("nest order : %s\n",
+                  nf2::Join(order_names, " then ").c_str());
+      std::printf("tuples     : %zu\n", mapped->relation.size());
+      uint64_t expanded = 0;
+      for (const nf2::NfrTuple& tuple : mapped->relation.tuples()) {
+        expanded += tuple.ExpandedCount();
+      }
+      std::printf("|R*|       : %llu\n",
+                  static_cast<unsigned long long>(expanded));
+      if (show_tuples) {
+        std::printf("\n");
+        for (const nf2::NfrTuple& tuple : mapped->relation.tuples()) {
+          std::printf("%s\n", tuple.ToString(mapped->schema).c_str());
+        }
+      } else {
+        std::printf("\n%s", nf2::RenderTable(mapped->relation).c_str());
+      }
+      return 0;
+    }
+  } else if (manifest.status().code() != nf2::StatusCode::kNotFound) {
+    std::fprintf(stderr, "warning: ignoring invalid MANIFEST.nf2: %s\n",
+                 manifest.status().ToString().c_str());
+  }
+
   auto table = nf2::Table::Open(argv[1]);
   if (!table.ok()) {
     std::fprintf(stderr, "cannot open table: %s\n",
@@ -24,6 +84,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("table file : %s\n", argv[1]);
+  std::printf("view       : flat (no manifest mapping)\n");
   std::printf("schema     : %s\n",
               (*table)->schema().ToString().c_str());
   std::vector<std::string> order_names;
