@@ -1,6 +1,6 @@
 // Perf-trajectory harness: times the dictionary-encoded hot paths
 // against the retained Value-keyed legacy paths on the same workloads
-// and emits a machine-readable JSON file (default BENCH_PR6.json, or
+// and emits a machine-readable JSON file (default BENCH_PR9.json, or
 // argv[1]) so successive PRs leave a comparable throughput record.
 // argv[2] overrides the workload row count (CI runs a small smoke
 // workload; section names and per-op rates stay comparable).
@@ -43,6 +43,18 @@
 //                    depths 1..3; per-depth speedups are embedded and
 //                    must grow with depth (the expansion is
 //                    exponential in depth, the factorized cost linear).
+//   sharded_scatter_gather — 4 concurrent writers issuing point-routed
+//                    autocommit INSERTs through a ShardRouter with 1
+//                    shard (baseline: every write serializes through
+//                    one engine gate + WAL lane) vs 4 shards
+//                    (optimized: keys hash across 4 independent
+//                    engines); Speedup() is shard_write_speedup_4_vs_1.
+//                    After each load a scattered SELECT COUNT(*) must
+//                    equal the exact row total on both sides — the
+//                    correctness half of the gate. bench_check.py
+//                    --shard-floor enforces the speedup only when
+//                    host_cores >= 4 (mirroring the scaling-floor
+//                    rule); the skip is logged into the section JSON.
 
 #include <unistd.h>
 
@@ -64,6 +76,7 @@
 #include "exec/plan.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "shard/router.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -107,6 +120,9 @@ struct Section {
   uint64_t stmtcache_misses = 0;   // pipelining only.
   std::vector<size_t> depths;          // factorized_aggregation only.
   std::vector<double> depth_speedups;  // factorized_aggregation only.
+  size_t shards_baseline = 0;          // sharded_scatter_gather only.
+  size_t shards_optimized = 0;         // sharded_scatter_gather only.
+  int shard_writers = 0;               // sharded_scatter_gather only.
   size_t ckpt_small_rows = 0;          // checkpoint_latency only.
   size_t ckpt_large_rows = 0;          // checkpoint_latency only.
   double ckpt_full_small_sec = 0.0;    // checkpoint_latency only.
@@ -707,15 +723,108 @@ Section BenchCheckpointLatency(size_t small_rows, size_t large_rows,
   return out;
 }
 
+/// Point-routed write throughput through the shard subsystem: `writers`
+/// concurrent RouterSessions each issue `rows_per_writer` autocommit
+/// INSERTs whose keys hash across the shards. With 1 shard every write
+/// serializes through the single engine gate + WAL lane (this is the
+/// verbatim single-engine forward path); with 4 shards the same
+/// statements spread over 4 independent engines and commit in
+/// parallel. The WAL stays unsynced on both sides so the section
+/// measures gate/lane parallelism, not fsync amortization (that is
+/// wal_durability's job). After each load, one scattered
+/// SELECT COUNT(*) must return the exact row total — the merge
+/// correctness half of the gate.
+Section BenchShardedScatterGather(size_t rows_per_writer, int writers) {
+  Section out;
+  out.name = "sharded_scatter_gather";
+  out.operations = static_cast<size_t>(writers) * rows_per_writer;
+  out.shards_baseline = 1;
+  out.shards_optimized = 4;
+  out.shard_writers = writers;
+  const std::string expected = StrCat(out.operations);
+
+  std::atomic<bool> all_ok{true};
+  auto run = [&](size_t shards) -> double {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         StrCat("nf2_bench_shards_", shards))
+            .string();
+    std::filesystem::remove_all(dir);
+    shard::ShardRouter::Options ropts;
+    ropts.shards = shards;
+    ropts.db.sync_wal = false;
+    Result<std::unique_ptr<shard::ShardRouter>> router =
+        shard::ShardRouter::Open(dir, ropts);
+    NF2_CHECK(router.ok()) << router.status().ToString();
+    auto admin = (*router)->NewClientSession();
+    // FD K -> V makes K key-like (Def. 7), so K is the partition
+    // attribute and every single-row INSERT routes to exactly one
+    // shard.
+    auto created = admin->Execute(
+        "CREATE RELATION bench (K STRING, V STRING) FD K -> V");
+    NF2_CHECK(created.ok()) << created.status().ToString();
+    std::vector<std::unique_ptr<server::ClientSession>> sessions;
+    sessions.reserve(writers);
+    for (int w = 0; w < writers; ++w) {
+      sessions.push_back((*router)->NewClientSession());
+    }
+    double sec = SecondsOf([&] {
+      std::vector<std::thread> threads;
+      threads.reserve(writers);
+      for (int w = 0; w < writers; ++w) {
+        threads.emplace_back([&, w] {
+          for (size_t i = 0; i < rows_per_writer; ++i) {
+            auto r = sessions[w]->Execute(
+                StrCat("INSERT INTO bench VALUES (w", w, "k", i, ", v", i,
+                       ")"));
+            if (!r.ok()) all_ok = false;
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    });
+    auto count = admin->Execute("SELECT COUNT(*) FROM bench");
+    if (!count.ok() || *count != expected) all_ok = false;
+    sessions.clear();
+    admin.reset();
+    router->reset();  // Checkpoint + close outside the timed region.
+    std::filesystem::remove_all(dir);
+    return sec;
+  };
+
+  out.baseline_sec = run(1);
+  out.optimized_sec = run(4);
+  out.counters_identical = all_ok.load();
+  NF2_CHECK(out.counters_identical)
+      << "a sharded write failed or a scattered COUNT(*) diverged from "
+      << expected;
+  return out;
+}
+
+/// Embeds whether a concurrency floor (read scaling, shard writes) is
+/// enforceable on this host, and — when it is not — why, so a skipped
+/// gate is recorded in the JSON instead of being silent about the
+/// reason.
+void WriteFloorStatus(std::ofstream& file, const char* prefix) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool enforced = cores >= 4;
+  file << "      \"" << prefix << "_enforced\": "
+       << (enforced ? "true" : "false") << ",\n";
+  if (!enforced) {
+    file << "      \"" << prefix << "_skip_reason\": \"host has " << cores
+         << " core(s); the floor requires >= 4\",\n";
+  }
+}
+
 void WriteJson(const std::string& path, const KeyedConfig& config,
                const std::vector<Section>& sections,
                const MetricsSnapshot& metrics) {
   std::ofstream file(path, std::ios::trunc);
   NF2_CHECK(file.is_open()) << "cannot write " << path;
   file << "{\n";
-  file << "  \"pr\": 8,\n";
-  file << "  \"title\": \"Incremental page-level checkpoints with a "
-          "versioned manifest\",\n";
+  file << "  \"pr\": 9,\n";
+  file << "  \"title\": \"Sharded engine subsystem: hash-partitioned "
+          "shards behind a scatter-gather batch router\",\n";
   // Scaling sections are only meaningful relative to the host's core
   // count; the checker reads this to decide whether to enforce floors.
   file << "  \"host_cores\": " << std::thread::hardware_concurrency()
@@ -783,6 +892,15 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
            << Fmt(s.operations / s.mid_sec, 1) << ",\n";
       file << "      \"read_scaling_1_to_4\": " << Fmt(s.Speedup(), 3)
            << ",\n";
+      WriteFloorStatus(file, "scaling_floor");
+    }
+    if (s.name == "sharded_scatter_gather") {
+      file << "      \"shards_baseline\": " << s.shards_baseline << ",\n";
+      file << "      \"shards_optimized\": " << s.shards_optimized << ",\n";
+      file << "      \"writers\": " << s.shard_writers << ",\n";
+      file << "      \"shard_write_speedup_4_vs_1\": " << Fmt(s.Speedup(), 3)
+           << ",\n";
+      WriteFloorStatus(file, "shard_floor");
     }
     if (s.name == "pipelining") {
       file << "      \"batch_size\": " << s.batch_size << ",\n";
@@ -839,7 +957,7 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR8.json";
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR9.json";
   const size_t workload_rows =
       argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : 10000;
   NF2_CHECK(workload_rows >= 100) << "workload needs at least 100 rows";
@@ -895,6 +1013,11 @@ int Main(int argc, char** argv) {
   // scaled down for the smoke run.
   sections.push_back(BenchFactorizedAggregation(
       /*groups=*/flat_rows >= 10000 ? 400 : 50, /*fanout=*/6, /*reps=*/3));
+  // Point-routed writes through the shard router: 4 concurrent writers
+  // against 1 shard (single gate) vs 4 shards (independent engines),
+  // plus the scattered COUNT(*) correctness check.
+  sections.push_back(BenchShardedScatterGather(
+      /*rows_per_writer=*/flat_rows >= 10000 ? 1000 : 250, /*writers=*/4));
   // Checkpoint latency at an 8x size spread with a fixed one-row
   // write-set per timed checkpoint; the incremental latency must stay
   // nearly flat across the spread.
@@ -951,6 +1074,15 @@ int Main(int argc, char** argv) {
   NF2_LOG(Info) << "factorized_aggregation: COUNT(*) over components vs "
                 << "expand-then-scan: " << per_depth
                 << " (speedup must grow with depth)";
+  const Section& sharded = by_name("sharded_scatter_gather");
+  NF2_LOG(Info) << "sharded_scatter_gather: " << sharded.shard_writers
+                << " writers' point-routed inserts over "
+                << sharded.shards_optimized << " shards vs "
+                << sharded.shards_baseline << " scaled x"
+                << Fmt(sharded.Speedup(), 2) << " on "
+                << std::thread::hardware_concurrency()
+                << " core(s); scattered COUNT(*) exact "
+                << "(floor of x2 enforced at >= 4 cores)";
   const Section& ckpt = by_name("checkpoint_latency");
   NF2_LOG(Info) << "checkpoint_latency: one-row incremental checkpoint "
                 << Fmt(ckpt.baseline_sec * 1e3, 2) << "ms at "

@@ -131,6 +131,64 @@ std::vector<size_t> IntersectSorted(const std::vector<size_t>& a,
   return out;
 }
 
+std::vector<size_t> NfrIndex::ContainingInRange(size_t attr,
+                                                const RangeBound& bound) const {
+  NF2_CHECK(attr < degree_);
+  std::vector<size_t> out;
+  if (!interned()) {
+    // Bound-scan the sorted postings map: seek to the lower bound, walk
+    // forward until past the upper bound.
+    const std::map<Value, std::vector<size_t>>& per_attr = postings_[attr];
+    auto it = per_attr.begin();
+    if (bound.lower.has_value()) {
+      it = bound.lower_inclusive ? per_attr.lower_bound(*bound.lower)
+                                 : per_attr.upper_bound(*bound.lower);
+    }
+    for (; it != per_attr.end(); ++it) {
+      if (bound.upper.has_value()) {
+        if (bound.upper_inclusive ? *bound.upper < it->first
+                                  : !(it->first < *bound.upper)) {
+          break;
+        }
+      }
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  } else {
+    // Id-keyed slots carry no value order; bound-scan the dictionary's
+    // value order instead and union the in-range slots.
+    std::vector<ValueId> order = dict_->IdsInValueOrder();
+    auto value_less = [this](ValueId id, const Value& v) {
+      return dict_->value(id) < v;
+    };
+    auto less_value = [this](const Value& v, ValueId id) {
+      return v < dict_->value(id);
+    };
+    auto it = order.begin();
+    auto end = order.end();
+    if (bound.lower.has_value()) {
+      it = bound.lower_inclusive
+               ? std::lower_bound(order.begin(), order.end(), *bound.lower,
+                                  value_less)
+               : std::upper_bound(order.begin(), order.end(), *bound.lower,
+                                  less_value);
+    }
+    if (bound.upper.has_value()) {
+      end = bound.upper_inclusive
+                ? std::upper_bound(it, order.end(), *bound.upper, less_value)
+                : std::lower_bound(it, order.end(), *bound.upper, value_less);
+    }
+    for (; it != end; ++it) {
+      const std::vector<size_t>* ids = PostingsById(attr, *it);
+      if (ids != nullptr) {
+        out.insert(out.end(), ids->begin(), ids->end());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 std::vector<size_t> NfrIndex::ContainingAll(size_t attr,
                                             const ValueSet& values) const {
   NF2_CHECK(!values.empty());

@@ -12,6 +12,28 @@
 
 namespace nf2 {
 
+/// A one-dimensional interval over attribute values: the target of a
+/// range predicate (`attr < v`, `attr >= v`, ...) after the planner has
+/// folded every top-level range conjunct on one attribute together.
+/// Absent bounds are unbounded on that side.
+struct RangeBound {
+  std::optional<Value> lower;
+  std::optional<Value> upper;
+  bool lower_inclusive = true;
+  bool upper_inclusive = true;
+
+  /// True when `v` lies inside the interval.
+  bool Admits(const Value& v) const {
+    if (lower.has_value()) {
+      if (lower_inclusive ? v < *lower : v <= *lower) return false;
+    }
+    if (upper.has_value()) {
+      if (upper_inclusive ? *upper < v : *upper <= v) return false;
+    }
+    return true;
+  }
+};
+
 /// An inverted index over the tuples of one NFR: for every attribute
 /// position, a map from atomic value to the ids of the tuples whose
 /// component contains that value.
@@ -66,6 +88,14 @@ class NfrIndex {
   /// Ids of tuples whose `attr` component contains the interned value
   /// `id` (interned mode only).
   const std::vector<size_t>* PostingsById(size_t attr, ValueId id) const;
+
+  /// Ids of tuples whose `attr` component contains at least one value
+  /// inside `bound` — the union of the postings whose keys fall in the
+  /// interval. Value-keyed mode bound-scans the sorted postings map;
+  /// interned mode bound-scans the dictionary's value order and unions
+  /// the id-keyed slots inside the bound. Works in both modes.
+  std::vector<size_t> ContainingInRange(size_t attr,
+                                        const RangeBound& bound) const;
 
   /// Ids of tuples whose `attr` component contains EVERY value of
   /// `values` — the intersection of the postings. Empty vector when any

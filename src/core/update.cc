@@ -224,6 +224,27 @@ NfrRelation CanonicalRelation::TuplesContaining(size_t attr,
   return out;
 }
 
+NfrRelation CanonicalRelation::TuplesInRange(size_t attr,
+                                             const RangeBound& bound) const {
+  NF2_CHECK(attr < schema().degree()) << "attribute out of range";
+  NfrRelation out(schema());
+  if (index_.has_value()) {
+    for (size_t id : index_->ContainingInRange(attr, bound)) {
+      out.Add(relation_.tuple(id));
+    }
+    return out;
+  }
+  for (const NfrTuple& t : relation_.tuples()) {
+    for (const Value& v : t.at(attr).values()) {
+      if (bound.Admits(v)) {
+        out.Add(t);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 NfrRelation CanonicalRelation::TuplesContainingId(size_t attr,
                                                   ValueId id) const {
   NF2_CHECK(attr < schema().degree()) << "attribute out of range";

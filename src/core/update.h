@@ -99,6 +99,12 @@ class CanonicalRelation {
   /// select for `attr = value` returns.
   NfrRelation TuplesContaining(size_t attr, const Value& value) const;
 
+  /// The NFR tuples whose `attr` component holds at least one value
+  /// inside `bound` — a range query answered by a bound-scan of the
+  /// sorted index postings when available (kIndexed/kInterned), falling
+  /// back to a scan otherwise. The candidates for `attr < v` & co.
+  NfrRelation TuplesInRange(size_t attr, const RangeBound& bound) const;
+
   /// Id-space twin of TuplesContaining for kInterned relations: the
   /// caller resolves `value` to its ValueId against a dictionary of its
   /// choosing, and the lookup then never touches dict_ — which is what

@@ -768,6 +768,10 @@ Status Database::Checkpoint() {
   manifest_ = std::move(next);
   ckpt_dirty_.clear();
   ops_since_checkpoint_ = 0;
+  last_checkpoint_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now().time_since_epoch())
+                                .count(),
+                            std::memory_order_relaxed);
   metric_checkpoints_->Increment();
   if (ckpt_metrics_.pages_written != nullptr && total.pages_written > 0) {
     ckpt_metrics_.pages_written->Increment(total.pages_written);
@@ -791,6 +795,10 @@ Status Database::MaybeAutoCheckpoint() {
     return Checkpoint();
   }
   return Status::OK();
+}
+
+std::string Database::wal_path() const {
+  return (std::filesystem::path(dir_) / kWalFile).string();
 }
 
 Status Database::VerifyIntegrity() const {

@@ -2,6 +2,7 @@
 #define NF2_ENGINE_DATABASE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -171,6 +172,21 @@ class Database {
   /// group-commit batching benchmarks.
   uint64_t wal_sync_count() const { return wal_->sync_count(); }
 
+  /// Path of the write-ahead log file inside dir().
+  std::string wal_path() const;
+
+  /// When the last successful Checkpoint() of this process completed;
+  /// nullopt before the first one since Open. Monitoring surfaces
+  /// (`\shards`) render this as a checkpoint age; atomic because they
+  /// read it without the engine gate.
+  std::optional<std::chrono::steady_clock::time_point> last_checkpoint_time()
+      const {
+    int64_t ns = last_checkpoint_ns_.load(std::memory_order_relaxed);
+    if (ns < 0) return std::nullopt;
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(ns));
+  }
+
   /// The database-wide value dictionary: every relation interns its
   /// atoms here, so one atomic value has one dense id across the whole
   /// database. Persisted at Checkpoint and reloaded (with identical id
@@ -262,6 +278,8 @@ class Database {
   std::shared_ptr<ValueDictionary> dict_;
   std::map<std::string, CanonicalRelation> relations_;
   uint64_t ops_since_checkpoint_ = 0;
+  /// steady_clock nanos of the last successful checkpoint, -1 for none.
+  std::atomic<int64_t> last_checkpoint_ns_{-1};
 
   // --- Incremental checkpoint state (DESIGN.md §12).
   /// In-memory copy of the durable MANIFEST.nf2; swapped only after

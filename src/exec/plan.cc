@@ -327,6 +327,62 @@ void IndexScanOp::CloseImpl() {
   candidates_ = NfrRelation(source_->schema());
 }
 
+NfrRelation RangeCandidates(const CanonicalRelation& rel,
+                            const ValueDictionary* frozen_dict,
+                            const RangeRestriction& range) {
+  NfrRelation matches(rel.schema());
+  if (frozen_dict != nullptr && rel.dictionary() != nullptr) {
+    // Snapshot read over an interned relation: the index's range scan
+    // would order ids via the live dictionary, so scan the frozen
+    // tuples instead.
+    for (const NfrTuple& t : rel.relation().tuples()) {
+      for (const Value& v : t.at(range.attr).values()) {
+        if (range.bound.Admits(v)) {
+          matches.Add(t);
+          break;
+        }
+      }
+    }
+  } else {
+    matches = rel.TuplesInRange(range.attr, range.bound);
+  }
+  // Narrow the ranged component to its in-bound values: the tuple's
+  // expansion is then exactly the selected fragment of R*.
+  NfrRelation out(rel.schema());
+  for (size_t i = 0; i < matches.size(); ++i) {
+    const NfrTuple& t = matches.tuple(i);
+    std::vector<Value> keep;
+    for (const Value& v : t.at(range.attr).values()) {
+      if (range.bound.Admits(v)) keep.push_back(v);
+    }
+    if (keep.empty()) continue;
+    NfrTuple restricted = t;
+    restricted.at(range.attr) = ValueSet::FromSortedUnique(std::move(keep));
+    out.Add(std::move(restricted));
+  }
+  return out;
+}
+
+IndexRangeScanOp::IndexRangeScanOp(std::string label,
+                                   const CanonicalRelation* rel,
+                                   const ValueDictionary* frozen_dict,
+                                   RangeRestriction range)
+    : NfrExpandOpBase(std::move(label), rel->schema()),
+      source_(rel),
+      frozen_dict_(frozen_dict),
+      range_(std::move(range)) {}
+
+void IndexRangeScanOp::OpenImpl() {
+  candidates_ = RangeCandidates(*source_, frozen_dict_, range_);
+  SetStat("nfr_tuples", static_cast<int64_t>(candidates_.size()));
+  StartIteration(&candidates_);
+}
+
+void IndexRangeScanOp::CloseImpl() {
+  NfrExpandOpBase::CloseImpl();
+  candidates_ = NfrRelation(source_->schema());
+}
+
 // --- Row transforms -------------------------------------------------------
 
 FilterOp::FilterOp(std::string label, std::unique_ptr<PlanOp> input,

@@ -26,6 +26,13 @@ struct EqRestriction {
   Value value;
 };
 
+/// One range restriction an index-backed access path applies: the
+/// component at position `attr` must hold a value inside `bound`.
+struct RangeRestriction {
+  size_t attr = 0;
+  RangeBound bound;
+};
+
 /// A Volcano-style plan operator: Open() once, Next() until it returns
 /// false, Close(). Operators pull rows from their children; all fallible
 /// work (name resolution, type checks) happens at plan time, so the
@@ -155,6 +162,35 @@ class IndexScanOp : public NfrExpandOpBase {
   const CanonicalRelation* source_;
   const ValueDictionary* frozen_dict_;
   std::vector<EqRestriction> eqs_;
+  NfrRelation candidates_;
+};
+
+/// Computes the NFR tuples matching `range` against a canonical
+/// relation via a bound-scan of the sorted index postings
+/// (TuplesInRange), narrowing the ranged component to its in-bound
+/// values before expansion. `frozen_dict` non-null marks a snapshot
+/// read: the interned index orders ids through the LIVE dictionary,
+/// which concurrent writers mutate, so that case scans the frozen
+/// tuples directly instead.
+NfrRelation RangeCandidates(const CanonicalRelation& rel,
+                            const ValueDictionary* frozen_dict,
+                            const RangeRestriction& range);
+
+/// Index-backed range selection: expands only the candidate fragment
+/// computed by RangeCandidates.
+class IndexRangeScanOp : public NfrExpandOpBase {
+ public:
+  IndexRangeScanOp(std::string label, const CanonicalRelation* rel,
+                   const ValueDictionary* frozen_dict, RangeRestriction range);
+
+ protected:
+  void OpenImpl() override;
+  void CloseImpl() override;
+
+ private:
+  const CanonicalRelation* source_;
+  const ValueDictionary* frozen_dict_;
+  RangeRestriction range_;
   NfrRelation candidates_;
 };
 

@@ -33,6 +33,46 @@ std::string EqListLabel(const Schema& schema,
   return Join(parts, ", ");
 }
 
+bool IsRangeOp(const std::string& op) {
+  return op == "<" || op == "<=" || op == ">" || op == ">=";
+}
+
+/// Folds one `attr <op> literal` comparison into `b`, keeping the
+/// tightest interval (exclusive wins over inclusive at an equal bound).
+void TightenBound(const std::string& op, const Value& v, RangeBound* b) {
+  if (op == ">" || op == ">=") {
+    const bool incl = op == ">=";
+    if (!b->lower.has_value() || *b->lower < v) {
+      b->lower = v;
+      b->lower_inclusive = incl;
+    } else if (!(v < *b->lower)) {
+      b->lower_inclusive = b->lower_inclusive && incl;
+    }
+  } else {
+    const bool incl = op == "<=";
+    if (!b->upper.has_value() || v < *b->upper) {
+      b->upper = v;
+      b->upper_inclusive = incl;
+    } else if (!(*b->upper < v)) {
+      b->upper_inclusive = b->upper_inclusive && incl;
+    }
+  }
+}
+
+std::string RangeLabel(const Schema& schema, const RangeRestriction& range) {
+  const std::string& name = schema.attribute(range.attr).name;
+  std::vector<std::string> parts;
+  if (range.bound.lower.has_value()) {
+    parts.push_back(StrCat(name, range.bound.lower_inclusive ? " >= " : " > ",
+                           range.bound.lower->ToString()));
+  }
+  if (range.bound.upper.has_value()) {
+    parts.push_back(StrCat(name, range.bound.upper_inclusive ? " <= " : " < ",
+                           range.bound.upper->ToString()));
+  }
+  return Join(parts, ", ");
+}
+
 std::string AggListLabel(const SelectStatement& stmt) {
   std::vector<std::string> parts;
   parts.reserve(stmt.aggregates.size());
@@ -149,19 +189,41 @@ Result<SelectPlan> PlanSelect(const SelectStatement& stmt,
   // residual filter. Joined queries resolve the whole clause against
   // the joined schema instead.
   std::vector<EqRestriction> eqs;
+  std::optional<RangeRestriction> range;
   std::optional<Predicate> residual;
   if (stmt.where != nullptr && stmt.joins.empty()) {
     std::vector<const ConditionNode*> conjuncts;
     CollectConjuncts(*stmt.where, &conjuncts);
+    // Range conjuncts become a bound-scan only when no equality conjunct
+    // exists (point postings beat an interval walk) and the query is not
+    // an aggregate (the factorized path evaluates residuals itself).
+    bool any_eq = false;
+    for (const ConditionNode* c : conjuncts) {
+      any_eq = any_eq || (c->kind == ConditionNode::Kind::kCompare &&
+                          c->op == "=");
+    }
+    const bool try_range = !any_eq && stmt.aggregates.empty();
     for (const ConditionNode* c : conjuncts) {
       if (c->kind == ConditionNode::Kind::kCompare && c->op == "=") {
         NF2_ASSIGN_OR_RETURN(size_t attr,
                              schema.RequireIndex(c->attribute));
         eqs.push_back({attr, c->literal});
-      } else {
-        NF2_ASSIGN_OR_RETURN(Predicate p, ResolveCondition(*c, schema));
-        residual = residual.has_value() ? Predicate::And(*residual, p) : p;
+        continue;
       }
+      if (try_range && c->kind == ConditionNode::Kind::kCompare &&
+          IsRangeOp(c->op)) {
+        NF2_ASSIGN_OR_RETURN(size_t attr,
+                             schema.RequireIndex(c->attribute));
+        // All bounds on the first ranged attribute fold into one
+        // interval; ranges on other attributes stay residual.
+        if (!range.has_value()) range = RangeRestriction{attr, {}};
+        if (range->attr == attr) {
+          TightenBound(c->op, c->literal, &range->bound);
+          continue;
+        }
+      }
+      NF2_ASSIGN_OR_RETURN(Predicate p, ResolveCondition(*c, schema));
+      residual = residual.has_value() ? Predicate::And(*residual, p) : p;
     }
   }
 
@@ -173,6 +235,11 @@ Result<SelectPlan> PlanSelect(const SelectStatement& stmt,
           StrCat("index_scan(", stmt.name, ": ", EqListLabel(schema, eqs),
                  ")"),
           base.relation, frozen, eqs);
+    } else if (range.has_value()) {
+      op = std::make_unique<IndexRangeScanOp>(
+          StrCat("index_range_scan(", stmt.name, ": ",
+                 RangeLabel(schema, *range), ")"),
+          base.relation, frozen, *range);
     } else {
       op = std::make_unique<SeqScanOp>(StrCat("scan(", stmt.name, ")"),
                                        &base.relation->relation());
@@ -291,6 +358,20 @@ Result<SelectPlan> PlanSelect(const SelectStatement& stmt,
   }
   plan.root = std::move(op);
   return plan;
+}
+
+std::optional<Value> EqualityConjunct(const ConditionNode* where,
+                                      const std::string& attr) {
+  if (where == nullptr) return std::nullopt;
+  std::vector<const ConditionNode*> conjuncts;
+  CollectConjuncts(*where, &conjuncts);
+  for (const ConditionNode* c : conjuncts) {
+    if (c->kind == ConditionNode::Kind::kCompare && c->op == "=" &&
+        c->attribute == attr) {
+      return c->literal;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace nf2

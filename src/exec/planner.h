@@ -2,6 +2,7 @@
 #define NF2_EXEC_PLANNER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "catalog/catalog.h"
@@ -54,6 +55,14 @@ Result<SelectPlan> PlanSelect(const SelectStatement& stmt,
 /// Resolves a parsed WHERE tree against `schema` into a Predicate.
 Result<Predicate> ResolveCondition(const ConditionNode& node,
                                    const Schema& schema);
+
+/// Partition-pruning hook: the literal of a top-level AND-ed
+/// `attr = literal` conjunct in `where`, or nullopt when no such
+/// conjunct exists (or `where` is null). A statement whose WHERE pins
+/// the partition attribute this way can only match rows on the shard
+/// that value hashes to — the shard router's point-routing test.
+std::optional<Value> EqualityConjunct(const ConditionNode* where,
+                                      const std::string& attr);
 
 }  // namespace nf2
 

@@ -157,8 +157,56 @@ void AttachPlan(const PlanOp& op, SpanNode* parent, bool with_stats) {
   }
 }
 
-/// Box table like RenderTable, but preserving the given row order —
-/// ORDER BY output must not be re-sorted by the renderer.
+/// CatalogView over the live database.
+class LiveCatalog : public CatalogView {
+ public:
+  explicit LiveCatalog(const Database* db) : db_(db) {}
+
+  Result<BoundRelation> Bind(const std::string& name) const override {
+    BoundRelation out;
+    NF2_ASSIGN_OR_RETURN(out.info, db_->Info(name));
+    NF2_ASSIGN_OR_RETURN(out.relation, db_->Canonical(name));
+    return out;
+  }
+
+  const ValueDictionary* frozen_dictionary() const override {
+    return nullptr;
+  }
+
+ private:
+  const Database* db_;
+};
+
+/// CatalogView over a pinned snapshot: lookups resolve against the
+/// frozen dictionary and never touch live engine structures. The
+/// executor holds the snapshot shared_ptr for the statement's
+/// duration, which keeps every bound RelationVersion alive.
+class SnapshotCatalog : public CatalogView {
+ public:
+  explicit SnapshotCatalog(const DatabaseSnapshot* snap) : snap_(snap) {}
+
+  Result<BoundRelation> Bind(const std::string& name) const override {
+    std::shared_ptr<const DatabaseSnapshot::RelationVersion> version =
+        snap_->FindVersion(name);
+    if (version == nullptr) {
+      return Status::NotFound(StrCat("relation '", name, "' not found"));
+    }
+    return BoundRelation{&version->info, version->relation.get()};
+  }
+
+  const ValueDictionary* frozen_dictionary() const override {
+    return snap_->dictionary().get();
+  }
+
+ private:
+  const DatabaseSnapshot* snap_;
+};
+
+}  // namespace
+
+// Exported (executor.h): the shard router's merge layer renders k-way
+// merged ORDER BY rows through the same function so sharded output is
+// byte-identical to single-engine output.
 std::string RenderRowsInOrder(const Schema& schema,
                               const std::vector<FlatTuple>& rows) {
   const size_t cols = schema.degree();
@@ -207,53 +255,6 @@ std::string RenderRowsInOrder(const Schema& schema,
   out += rule();
   return out;
 }
-
-/// CatalogView over the live database.
-class LiveCatalog : public CatalogView {
- public:
-  explicit LiveCatalog(const Database* db) : db_(db) {}
-
-  Result<BoundRelation> Bind(const std::string& name) const override {
-    BoundRelation out;
-    NF2_ASSIGN_OR_RETURN(out.info, db_->Info(name));
-    NF2_ASSIGN_OR_RETURN(out.relation, db_->Canonical(name));
-    return out;
-  }
-
-  const ValueDictionary* frozen_dictionary() const override {
-    return nullptr;
-  }
-
- private:
-  const Database* db_;
-};
-
-/// CatalogView over a pinned snapshot: lookups resolve against the
-/// frozen dictionary and never touch live engine structures. The
-/// executor holds the snapshot shared_ptr for the statement's
-/// duration, which keeps every bound RelationVersion alive.
-class SnapshotCatalog : public CatalogView {
- public:
-  explicit SnapshotCatalog(const DatabaseSnapshot* snap) : snap_(snap) {}
-
-  Result<BoundRelation> Bind(const std::string& name) const override {
-    std::shared_ptr<const DatabaseSnapshot::RelationVersion> version =
-        snap_->FindVersion(name);
-    if (version == nullptr) {
-      return Status::NotFound(StrCat("relation '", name, "' not found"));
-    }
-    return BoundRelation{&version->info, version->relation.get()};
-  }
-
-  const ValueDictionary* frozen_dictionary() const override {
-    return snap_->dictionary().get();
-  }
-
- private:
-  const DatabaseSnapshot* snap_;
-};
-
-}  // namespace
 
 Result<std::string> Executor::Execute(std::string_view source) {
   NF2_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(source));

@@ -15,6 +15,12 @@
 
 namespace nf2 {
 
+/// Box table like RenderTable (core/format.h), but preserving the given
+/// row order — ORDER BY output must not be re-sorted by the renderer.
+/// Shared by ExecSelect and the shard router's scatter-gather merge.
+std::string RenderRowsInOrder(const Schema& schema,
+                              const std::vector<FlatTuple>& rows);
+
 /// Executes NFRQL statements against a Database, returning the rendered
 /// result text (tables, acknowledgements, statistics).
 ///

@@ -34,10 +34,20 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 Server::Server(Database* db, ServerOptions options)
-    : db_(db),
-      options_(std::move(options)),
-      sessions_(db, options_.statement_cache_capacity) {
-  MetricsRegistry* reg = db_->metrics();
+    : options_(std::move(options)),
+      owned_sessions_(std::make_unique<SessionManager>(
+          db, options_.statement_cache_capacity)),
+      provider_(owned_sessions_.get()) {
+  RegisterMetrics();
+}
+
+Server::Server(SessionProvider* provider, ServerOptions options)
+    : options_(std::move(options)), provider_(provider) {
+  RegisterMetrics();
+}
+
+void Server::RegisterMetrics() {
+  MetricsRegistry* reg = provider_->metrics_registry();
   metric_connections_total_ = reg->GetCounter("nf2_server_connections_total",
                                               "Connections ever accepted");
   metric_connections_active_ = reg->GetGauge("nf2_server_connections_active",
@@ -160,18 +170,10 @@ void Server::Stop() {
   }
   workers_.clear();
 
-  // 4. Persist every acknowledged statement. Exclusive lock is pro
-  //    forma — all request threads are gone — but keeps the invariant
-  //    that Checkpoint never runs concurrently with readers.
-  {
-    auto lock = sessions_.gate()->LockExclusive();
-    if (!db_->in_transaction()) {
-      Status s = db_->Checkpoint();
-      if (!s.ok()) {
-        NF2_LOG(Warning) << "checkpoint on shutdown failed: " << s;
-      }
-    }
-  }
+  // 4. Persist every acknowledged statement. The provider serializes
+  //    against writers itself (pro forma — all request threads are
+  //    gone) and skips engines holding an open transaction.
+  provider_->ShutdownCheckpoint();
   NF2_LOG(Info) << "nf2d stopped";
 }
 
@@ -209,7 +211,7 @@ void Server::AcceptLoop() {
 }
 
 void Server::ServeConnection(int fd) {
-  std::unique_ptr<Session> session = sessions_.NewSession();
+  std::unique_ptr<ClientSession> session = provider_->NewClientSession();
   for (;;) {
     Result<std::optional<Frame>> read = ReadFrame(fd);
     if (!read.ok()) {

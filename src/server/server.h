@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -61,7 +62,14 @@ struct ServerOptions {
 /// every acknowledged statement.
 class Server {
  public:
+  /// Single-engine server: owns a SessionManager over `db`.
   Server(Database* db, ServerOptions options);
+
+  /// Serves sessions from an external provider (e.g. a ShardRouter).
+  /// `provider` must outlive the server; statement_cache_capacity in
+  /// `options` is the provider's concern in this form.
+  Server(SessionProvider* provider, ServerOptions options);
+
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -77,28 +85,31 @@ class Server {
   /// destructor.
   void Stop();
 
-  SessionManager* session_manager() { return &sessions_; }
+  /// The owned single-engine manager; nullptr when the server was built
+  /// over an external SessionProvider.
+  SessionManager* session_manager() { return owned_sessions_.get(); }
 
  private:
   /// One unit of worker-pool work: a single kQuery statement
   /// (batch == false, statements.size() == 1) or a whole kBatch
   /// (executed in order on one worker, one result per statement).
   struct Request {
-    Session* session = nullptr;
+    ClientSession* session = nullptr;
     bool batch = false;
     std::vector<std::string> statements;
     std::promise<std::vector<Result<std::string>>> done;
   };
 
+  void RegisterMetrics();
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
   /// Enqueues unless the queue is at capacity; false means kBusy.
   bool TryEnqueue(Request&& req);
 
-  Database* db_;
   ServerOptions options_;
-  SessionManager sessions_;
+  std::unique_ptr<SessionManager> owned_sessions_;
+  SessionProvider* provider_;  // owned_sessions_.get() or external.
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

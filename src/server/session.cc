@@ -124,6 +124,21 @@ std::unique_ptr<Session> SessionManager::NewSession() {
   return std::unique_ptr<Session>(new Session(id, this));
 }
 
+std::unique_ptr<ClientSession> SessionManager::NewClientSession() {
+  return NewSession();
+}
+
+void SessionManager::ShutdownCheckpoint() {
+  // Serialize against in-flight writers; an open transaction (whose
+  // session died without COMMIT) must not be made durable.
+  auto lock = gate_.LockExclusive();
+  if (db_->in_transaction()) return;
+  Status s = db_->Checkpoint();
+  if (!s.ok()) {
+    NF2_LOG(Warning) << "shutdown checkpoint failed: " << s;
+  }
+}
+
 Session::Session(uint64_t id, SessionManager* manager)
     : id_(id), manager_(manager), db_(manager->db_), executor_(db_) {}
 
@@ -160,6 +175,18 @@ Result<std::string> Session::Execute(std::string_view statement) {
   }
   NF2_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseCached(trimmed));
   if (IsReadOnlyStatement(*parsed.stmt)) {
+    return ExecuteRead(parsed, db_->PinSnapshot());
+  }
+  return ExecuteWrite(parsed);
+}
+
+Result<std::string> Session::ExecuteParsed(const Statement& stmt) {
+  // Non-owning view: the router keeps `stmt` alive for the call, and
+  // nothing below retains the pointer past it.
+  ParsedStatement parsed;
+  parsed.stmt =
+      std::shared_ptr<const Statement>(&stmt, [](const Statement*) {});
+  if (IsReadOnlyStatement(stmt)) {
     return ExecuteRead(parsed, db_->PinSnapshot());
   }
   return ExecuteWrite(parsed);
@@ -270,6 +297,12 @@ Result<std::string> Session::ExecuteMeta(const std::string& command) {
     std::string text = db_->MetricsText(/*prometheus=*/lower.ends_with("prom"));
     Observe(manager_->metric_read_stmt_ns_, ElapsedNs(start));
     return text;
+  }
+  if (lower == "\\shards") {
+    // Single-engine answer; the shard router overrides this with one
+    // line per shard (shard/router.cc).
+    return std::string(
+        "single engine (no shards); start nf2d with --shards N");
   }
   if (lower.starts_with("\\sleep ") || lower == "\\sleep") {
     // Testing aid: occupy a worker for N ms (the server tests use it to

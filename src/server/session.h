@@ -23,6 +23,50 @@ namespace server {
 
 class Session;
 
+/// The server's view of one connected client: the statement surface
+/// Server needs to serve a connection. Implemented by Session (single
+/// engine) and by the shard router's fan-out session (shard/router.h),
+/// so the TCP layer is indifferent to how many engines sit behind it.
+class ClientSession {
+ public:
+  virtual ~ClientSession() = default;
+
+  virtual uint64_t id() const = 0;
+
+  /// Executes one statement (or meta command), returning the rendered
+  /// result text.
+  virtual Result<std::string> Execute(std::string_view statement) = 0;
+
+  /// Executes `statements` in order, returning one result per statement
+  /// (the kBatch contract, DESIGN.md §8): a failing statement reports
+  /// its error in place and execution continues with the next one.
+  virtual std::vector<Result<std::string>> ExecuteBatch(
+      const std::vector<std::string>& statements) = 0;
+
+  /// Rolls back this session's open transaction, if it holds one.
+  virtual void Abort() = 0;
+};
+
+/// The factory behind Server: hands out ClientSessions and owns the
+/// engine state they share. SessionManager provides single-engine
+/// sessions; ShardRouter provides fan-out sessions over N shards.
+class SessionProvider {
+ public:
+  virtual ~SessionProvider() = default;
+
+  /// A new session with a unique id; it must not outlive the provider.
+  /// Thread-safe.
+  virtual std::unique_ptr<ClientSession> NewClientSession() = 0;
+
+  /// Registry the server's nf2_server_* metrics are registered in.
+  virtual MetricsRegistry* metrics_registry() = 0;
+
+  /// Best-effort durability at server shutdown: checkpoint the
+  /// engine(s), serialized against writers, skipping any engine with an
+  /// open transaction.
+  virtual void ShutdownCheckpoint() = 0;
+};
+
 /// Default capacity of the shared parsed-statement cache.
 constexpr size_t kDefaultStatementCacheCapacity = 512;
 
@@ -91,7 +135,7 @@ class StatementCache {
 /// Since the snapshot read path (DESIGN.md §9) the gate serializes
 /// writers only — read-only statements pin a published snapshot and
 /// never touch it.
-class SessionManager {
+class SessionManager : public SessionProvider {
  public:
   explicit SessionManager(
       Database* db,
@@ -102,6 +146,11 @@ class SessionManager {
   /// A new session with a unique id. The session must not outlive the
   /// manager. Thread-safe.
   std::unique_ptr<Session> NewSession();
+
+  // SessionProvider:
+  std::unique_ptr<ClientSession> NewClientSession() override;
+  MetricsRegistry* metrics_registry() override { return db_->metrics(); }
+  void ShutdownCheckpoint() override;
 
   Database* db() const { return db_; }
   EngineGate* gate() { return &gate_; }
@@ -150,20 +199,20 @@ class SessionManager {
 /// A Session instance is NOT internally synchronized: one statement (or
 /// one batch) at a time per session (the server's request→response
 /// lockstep enforces this for TCP clients).
-class Session {
+class Session : public ClientSession {
  public:
-  ~Session();
+  ~Session() override;
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  uint64_t id() const { return id_; }
+  uint64_t id() const override { return id_; }
 
   /// Parses (through the shared statement cache), classifies, and
   /// executes one statement (or one of the `\metrics [prom]` /
   /// `\sleep N` meta commands) — reads against a pinned snapshot,
   /// writes under the exclusive gate — returning the rendered result
   /// text.
-  Result<std::string> Execute(std::string_view statement);
+  Result<std::string> Execute(std::string_view statement) override;
 
   /// Executes `statements` in order, returning one result per
   /// statement (the kBatch contract, DESIGN.md §8). A failing
@@ -172,13 +221,20 @@ class Session {
   /// pinned snapshot (so they observe one consistent version);
   /// mutating statements lock individually, exactly as in Execute.
   std::vector<Result<std::string>> ExecuteBatch(
-      const std::vector<std::string>& statements);
+      const std::vector<std::string>& statements) override;
+
+  /// Executes one already-parsed statement, bypassing statement text
+  /// and the cache — the shard router's entry point for statements it
+  /// has rewritten or split per shard. Dispatches to the snapshot-read
+  /// or exclusive-write path exactly like Execute. `stmt` must outlive
+  /// the call.
+  Result<std::string> ExecuteParsed(const Statement& stmt);
 
   /// Rolls back this session's open transaction, if it holds one.
   /// Called on disconnect and on server shutdown; the destructor also
   /// calls it, so an abandoned session can never leak the transaction
   /// slot.
-  void Abort();
+  void Abort() override;
 
  private:
   friend class SessionManager;

@@ -1,0 +1,680 @@
+#include "shard/router.h"
+
+#include <charconv>
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "core/format.h"
+#include "core/nest.h"
+#include "engine/statistics.h"
+#include "exec/planner.h"
+#include "nfrql/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace shard {
+
+namespace {
+
+/// The count out of "<verb> N tuple(s) ..." mutation replies — the
+/// router sums these across shards for scattered mutations.
+uint64_t LeadingCount(const std::string& text, const std::string& verb) {
+  const std::string prefix = StrCat(verb, " ");
+  if (!text.starts_with(prefix)) return 0;
+  uint64_t n = 0;
+  const char* begin = text.data() + prefix.size();
+  const char* end = text.data() + text.size();
+  std::from_chars(begin, end, n);
+  return n;
+}
+
+/// Injects a shard="<i>" label into every sample line of a Prometheus
+/// text exposition (comment lines pass through).
+std::string AddShardLabel(const std::string& text, size_t index) {
+  const std::string label = StrCat("shard=\"", index, "\"");
+  std::string out;
+  out.reserve(text.size());
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(start, nl - start);
+    if (!line.empty() && line[0] != '#') {
+      size_t space = line.find(' ');
+      size_t brace = line.find('{');
+      if (space != std::string::npos) {
+        if (brace != std::string::npos && brace < space) {
+          line.insert(brace + 1, StrCat(label, ","));
+        } else {
+          line.insert(space, StrCat("{", label, "}"));
+        }
+      }
+    }
+    out += line;
+    if (nl == text.size()) break;
+    out += '\n';
+    start = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(const std::string& dir,
+                                                       Options options,
+                                                       Env* env) {
+  NF2_RETURN_IF_ERROR(
+      EnsureShardMarker(env, dir, options.shards).status());
+  auto router = std::unique_ptr<ShardRouter>(new ShardRouter());
+  router->dir_ = dir;
+  router->env_ = env;
+
+  // Shards recover independently, so open them in parallel — recovery
+  // (WAL replay, table reads) dominates cold start.
+  std::vector<Result<std::unique_ptr<Database>>> opened;
+  opened.reserve(options.shards);
+  for (size_t i = 0; i < options.shards; ++i) {
+    opened.emplace_back(Status::Internal("shard open did not run"));
+  }
+  if (options.parallel_open) {
+    std::vector<std::thread> threads;
+    threads.reserve(options.shards);
+    for (size_t i = 0; i < options.shards; ++i) {
+      threads.emplace_back([&, i]() {
+        opened[i] = Database::Open(ShardDir(dir, i), options.db, env);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (size_t i = 0; i < options.shards; ++i) {
+      opened[i] = Database::Open(ShardDir(dir, i), options.db, env);
+    }
+  }
+  for (size_t i = 0; i < options.shards; ++i) {
+    if (!opened[i].ok()) {
+      return Status(opened[i].status().code(),
+                    StrCat("shard ", i, ": ", opened[i].status().message()));
+    }
+    router->dbs_.push_back(*std::move(opened[i]));
+  }
+
+  // Heal a crashed DDL fan-out: a relation missing on any shard is
+  // dropped from the shards that have it. This completes a crashed DROP
+  // and rolls back a crashed CREATE — either way the catalogs converge,
+  // which the routing layer depends on.
+  std::map<std::string, size_t> presence;
+  for (const auto& db : router->dbs_) {
+    for (const std::string& name : db->ListRelations()) ++presence[name];
+  }
+  for (const auto& [name, count] : presence) {
+    if (count == router->dbs_.size()) continue;
+    NF2_LOG(Warning) << "relation '" << name << "' exists on " << count
+                     << " of " << router->dbs_.size()
+                     << " shards (interrupted DDL fan-out); dropping the "
+                        "stragglers";
+    for (const auto& db : router->dbs_) {
+      if (!db->Info(name).ok()) continue;
+      Status dropped = db->DropRelation(name);
+      if (!dropped.ok()) {
+        return Status(dropped.code(),
+                      StrCat("healing interrupted DDL for '", name,
+                             "': ", dropped.message()));
+      }
+    }
+  }
+
+  for (const auto& db : router->dbs_) {
+    router->managers_.push_back(std::make_unique<server::SessionManager>(
+        db.get(), options.statement_cache_capacity));
+  }
+
+  MetricsRegistry* reg = &router->metrics_;
+  reg->GetGauge("nf2_router_shards", "Number of engine shards")
+      ->Set(static_cast<int64_t>(router->dbs_.size()));
+  router->metric_point_ = reg->GetCounter(
+      "nf2_router_point_total", "Statements routed to exactly one shard");
+  router->metric_scatter_ = reg->GetCounter(
+      "nf2_router_scatter_total", "Statements scattered to all shards");
+  router->metric_merge_rows_ =
+      reg->GetCounter("nf2_router_merge_rows_total",
+                      "Per-shard rows fed into scatter-gather merges");
+  router->metric_ddl_fanout_ = reg->GetCounter(
+      "nf2_router_ddl_fanout_total", "DDL statements fanned out");
+  router->metric_ddl_rollbacks_ =
+      reg->GetCounter("nf2_router_ddl_rollbacks_total",
+                      "DDL fan-outs rolled back after a shard failure");
+  return router;
+}
+
+std::unique_ptr<server::ClientSession> ShardRouter::NewClientSession() {
+  return std::make_unique<RouterSession>(
+      next_session_id_.fetch_add(1, std::memory_order_relaxed), this);
+}
+
+void ShardRouter::ShutdownCheckpoint() {
+  for (const auto& manager : managers_) manager->ShutdownCheckpoint();
+}
+
+RouterSession::RouterSession(uint64_t id, ShardRouter* router)
+    : id_(id), router_(router) {
+  sessions_.reserve(router_->managers_.size());
+  for (const auto& manager : router_->managers_) {
+    sessions_.push_back(manager->NewSession());
+  }
+}
+
+RouterSession::~RouterSession() { Abort(); }
+
+void RouterSession::Abort() {
+  for (const auto& session : sessions_) session->Abort();
+  own_txn_ = false;
+}
+
+Result<std::string> RouterSession::Execute(std::string_view statement) {
+  // One shard: forward verbatim (statement cache, meta commands, batch
+  // snapshot sharing — everything behaves exactly like the unsharded
+  // server).
+  if (sessions_.size() == 1) return sessions_[0]->Execute(statement);
+  const std::string trimmed = Trim(statement);
+  if (!trimmed.empty() && trimmed[0] == '\\') return ExecuteMeta(trimmed);
+  NF2_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(trimmed));
+  return Dispatch(stmt);
+}
+
+std::vector<Result<std::string>> RouterSession::ExecuteBatch(
+    const std::vector<std::string>& statements) {
+  if (sessions_.size() == 1) return sessions_[0]->ExecuteBatch(statements);
+  // Statement-at-a-time: each statement classifies and routes on its
+  // own, and a failing statement reports its error in place (the kBatch
+  // contract) without disturbing the other statements' replies.
+  std::vector<Result<std::string>> results;
+  results.reserve(statements.size());
+  for (const std::string& statement : statements) {
+    results.push_back(Execute(statement));
+  }
+  return results;
+}
+
+std::optional<RouterSession::PartitionInfo> RouterSession::Partition(
+    const std::string& name) const {
+  std::shared_ptr<const DatabaseSnapshot> snap =
+      router_->dbs_[0]->PinSnapshot();
+  std::shared_ptr<const DatabaseSnapshot::RelationVersion> version =
+      snap->FindVersion(name);
+  if (version == nullptr) return std::nullopt;
+  PartitionInfo out;
+  out.attr = PartitionAttr(version->info);
+  out.attr_name = version->info.schema.attribute(out.attr).name;
+  out.degree = version->info.schema.degree();
+  return out;
+}
+
+std::vector<ShardReadContext> RouterSession::MakeReadContexts() const {
+  std::vector<ShardReadContext> out;
+  out.reserve(router_->dbs_.size());
+  for (const auto& db : router_->dbs_) {
+    ShardReadContext ctx;
+    ctx.db = db.get();
+    if (!own_txn_) ctx.snapshot = db->PinSnapshot();
+    out.push_back(std::move(ctx));
+  }
+  return out;
+}
+
+Result<std::string> RouterSession::Dispatch(const Statement& stmt) {
+  return std::visit(
+      [&](const auto& s) -> Result<std::string> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateStatement>) {
+          return RouteCreate(s, stmt);
+        } else if constexpr (std::is_same_v<T, DropStatement>) {
+          return RouteDrop(s, stmt);
+        } else if constexpr (std::is_same_v<T, InsertStatement>) {
+          return RouteInsert(s, stmt);
+        } else if constexpr (std::is_same_v<T, DeleteStatement>) {
+          return RouteDelete(s, stmt);
+        } else if constexpr (std::is_same_v<T, UpdateStatement>) {
+          return RouteUpdate(s, stmt);
+        } else if constexpr (std::is_same_v<T, SelectStatement>) {
+          return RouteSelect(s, stmt);
+        } else if constexpr (std::is_same_v<T, ShowStatement>) {
+          return RouteShow(s);
+        } else if constexpr (std::is_same_v<T, DescribeStatement>) {
+          return RouteDescribe(s);
+        } else if constexpr (std::is_same_v<T, NestStatement>) {
+          return RouteNest(s);
+        } else if constexpr (std::is_same_v<T, ListStatement>) {
+          // Catalogs are identical across shards (DDL fan-out), so
+          // shard 0 answers for everyone.
+          return sessions_[0]->ExecuteParsed(stmt);
+        } else if constexpr (std::is_same_v<T, StatsStatement>) {
+          return RouteStats(s);
+        } else if constexpr (std::is_same_v<T, TxnStatement>) {
+          return RouteTxn(s, stmt);
+        } else if constexpr (std::is_same_v<T, ExplainStatement>) {
+          return RouteExplain(s, stmt);
+        } else {
+          return RouteCheckpoint(stmt);
+        }
+      },
+      stmt);
+}
+
+Result<std::string> RouterSession::RouteInsert(const InsertStatement& s,
+                                               const Statement& whole) {
+  std::optional<PartitionInfo> part = Partition(s.name);
+  if (!part.has_value()) {
+    // Unknown relation (or a malformed row below): forward to shard 0
+    // so the error text is exactly the single-engine one.
+    return sessions_[0]->ExecuteParsed(whole);
+  }
+  std::vector<std::vector<std::vector<Value>>> buckets(sessions_.size());
+  for (const std::vector<Value>& row : s.rows) {
+    if (row.size() != part->degree) {
+      return sessions_[0]->ExecuteParsed(whole);
+    }
+    buckets[ShardOf(row[part->attr], sessions_.size())].push_back(row);
+  }
+  router_->metric_point_->Increment();
+  uint64_t total = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].empty()) continue;
+    InsertStatement sub;
+    sub.name = s.name;
+    sub.rows = std::move(buckets[i]);
+    Statement sub_stmt = std::move(sub);
+    // A failing row leaves earlier rows applied, exactly like the
+    // single-engine executor's per-row loop.
+    NF2_ASSIGN_OR_RETURN(std::string text,
+                         sessions_[i]->ExecuteParsed(sub_stmt));
+    total += LeadingCount(text, "inserted");
+  }
+  return StrCat("inserted ", total, " tuple(s) into ", s.name);
+}
+
+Result<std::string> RouterSession::ScatterMutation(
+    const Statement& whole, const char* verb, const char* preposition,
+    const std::string& name) {
+  router_->metric_scatter_->Increment();
+  uint64_t total = 0;
+  for (const auto& session : sessions_) {
+    NF2_ASSIGN_OR_RETURN(std::string text, session->ExecuteParsed(whole));
+    total += LeadingCount(text, verb);
+  }
+  return StrCat(verb, " ", total, " tuple(s) ", preposition, " ", name);
+}
+
+Result<std::string> RouterSession::RouteDelete(const DeleteStatement& s,
+                                               const Statement& whole) {
+  std::optional<PartitionInfo> part = Partition(s.name);
+  if (!part.has_value()) return sessions_[0]->ExecuteParsed(whole);
+  if (!s.rows.empty()) {
+    std::vector<std::vector<std::vector<Value>>> buckets(sessions_.size());
+    for (const std::vector<Value>& row : s.rows) {
+      if (row.size() != part->degree) {
+        return sessions_[0]->ExecuteParsed(whole);
+      }
+      buckets[ShardOf(row[part->attr], sessions_.size())].push_back(row);
+    }
+    router_->metric_point_->Increment();
+    uint64_t total = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i].empty()) continue;
+      DeleteStatement sub;
+      sub.name = s.name;
+      sub.rows = std::move(buckets[i]);
+      Statement sub_stmt = std::move(sub);
+      NF2_ASSIGN_OR_RETURN(std::string text,
+                           sessions_[i]->ExecuteParsed(sub_stmt));
+      total += LeadingCount(text, "deleted");
+    }
+    return StrCat("deleted ", total, " tuple(s) from ", s.name);
+  }
+  if (s.where == nullptr) return sessions_[0]->ExecuteParsed(whole);
+  std::optional<Value> eq = EqualityConjunct(s.where.get(), part->attr_name);
+  if (eq.has_value()) {
+    router_->metric_point_->Increment();
+    return sessions_[ShardOf(*eq, sessions_.size())]->ExecuteParsed(whole);
+  }
+  return ScatterMutation(whole, "deleted", "from", s.name);
+}
+
+Result<std::string> RouterSession::RouteUpdate(const UpdateStatement& s,
+                                               const Statement& whole) {
+  std::optional<PartitionInfo> part = Partition(s.name);
+  if (!part.has_value()) return sessions_[0]->ExecuteParsed(whole);
+  for (const auto& [attr, literal] : s.sets) {
+    if (attr == part->attr_name) {
+      // The rewrite would move tuples to a different shard; a
+      // cross-shard delete+insert is not atomic today.
+      return Status::Unimplemented(
+          StrCat("UPDATE of partition attribute '", attr,
+                 "' is not supported with more than one shard"));
+    }
+  }
+  if (s.where != nullptr) {
+    std::optional<Value> eq =
+        EqualityConjunct(s.where.get(), part->attr_name);
+    if (eq.has_value()) {
+      router_->metric_point_->Increment();
+      return sessions_[ShardOf(*eq, sessions_.size())]->ExecuteParsed(whole);
+    }
+  }
+  return ScatterMutation(whole, "updated", "in", s.name);
+}
+
+Result<std::string> RouterSession::RouteSelect(const SelectStatement& s,
+                                               const Statement& whole) {
+  if (!s.joins.empty()) {
+    return Status::Unimplemented(
+        "JOIN is not supported with more than one shard (relations "
+        "partition on their own keys, so join rows are not co-located)");
+  }
+  std::optional<PartitionInfo> part = Partition(s.name);
+  if (!part.has_value()) return sessions_[0]->ExecuteParsed(whole);
+  std::optional<Value> eq = EqualityConjunct(s.where.get(), part->attr_name);
+  if (eq.has_value()) {
+    // Every matching row lives on the shard the pinned value hashes to
+    // — aggregates included (empty elsewhere).
+    router_->metric_point_->Increment();
+    return sessions_[ShardOf(*eq, sessions_.size())]->ExecuteParsed(whole);
+  }
+  router_->metric_scatter_->Increment();
+  uint64_t merged = 0;
+  Result<std::string> res =
+      ScatterSelect(s, MakeReadContexts(), part->attr_name, &merged);
+  router_->metric_merge_rows_->Increment(merged);
+  return res;
+}
+
+Result<std::string> RouterSession::RouteCreate(const CreateStatement& s,
+                                               const Statement& whole) {
+  router_->metric_ddl_fanout_->Increment();
+  std::string reply;
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    Result<std::string> res = sessions_[i]->ExecuteParsed(whole);
+    if (!res.ok()) {
+      // All-or-nothing: undo the shards that already created it.
+      router_->metric_ddl_rollbacks_->Increment();
+      DropStatement drop;
+      drop.name = s.name;
+      Statement drop_stmt = std::move(drop);
+      for (size_t j = 0; j < i; ++j) {
+        Result<std::string> undone = sessions_[j]->ExecuteParsed(drop_stmt);
+        if (!undone.ok()) {
+          NF2_LOG(Warning)
+              << "CREATE rollback of '" << s.name << "' failed on shard "
+              << j << ": " << undone.status().ToString()
+              << " (the next Open heals the straggler)";
+        }
+      }
+      return res.status();
+    }
+    if (i == 0) reply = *std::move(res);
+  }
+  return reply;
+}
+
+Result<std::string> RouterSession::RouteDrop(const DropStatement& s,
+                                             const Statement& whole) {
+  (void)s;
+  router_->metric_ddl_fanout_->Increment();
+  // Attempt every shard even after a failure so the catalogs converge
+  // (a relation half-dropped here is healed at the next Open anyway).
+  Status first = Status::OK();
+  std::string reply;
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    Result<std::string> res = sessions_[i]->ExecuteParsed(whole);
+    if (!res.ok()) {
+      if (first.ok()) first = res.status();
+    } else if (i == 0) {
+      reply = *std::move(res);
+    }
+  }
+  if (!first.ok()) return first;
+  return reply;
+}
+
+Result<std::string> RouterSession::RouteTxn(const TxnStatement& s,
+                                            const Statement& whole) {
+  if (s.kind == TxnStatement::Kind::kBegin) {
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+      Result<std::string> res = sessions_[i]->ExecuteParsed(whole);
+      if (!res.ok()) {
+        // Release the shards that did start a transaction.
+        TxnStatement rollback;
+        rollback.kind = TxnStatement::Kind::kRollback;
+        Statement rollback_stmt = rollback;
+        for (size_t j = 0; j < i; ++j) {
+          (void)sessions_[j]->ExecuteParsed(rollback_stmt);
+        }
+        return res.status();
+      }
+    }
+    own_txn_ = true;
+    return std::string("transaction started");
+  }
+  Status first = Status::OK();
+  for (const auto& session : sessions_) {
+    Result<std::string> res = session->ExecuteParsed(whole);
+    if (!res.ok() && first.ok()) first = res.status();
+  }
+  own_txn_ = false;
+  if (!first.ok()) {
+    // A shard may still hold its transaction open; keep live reads so
+    // this session continues to see its own writes there.
+    for (const auto& db : router_->dbs_) {
+      if (db->in_transaction()) own_txn_ = true;
+    }
+    return first;
+  }
+  return std::string(s.kind == TxnStatement::Kind::kCommit
+                         ? "transaction committed"
+                         : "transaction rolled back");
+}
+
+Result<std::string> RouterSession::RouteCheckpoint(const Statement& whole) {
+  Status first = Status::OK();
+  for (const auto& session : sessions_) {
+    Result<std::string> res = session->ExecuteParsed(whole);
+    if (!res.ok() && first.ok()) first = res.status();
+  }
+  if (!first.ok()) return first;
+  return std::string("checkpoint complete");
+}
+
+Result<std::string> RouterSession::RouteExplain(const ExplainStatement& s,
+                                                const Statement& whole) {
+  NF2_CHECK(s.inner != nullptr);
+  const Statement& inner = s.inner->stmt;
+  if (const auto* sel = std::get_if<SelectStatement>(&inner)) {
+    std::optional<PartitionInfo> part = Partition(sel->name);
+    if (part.has_value() && sel->joins.empty()) {
+      std::optional<Value> eq =
+          EqualityConjunct(sel->where.get(), part->attr_name);
+      if (eq.has_value()) {
+        return sessions_[ShardOf(*eq, sessions_.size())]->ExecuteParsed(
+            whole);
+      }
+    }
+    if (s.profile) {
+      return Status::Unimplemented(
+          "PROFILE of a scattered statement is not supported; pin the "
+          "partition attribute or run with --shards 1");
+    }
+    NF2_ASSIGN_OR_RETURN(std::string text,
+                         sessions_[0]->ExecuteParsed(whole));
+    return StrCat(text, "\nscatter: ", sessions_.size(),
+                  " shard(s), merged at router");
+  }
+  if (s.profile) {
+    // PROFILE executes its statement; running it on one shard would
+    // apply a fan-out statement once instead of N times.
+    return Status::Unimplemented(
+        "PROFILE is only supported for point-routed SELECTs with more "
+        "than one shard");
+  }
+  return sessions_[0]->ExecuteParsed(whole);
+}
+
+Result<std::string> RouterSession::Recompose(const std::string& name,
+                                             RelationInfo* info,
+                                             NfrRelation* relation) const {
+  // Theorem 2 makes this well-defined: the union of the shards' R* has
+  // exactly one canonical form under the shared nest order, so
+  // re-nesting the concatenated expansions IS the global relation.
+  std::vector<ShardReadContext> contexts = MakeReadContexts();
+  bool have_info = false;
+  std::vector<FlatTuple> rows;
+  for (const ShardReadContext& ctx : contexts) {
+    const NfrRelation* shard_rel = nullptr;
+    std::shared_ptr<const DatabaseSnapshot::RelationVersion> version;
+    if (ctx.snapshot != nullptr) {
+      version = ctx.snapshot->FindVersion(name);
+      if (version == nullptr) {
+        return Status::NotFound(StrCat("relation '", name, "' not found"));
+      }
+      if (!have_info) *info = version->info;
+      shard_rel = &version->relation->relation();
+    } else {
+      NF2_ASSIGN_OR_RETURN(const RelationInfo* live_info,
+                           ctx.db->Info(name));
+      if (!have_info) *info = *live_info;
+      NF2_ASSIGN_OR_RETURN(shard_rel, ctx.db->Relation(name));
+    }
+    have_info = true;
+    FlatRelation expanded = shard_rel->Expand();
+    for (const FlatTuple& t : expanded.tuples()) rows.push_back(t);
+  }
+  FlatRelation flat(info->schema, std::move(rows));
+  *relation = CanonicalForm(flat, info->nest_order);
+  return std::string();
+}
+
+Result<std::string> RouterSession::RouteShow(const ShowStatement& s) {
+  RelationInfo info;
+  NfrRelation relation;
+  NF2_RETURN_IF_ERROR(Recompose(s.name, &info, &relation).status());
+  return RenderTable(relation, s.name);
+}
+
+Result<std::string> RouterSession::RouteDescribe(const DescribeStatement& s) {
+  RelationInfo info;
+  NfrRelation relation;
+  NF2_RETURN_IF_ERROR(Recompose(s.name, &info, &relation).status());
+  RelationStats stats = ComputeRelationStats(relation);
+  std::vector<std::string> order_names;
+  for (size_t p : info.nest_order) {
+    order_names.push_back(info.schema.attribute(p).name);
+  }
+  std::string out = StrCat("relation  : ", info.name, "\n",
+                           "schema    : ", info.schema.ToString(), "\n",
+                           "nest order: ", Join(order_names, " then "),
+                           "\n");
+  if (!info.fds.empty()) {
+    out += StrCat("FDs       : ", info.fd_set().ToString(info.schema), "\n");
+  }
+  if (!info.mvds.empty()) {
+    out +=
+        StrCat("MVDs      : ", info.mvd_set().ToString(info.schema), "\n");
+  }
+  out += StrCat("size      : ", stats.nfr_tuples, " NFR tuples, |R*|=",
+                stats.flat_tuples, ", reduction x", stats.TupleReduction());
+  return out;
+}
+
+Result<std::string> RouterSession::RouteNest(const NestStatement& s) {
+  RelationInfo info;
+  NfrRelation view;
+  NF2_RETURN_IF_ERROR(Recompose(s.name, &info, &view).status());
+  for (const std::string& attr : s.attributes) {
+    NF2_ASSIGN_OR_RETURN(size_t idx, view.schema().RequireIndex(attr));
+    view = s.unnest ? UnnestOn(view, idx) : NestOn(view, idx);
+  }
+  return RenderTable(view, StrCat(s.unnest ? "UNNEST " : "NEST ", s.name,
+                                  " ON ", Join(s.attributes, ", ")));
+}
+
+Result<std::string> RouterSession::RouteStats(const StatsStatement& s) {
+  RelationInfo info;
+  NfrRelation relation;
+  NF2_RETURN_IF_ERROR(Recompose(s.name, &info, &relation).status());
+  RelationStats stats = ComputeRelationStats(relation);
+  stats.name = s.name;
+  // Maintenance counters and dictionary sizes are per shard; report
+  // their sums (each shard ran its own §4 chains).
+  std::vector<ShardReadContext> contexts = MakeReadContexts();
+  for (const ShardReadContext& ctx : contexts) {
+    Result<RelationStats> shard_stats = ctx.snapshot != nullptr
+                                            ? ctx.snapshot->Stats(s.name)
+                                            : ctx.db->Stats(s.name);
+    if (!shard_stats.ok()) continue;
+    stats.dict_values += shard_stats->dict_values;
+    stats.update_stats.compositions += shard_stats->update_stats.compositions;
+    stats.update_stats.decompositions +=
+        shard_stats->update_stats.decompositions;
+    stats.update_stats.recons_calls += shard_stats->update_stats.recons_calls;
+    stats.update_stats.candidate_scans +=
+        shard_stats->update_stats.candidate_scans;
+    stats.update_stats.find_candidate_ns +=
+        shard_stats->update_stats.find_candidate_ns;
+    stats.update_stats.recons_ns += shard_stats->update_stats.recons_ns;
+  }
+  return stats.ToString();
+}
+
+Result<std::string> RouterSession::ExecuteMeta(const std::string& command) {
+  const std::string lower = ToLower(command);
+  if (lower == "\\shards") return RenderShards();
+  if (lower == "\\metrics" || lower == "\\metrics prom") {
+    return RenderMetrics(/*prometheus=*/lower.ends_with("prom"));
+  }
+  // Everything else (\sleep, unknown-command errors) behaves like the
+  // single-engine session.
+  return sessions_[0]->Execute(command);
+}
+
+std::string RouterSession::RenderShards() const {
+  std::string out;
+  for (size_t i = 0; i < router_->dbs_.size(); ++i) {
+    Database* db = router_->dbs_[i].get();
+    uint64_t wal_bytes = 0;
+    Result<uint64_t> size = router_->env_->FileSize(db->wal_path());
+    if (size.ok()) wal_bytes = *size;
+    std::string age = "never";
+    if (std::optional<std::chrono::steady_clock::time_point> t =
+            db->last_checkpoint_time()) {
+      age = StrCat(std::chrono::duration_cast<std::chrono::seconds>(
+                       std::chrono::steady_clock::now() - *t)
+                       .count(),
+                   "s ago");
+    }
+    out += StrCat("shard-", i, ": ", db->PinSnapshot()->relation_count(),
+                  " relation(s), wal ", wal_bytes,
+                  " bytes, last checkpoint ", age, "\n");
+  }
+  out += StrCat(router_->dbs_.size(), " shard(s)");
+  return out;
+}
+
+std::string RouterSession::RenderMetrics(bool prometheus) const {
+  std::string out = prometheus ? router_->metrics_.ToPrometheusText()
+                               : router_->metrics_.ToString();
+  for (size_t i = 0; i < router_->dbs_.size(); ++i) {
+    const std::string shard_text =
+        router_->dbs_[i]->MetricsText(prometheus);
+    if (prometheus) {
+      out += AddShardLabel(shard_text, i);
+    } else {
+      out += StrCat("--- shard-", i, " ---\n", shard_text);
+    }
+  }
+  return out;
+}
+
+}  // namespace shard
+}  // namespace nf2

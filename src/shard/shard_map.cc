@@ -1,0 +1,74 @@
+#include "shard/shard_map.h"
+
+#include <filesystem>
+
+#include "util/string_util.h"
+
+namespace nf2 {
+namespace shard {
+
+namespace {
+constexpr char kShardMarkerFile[] = "SHARDS";
+}  // namespace
+
+size_t PartitionAttr(const RelationInfo& info) {
+  FdSet fds = info.fd_set();
+  for (size_t p = 0; p < info.schema.degree(); ++p) {
+    if (fds.IsSuperkey(AttrSet{p})) return p;
+  }
+  return 0;
+}
+
+uint64_t StableValueHash(const Value& v) {
+  std::string text = v.ToString();
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+size_t ShardOf(const Value& v, size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<size_t>(StableValueHash(v) % shard_count);
+}
+
+std::string ShardDir(const std::string& base_dir, size_t index) {
+  return (std::filesystem::path(base_dir) / StrCat("shard-", index))
+      .string();
+}
+
+Result<size_t> EnsureShardMarker(Env* env, const std::string& base_dir,
+                                 size_t shard_count) {
+  if (shard_count == 0) {
+    return Status::InvalidArgument("shard count must be at least 1");
+  }
+  NF2_RETURN_IF_ERROR(env->CreateDirs(base_dir));
+  const std::string path =
+      (std::filesystem::path(base_dir) / kShardMarkerFile).string();
+  if (env->FileExists(path)) {
+    NF2_ASSIGN_OR_RETURN(std::string text, env->ReadFileToString(path));
+    size_t pinned = 0;
+    for (char c : Trim(text)) {
+      if (c < '0' || c > '9') {
+        return Status::Internal(
+            StrCat("corrupt shard marker ", path, ": '", Trim(text), "'"));
+      }
+      pinned = pinned * 10 + static_cast<size_t>(c - '0');
+    }
+    if (pinned != shard_count) {
+      return Status::FailedPrecondition(
+          StrCat("database at ", base_dir, " was created with ", pinned,
+                 " shard(s); reopening with ", shard_count,
+                 " would mis-route every key"));
+    }
+    return pinned;
+  }
+  NF2_RETURN_IF_ERROR(
+      env->WriteFileAtomic(path, StrCat(shard_count, "\n")));
+  return shard_count;
+}
+
+}  // namespace shard
+}  // namespace nf2

@@ -1,0 +1,46 @@
+#ifndef NF2_SHARD_SHARD_MAP_H_
+#define NF2_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/value.h"
+#include "storage/env.h"
+#include "util/result.h"
+
+namespace nf2 {
+namespace shard {
+
+/// Position of the partition attribute of `info`: the first attribute
+/// that is key-like in the paper's Def. 7 sense — a single attribute
+/// whose FD-closure under the declared FDs covers the whole schema, so
+/// one of its values identifies at most one NFR tuple. A relation
+/// declaring no such attribute partitions on position 0: every value
+/// still hashes deterministically, only point-routing quality degrades
+/// (scans stay correct because they scatter).
+size_t PartitionAttr(const RelationInfo& info);
+
+/// FNV-1a over the value's canonical text rendering. Stable across
+/// processes and runs (no pointer, seed, or locale dependence), so a
+/// value's home shard survives restarts.
+uint64_t StableValueHash(const Value& v);
+
+/// Home shard of `v` among `shard_count` shards.
+size_t ShardOf(const Value& v, size_t shard_count);
+
+/// "<base_dir>/shard-<index>" — one engine directory per shard.
+std::string ShardDir(const std::string& base_dir, size_t index);
+
+/// Validates (writing it on first open) the SHARDS marker file in
+/// `base_dir`. The marker pins the shard count the data directory was
+/// laid out with; reopening with a different --shards N is refused
+/// (FailedPrecondition) instead of silently mis-routing every key.
+/// Returns the pinned count (== `shard_count` on success).
+Result<size_t> EnsureShardMarker(Env* env, const std::string& base_dir,
+                                 size_t shard_count);
+
+}  // namespace shard
+}  // namespace nf2
+
+#endif  // NF2_SHARD_SHARD_MAP_H_

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "baseline/flat_engine.h"
 #include "engine/database.h"
+#include "server/session.h"
+#include "shard/router.h"
 #include "storage/fault_injection_env.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -482,6 +485,172 @@ TEST_F(CrashRecoveryTest, RecoveryCountsOnlyAppliedOps) {
   ASSERT_TRUE(db.ok());
   EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u)
       << "replay must count applied data ops, not WAL records";
+}
+
+// ---------------------------------------------------------------------
+// Sharded crash torture (DESIGN.md §13): run a workload that exercises
+// the DDL fan-out (CREATE/DROP across all shards), point-routed
+// inserts, and a fanned-out CHECKPOINT against a FaultInjectionEnv,
+// kill the write stream at every mutating operation in turn, reboot,
+// and reopen the shard group. Every shard must recover, the catalogs
+// must converge (Open-time straggler healing), and the global state
+// must be either the last acknowledged statement's post-state or the
+// in-flight statement's — nothing in between, nothing phantom.
+// ---------------------------------------------------------------------
+
+constexpr size_t kTortureShards = 3;
+
+/// Global logical state observed through a router session:
+/// relation name -> COUNT(*).
+using ShardState = std::map<std::string, uint64_t>;
+
+Result<ShardState> ObserveShardState(server::ClientSession* session) {
+  ShardState out;
+  NF2_ASSIGN_OR_RETURN(std::string listed, session->Execute("LIST"));
+  if (listed == "no relations") return out;
+  size_t start = 0;
+  while (start < listed.size()) {
+    size_t nl = listed.find('\n', start);
+    if (nl == std::string::npos) nl = listed.size();
+    const std::string name = listed.substr(start, nl - start);
+    start = nl + 1;
+    if (name.empty()) continue;
+    NF2_ASSIGN_OR_RETURN(
+        std::string count,
+        session->Execute(StrCat("SELECT COUNT(*) FROM ", name)));
+    out[name] = std::strtoull(count.c_str(), nullptr, 10);
+  }
+  return out;
+}
+
+/// One workload statement plus its effect on the logical model.
+struct ShardStep {
+  std::string stmt;
+  std::function<void(ShardState*)> apply;
+};
+
+std::vector<ShardStep> ShardWorkload() {
+  auto ins = [](const char* rel) {
+    return [rel](ShardState* s) { ++(*s)[rel]; };
+  };
+  std::vector<ShardStep> steps;
+  steps.push_back({"CREATE RELATION acct (Owner STRING, Asset STRING) "
+                   "FD Owner -> Asset",
+                   [](ShardState* s) { (*s)["acct"] = 0; }});
+  steps.push_back({"INSERT INTO acct VALUES (alice, gold)", ins("acct")});
+  steps.push_back({"INSERT INTO acct VALUES (bob, silver)", ins("acct")});
+  steps.push_back({"INSERT INTO acct VALUES (carol, tin)", ins("acct")});
+  steps.push_back({"CHECKPOINT", [](ShardState*) {}});
+  steps.push_back({"CREATE RELATION club (Member STRING, Team STRING)",
+                   [](ShardState* s) { (*s)["club"] = 0; }});
+  steps.push_back({"INSERT INTO club VALUES (dan, red)", ins("club")});
+  steps.push_back({"INSERT INTO acct VALUES (erin, lead)", ins("acct")});
+  steps.push_back({"CHECKPOINT", [](ShardState*) {}});
+  steps.push_back({"DROP RELATION acct",
+                   [](ShardState* s) { s->erase("acct"); }});
+  steps.push_back({"INSERT INTO club VALUES (fay, blue)", ins("club")});
+  return steps;
+}
+
+TEST_F(CrashRecoveryTest, ShardedDdlFanoutKillSweepConverges) {
+  shard::ShardRouter::Options ropts;
+  ropts.shards = kTortureShards;
+  ropts.db = DbOptions();
+  ropts.parallel_open = false;  // FaultInjectionEnv is single-threaded.
+  const std::vector<ShardStep> steps = ShardWorkload();
+
+  // Pass 1: count the workload's mutating operations (and sanity-check
+  // that the workload runs clean without faults).
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv fault(Env::Default(), /*seed=*/21);
+    fault.Arm(UINT64_MAX);
+    {
+      auto router = shard::ShardRouter::Open(dir_, ropts, &fault);
+      ASSERT_TRUE(router.ok()) << router.status();
+      auto session = (*router)->NewClientSession();
+      for (const ShardStep& step : steps) {
+        auto res = session->Execute(step.stmt);
+        ASSERT_TRUE(res.ok()) << step.stmt << ": " << res.status();
+      }
+    }
+    total_ops = fault.op_count();
+  }
+  ASSERT_GT(total_ops, 0u);
+  ASSERT_LT(total_ops, 100000u) << "workload op count exploded";
+
+  // Same CI striding contract as EveryInjectionPointRecoversExactly.
+  uint64_t shard_idx = 0;
+  uint64_t total_shards = 1;
+  if (const char* s = std::getenv("NF2_CRASH_SHARD_INDEX")) {
+    shard_idx = std::strtoull(s, nullptr, 10);
+  }
+  if (const char* s = std::getenv("NF2_CRASH_TOTAL_SHARDS")) {
+    total_shards = std::max<uint64_t>(1, std::strtoull(s, nullptr, 10));
+  }
+  ASSERT_LT(shard_idx, total_shards) << "NF2_CRASH_SHARD_INDEX out of range";
+
+  for (uint64_t kill_at = 1 + shard_idx; kill_at <= total_ops;
+       kill_at += total_shards) {
+    ResetDir();
+    FaultInjectionEnv fault(Env::Default(), /*seed=*/kill_at * 6151);
+    fault.Arm(kill_at);
+    size_t acked = 0;
+    bool attempted_next = false;
+    {
+      auto router = shard::ShardRouter::Open(dir_, ropts, &fault);
+      if (router.ok()) {
+        auto session = (*router)->NewClientSession();
+        for (const ShardStep& step : steps) {
+          attempted_next = true;
+          if (!session->Execute(step.stmt).ok()) break;
+          attempted_next = false;
+          ++acked;
+        }
+      }
+    }
+    ASSERT_TRUE(fault.killed()) << "trigger " << kill_at << " never fired";
+    ASSERT_TRUE(fault.DropUnsyncedState().ok());
+
+    // Reboot: reopen against the real Env (healing runs inside Open).
+    shard::ShardRouter::Options reopen = ropts;
+    reopen.parallel_open = true;
+    auto router = shard::ShardRouter::Open(dir_, reopen);
+    ASSERT_TRUE(router.ok()) << "kill_at=" << kill_at
+                             << " recovery failed: " << router.status();
+
+    // Catalog convergence across shards + per-shard integrity.
+    std::vector<std::string> names0 = (*router)->shard_db(0)->ListRelations();
+    std::sort(names0.begin(), names0.end());
+    for (size_t i = 0; i < (*router)->shard_count(); ++i) {
+      Status integrity = (*router)->shard_db(i)->VerifyIntegrity();
+      ASSERT_TRUE(integrity.ok())
+          << "kill_at=" << kill_at << " shard " << i << ": " << integrity;
+      std::vector<std::string> names = (*router)->shard_db(i)->ListRelations();
+      std::sort(names.begin(), names.end());
+      EXPECT_EQ(names, names0)
+          << "kill_at=" << kill_at << ": shard " << i
+          << " catalog diverged after healing";
+    }
+
+    // The global state is the acked prefix's post-state, or — when a
+    // statement was in flight at the kill — that statement's.
+    ShardState model_acked;
+    for (size_t i = 0; i < acked; ++i) steps[i].apply(&model_acked);
+    ShardState model_inflight = model_acked;
+    if (attempted_next && acked < steps.size()) {
+      steps[acked].apply(&model_inflight);
+    }
+    auto session = (*router)->NewClientSession();
+    auto state = ObserveShardState(session.get());
+    ASSERT_TRUE(state.ok()) << "kill_at=" << kill_at << ": "
+                            << state.status();
+    EXPECT_TRUE(*state == model_acked || *state == model_inflight)
+        << "kill_at=" << kill_at
+        << " recovered to neither the acked nor the in-flight state "
+        << "(acked " << acked << " of " << steps.size() << " statements)";
+    if (::testing::Test::HasFailure()) break;  // One repro is enough.
+  }
 }
 
 }  // namespace

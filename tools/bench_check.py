@@ -34,6 +34,17 @@ path: point selection through the inverted index must beat
 scan-and-filter by at least --indexed-floor (default 2.0), always
 enforced (the advantage is algorithmic, not a concurrency effect).
 
+A sharded_scatter_gather section gates the shard subsystem: 4
+concurrent writers' point-routed inserts over 4 shards must beat the
+same workload over 1 shard by at least --shard-floor (default 2.0).
+Like read scaling this is a concurrency effect, so it is enforced only
+when the run's host_cores is at least 4; the auto-skip names the
+actual core count and the bench JSON records the same skip
+(shard_floor_enforced / shard_floor_skip_reason). The section's
+counters_identical covers the correctness half (scattered COUNT(*)
+must be exact), so a merge bug fails the check even when the floor is
+relaxed.
+
 A factorized_aggregation section must show strictly growing per-depth
 speedups (depth_speedups): the expansion the baseline scans is
 exponential in nesting depth while the factorized cost is linear, so a
@@ -94,6 +105,14 @@ def main():
         "section, always enforced (default 2.0)",
     )
     parser.add_argument(
+        "--shard-floor",
+        type=float,
+        default=2.0,
+        help="minimum 4-shard-over-1-shard point-write speedup for the "
+        "sharded_scatter_gather section, enforced only when the run "
+        "reports host_cores >= 4 (default 2.0)",
+    )
+    parser.add_argument(
         "--checkpoint-flat",
         action="store_true",
         help="enforce the checkpoint_latency flatness gate (without it "
@@ -145,9 +164,41 @@ def main():
                         f"{host_cores} cores)"
                     )
             else:
+                reason = new.get(
+                    "scaling_floor_skip_reason",
+                    f"host has {host_cores} core(s); the floor requires"
+                    " >= 4",
+                )
                 print(
-                    f"  info {name}: 1->4 scaling x{scaling:.2f} on "
-                    f"{host_cores} core(s) — floor not enforced below 4"
+                    f"  info {name}: 1->4 scaling x{scaling:.2f} — "
+                    f"floor auto-skipped: {reason}"
+                )
+        if name == "sharded_scatter_gather":
+            speedup = float(new.get("shard_write_speedup_4_vs_1", 0.0))
+            if host_cores >= 4:
+                if speedup < args.shard_floor:
+                    print(
+                        f"  FAIL {name}: 4-vs-1-shard write speedup "
+                        f"x{speedup:.2f} below floor "
+                        f"x{args.shard_floor:.2f} ({host_cores} cores)"
+                    )
+                    failed = True
+                else:
+                    print(
+                        f"  ok   {name}: 4-vs-1-shard write speedup "
+                        f"x{speedup:.2f} (floor x{args.shard_floor:.2f}, "
+                        f"{host_cores} cores), scattered COUNT(*) exact"
+                    )
+            else:
+                reason = new.get(
+                    "shard_floor_skip_reason",
+                    f"host has {host_cores} core(s); the floor requires"
+                    " >= 4",
+                )
+                print(
+                    f"  info {name}: 4-vs-1-shard write speedup "
+                    f"x{speedup:.2f} — floor auto-skipped: {reason}; "
+                    f"scattered COUNT(*) exact"
                 )
         if name == "pipelining":
             speedup = float(new.get("batch_speedup", 0.0))

@@ -7,7 +7,12 @@
 // logical->physical mapping is the live view — the dump follows it and
 // says so. Without a (matching) manifest entry the file is read flat.
 //
-//   $ nf2_dump <table_file> [--tuples]
+//   $ nf2_dump <table_file> [--tuples] [--shard <i>]
+//
+// For sharded databases (nf2d --shards N, DESIGN.md §13) the table
+// files live under <db_dir>/shard-<i>/; --shard <i> redirects the
+// given path into that shard's subdirectory, so scripts can keep the
+// unsharded path and pick the shard with a flag.
 
 #include <cstdio>
 #include <cstring>
@@ -22,14 +27,39 @@
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <table_file> [--tuples]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <table_file> [--tuples] [--shard <i>]\n",
+                 argv[0]);
     return 2;
   }
-  bool show_tuples = argc > 2 && std::strcmp(argv[2], "--tuples") == 0;
+  bool show_tuples = false;
+  long shard = -1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tuples") == 0) {
+      show_tuples = true;
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      shard = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || shard < 0) {
+        std::fprintf(stderr, "--shard takes a non-negative index\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s <table_file> [--tuples] [--shard <i>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   // Prefer the checkpoint manifest's page mapping when it covers this
   // file: that is the live view of a shadow-paged table.
   std::filesystem::path path(argv[1]);
+  std::string shard_path;
+  if (shard >= 0) {
+    path = path.parent_path() / ("shard-" + std::to_string(shard)) /
+           path.filename();
+    shard_path = path.string();
+    argv[1] = shard_path.data();
+  }
   nf2::Env* env = nf2::Env::Default();
   auto manifest = nf2::LoadManifest(
       env, (path.parent_path() / "MANIFEST.nf2").string());

@@ -37,6 +37,8 @@ constexpr char kHelp[] = R"(NFRQL statements:
   LIST | STATS name | CHECKPOINT
   BEGIN | COMMIT | ROLLBACK
   \metrics [prom]      engine metrics (human or Prometheus text format)
+  \shards              per-shard relation counts, WAL bytes, checkpoint age
+                       (sharded nf2d only; the embedded shell is one engine)
   \timing              toggle per-statement wall-clock reporting
   \batch               start collecting statements instead of executing
                        (\go runs them all in order, \batch again discards)
@@ -124,6 +126,12 @@ int main(int argc, char** argv) {
     if (batching) {
       batch.push_back(trimmed);
       std::printf("queued [%zu]\n", batch.size());
+      continue;
+    }
+    if (lower == "\\shards") {
+      // Same reply the single-engine server session gives: the shell
+      // embeds one engine; sharding lives behind nf2d --shards.
+      std::printf("single engine (no shards); start nf2d with --shards N\n");
       continue;
     }
     if (lower == "\\metrics" || lower == "\\metrics prom") {

@@ -1,9 +1,14 @@
 // nf2d — the nf2db network daemon.
 //
 //   $ nf2d <db_dir> [--host A.B.C.D] [--port N] [--workers N] [--queue N]
+//          [--shards N]
 //
 // Serves the database in <db_dir> over the v0 frame protocol (see
-// server/protocol.h). Prints "listening on HOST:PORT" once ready —
+// server/protocol.h). With --shards N (N > 1) the directory holds N
+// hash-partitioned engine shards at <db_dir>/shard-<i> behind a
+// scatter-gather router (DESIGN.md §13); the shard count is pinned by
+// a marker file on first start. Prints "listening on HOST:PORT" once
+// ready —
 // with --port 0 (the default is 4234) the kernel picks the port, so
 // scripts should parse that line. SIGINT/SIGTERM trigger a graceful
 // shutdown: in-flight requests drain, open transactions roll back, and
@@ -20,6 +25,7 @@
 
 #include "engine/database.h"
 #include "server/server.h"
+#include "shard/router.h"
 
 namespace {
 
@@ -37,7 +43,7 @@ void HandleSignal(int /*sig*/) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <db_dir> [--host A.B.C.D] [--port N] "
-               "[--workers N] [--queue N]\n",
+               "[--workers N] [--queue N] [--shards N]\n",
                argv0);
   return 2;
 }
@@ -60,6 +66,7 @@ int main(int argc, char** argv) {
   const char* db_dir = argv[1];
   nf2::server::ServerOptions options;
   options.port = 4234;
+  long shards = 1;
   for (int i = 2; i < argc; i += 2) {
     if (i + 1 >= argc) return Usage(argv[0]);
     const std::string flag = argv[i];
@@ -74,16 +81,35 @@ int main(int argc, char** argv) {
     } else if (flag == "--queue" && ParseUint(argv[i + 1], 1 << 20, &v) &&
                v > 0) {
       options.queue_capacity = static_cast<size_t>(v);
+    } else if (flag == "--shards" && ParseUint(argv[i + 1], 64, &v) && v > 0) {
+      shards = v;
     } else {
       return Usage(argv[0]);
     }
   }
 
-  auto db = nf2::Database::Open(db_dir);
-  if (!db.ok()) {
-    std::fprintf(stderr, "cannot open database: %s\n",
-                 db.status().ToString().c_str());
-    return 1;
+  // --shards 1 keeps the original single-engine path (no marker file,
+  // no router layer); --shards N>1 opens the shard group.
+  nf2::Result<std::unique_ptr<nf2::Database>> db =
+      nf2::Status::Internal("unopened");
+  nf2::Result<std::unique_ptr<nf2::shard::ShardRouter>> router =
+      nf2::Status::Internal("unopened");
+  if (shards > 1) {
+    nf2::shard::ShardRouter::Options shard_options;
+    shard_options.shards = static_cast<size_t>(shards);
+    router = nf2::shard::ShardRouter::Open(db_dir, shard_options);
+    if (!router.ok()) {
+      std::fprintf(stderr, "cannot open sharded database: %s\n",
+                   router.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    db = nf2::Database::Open(db_dir);
+    if (!db.ok()) {
+      std::fprintf(stderr, "cannot open database: %s\n",
+                   db.status().ToString().c_str());
+      return 1;
+    }
   }
 
   if (::pipe(g_shutdown_pipe) != 0) {
@@ -97,7 +123,9 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
-  nf2::server::Server server(db->get(), options);
+  nf2::server::Server server =
+      shards > 1 ? nf2::server::Server(router->get(), options)
+                 : nf2::server::Server(db->get(), options);
   nf2::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n",
