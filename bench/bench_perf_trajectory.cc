@@ -55,6 +55,15 @@
 //                    --shard-floor enforces the speedup only when
 //                    host_cores >= 4 (mirroring the scaling-floor
 //                    rule); the skip is logged into the section JSON.
+//   replica_catchup — primary ingest of N autocommit inserts
+//                    (baseline) vs a cold follower replaying the
+//                    shipped WAL to the primary's head through a live
+//                    hub + Replicator (optimized); Speedup() is the
+//                    apply-over-ingest rate ratio, gated by
+//                    bench_check.py --replica-lag-floor (below 1.0 a
+//                    replica falls behind under sustained load), and
+//                    the follower's canonical form must render
+//                    bit-identical to the primary's.
 
 #include <unistd.h>
 
@@ -70,11 +79,13 @@
 #include <vector>
 
 #include "bench/workload.h"
+#include "core/format.h"
 #include "core/nest.h"
 #include "core/update.h"
 #include "engine/database.h"
 #include "exec/plan.h"
 #include "server/client.h"
+#include "server/replication.h"
 #include "server/server.h"
 #include "shard/router.h"
 #include "util/logging.h"
@@ -801,6 +812,93 @@ Section BenchShardedScatterGather(size_t rows_per_writer, int writers) {
   return out;
 }
 
+/// Replica catch-up throughput (DESIGN.md §14): load a primary with
+/// `stream_rows` autocommit inserts (baseline_sec = primary ingest
+/// time), then point a cold follower at the primary's streaming hub
+/// and time the Replicator from Start() to the primary's WAL head
+/// (optimized_sec = apply time, network + decode + replay + position
+/// persistence). Speedup() is the apply-over-ingest rate ratio: below
+/// 1.0 a replica under sustained full-rate load falls behind without
+/// bound. bench_check.py --replica-lag-floor gates the ratio; the
+/// run-batched follower apply path (one local transaction per
+/// streamed segment) typically clears 1.0. The correctness half:
+/// the follower's rendered canonical form must be bit-identical to
+/// the primary's — replication is replay, and replay lands on the
+/// unique canonical form (Theorem 2).
+Section BenchReplicaCatchup(const FlatRelation& flat, const Permutation& perm,
+                            size_t stream_rows) {
+  Section out;
+  out.name = "replica_catchup";
+  out.operations = stream_rows;
+  std::vector<FlatTuple> stream(flat.tuples().end() - stream_rows,
+                                flat.tuples().end());
+
+  const std::string primary_dir =
+      (std::filesystem::temp_directory_path() / "nf2_bench_repl_primary")
+          .string();
+  const std::string follower_dir =
+      (std::filesystem::temp_directory_path() / "nf2_bench_repl_follower")
+          .string();
+  std::filesystem::remove_all(primary_dir);
+  std::filesystem::remove_all(follower_dir);
+
+  Database::Options options;
+  options.sync_wal = false;  // Both sides; apply path, not fsync, is timed.
+  Result<std::unique_ptr<Database>> primary =
+      Database::Open(primary_dir, options);
+  NF2_CHECK(primary.ok()) << primary.status().ToString();
+  AttrSet dependents;
+  for (size_t i = 1; i < flat.schema().degree(); ++i) dependents.Add(i);
+  Status created = (*primary)->CreateRelation(
+      "bench", flat.schema(), perm, {Fd{AttrSet{0}, dependents}});
+  NF2_CHECK(created.ok()) << created.ToString();
+  out.baseline_sec = SecondsOf([&] {
+    for (const FlatTuple& t : stream) {
+      Status s = (*primary)->Insert("bench", t);
+      NF2_CHECK(s.ok()) << s.ToString();
+    }
+  });
+
+  server::ReplicationHub hub({primary->get()}, (*primary)->metrics());
+  server::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.replication = &hub;
+  server::Server server(primary->get(), server_options);
+  NF2_CHECK(server.Start().ok());
+
+  Result<std::unique_ptr<Database>> follower =
+      Database::Open(follower_dir, options);
+  NF2_CHECK(follower.ok()) << follower.status().ToString();
+  server::Replicator::Options repl_options;
+  repl_options.host = "127.0.0.1";
+  repl_options.port = server.port();
+  repl_options.dir = follower_dir;
+  server::Replicator replicator(repl_options, {follower->get()},
+                                (*follower)->metrics(), Env::Default());
+  const uint64_t head = (*primary)->wal()->position().lsn;
+  out.optimized_sec = SecondsOf([&] {
+    NF2_CHECK(replicator.Start().ok());
+    while (replicator.AppliedPositions()[0].lsn < head) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  replicator.Stop();
+  server.Stop();
+
+  Result<const NfrRelation*> p_rel = (*primary)->Relation("bench");
+  Result<const NfrRelation*> f_rel = (*follower)->Relation("bench");
+  out.counters_identical =
+      p_rel.ok() && f_rel.ok() &&
+      RenderTable(**p_rel, "bench") == RenderTable(**f_rel, "bench");
+  NF2_CHECK(out.counters_identical)
+      << "follower canonical form diverged from the primary's";
+  follower->reset();
+  primary->reset();
+  std::filesystem::remove_all(primary_dir);
+  std::filesystem::remove_all(follower_dir);
+  return out;
+}
+
 /// Embeds whether a concurrency floor (read scaling, shard writes) is
 /// enforceable on this host, and — when it is not — why, so a skipped
 /// gate is recorded in the JSON instead of being silent about the
@@ -822,9 +920,9 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
   std::ofstream file(path, std::ios::trunc);
   NF2_CHECK(file.is_open()) << "cannot write " << path;
   file << "{\n";
-  file << "  \"pr\": 9,\n";
-  file << "  \"title\": \"Sharded engine subsystem: hash-partitioned "
-          "shards behind a scatter-gather batch router\",\n";
+  file << "  \"pr\": 10,\n";
+  file << "  \"title\": \"WAL-shipped read replicas with monotone "
+          "epoch:lsn stream positions\",\n";
   // Scaling sections are only meaningful relative to the host's core
   // count; the checker reads this to decide whether to enforce floors.
   file << "  \"host_cores\": " << std::thread::hardware_concurrency()
@@ -914,6 +1012,10 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
       file << "      \"indexed_selection_speedup\": " << Fmt(s.Speedup(), 3)
            << ",\n";
     }
+    if (s.name == "replica_catchup") {
+      file << "      \"catchup_apply_ratio\": " << Fmt(s.Speedup(), 3)
+           << ",\n";
+    }
     if (s.name == "checkpoint_latency") {
       file << "      \"small_rows\": " << s.ckpt_small_rows << ",\n";
       file << "      \"large_rows\": " << s.ckpt_large_rows << ",\n";
@@ -957,7 +1059,7 @@ void WriteJson(const std::string& path, const KeyedConfig& config,
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR9.json";
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_PR10.json";
   const size_t workload_rows =
       argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : 10000;
   NF2_CHECK(workload_rows >= 100) << "workload needs at least 100 rows";
@@ -1018,6 +1120,11 @@ int Main(int argc, char** argv) {
   // plus the scattered COUNT(*) correctness check.
   sections.push_back(BenchShardedScatterGather(
       /*rows_per_writer=*/flat_rows >= 10000 ? 1000 : 250, /*writers=*/4));
+  // WAL-shipping catch-up: a cold follower must replay the primary's
+  // log at no less than --replica-lag-floor times the ingest rate,
+  // landing on a bit-identical canonical form.
+  sections.push_back(BenchReplicaCatchup(
+      flat, perm, /*stream_rows=*/std::min<size_t>(flat_rows, 4000)));
   // Checkpoint latency at an 8x size spread with a fixed one-row
   // write-set per timed checkpoint; the incremental latency must stay
   // nearly flat across the spread.
@@ -1083,6 +1190,12 @@ int Main(int argc, char** argv) {
                 << std::thread::hardware_concurrency()
                 << " core(s); scattered COUNT(*) exact "
                 << "(floor of x2 enforced at >= 4 cores)";
+  const Section& repl = by_name("replica_catchup");
+  NF2_LOG(Info) << "replica_catchup: cold follower replayed "
+                << repl.operations << " records at x"
+                << Fmt(repl.Speedup(), 2)
+                << " the primary's ingest rate (floor: "
+                << "--replica-lag-floor); canonical form bit-identical";
   const Section& ckpt = by_name("checkpoint_latency");
   NF2_LOG(Info) << "checkpoint_latency: one-row incremental checkpoint "
                 << Fmt(ckpt.baseline_sec * 1e3, 2) << "ms at "

@@ -198,6 +198,12 @@ Status Database::Recover() {
     Result<Manifest> loaded = LoadManifest(env_, ManifestPath());
     if (loaded.ok()) {
       manifest_ = std::move(*loaded);
+      // Fold the manifest's persisted WAL position into the reopened
+      // log before the first Append: the truncate that committed this
+      // checkpoint emptied the file, so the file alone cannot tell the
+      // log how far the (epoch, lsn) sequence had advanced.
+      wal_->AdoptDurablePosition(manifest_.wal_epoch,
+                                 manifest_.wal_base_lsn);
     } else if (loaded.status().code() != StatusCode::kNotFound) {
       return loaded.status();
     }
@@ -326,10 +332,21 @@ Status Database::Recover() {
         break;
     }
   }
-  // A transaction cut off by a crash is implicitly aborted. Publishing
-  // here (which also materializes the dictionary rank table) makes the
-  // recovered state visible to snapshot readers before the database is
-  // served.
+  // A transaction cut off by a crash is implicitly aborted — but only
+  // in RAM so far. The log still ends inside the unterminated region,
+  // so post-restart autocommit appends would land between its kTxnBegin
+  // and nothing, and a SECOND recovery would discard them as part of
+  // the crash-cut transaction. Terminate the region durably now.
+  if (replay_in_txn) {
+    NF2_RETURN_IF_ERROR(
+        wal_->Append({0, WalOpType::kTxnAbort, "", ""}).status());
+  }
+  // The recovered records were consumed above; a long-lived process
+  // must not pin the whole pre-checkpoint log in RAM.
+  wal_->ReleaseRecoveredRecords();
+  // Publishing here (which also materializes the dictionary rank table)
+  // makes the recovered state visible to snapshot readers before the
+  // database is served.
   PublishSnapshot();
   recovered_ = true;
   return Status::OK();
@@ -366,9 +383,11 @@ void Database::PublishSnapshot() {
   }
   dirty_relations_.clear();
   ++published_version_;
+  WalPosition wal_pos = wal_ != nullptr ? wal_->position() : WalPosition{};
   snapshot_.store(std::make_shared<const DatabaseSnapshot>(
                       published_version_, catalog_epoch(),
-                      std::move(versions), frozen_dict_, snapshot_tracker_),
+                      std::move(versions), frozen_dict_, snapshot_tracker_,
+                      wal_pos.epoch, wal_pos.lsn),
                   std::memory_order_release);
   metric_snapshots_published_->Increment();
 }
@@ -763,6 +782,12 @@ Status Database::Checkpoint() {
     }
   }
   NF2_RETURN_IF_ERROR(catalog_.SaveToFile(env_, CatalogPath()));
+  // Persist the position the log will be at AFTER the truncate below:
+  // Reset() bumps the epoch and keeps next_lsn_, so a recovery that
+  // sees this manifest (crash after step 4, or any later reopen of the
+  // truncated log) adopts exactly the position a crash-free run holds.
+  next.wal_epoch = wal_->epoch() + 1;
+  next.wal_base_lsn = wal_->next_lsn();
   NF2_RETURN_IF_ERROR(SaveManifestAtomic(env_, ManifestPath(), next));
   NF2_RETURN_IF_ERROR(wal_->Reset());
   manifest_ = std::move(next);

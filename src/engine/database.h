@@ -175,6 +175,12 @@ class Database {
   /// Path of the write-ahead log file inside dir().
   std::string wal_path() const;
 
+  /// The write-ahead log itself — the replication streamer subscribes
+  /// to its tail and reads its (epoch, lsn) position. Valid for the
+  /// lifetime of the Database. Callers must not Append or Reset
+  /// through it; mutations go through the Database API.
+  WriteAheadLog* wal() { return wal_.get(); }
+
   /// When the last successful Checkpoint() of this process completed;
   /// nullopt before the first one since Open. Monitoring surfaces
   /// (`\shards`) render this as a checkpoint age; atomic because they

@@ -87,7 +87,8 @@ class DatabaseSnapshot {
   DatabaseSnapshot(uint64_t version, uint64_t catalog_epoch,
                    VersionMap relations,
                    std::shared_ptr<const ValueDictionary> dictionary,
-                   std::shared_ptr<SnapshotTracker> tracker);
+                   std::shared_ptr<SnapshotTracker> tracker,
+                   uint64_t wal_epoch = 0, uint64_t wal_lsn = 0);
   ~DatabaseSnapshot();
   DatabaseSnapshot(const DatabaseSnapshot&) = delete;
   DatabaseSnapshot& operator=(const DatabaseSnapshot&) = delete;
@@ -99,6 +100,12 @@ class DatabaseSnapshot {
   /// The catalog epoch at publish — bumped by DDL, the statement
   /// cache's plan-reuse key.
   uint64_t catalog_epoch() const { return catalog_epoch_; }
+
+  /// WAL position (epoch, last applied lsn) at publish — how far the
+  /// durable log this snapshot reflects had advanced. A follower
+  /// reports these as its replication position (`\replica`).
+  uint64_t wal_epoch() const { return wal_epoch_; }
+  uint64_t wal_lsn() const { return wal_lsn_; }
 
   /// The frozen dictionary (never null; may be empty).
   const std::shared_ptr<const ValueDictionary>& dictionary() const {
@@ -140,6 +147,8 @@ class DatabaseSnapshot {
 
   const uint64_t version_;
   const uint64_t catalog_epoch_;
+  const uint64_t wal_epoch_;
+  const uint64_t wal_lsn_;
   const VersionMap relations_;
   const std::shared_ptr<const ValueDictionary> dictionary_;
   const std::shared_ptr<SnapshotTracker> tracker_;

@@ -72,12 +72,15 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kPing:
     case FrameType::kQuit:
     case FrameType::kBatch:
+    case FrameType::kSubscribe:
+    case FrameType::kWalAck:
     case FrameType::kOk:
     case FrameType::kError:
     case FrameType::kBusy:
     case FrameType::kPong:
     case FrameType::kBye:
     case FrameType::kBatchReply:
+    case FrameType::kWalSegment:
       return true;
   }
   return false;

@@ -38,6 +38,14 @@ enum class FrameType : uint8_t {
   kPing = 2,
   kQuit = 3,
   kBatch = 4,
+  // Replication (DESIGN.md §14). kSubscribe converts the connection
+  // into a WAL stream: the server answers with kWalSegment frames
+  // (hello, snapshot bootstrap, record batches, truncate notices) for
+  // as long as the subscriber stays connected, and the subscriber
+  // reports durably applied positions upstream with kWalAck frames —
+  // the one deliberate departure from request→response lockstep.
+  kSubscribe = 5,
+  kWalAck = 6,
   // Responses.
   kOk = 0x80,
   kError = 0x81,
@@ -45,6 +53,7 @@ enum class FrameType : uint8_t {
   kPong = 0x83,
   kBye = 0x84,
   kBatchReply = 0x85,
+  kWalSegment = 0x86,
 };
 
 /// True for the type bytes the protocol defines (request or response).

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "server/replication.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -227,6 +228,19 @@ void Server::ServeConnection(int fd) {
     }
     if (frame.type == FrameType::kQuit) {
       (void)WriteFrame(fd, FrameType::kBye, "");
+      break;
+    }
+    if (frame.type == FrameType::kSubscribe) {
+      if (options_.replication == nullptr) {
+        Status no_repl = Status::Unimplemented(
+            "this server does not stream its WAL (no replication hub)");
+        (void)WriteFrame(fd, FrameType::kError,
+                         EncodeStatusPayload(no_repl));
+        break;
+      }
+      // The connection stops being a query session and becomes a WAL
+      // stream; ServeSubscriber blocks until the subscriber goes away.
+      options_.replication->ServeSubscriber(fd, frame.payload);
       break;
     }
     if (frame.type != FrameType::kQuery && frame.type != FrameType::kBatch) {

@@ -20,6 +20,8 @@
 namespace nf2 {
 namespace server {
 
+class ReplicationHub;
+
 struct ServerOptions {
   /// IPv4 address to bind; loopback by default (v0 has no auth).
   std::string host = "127.0.0.1";
@@ -34,6 +36,10 @@ struct ServerOptions {
   /// Capacity of the shared parsed-statement cache (session.h); 0
   /// disables caching.
   size_t statement_cache_capacity = kDefaultStatementCacheCapacity;
+  /// When set, kSubscribe frames hand the connection to this hub as a
+  /// WAL-shipping subscriber (replication.h); null rejects kSubscribe.
+  /// Must outlive the server.
+  ReplicationHub* replication = nullptr;
 };
 
 /// The nf2d TCP server: one accept thread, one reader thread per

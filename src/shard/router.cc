@@ -175,12 +175,14 @@ void RouterSession::Abort() {
 }
 
 Result<std::string> RouterSession::Execute(std::string_view statement) {
-  // One shard: forward verbatim (statement cache, meta commands, batch
-  // snapshot sharing — everything behaves exactly like the unsharded
-  // server).
-  if (sessions_.size() == 1) return sessions_[0]->Execute(statement);
   const std::string trimmed = Trim(statement);
+  // Meta commands always go through the router so `\metrics` includes
+  // the router-level registry (scatter-gather counters, replication
+  // lag on a follower) even with a single shard.
   if (!trimmed.empty() && trimmed[0] == '\\') return ExecuteMeta(trimmed);
+  // One shard: forward verbatim (statement cache, batch snapshot
+  // sharing — everything behaves exactly like the unsharded server).
+  if (sessions_.size() == 1) return sessions_[0]->Execute(statement);
   NF2_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(trimmed));
   return Dispatch(stmt);
 }

@@ -35,6 +35,8 @@ void EncodeManifest(const Manifest& m, BufferWriter* out) {
       out->PutU32(pv.crc);
     }
   }
+  out->PutU64(m.wal_epoch);
+  out->PutU64(m.wal_base_lsn);
 }
 
 Result<Manifest> DecodeManifest(BufferReader* in) {
@@ -72,6 +74,13 @@ Result<Manifest> DecodeManifest(BufferReader* in) {
       t.pages.push_back(pv);
     }
     m.tables.emplace(std::move(name), std::move(t));
+  }
+  // WAL position fields postdate kManifestVersion's introduction;
+  // manifests written before them simply end here, which reads as
+  // position (0, 0) — "nothing to adopt".
+  if (!in->AtEnd()) {
+    NF2_ASSIGN_OR_RETURN(m.wal_epoch, in->GetU64());
+    NF2_ASSIGN_OR_RETURN(m.wal_base_lsn, in->GetU64());
   }
   return m;
 }

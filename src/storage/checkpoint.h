@@ -62,6 +62,14 @@ struct Manifest {
   uint64_t checkpoint_seq = 0;  // Monotone, bumped per checkpoint.
   uint64_t dict_size = 0;       // Dictionary entries covered by dict.nf2.
   std::map<std::string, TableManifest> tables;  // Key: table file name.
+  /// WAL stream position carried across the truncate this checkpoint
+  /// commits with: the truncate bumps the log to `wal_epoch` and its
+  /// first post-truncate record gets lsn >= `wal_base_lsn`. Recovery
+  /// folds these into the reopened log (AdoptDurablePosition) so a
+  /// stream position (epoch, lsn) is never reissued across a restart.
+  /// Both 0 on manifests written before replication existed.
+  uint64_t wal_epoch = 0;
+  uint64_t wal_base_lsn = 0;
 
   bool operator==(const Manifest&) const = default;
 };

@@ -28,7 +28,50 @@ const char* WalOpTypeToString(WalOpType type) {
   return "?";
 }
 
+std::vector<WalTailEvent> WalTailSubscription::Poll(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [this] { return !events_.empty() || closed_; });
+  std::vector<WalTailEvent> out(events_.begin(), events_.end());
+  events_.clear();
+  return out;
+}
+
+bool WalTailSubscription::lost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lost_;
+}
+
+void WalTailSubscription::ClearLost() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lost_ = false;
+}
+
+bool WalTailSubscription::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+void WalTailSubscription::Push(WalTailEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (event.kind == WalTailEvent::Kind::kClosed) {
+      closed_ = true;
+    } else if (events_.size() >= capacity_) {
+      // The consumer lagged past the bound: drop from the front and
+      // latch lost() — a gapless feed it is no longer.
+      events_.pop_front();
+      lost_ = true;
+    }
+    if (!closed_ || event.kind == WalTailEvent::Kind::kClosed) {
+      events_.push_back(std::move(event));
+    }
+  }
+  cv_.notify_all();
+}
+
 WriteAheadLog::~WriteAheadLog() {
+  NotifyTail({WalTailEvent::Kind::kClosed, epoch(), {}});
   if (out_ != nullptr) {
     Status s = out_->Close();
     if (!s.ok()) {
@@ -113,7 +156,9 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   // cached for the caller), and finds where the intact prefix ends.
   NF2_ASSIGN_OR_RETURN(WalReadResult scan, ScanLog(env, path));
   for (const WalRecord& r : scan.records) {
-    wal->next_lsn_ = std::max(wal->next_lsn_, r.lsn + 1);
+    if (r.lsn + 1 > wal->next_lsn()) {
+      wal->next_lsn_.store(r.lsn + 1, std::memory_order_release);
+    }
   }
   if (!scan.clean_eof) {
     // A crash tore the tail. Cut it off BEFORE appending: a frame
@@ -138,7 +183,7 @@ Result<uint64_t> WriteAheadLog::Append(WalRecord record) {
   if (out_ == nullptr) {
     return Status::IOError("WAL is not open (a failed Reset closed it)");
   }
-  record.lsn = next_lsn_;
+  record.lsn = next_lsn();
   BufferWriter body;
   body.PutU64(record.lsn);
   body.PutU8(static_cast<uint8_t>(record.type));
@@ -183,7 +228,52 @@ Result<uint64_t> WriteAheadLog::Append(WalRecord record) {
     }
     records_since_sync_ = 0;
   }
-  return next_lsn_++;
+  if (has_tails_.load(std::memory_order_acquire)) {
+    NotifyTail({WalTailEvent::Kind::kRecord, epoch(), record});
+  }
+  next_lsn_.store(record.lsn + 1, std::memory_order_release);
+  return record.lsn;
+}
+
+void WriteAheadLog::NotifyTail(const WalTailEvent& event) {
+  if (!has_tails_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(tails_mu_);
+  for (auto it = tails_.begin(); it != tails_.end();) {
+    if (std::shared_ptr<WalTailSubscription> tail = it->lock()) {
+      tail->Push(event);
+      ++it;
+    } else {
+      it = tails_.erase(it);
+    }
+  }
+}
+
+std::shared_ptr<WalTailSubscription> WriteAheadLog::SubscribeTail(
+    size_t capacity) {
+  auto tail = std::make_shared<WalTailSubscription>(capacity);
+  {
+    std::lock_guard<std::mutex> lock(tails_mu_);
+    tails_.push_back(tail);
+  }
+  has_tails_.store(true, std::memory_order_release);
+  return tail;
+}
+
+void WriteAheadLog::ReleaseRecoveredRecords() {
+  recovered_.clear();
+  recovered_.shrink_to_fit();
+}
+
+void WriteAheadLog::AdoptDurablePosition(uint64_t epoch, uint64_t base_lsn) {
+  if (epoch > epoch_.load(std::memory_order_relaxed)) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+  if (base_lsn > next_lsn_.load(std::memory_order_relaxed)) {
+    next_lsn_.store(base_lsn, std::memory_order_release);
+  }
+  if (base_lsn > epoch_base_lsn_.load(std::memory_order_relaxed)) {
+    epoch_base_lsn_.store(base_lsn, std::memory_order_release);
+  }
 }
 
 Result<WalReadResult> WriteAheadLog::ReadAll() const {
@@ -192,8 +282,11 @@ Result<WalReadResult> WriteAheadLog::ReadAll() const {
 
 Status WriteAheadLog::Reset() {
   if (out_ != nullptr) {
-    NF2_RETURN_IF_ERROR(out_->Close());
-    out_ = nullptr;
+    // Null out_ before Close so a failure still fails closed: Append
+    // on a half-reset log must return a status, never write through a
+    // handle whose state is unknown.
+    std::unique_ptr<WritableFile> closing = std::move(out_);
+    NF2_RETURN_IF_ERROR(closing->Close());
   }
   // TruncateFile is durable (data + length) when it returns OK — the
   // checkpoint that made these records redundant commits here.
@@ -201,9 +294,18 @@ Status WriteAheadLog::Reset() {
   NF2_ASSIGN_OR_RETURN(out_, env_->NewWritableFile(path_,
                                                    /*truncate=*/false));
   recovered_.clear();
-  next_lsn_ = 1;
+  // LSNs are NOT rewound: next_lsn_ keeps counting so a position
+  // issued before the truncate is never reissued after it. The epoch
+  // bump records that the file now holds only records >= the new base.
+  const uint64_t new_epoch =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const uint64_t new_base = next_lsn();
+  epoch_base_lsn_.store(new_base, std::memory_order_release);
   in_txn_ = false;
   records_since_sync_ = 0;
+  WalRecord base;
+  base.lsn = new_base;
+  NotifyTail({WalTailEvent::Kind::kTruncate, new_epoch, std::move(base)});
   return Status::OK();
 }
 

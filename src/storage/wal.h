@@ -1,8 +1,13 @@
 #ifndef NF2_STORAGE_WAL_H_
 #define NF2_STORAGE_WAL_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +56,73 @@ struct WalRecord {
   std::string payload;     // Serialized tuple / schema, op-specific.
 
   bool operator==(const WalRecord&) const = default;
+};
+
+/// A globally unambiguous stream position (DESIGN.md §14): `lsn` never
+/// repeats for the lifetime of a database — Reset() carries the counter
+/// across checkpoint truncation, and the checkpoint manifest persists
+/// it so a reopen cannot rewind it either. `epoch` counts truncations;
+/// it tells a log shipper which retained prefix the file holds.
+/// Ordering is lexicographic, and because lsn alone is already strictly
+/// monotone, comparing positions by lsn gives the same answer.
+struct WalPosition {
+  uint64_t epoch = 0;
+  uint64_t lsn = 0;
+
+  auto operator<=>(const WalPosition&) const = default;
+};
+
+/// One event delivered to a tail subscriber (see SubscribeTail).
+struct WalTailEvent {
+  enum class Kind : uint8_t {
+    kRecord,    // A record was appended (epoch + record are set).
+    kTruncate,  // Reset() ran: the log was truncated; epoch is the new
+                // epoch, record.lsn the new epoch base lsn.
+    kClosed,    // The log was destroyed; no further events.
+  };
+  Kind kind = Kind::kRecord;
+  uint64_t epoch = 0;
+  WalRecord record;
+};
+
+/// A bounded live feed of WAL appends, handed out by
+/// WriteAheadLog::SubscribeTail. The appender pushes every record (and
+/// truncate/close events) under the subscription's own mutex; the
+/// consumer drains with Poll. When the consumer falls more than
+/// `capacity` events behind, the oldest events are dropped and lost()
+/// latches — the consumer must then resynchronize from the log file
+/// (or, past a truncation, from a snapshot) instead of trusting the
+/// feed to be gapless.
+class WalTailSubscription {
+ public:
+  explicit WalTailSubscription(size_t capacity) : capacity_(capacity) {}
+  WalTailSubscription(const WalTailSubscription&) = delete;
+  WalTailSubscription& operator=(const WalTailSubscription&) = delete;
+
+  /// Drains every queued event, blocking up to `timeout` for the first
+  /// one. Empty when the timeout expired with nothing queued.
+  std::vector<WalTailEvent> Poll(std::chrono::milliseconds timeout);
+
+  /// True once events were dropped because the consumer lagged more
+  /// than the subscription capacity. Cleared by ClearLost after the
+  /// consumer resynchronized out-of-band.
+  bool lost() const;
+  void ClearLost();
+
+  /// True once the log pushed kClosed (the WriteAheadLog died).
+  bool closed() const;
+
+ private:
+  friend class WriteAheadLog;
+
+  void Push(WalTailEvent event);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<WalTailEvent> events_;  // Guarded by mu_.
+  bool lost_ = false;                // Guarded by mu_.
+  bool closed_ = false;              // Guarded by mu_.
 };
 
 /// Outcome of one full scan of the log.
@@ -125,16 +197,56 @@ class WriteAheadLog {
     return recovered_;
   }
 
+  /// Frees the recovered-record cache. Recovery calls this once it has
+  /// consumed the records: a long-lived process must not pin the whole
+  /// pre-checkpoint log in RAM for its lifetime. recovered_records() is
+  /// empty afterwards; ReadAll() still re-scans the file on demand.
+  void ReleaseRecoveredRecords();
+
   /// True when Open had to cut a torn/corrupt tail off the log.
   bool truncated_on_open() const { return truncated_on_open_; }
 
   /// Truncates the log (after a checkpoint made its contents
   /// redundant). Durable when it returns OK: this is the commit point
-  /// of the checkpoint protocol.
+  /// of the checkpoint protocol. LSNs are NOT rewound — the next Append
+  /// continues the global sequence under a bumped epoch, so a stream
+  /// position (epoch, lsn) issued before the truncate is never reused
+  /// after it. On failure the log fails closed: out_ stays null and
+  /// every Append returns a status until a later Reset succeeds.
   Status Reset();
 
+  /// Folds a durably persisted position (the checkpoint manifest's
+  /// wal_epoch / wal_base_lsn, written just before the truncate it
+  /// describes) into this log's counters: epoch and next_lsn only ever
+  /// move forward. Called once at recovery, before any Append.
+  void AdoptDurablePosition(uint64_t epoch, uint64_t base_lsn);
+
+  /// Subscribes to the live append stream: every record appended after
+  /// this call (plus truncate and close events) is pushed to the
+  /// returned subscription. Dropping the shared_ptr unsubscribes.
+  /// `capacity` bounds the unconsumed backlog (see WalTailSubscription).
+  std::shared_ptr<WalTailSubscription> SubscribeTail(size_t capacity = 4096);
+
   const std::string& path() const { return path_; }
-  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t next_lsn() const {
+    return next_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Truncation epoch of the current log file (0 until the first
+  /// Reset; adopted forward from the manifest at recovery).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// First LSN that can live in the current (post-truncate) log file: a
+  /// subscriber whose last applied lsn is below `epoch_base_lsn() - 1`
+  /// cannot be caught up from the file alone.
+  uint64_t epoch_base_lsn() const {
+    return epoch_base_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// The current head position: the epoch plus the last assigned lsn.
+  /// The two loads are not one atomic snapshot; streamer threads use
+  /// this only for lag estimates, where a torn pair is harmless.
+  WalPosition position() const { return {epoch(), next_lsn() - 1}; }
 
   /// fdatasync calls issued by Append (observability for the
   /// group-commit batching benchmarks).
@@ -151,7 +263,11 @@ class WriteAheadLog {
   /// through Append, so data records inside a transaction can defer
   /// their sync to the commit marker.
   bool in_txn_ = false;
-  uint64_t next_lsn_ = 1;
+  /// Atomic because replication streamer threads read the position
+  /// (lag, catch-up bounds) while the single writer thread advances it.
+  std::atomic<uint64_t> next_lsn_{1};
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> epoch_base_lsn_{1};
   uint64_t sync_count_ = 0;
   /// Records appended since the last fsync — the group-commit batch
   /// size observed at each sync.
@@ -162,6 +278,16 @@ class WriteAheadLog {
   Counter* metric_bytes_ = nullptr;
   Counter* metric_torn_repairs_ = nullptr;
   Histogram* metric_group_batch_ = nullptr;
+
+  /// Pushes `event` to every live subscriber, pruning dead ones.
+  void NotifyTail(const WalTailEvent& event);
+
+  /// Guards tails_; never held across file I/O.
+  mutable std::mutex tails_mu_;
+  std::vector<std::weak_ptr<WalTailSubscription>> tails_;  // Guarded.
+  /// Fast-path guard: Append skips the tails_mu_ lock entirely while no
+  /// subscriber has ever been attached.
+  std::atomic<bool> has_tails_{false};
 };
 
 }  // namespace nf2

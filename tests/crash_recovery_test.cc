@@ -462,6 +462,86 @@ TEST_F(CrashRecoveryTest, CrashCutTransactionIsDiscarded) {
   EXPECT_FALSE(scan->Contains(FlatTuple{V("bob"), V("gold")}));
 }
 
+TEST_F(CrashRecoveryTest, AutocommitAfterCrashCutTxnSurvivesSecondRestart) {
+  // Regression: a crash-cut transaction leaves an unmatched kTxnBegin
+  // in the log. Recovery correctly discarded the cut transaction — but
+  // left the log as it was, so records appended after the restart sat
+  // inside the still-open region and a SECOND restart discarded them
+  // too: acknowledged post-crash writes silently vanished. Recovery
+  // must close the region (it logs a kTxnAbort) before serving.
+  //
+  // The crash here is a process kill, not power loss: WAL appends are
+  // unbuffered writes, so the un-synced begin+data records ARE in the
+  // file when the next open replays it.
+  {
+    auto db = Database::Open(dir_, DbOptions());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation("acct", AcctSchema(), {1, 0}).ok());
+    ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("ada"), V("gold")}).ok());
+    ASSERT_TRUE((*db)->Begin().ok());
+    ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("bob"), V("gold")}).ok());
+    // Crash 1: the transaction never commits.
+    (void)(*db).release();
+  }
+  {
+    // Restart 1: the cut transaction is gone; an autocommit write is
+    // acknowledged (synced) on top.
+    auto db = Database::Open(dir_, DbOptions());
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(
+        (*db)->Insert("acct", FlatTuple{V("carol"), V("iron")}).ok());
+    // Crash 2: no shutdown checkpoint — the next open replays the log.
+    (void)(*db).release();
+  }
+  auto db = Database::Open(dir_, DbOptions());
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE((*db)->VerifyIntegrity().ok());
+  auto scan = (*db)->Scan("acct");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->Contains(FlatTuple{V("ada"), V("gold")}));
+  EXPECT_TRUE(scan->Contains(FlatTuple{V("carol"), V("iron")}))
+      << "acknowledged post-crash write lost by the second restart";
+  EXPECT_FALSE(scan->Contains(FlatTuple{V("bob"), V("gold")}));
+}
+
+TEST_F(CrashRecoveryTest, WalPositionsStayMonotoneAcrossCheckpointReopen) {
+  // Regression: checkpointing truncates the WAL, and Reset() used to
+  // rewind the LSN counter to 1 — so append → checkpoint → append →
+  // reopen observed the same (epoch, lsn) twice, poisoning any log
+  // shipper keyed on positions. The counter must only move forward,
+  // surviving both the truncate (in memory) and the reopen (via the
+  // manifest).
+  std::vector<uint64_t> seen;
+  {
+    auto db = Database::Open(dir_, DbOptions());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation("acct", AcctSchema(), {1, 0}).ok());
+    ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("a"), V("x")}).ok());
+    seen.push_back((*db)->wal()->position().lsn);
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("b"), V("y")}).ok());
+    seen.push_back((*db)->wal()->position().lsn);
+    EXPECT_GE((*db)->wal()->epoch(), 1u);
+    // Crash (no shutdown checkpoint): reopen must restore the counter
+    // from the manifest plus the surviving log.
+    (void)(*db).release();
+  }
+  auto db = Database::Open(dir_, DbOptions());
+  ASSERT_TRUE(db.ok()) << db.status();
+  // Recovery released the recovered-record cache (it must not pin the
+  // replayed log in RAM for the process lifetime).
+  EXPECT_TRUE((*db)->wal()->recovered_records().empty());
+  ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("c"), V("z")}).ok());
+  seen.push_back((*db)->wal()->position().lsn);
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  ASSERT_TRUE((*db)->Insert("acct", FlatTuple{V("d"), V("w")}).ok());
+  seen.push_back((*db)->wal()->position().lsn);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GT(seen[i], seen[i - 1])
+        << "LSN reissued around checkpoint/reopen at step " << i;
+  }
+}
+
 TEST_F(CrashRecoveryTest, RecoveryCountsOnlyAppliedOps) {
   // A committed 2-op transaction is 4 WAL records (begin, two data
   // records, commit) but exactly 2 operations. After a crash-reopen

@@ -6,6 +6,7 @@
 #include "core/nest.h"
 #include "storage/buffer_pool.h"
 #include "storage/checkpoint.h"
+#include "storage/fault_injection_env.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
 #include "storage/serde.h"
@@ -321,7 +322,158 @@ TEST_F(StorageTest, WalReset) {
   ASSERT_TRUE(read.ok());
   EXPECT_TRUE(read->records.empty());
   EXPECT_TRUE(read->clean_eof);
-  EXPECT_EQ((*wal)->next_lsn(), 1u);
+  // The truncate does NOT rewind the LSN counter (positions are
+  // globally monotone; see WalPosition): the next append continues the
+  // sequence under a bumped epoch.
+  EXPECT_EQ((*wal)->next_lsn(), 2u);
+  EXPECT_EQ((*wal)->epoch(), 1u);
+  EXPECT_EQ((*wal)->epoch_base_lsn(), 2u);
+}
+
+TEST_F(StorageTest, WalResetNeverReissuesAnLsn) {
+  // Regression: Reset() used to rewind next_lsn_ to 1, so the record
+  // after a truncate reused the position of a record before it — a log
+  // shipper that saw both would silently drop the second as a
+  // duplicate. Positions must be strictly monotone across Reset.
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  std::vector<uint64_t> lsns;
+  for (int i = 0; i < 3; ++i) {
+    auto lsn = (*wal)->Append({0, WalOpType::kInsert, "r", StrCat("a", i)});
+    ASSERT_TRUE(lsn.ok());
+    lsns.push_back(*lsn);
+  }
+  ASSERT_TRUE((*wal)->Reset().ok());
+  for (int i = 0; i < 3; ++i) {
+    auto lsn = (*wal)->Append({0, WalOpType::kInsert, "r", StrCat("b", i)});
+    ASSERT_TRUE(lsn.ok());
+    lsns.push_back(*lsn);
+  }
+  for (size_t i = 1; i < lsns.size(); ++i) {
+    EXPECT_GT(lsns[i], lsns[i - 1]) << "position " << i;
+  }
+}
+
+TEST_F(StorageTest, WalAdoptDurablePositionSurvivesReopen) {
+  // After Reset() + close, the log file is empty — a bare reopen would
+  // restart LSNs at 1. The checkpoint manifest persists the position;
+  // AdoptDurablePosition folds it forward at recovery.
+  uint64_t last_lsn = 0;
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      auto lsn = (*wal)->Append({0, WalOpType::kInsert, "r", "x"});
+      ASSERT_TRUE(lsn.ok());
+      last_lsn = *lsn;
+    }
+    ASSERT_TRUE((*wal)->Reset().ok());
+  }
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  (*wal)->AdoptDurablePosition(/*epoch=*/1, /*base_lsn=*/last_lsn + 1);
+  EXPECT_EQ((*wal)->epoch(), 1u);
+  auto lsn = (*wal)->Append({0, WalOpType::kInsert, "r", "y"});
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_GT(*lsn, last_lsn);
+  // Folding is forward-only: a stale (older) manifest cannot rewind.
+  (*wal)->AdoptDurablePosition(/*epoch=*/0, /*base_lsn=*/1);
+  EXPECT_EQ((*wal)->epoch(), 1u);
+  EXPECT_EQ((*wal)->next_lsn(), *lsn + 1);
+}
+
+TEST_F(StorageTest, WalResetFailureFailsClosed) {
+  // Regression: when Reset() could not reopen the log file, Append kept
+  // writing through the stale (closed) handle. It must fail closed —
+  // every Append returns a status until a later Reset succeeds.
+  FaultInjectionEnv fenv(Env::Default(), /*seed=*/7);
+  auto wal = WriteAheadLog::Open(&fenv, Path("wal.log"), {});
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "a"}).ok());
+  fenv.Arm(1);  // The next mutating operation dies mid-syscall.
+  Status reset = (*wal)->Reset();
+  ASSERT_FALSE(reset.ok());
+  Result<uint64_t> append = (*wal)->Append({0, WalOpType::kInsert, "r", "b"});
+  ASSERT_FALSE(append.ok());
+  EXPECT_EQ(append.status().code(), StatusCode::kIOError);
+  // Service resumes once a Reset goes through.
+  fenv.Arm(1u << 30);  // Clears the kill flag; trigger far away.
+  ASSERT_TRUE((*wal)->Reset().ok());
+  auto lsn = (*wal)->Append({0, WalOpType::kInsert, "r", "c"});
+  ASSERT_TRUE(lsn.ok());
+}
+
+TEST_F(StorageTest, WalReleaseRecoveredRecordsFreesTheCache) {
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "x"}).ok());
+    }
+  }
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ((*wal)->recovered_records().size(), 4u);
+  (*wal)->ReleaseRecoveredRecords();
+  EXPECT_TRUE((*wal)->recovered_records().empty());
+  // The file itself is untouched: ReadAll still re-scans on demand.
+  auto read = (*wal)->ReadAll();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 4u);
+}
+
+TEST_F(StorageTest, WalTailSubscriptionSeesAppendsAndTruncate) {
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  std::shared_ptr<WalTailSubscription> tail = (*wal)->SubscribeTail();
+  ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "one"}).ok());
+  ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "two"}).ok());
+  std::vector<WalTailEvent> events =
+      tail->Poll(std::chrono::milliseconds(1000));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, WalTailEvent::Kind::kRecord);
+  EXPECT_EQ(events[0].record.payload, "one");
+  EXPECT_EQ(events[1].record.lsn, 2u);
+  ASSERT_TRUE((*wal)->Reset().ok());
+  events = tail->Poll(std::chrono::milliseconds(1000));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, WalTailEvent::Kind::kTruncate);
+  EXPECT_EQ(events[0].epoch, 1u);
+  EXPECT_EQ(events[0].record.lsn, 3u);  // New epoch base.
+  EXPECT_FALSE(tail->lost());
+  EXPECT_FALSE(tail->closed());
+}
+
+TEST_F(StorageTest, WalTailSubscriptionOverflowLatchesLost) {
+  auto wal = WriteAheadLog::Open(Path("wal.log"));
+  ASSERT_TRUE(wal.ok());
+  std::shared_ptr<WalTailSubscription> tail =
+      (*wal)->SubscribeTail(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "x"}).ok());
+  }
+  EXPECT_TRUE(tail->lost());
+  std::vector<WalTailEvent> events =
+      tail->Poll(std::chrono::milliseconds(1000));
+  EXPECT_LE(events.size(), 4u);  // Only the newest survive.
+  EXPECT_EQ(events.back().record.lsn, 10u);
+  tail->ClearLost();
+  EXPECT_FALSE(tail->lost());
+}
+
+TEST_F(StorageTest, WalTailSubscriptionClosedOnDestruction) {
+  std::shared_ptr<WalTailSubscription> tail;
+  {
+    auto wal = WriteAheadLog::Open(Path("wal.log"));
+    ASSERT_TRUE(wal.ok());
+    tail = (*wal)->SubscribeTail();
+    ASSERT_TRUE((*wal)->Append({0, WalOpType::kInsert, "r", "x"}).ok());
+  }
+  EXPECT_TRUE(tail->closed());
+  std::vector<WalTailEvent> events =
+      tail->Poll(std::chrono::milliseconds(100));
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, WalTailEvent::Kind::kClosed);
 }
 
 TEST_F(StorageTest, WalRandomCorruptionNeverCrashesAndKeepsPrefix) {

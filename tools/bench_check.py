@@ -45,6 +45,14 @@ counters_identical covers the correctness half (scattered COUNT(*)
 must be exact), so a merge bug fails the check even when the floor is
 relaxed.
 
+A replica_catchup section gates WAL shipping: a cold follower must
+replay the primary's log at no less than --replica-lag-floor (default
+0.5) times the primary's ingest rate, always enforced (both rates are
+measured on the same host back-to-back, so the ratio is self-relative
+like the checkpoint gate). Its counters_identical covers the
+correctness half: the follower's canonical form must render
+bit-identical to the primary's at the caught-up position.
+
 A factorized_aggregation section must show strictly growing per-depth
 speedups (depth_speedups): the expansion the baseline scans is
 exponential in nesting depth while the factorized cost is linear, so a
@@ -111,6 +119,16 @@ def main():
         help="minimum 4-shard-over-1-shard point-write speedup for the "
         "sharded_scatter_gather section, enforced only when the run "
         "reports host_cores >= 4 (default 2.0)",
+    )
+    parser.add_argument(
+        "--replica-lag-floor",
+        type=float,
+        default=0.5,
+        help="minimum follower apply-over-primary-ingest rate ratio for "
+        "the replica_catchup section, always enforced (default 0.5; "
+        "below 1.0 a replica falls behind under sustained full-rate "
+        "load, the slack below 1.0 covers decode+ack overhead on "
+        "constrained runners)",
     )
     parser.add_argument(
         "--checkpoint-flat",
@@ -227,6 +245,22 @@ def main():
                 print(
                     f"  ok   {name}: index beat full scan x{speedup:.2f} "
                     f"(floor x{args.indexed_floor:.2f})"
+                )
+        if name == "replica_catchup":
+            ratio = float(new.get("catchup_apply_ratio", 0.0))
+            if ratio < args.replica_lag_floor:
+                print(
+                    f"  FAIL {name}: apply/ingest ratio x{ratio:.2f} below "
+                    f"floor x{args.replica_lag_floor:.2f} — a replica at "
+                    f"this rate falls behind under sustained load"
+                )
+                failed = True
+            else:
+                print(
+                    f"  ok   {name}: follower applied at x{ratio:.2f} the "
+                    f"primary's ingest rate (floor "
+                    f"x{args.replica_lag_floor:.2f}), canonical form "
+                    f"bit-identical"
                 )
         if name == "factorized_aggregation":
             speedups = [float(s) for s in new.get("depth_speedups", [])]

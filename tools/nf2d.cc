@@ -1,7 +1,7 @@
 // nf2d — the nf2db network daemon.
 //
 //   $ nf2d <db_dir> [--host A.B.C.D] [--port N] [--workers N] [--queue N]
-//          [--shards N]
+//          [--shards N] [--follow HOST:PORT]
 //
 // Serves the database in <db_dir> over the v0 frame protocol (see
 // server/protocol.h). With --shards N (N > 1) the directory holds N
@@ -13,6 +13,15 @@
 // scripts should parse that line. SIGINT/SIGTERM trigger a graceful
 // shutdown: in-flight requests drain, open transactions roll back, and
 // a checkpoint runs before exit.
+//
+// Every nf2d is also a WAL-shipping primary: a follower may connect
+// and kSubscribe at any time (DESIGN.md §14). With --follow HOST:PORT
+// the daemon is instead a read replica of the primary at HOST:PORT:
+// it probes the primary's shard count, opens (or creates) a matching
+// local shard layout under <db_dir>, streams and applies the
+// primary's WALs, and serves read-only sessions — writes and BEGIN
+// answer kUnavailable. --follow and --shards are mutually exclusive
+// (the primary dictates the layout).
 
 #include <signal.h>
 #include <unistd.h>
@@ -22,8 +31,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "engine/database.h"
+#include "server/replication.h"
 #include "server/server.h"
 #include "shard/router.h"
 
@@ -43,7 +55,8 @@ void HandleSignal(int /*sig*/) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <db_dir> [--host A.B.C.D] [--port N] "
-               "[--workers N] [--queue N] [--shards N]\n",
+               "[--workers N] [--queue N] [--shards N] "
+               "[--follow HOST:PORT]\n",
                argv0);
   return 2;
 }
@@ -59,6 +72,19 @@ bool ParseUint(const char* text, long max, long* out) {
   return true;
 }
 
+bool ParseHostPort(const std::string& text, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  long v = 0;
+  if (!ParseUint(text.c_str() + colon + 1, 65535, &v) || v == 0) {
+    return false;
+  }
+  *host = text.substr(0, colon);
+  *port = static_cast<uint16_t>(v);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,6 +93,9 @@ int main(int argc, char** argv) {
   nf2::server::ServerOptions options;
   options.port = 4234;
   long shards = 1;
+  bool shards_given = false;
+  std::string follow_host;
+  uint16_t follow_port = 0;
   for (int i = 2; i < argc; i += 2) {
     if (i + 1 >= argc) return Usage(argv[0]);
     const std::string flag = argv[i];
@@ -83,9 +112,109 @@ int main(int argc, char** argv) {
       options.queue_capacity = static_cast<size_t>(v);
     } else if (flag == "--shards" && ParseUint(argv[i + 1], 64, &v) && v > 0) {
       shards = v;
+      shards_given = true;
+    } else if (flag == "--follow" &&
+               ParseHostPort(argv[i + 1], &follow_host, &follow_port)) {
+      // Parsed into follow_host/follow_port.
     } else {
       return Usage(argv[0]);
     }
+  }
+  const bool follower = !follow_host.empty();
+  if (follower && shards_given) {
+    std::fprintf(stderr,
+                 "--follow and --shards are mutually exclusive: a "
+                 "follower's shard layout is dictated by its primary\n");
+    return 2;
+  }
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (follower) {
+    // The primary dictates the shard count; keep probing so a follower
+    // started before (or restarted during) a primary outage comes up
+    // on its own once the primary returns.
+    nf2::Result<uint32_t> probed = nf2::Status::Internal("unprobed");
+    for (int attempt = 0; attempt < 240; ++attempt) {
+      probed = nf2::server::Replicator::ProbeShardCount(follow_host,
+                                                        follow_port);
+      if (probed.ok()) break;
+      if (attempt == 0) {
+        std::fprintf(stderr, "waiting for primary %s:%u (%s)\n",
+                     follow_host.c_str(),
+                     static_cast<unsigned>(follow_port),
+                     probed.status().ToString().c_str());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+    if (!probed.ok()) {
+      std::fprintf(stderr, "cannot reach primary %s:%u: %s\n",
+                   follow_host.c_str(), static_cast<unsigned>(follow_port),
+                   probed.status().ToString().c_str());
+      return 1;
+    }
+
+    nf2::shard::ShardRouter::Options shard_options;
+    shard_options.shards = *probed;
+    nf2::Result<std::unique_ptr<nf2::shard::ShardRouter>> router =
+        nf2::shard::ShardRouter::Open(db_dir, shard_options);
+    if (!router.ok()) {
+      std::fprintf(stderr, "cannot open follower database: %s\n",
+                   router.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<nf2::Database*> shard_dbs;
+    for (size_t i = 0; i < (*router)->shard_count(); ++i) {
+      shard_dbs.push_back((*router)->shard_db(i));
+    }
+    nf2::server::Replicator::Options repl_options;
+    repl_options.host = follow_host;
+    repl_options.port = follow_port;
+    repl_options.dir = db_dir;
+    nf2::server::Replicator replicator(repl_options, shard_dbs,
+                                       (*router)->metrics_registry(),
+                                       nf2::Env::Default());
+    nf2::Status repl_started = replicator.Start();
+    if (!repl_started.ok()) {
+      std::fprintf(stderr, "cannot start replication: %s\n",
+                   repl_started.ToString().c_str());
+      return 1;
+    }
+    nf2::server::ReadOnlyProvider provider(router->get(), &replicator);
+    nf2::server::Server server(&provider, options);
+    nf2::Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start server: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("following %s:%u\n", follow_host.c_str(),
+                static_cast<unsigned>(follow_port));
+    std::printf("listening on %s:%u\n", options.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    char byte;
+    ssize_t got;
+    do {
+      got = ::read(g_shutdown_pipe[0], &byte, 1);
+    } while (got < 0 && errno == EINTR);
+
+    std::printf("shutting down\n");
+    std::fflush(stdout);
+    // Stop() checkpoints through ReadOnlyProvider::ShutdownCheckpoint,
+    // which halts the replicator before the final checkpoint runs.
+    server.Stop();
+    return 0;
   }
 
   // --shards 1 keeps the original single-engine path (no marker file,
@@ -112,16 +241,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (::pipe(g_shutdown_pipe) != 0) {
-    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
-    return 1;
+  // Every primary streams its WAL on demand (followers kSubscribe).
+  std::vector<nf2::Database*> shard_dbs;
+  nf2::MetricsRegistry* hub_registry = nullptr;
+  if (shards > 1) {
+    for (size_t i = 0; i < (*router)->shard_count(); ++i) {
+      shard_dbs.push_back((*router)->shard_db(i));
+    }
+    hub_registry = (*router)->metrics_registry();
+  } else {
+    shard_dbs.push_back(db->get());
+    hub_registry = (*db)->metrics();
   }
-  struct sigaction sa{};
-  sa.sa_handler = HandleSignal;
-  ::sigemptyset(&sa.sa_mask);
-  ::sigaction(SIGINT, &sa, nullptr);
-  ::sigaction(SIGTERM, &sa, nullptr);
-  ::signal(SIGPIPE, SIG_IGN);
+  nf2::server::ReplicationHub hub(shard_dbs, hub_registry);
+  options.replication = &hub;
 
   nf2::server::Server server =
       shards > 1 ? nf2::server::Server(router->get(), options)

@@ -15,6 +15,7 @@ LOG="$DB_DIR/nf2d.log"
 
 cleanup() {
   [[ -n "${SERVER_PID:-}" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  [[ -n "${FOLLOWER_PID:-}" ]] && kill -9 "$FOLLOWER_PID" 2>/dev/null || true
   rm -rf "$DB_DIR"
 }
 trap cleanup EXIT
@@ -84,6 +85,83 @@ METRICS=$("$CLIENT" --port "$PORT" -e "\\metrics prom")
 echo "$METRICS" | grep -q "^nf2_stmtcache_hits_total [1-9]" || {
   echo "statement cache hits missing from metrics"; exit 1; }
 
+# --- WAL-shipped follower leg ----------------------------------------
+# Boot a follower of the live primary from an empty datadir, wait for
+# catch-up, tail a live write, and assert the read-only contract.
+"$NF2D" "$DB_DIR/replica" --follow 127.0.0.1:"$PORT" --port 0 \
+  >"$LOG.follower" 2>&1 &
+FOLLOWER_PID=$!
+FPORT=""
+for _ in $(seq 1 50); do
+  FPORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+    "$LOG.follower" | head -1)
+  [[ -n "$FPORT" ]] && break
+  kill -0 "$FOLLOWER_PID" 2>/dev/null || {
+    cat "$LOG.follower"; echo "follower died"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$FPORT" ]] || {
+  cat "$LOG.follower"; echo "follower never listened"; exit 1; }
+echo "follower up on port $FPORT (pid $FOLLOWER_PID)"
+
+# Catch-up from empty: poll until the replicated rows are all visible.
+COUNT=""
+for _ in $(seq 1 100); do
+  COUNT=$("$CLIENT" --port "$FPORT" -e "SELECT COUNT(*) FROM takes" \
+    2>/dev/null) || true
+  [[ "$COUNT" == "4" ]] && break
+  sleep 0.2
+done
+[[ "$COUNT" == "4" ]] || {
+  cat "$LOG.follower"
+  echo "follower never caught up (last count '$COUNT')"; exit 1; }
+
+# A write on the primary reaches the follower while it tails live.
+"$CLIENT" --port "$PORT" \
+  -e "INSERT INTO takes VALUES (mia, logic, go)" >/dev/null
+COUNT=""
+for _ in $(seq 1 100); do
+  COUNT=$("$CLIENT" --port "$FPORT" -e "SELECT COUNT(*) FROM takes" \
+    2>/dev/null) || true
+  [[ "$COUNT" == "5" ]] && break
+  sleep 0.2
+done
+[[ "$COUNT" == "5" ]] || {
+  echo "live write never reached the follower"; exit 1; }
+
+# Writes and transactions on the follower bounce (statement error = 1)
+# and point the caller at the primary.
+EXIT_CODE=0
+OUT=$("$CLIENT" --port "$FPORT" \
+  -e "INSERT INTO takes VALUES (zoe, zk, go)" 2>&1) || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 1 ]] || {
+  echo "follower write exited $EXIT_CODE, want 1"; exit 1; }
+echo "$OUT" | grep -qi "read-only" || {
+  echo "follower write error did not say read-only:"; echo "$OUT"; exit 1; }
+EXIT_CODE=0
+"$CLIENT" --port "$FPORT" -e "BEGIN" >/dev/null 2>&1 || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 1 ]] || {
+  echo "follower BEGIN exited $EXIT_CODE, want 1"; exit 1; }
+
+# \replica reports the live stream; replication metrics are exported.
+# (Capture, then grep — see the SIGPIPE note above.)
+REPLICA=$("$CLIENT" --port "$FPORT" -e "\\replica")
+echo "$REPLICA" | grep -q "connected: yes" || {
+  echo "\\replica does not report a connected stream:"
+  echo "$REPLICA"; exit 1; }
+FMETRICS=$("$CLIENT" --port "$FPORT" -e "\\metrics prom")
+echo "$FMETRICS" | grep -q "nf2_repl_lag_records" || {
+  echo "replication metrics missing from follower \\metrics"; exit 1; }
+
+# The follower shuts down cleanly too.
+kill -TERM "$FOLLOWER_PID"
+EXIT_CODE=0
+wait "$FOLLOWER_PID" || EXIT_CODE=$?
+[[ "$EXIT_CODE" -eq 0 ]] || {
+  cat "$LOG.follower"; echo "follower exited $EXIT_CODE"; exit 1; }
+FOLLOWER_PID=""
+echo "follower leg OK"
+
 # Graceful shutdown: SIGTERM must checkpoint and exit 0.
 kill -TERM "$SERVER_PID"
 EXIT_CODE=0
@@ -102,9 +180,10 @@ for _ in $(seq 1 50); do
   sleep 0.2
 done
 [[ -n "$PORT" ]] || { cat "$LOG.2"; echo "restarted nf2d never listened"; exit 1; }
-# 3 rows from the first leg + eve from the batch leg.
+# 3 rows from the first leg + eve from the batch leg + mia from the
+# follower leg's live-tail write.
 COUNT=$("$CLIENT" --port "$PORT" -e "SELECT COUNT(*) FROM takes")
-[[ "$COUNT" == "4" ]] || { echo "post-restart count '$COUNT' != 4"; exit 1; }
+[[ "$COUNT" == "5" ]] || { echo "post-restart count '$COUNT' != 5"; exit 1; }
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
